@@ -1,0 +1,54 @@
+//! Full KV recompute: the no-reuse baseline (and quality gold standard).
+
+use cb_model::Model;
+use cb_tokenizer::{TokenId, TokenKind};
+
+/// Outcome of a full-recompute run.
+#[derive(Clone, Debug)]
+pub struct FullRecomputeOutcome {
+    /// The generated answer tokens.
+    pub answer: Vec<TokenId>,
+    /// Tokens prefilled (context + query) — all of them, by definition.
+    pub prefilled_tokens: usize,
+}
+
+/// Prefills `[BOS] ++ chunks ++ query` from scratch and decodes greedily.
+pub fn run_full_recompute(
+    model: &Model,
+    chunks: &[Vec<TokenId>],
+    query: &[TokenId],
+    max_tokens: usize,
+) -> FullRecomputeOutcome {
+    let mut toks = vec![model.cfg.vocab.id(TokenKind::Bos)];
+    for c in chunks {
+        toks.extend_from_slice(c);
+    }
+    toks.extend_from_slice(query);
+    let prefilled_tokens = toks.len();
+    let answer = model.generate(&toks, max_tokens);
+    FullRecomputeOutcome {
+        answer,
+        prefilled_tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::{ModelConfig, ModelProfile};
+    use cb_tokenizer::TokenKind::*;
+
+    #[test]
+    fn answers_cross_chunk_query() {
+        let m = Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11));
+        let v = &m.cfg.vocab;
+        let c1: Vec<TokenId> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<TokenId> = [Ref, Attr(3), Value(9), Sep].map(|k| v.id(k)).to_vec();
+        let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        let out = run_full_recompute(&m, &[c1, c2], &q, 4);
+        assert_eq!(out.answer, vec![v.id(Value(9))]);
+        assert_eq!(out.prefilled_tokens, 1 + 8 + 4);
+    }
+}

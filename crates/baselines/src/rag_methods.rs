@@ -1,0 +1,196 @@
+//! LangChain-style RAG alternatives: MapReduce and MapRerank (§7.1).
+//!
+//! Both process each chunk *independently* (so every chunk is a prefix and
+//! prefix caching applies), then combine:
+//!
+//! - **MapReduce**: each map pass answers the query from one chunk; the
+//!   non-empty per-chunk answers are re-encoded as facts and a reduce pass
+//!   answers over them. An extra full LLM pass → high TTFT.
+//! - **MapRerank**: each map pass answers with a confidence score (the
+//!   first-token logit margin); the most confident answer wins. Cheap, but
+//!   facts that need *multiple* chunks jointly can never be recovered.
+
+use cb_model::Model;
+use cb_tensor::ops::argmax;
+use cb_tokenizer::{TokenId, TokenKind};
+
+/// Outcome of a MapReduce / MapRerank run.
+#[derive(Clone, Debug)]
+pub struct RagMethodOutcome {
+    /// The final answer tokens.
+    pub answer: Vec<TokenId>,
+    /// Tokens prefilled in each map pass.
+    pub map_prefills: Vec<usize>,
+    /// Tokens prefilled in the reduce pass (0 for MapRerank).
+    pub reduce_prefill: usize,
+}
+
+/// Generates from `[BOS] ++ chunk ++ query` and reports the confidence of
+/// the first decoded token (top-1 minus top-2 logit).
+fn map_pass(
+    model: &Model,
+    chunk: &[TokenId],
+    query: &[TokenId],
+    max_tokens: usize,
+) -> (Vec<TokenId>, f32, usize) {
+    let mut toks = vec![model.cfg.vocab.id(TokenKind::Bos)];
+    toks.extend_from_slice(chunk);
+    toks.extend_from_slice(query);
+    let prefilled = toks.len();
+    let (mut cache, x) = model.prefill(&toks);
+    let last = x.row(x.rows() - 1).to_vec();
+    let logits = model.logits(&last);
+    let best = argmax(&logits);
+    let mut second = f32::NEG_INFINITY;
+    for (i, &l) in logits.iter().enumerate() {
+        if i != best && l > second {
+            second = l;
+        }
+    }
+    let confidence = logits[best] - second;
+    let answer = model.decode_greedy(&mut cache, &last, max_tokens);
+    (answer, confidence, prefilled)
+}
+
+/// LangChain MapReduce: map over chunks, reduce over the per-chunk answers.
+pub fn run_map_reduce(
+    model: &Model,
+    chunks: &[Vec<TokenId>],
+    query: &[TokenId],
+    max_tokens: usize,
+) -> RagMethodOutcome {
+    assert!(query.len() >= 4, "query must be `Q: ent attr ?`");
+    let vocab = &model.cfg.vocab;
+    let mut map_prefills = Vec::with_capacity(chunks.len());
+    let mut summaries: Vec<Vec<TokenId>> = Vec::new();
+    for chunk in chunks {
+        let (ans, _conf, prefilled) = map_pass(model, chunk, query, max_tokens);
+        map_prefills.push(prefilled);
+        if !ans.is_empty() {
+            // Re-encode the per-chunk answer as a fact about the queried
+            // (entity, attr) — the "summary" document of the reduce step.
+            let mut fact = vec![query[1], query[2]];
+            fact.extend_from_slice(&ans);
+            fact.push(vocab.id(TokenKind::Sep));
+            summaries.push(fact);
+        }
+    }
+    if summaries.is_empty() {
+        return RagMethodOutcome {
+            answer: Vec::new(),
+            map_prefills,
+            reduce_prefill: 0,
+        };
+    }
+    let mut reduce_ctx = vec![vocab.id(TokenKind::Bos)];
+    for s in &summaries {
+        reduce_ctx.extend_from_slice(s);
+    }
+    reduce_ctx.extend_from_slice(query);
+    let reduce_prefill = reduce_ctx.len();
+    let answer = model.generate(&reduce_ctx, max_tokens);
+    RagMethodOutcome {
+        answer,
+        map_prefills,
+        reduce_prefill,
+    }
+}
+
+/// LangChain MapRerank: per-chunk answers scored by confidence; best wins.
+pub fn run_map_rerank(
+    model: &Model,
+    chunks: &[Vec<TokenId>],
+    query: &[TokenId],
+    max_tokens: usize,
+) -> RagMethodOutcome {
+    let mut best: Option<(Vec<TokenId>, f32)> = None;
+    let mut map_prefills = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let (ans, conf, prefilled) = map_pass(model, chunk, query, max_tokens);
+        map_prefills.push(prefilled);
+        if ans.is_empty() {
+            continue;
+        }
+        if best.as_ref().map(|(_, c)| conf > *c).unwrap_or(true) {
+            best = Some((ans, conf));
+        }
+    }
+    RagMethodOutcome {
+        answer: best.map(|(a, _)| a).unwrap_or_default(),
+        map_prefills,
+        reduce_prefill: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::{ModelConfig, ModelProfile};
+    use cb_tokenizer::TokenKind::*;
+
+    fn model() -> Model {
+        Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
+    }
+
+    fn chunks_and_query(m: &Model) -> (Vec<Vec<TokenId>>, Vec<TokenId>, TokenId) {
+        let v = &m.cfg.vocab;
+        let c1: Vec<TokenId> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<TokenId> = [Entity(8), Attr(3), Value(9), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let q: Vec<TokenId> = [Query, Entity(8), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        (vec![c1, c2], q, v.id(Value(9)))
+    }
+
+    #[test]
+    fn map_rerank_answers_single_chunk_fact() {
+        let m = model();
+        let (chunks, q, gold) = chunks_and_query(&m);
+        let out = run_map_rerank(&m, &chunks, &q, 4);
+        assert_eq!(out.answer, vec![gold]);
+        assert_eq!(out.map_prefills.len(), 2);
+        assert_eq!(out.reduce_prefill, 0);
+    }
+
+    #[test]
+    fn map_reduce_answers_single_chunk_fact() {
+        let m = model();
+        let (chunks, q, gold) = chunks_and_query(&m);
+        let out = run_map_reduce(&m, &chunks, &q, 4);
+        assert_eq!(out.answer, vec![gold]);
+        assert!(out.reduce_prefill > 0, "reduce pass must run");
+    }
+
+    #[test]
+    fn both_fail_on_cross_chunk_facts() {
+        // The fact needs chunk 1 (antecedent) and chunk 2 (REF fact)
+        // jointly; chunk-independent processing cannot resolve it.
+        let m = model();
+        let v = &m.cfg.vocab;
+        let c1: Vec<TokenId> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<TokenId> = [Ref, Attr(3), Value(9), Sep].map(|k| v.id(k)).to_vec();
+        let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        let gold = vec![v.id(Value(9))];
+        let rerank = run_map_rerank(&m, &[c1.clone(), c2.clone()], &q, 4);
+        assert_ne!(rerank.answer, gold);
+        let reduce = run_map_reduce(&m, &[c1, c2], &q, 4);
+        assert_ne!(reduce.answer, gold);
+    }
+
+    #[test]
+    fn empty_map_answers_yield_empty_output() {
+        let m = model();
+        let v = &m.cfg.vocab;
+        let c: Vec<TokenId> = [Filler(1), Filler(2), Filler(3)].map(|k| v.id(k)).to_vec();
+        let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        let out = run_map_reduce(&m, &[c.clone()], &q, 4);
+        assert!(out.answer.is_empty());
+        assert_eq!(out.reduce_prefill, 0);
+        let out = run_map_rerank(&m, &[c], &q, 4);
+        assert!(out.answer.is_empty());
+    }
+}

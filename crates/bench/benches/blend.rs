@@ -1,0 +1,66 @@
+//! Pipeline benchmarks: eager vs streaming (loader-thread) fusion, and the
+//! deviation analyses.
+
+use cb_core::fusor::BlendConfig;
+use cb_core::pipeline::{blend_pipelined, blend_sequential, serialize_chunks};
+use cb_model::{Model, ModelConfig, ModelProfile};
+use cb_rag::datasets::{Dataset, DatasetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (Model, Vec<bytes::Bytes>, Vec<u32>) {
+    let model = Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11));
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let case = &ds.cases[0];
+    let ctx = ds.retrieve(case, 6);
+    let chunks = ds.chunk_tokens(&ctx);
+    let bytes = serialize_chunks(&model, &chunks);
+    (model, bytes, case.query.clone())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (model, bytes, query) = setup();
+    let cfg = BlendConfig::with_ratio(0.18);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    // A 2 ms/layer throttle emulating a storage device: the pipelined
+    // variant should hide most of it behind recompute.
+    let throttle = Some(Duration::from_millis(2));
+    g.bench_function("pipelined_throttled", |b| {
+        b.iter(|| black_box(blend_pipelined(&model, cfg, bytes.clone(), &query, throttle).unwrap()))
+    });
+    g.bench_function("sequential_throttled", |b| {
+        b.iter(|| {
+            black_box(blend_sequential(&model, cfg, bytes.clone(), &query, throttle).unwrap())
+        })
+    });
+    g.bench_function("pipelined_unthrottled", |b| {
+        b.iter(|| black_box(blend_pipelined(&model, cfg, bytes.clone(), &query, None).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let model = Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11));
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let case = &ds.cases[0];
+    let ctx = ds.retrieve(case, 6);
+    let bos = cb_kv::precompute::bos_cache(&model);
+    let mut segments = vec![bos];
+    let mut cursor = 1;
+    for &i in &ctx {
+        let mut p = cb_kv::precompute::precompute_chunk(&model, &ds.chunks[i]);
+        cb_core::rope_align::relocate(&model, &mut p, cursor);
+        cursor += p.len();
+        segments.push(p);
+    }
+    let refs: Vec<&cb_model::KvCache> = segments.iter().collect();
+    let reused = cb_model::KvCache::concat(&refs);
+    c.bench_function("oracle_kv_deviation", |b| {
+        b.iter(|| black_box(cb_core::deviation::oracle_kv_deviation(&model, &reused)))
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_deviation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the tensor kernels the forward pass is built from.
+
+use cb_tensor::ops::{softmax_rows, top_k_indices};
+use cb_tensor::rope::{apply_rope, RopeTable};
+use cb_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    for n in [64usize, 128, 224] {
+        let a = Matrix::from_fn(n, n, |r, q| ((r * 7 + q) % 13) as f32 * 0.1);
+        let b = Matrix::from_fn(n, n, |r, q| ((r * 3 + q) % 11) as f32 * 0.1);
+        g.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        g.bench_function(format!("{n}x{n}_transposed"), |bench| {
+            bench.iter(|| black_box(a.matmul_transposed(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax");
+    g.sample_size(30);
+    for rows in [64usize, 512] {
+        g.bench_function(format!("{rows}x512"), |bench| {
+            bench.iter_batched(
+                || Matrix::from_fn(rows, 512, |r, q| ((r + q) % 31) as f32 * 0.3),
+                |mut m| {
+                    softmax_rows(&mut m);
+                    black_box(m)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_rope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rope");
+    g.sample_size(30);
+    let table = RopeTable::new(64, 10000.0);
+    let pos: Vec<usize> = (0..512).collect();
+    g.bench_function("rotate_512x64", |bench| {
+        bench.iter_batched(
+            || Matrix::from_fn(512, 64, |r, q| ((r + q) % 17) as f32 * 0.2),
+            |mut m| {
+                apply_rope(&mut m, &table, &pos);
+                black_box(m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..4096)
+        .map(|i| ((i * 2654435761u64 as usize) % 977) as f32)
+        .collect();
+    c.bench_function("top_k_4096_pick_64", |bench| {
+        bench.iter(|| black_box(top_k_indices(&vals, 64)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_rope, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Wall-clock prefill benchmarks on the tiny models: full prefill vs
+//! CacheBlend's selective recompute at several ratios.
+//!
+//! These are *measured* (not modelled) speedups: selective recompute does
+//! work proportional to the selected token count, so blend time should
+//! scale down with the ratio — the computational claim behind §4.2.
+
+use cb_core::fusor::{BlendConfig, Fusor};
+use cb_kv::precompute::precompute_chunk;
+use cb_model::{Model, ModelConfig, ModelProfile};
+use cb_rag::datasets::{Dataset, DatasetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (Model, Vec<Vec<u32>>, Vec<u32>) {
+    let model = Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11));
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let case = &ds.cases[0];
+    let ctx = ds.retrieve(case, 6);
+    (model, ds.chunk_tokens(&ctx), case.query.clone())
+}
+
+fn bench_full_prefill(c: &mut Criterion) {
+    let (model, chunks, query) = setup();
+    let mut toks = vec![model.cfg.vocab.id(cb_tokenizer::TokenKind::Bos)];
+    for ch in &chunks {
+        toks.extend_from_slice(ch);
+    }
+    toks.extend_from_slice(&query);
+    let mut g = c.benchmark_group("prefill");
+    g.sample_size(20);
+    g.bench_function(format!("full_{}tok", toks.len()), |b| {
+        b.iter(|| black_box(model.prefill(&toks)))
+    });
+    g.finish();
+}
+
+fn bench_selective(c: &mut Criterion) {
+    let (model, chunks, query) = setup();
+    let parts: Vec<_> = chunks
+        .iter()
+        .map(|ch| precompute_chunk(&model, ch))
+        .collect();
+    let mut g = c.benchmark_group("selective_recompute");
+    g.sample_size(20);
+    for ratio in [0.0f32, 0.15, 0.5, 1.0] {
+        let fusor = Fusor::new(&model, BlendConfig::with_ratio(ratio));
+        g.bench_function(format!("ratio_{:.0}pct", ratio * 100.0), |b| {
+            b.iter(|| black_box(fusor.blend(parts.clone(), &query, false)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_precompute(c: &mut Criterion) {
+    let (model, chunks, _) = setup();
+    c.bench_function("precompute_chunk", |b| {
+        b.iter(|| black_box(precompute_chunk(&model, &chunks[0])))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (model, chunks, query) = setup();
+    let mut toks = vec![model.cfg.vocab.id(cb_tokenizer::TokenKind::Bos)];
+    for ch in &chunks {
+        toks.extend_from_slice(ch);
+    }
+    toks.extend_from_slice(&query);
+    c.bench_function("decode_4_tokens", |b| {
+        b.iter_batched(
+            || model.prefill(&toks),
+            |(mut cache, x)| {
+                let last = x.row(x.rows() - 1).to_vec();
+                black_box(model.decode_greedy(&mut cache, &last, 4))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_prefill,
+    bench_selective,
+    bench_chunk_precompute,
+    bench_decode
+);
+criterion_main!(benches);

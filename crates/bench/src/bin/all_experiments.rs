@@ -1,0 +1,5 @@
+//! Runs every figure/table experiment in order, emitting markdown tables
+//! to stdout and JSON rows under `target/experiments/`.
+fn main() {
+    cb_bench::experiments::run_all();
+}

@@ -1,0 +1,37 @@
+//! Figure 2: generation quality vs number of retrieved chunks, full KV
+//! recompute (with cross-attention) against full KV reuse (without).
+//!
+//! Paper shape: quality rises with more retrieved chunks, the gap between
+//! the two schemes widens (more cross-referencing), and very large contexts
+//! stop helping.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_storage::perf::PaperModel;
+
+use crate::harness::{ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let m = ExpModel::new(PaperModel::Mistral7B, 11);
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::MusiqueSim, DatasetKind::TwoWikiSim] {
+        let ds = Dataset::standard(kind, 7);
+        let mut ev = QualityEval::new(&m.model);
+        for k in [2usize, 4, 6, 10, 16, 24] {
+            let full = ev.eval(&ds, SchemeKind::FullRecompute, 0.0, k, 24);
+            let reuse = ev.eval(&ds, SchemeKind::FullReuse, 0.0, k, 24);
+            rows.push(
+                Row::new("fig02")
+                    .col("dataset", ds.kind.name())
+                    .col("metric", ds.kind.metric_name())
+                    .col("chunks", k)
+                    .num("full_recompute", full.mean_score)
+                    .num("full_reuse", reuse.mean_score)
+                    .num("gap", full.mean_score - reuse.mean_score),
+            );
+        }
+    }
+    emit("fig02_chunks_vs_quality", &rows);
+}

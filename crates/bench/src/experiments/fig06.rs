@@ -1,0 +1,88 @@
+//! Figure 6: forward attention deviation vs recompute ratio, three models.
+//!
+//! Paper shape: Δattn falls as the ratio grows, with the steepest drop from
+//! recomputing the first few (highest-KV-deviation) tokens; recomputing
+//! *random* tokens at the same budget decays far slower — that contrast is
+//! the HKVD ablation.
+
+use cb_core::fusor::{BlendConfig, Fusor, Selection};
+use cb_model::model::ForwardTrace;
+use cb_model::Model;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_tokenizer::TokenId;
+
+use crate::harness::{ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Suffix attention of a *full prefill* over BOS + chunks + query.
+fn full_trace(model: &Model, chunks: &[Vec<TokenId>], query: &[TokenId]) -> ForwardTrace {
+    let mut toks = vec![model.cfg.vocab.id(cb_tokenizer::TokenKind::Bos)];
+    for c in chunks {
+        toks.extend_from_slice(c);
+    }
+    toks.extend_from_slice(query);
+    let mut cache = model.new_cache();
+    let positions: Vec<usize> = (0..toks.len()).collect();
+    let mut trace = ForwardTrace::default();
+    model.forward_rows(&toks, &positions, &mut cache, Some(&mut trace));
+    // Keep only the suffix (query) rows of every layer.
+    let s = query.len();
+    for a in &mut trace.attn {
+        *a = a.slice_rows(a.rows() - s, a.rows());
+    }
+    trace
+}
+
+/// Mean-over-layers Δattn of one blended case vs full prefill.
+fn case_deviation(
+    model: &Model,
+    ev: &mut QualityEval,
+    ds: &Dataset,
+    case_idx: usize,
+    ratio: f32,
+    selection: Selection,
+) -> f32 {
+    let case = &ds.cases[case_idx];
+    let ctx = ds.retrieve(case, 6);
+    let chunks = ds.chunk_tokens(&ctx);
+    let reference = full_trace(model, &chunks, &case.query);
+    let parts: Vec<_> = ctx.iter().map(|&i| ev.chunk_cache(ds, i)).collect();
+    let cfg = BlendConfig {
+        recompute_ratio: ratio,
+        gamma: 0.3,
+        selection,
+    };
+    let out = Fusor::new(model, cfg).blend(parts, &case.query, true);
+    let devs = cb_core::deviation::trace_deviation(&out.trace.unwrap(), &reference);
+    cb_tensor::stats::mean(&devs)
+}
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let mut rows = Vec::new();
+    for exp in ExpModel::evaluation_models(11) {
+        let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+        let mut ev = QualityEval::new(&exp.model);
+        for ratio in [0.0f32, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50] {
+            for (sel_name, sel) in [
+                ("hkvd", Selection::Hkvd),
+                ("first_layer_only", Selection::FirstLayerOnly),
+                ("random", Selection::Random { seed: 3 }),
+            ] {
+                let mut total = 0.0;
+                let n = 8;
+                for i in 0..n {
+                    total += case_deviation(&exp.model, &mut ev, &ds, i, ratio, sel);
+                }
+                rows.push(
+                    Row::new("fig06")
+                        .col("model", exp.perf.spec.name)
+                        .col("selection", sel_name)
+                        .num("ratio", ratio as f64)
+                        .num("attn_deviation", (total / n as f32) as f64),
+                );
+            }
+        }
+    }
+    emit("fig06_attn_deviation", &rows);
+}

@@ -1,0 +1,45 @@
+//! Figure 8: Spearman rank correlation of per-token KV deviation between
+//! neighboring layers, three models.
+//!
+//! Paper shape: consistently high correlation (≳0.7) — the justification
+//! for selecting HKVD tokens on one layer and reusing the choice on the
+//! next (Insight 2).
+
+use cb_core::deviation::oracle_kv_deviation;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_tensor::stats::spearman;
+
+use crate::harness::{reused_context_cache, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let mut rows = Vec::new();
+    for exp in ExpModel::evaluation_models(11) {
+        let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+        let mut ev = QualityEval::new(&exp.model);
+        let n_layers = exp.model.n_layers();
+        // Deviation rank correlation is only meaningful once context has
+        // mixed (layer ≥ 1).
+        let pairs: Vec<(usize, usize)> = (1..n_layers - 1).map(|l| (l, l + 1)).collect();
+        let mut sums = vec![0.0f64; pairs.len()];
+        let n_cases = 6;
+        for case in ds.cases.iter().take(n_cases) {
+            let ctx = ds.retrieve(case, 6);
+            let reused = reused_context_cache(&exp.model, &mut ev, &ds, &ctx);
+            let dev = oracle_kv_deviation(&exp.model, &reused);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                sums[i] += spearman(&dev[a], &dev[b]);
+            }
+        }
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            rows.push(
+                Row::new("fig08")
+                    .col("model", exp.perf.spec.name)
+                    .col("layer_pair", format!("{a} vs {b}"))
+                    .num("spearman", sums[i] / n_cases as f64),
+            );
+        }
+    }
+    emit("fig08_layer_correlation", &rows);
+}

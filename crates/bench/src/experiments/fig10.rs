@@ -1,0 +1,75 @@
+//! Figure 10: the loading controller's two decisions.
+//!
+//! (a) For a fixed device (the 1 GB/s SSD of the paper's example), sweep
+//!     the recompute ratio: below the equal-delay ratio recomputation is
+//!     *free* (hidden by loading); above it TTFT grows. Pipelining on/off
+//!     contrast included.
+//! (b) For the fixed default ratio (15 %), find the cheapest device whose
+//!     loading still hides under recomputation.
+
+use cb_core::controller::LoadingController;
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::{PaperModel, PerfModel};
+
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let l = 4096usize; // the paper's running example: a 4K context
+    let suffix = 32usize;
+
+    // (a) Ratio sweep on Llama-7B @ 1 GB/s commodity SSD.
+    let mut rows = Vec::new();
+    let perf = PerfModel::on_a40(PaperModel::Llama7B);
+    let ctl = LoadingController::new(perf);
+    let dev = DeviceKind::CommoditySsd;
+    let best = perf.equal_delay_ratio(l, dev);
+    for ratio in [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50, 0.75, 1.0] {
+        rows.push(
+            Row::new("fig10a")
+                .col("model", perf.spec.name)
+                .col("device", dev.spec().name)
+                .num("ratio", ratio)
+                .num(
+                    "recompute_ms_per_layer",
+                    perf.recompute_layer_time(ratio, l) * 1e3,
+                )
+                .num("load_ms_per_layer", perf.load_layer_time(l, dev) * 1e3)
+                .num("ttft_pipelined_s", perf.ttft_blend(ratio, l, suffix, dev))
+                .num(
+                    "ttft_unpipelined_s",
+                    perf.ttft_blend_unpipelined(ratio, l, suffix, dev),
+                )
+                .col("hidden", ratio <= best),
+        );
+    }
+    emit("fig10a_ratio_vs_delay", &rows);
+
+    // (b) Device choice at the quality ratio.
+    let mut rows = Vec::new();
+    for pm in [
+        PaperModel::Mistral7B,
+        PaperModel::Yi34B,
+        PaperModel::Llama70B,
+    ] {
+        let perf = PerfModel::on_a40(pm);
+        let ctl = LoadingController::new(perf);
+        let picked = ctl.pick_device(l, 0.15, &DeviceKind::all());
+        for d in DeviceKind::all() {
+            let load = perf.load_layer_time(l, d);
+            let rec = perf.recompute_layer_time(0.15, l);
+            rows.push(
+                Row::new("fig10b")
+                    .col("model", perf.spec.name)
+                    .col("device", d.spec().name)
+                    .num("load_ms_per_layer", load * 1e3)
+                    .num("recompute_ms_per_layer", rec * 1e3)
+                    .col("hides", load <= rec)
+                    .num("cost_$per_gb_month", d.spec().cost_per_gb_month)
+                    .col("picked", Some(d) == picked),
+            );
+        }
+    }
+    let _ = ctl;
+    emit("fig10b_device_choice", &rows);
+}

@@ -1,0 +1,75 @@
+//! Figure 12 — the main result: quality vs TTFT for CacheBlend against
+//! full KV recompute, prefix caching, and full KV reuse, across four
+//! datasets and three models.
+//!
+//! Paper shape: CacheBlend's TTFT is 2.2–3.3× below full recompute and its
+//! quality within ~0.02; full KV reuse is fastest but loses 0.1–0.35
+//! absolute quality; prefix caching matches full-recompute quality but
+//! saves only the first chunk.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_storage::device::DeviceKind;
+
+use crate::harness::{scheme_ttft, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Figure-12 setting: 6 chunks of (paper-scale) 512 tokens, NVMe store.
+pub const K: usize = 6;
+/// Paper-scale tokens per chunk.
+pub const CHUNK_TOKENS: usize = 512;
+/// Query suffix tokens (paper scale).
+pub const SUFFIX: usize = 32;
+/// CacheBlend recompute ratio: the r* this reproduction calibrates from
+/// its own Figure-16 sweep (the knee sits at 18 %, inside the paper's
+/// 5-18 % band).
+pub const RATIO: f32 = 0.18;
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let schemes = [
+        SchemeKind::FullRecompute,
+        SchemeKind::PrefixCaching,
+        SchemeKind::FullReuse,
+        SchemeKind::CacheBlend,
+    ];
+    let mut rows = Vec::new();
+    for exp in ExpModel::evaluation_models(11) {
+        for kind in DatasetKind::all() {
+            let ds = Dataset::standard(kind, 7);
+            let mut ev = QualityEval::new(&exp.model);
+            let full_ttft = scheme_ttft(
+                &exp.perf,
+                SchemeKind::FullRecompute,
+                K,
+                CHUNK_TOKENS,
+                SUFFIX,
+                DeviceKind::NvmeSsd,
+                RATIO as f64,
+            );
+            for scheme in schemes {
+                let q = ev.eval(&ds, scheme, RATIO, K, 24);
+                let ttft = scheme_ttft(
+                    &exp.perf,
+                    scheme,
+                    K,
+                    CHUNK_TOKENS,
+                    SUFFIX,
+                    DeviceKind::NvmeSsd,
+                    RATIO as f64,
+                );
+                rows.push(
+                    Row::new("fig12")
+                        .col("model", exp.perf.spec.name)
+                        .col("dataset", kind.name())
+                        .col("metric", kind.metric_name())
+                        .col("scheme", scheme.name())
+                        .num("quality", q.mean_score)
+                        .num("ttft_s", ttft)
+                        .num("speedup_vs_full", full_ttft / ttft),
+                );
+            }
+        }
+    }
+    emit("fig12_main_quality_ttft", &rows);
+}

@@ -1,0 +1,52 @@
+//! Figure 13: CacheBlend vs the LangChain RAG methods (MapReduce,
+//! MapRerank) on Yi-34B.
+//!
+//! Paper shape: MapReduce is 2–5× slower than CacheBlend with no quality
+//! win; MapRerank can be slightly faster but loses badly on quality because
+//! chunks are judged in isolation.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::PaperModel;
+
+use crate::experiments::fig12::{CHUNK_TOKENS, K, RATIO, SUFFIX};
+use crate::harness::{scheme_ttft, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let exp = ExpModel::new(PaperModel::Yi34B, 11);
+    let schemes = [
+        SchemeKind::CacheBlend,
+        SchemeKind::MapReduce,
+        SchemeKind::MapRerank,
+    ];
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let ds = Dataset::standard(kind, 7);
+        let mut ev = QualityEval::new(&exp.model);
+        for scheme in schemes {
+            let q = ev.eval(&ds, scheme, RATIO, K, 20);
+            let ttft = scheme_ttft(
+                &exp.perf,
+                scheme,
+                K,
+                CHUNK_TOKENS,
+                SUFFIX,
+                DeviceKind::NvmeSsd,
+                RATIO as f64,
+            );
+            rows.push(
+                Row::new("fig13")
+                    .col("model", exp.perf.spec.name)
+                    .col("dataset", kind.name())
+                    .col("metric", kind.metric_name())
+                    .col("scheme", scheme.name())
+                    .num("quality", q.mean_score)
+                    .num("ttft_s", ttft),
+            );
+        }
+    }
+    emit("fig13_rag_methods", &rows);
+}

@@ -1,0 +1,95 @@
+//! Figure 15: sensitivity to (a) chunk count, (b) chunk length, (c) batch
+//! size — CacheBlend's compute time against full recompute.
+//!
+//! Paper shape: the reduction ratio stays roughly constant across chunk
+//! counts and lengths, and grows more valuable with batch size (prefill
+//! dominates larger batches). Quality is verified to stay within the loss
+//! budget on the tiny model.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind, GenConfig};
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::PaperModel;
+use cb_tokenizer::Vocab;
+
+use crate::harness::{scheme_ttft, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let exp = ExpModel::new(PaperModel::Mistral7B, 11);
+    let ratio = 0.15f32;
+    let device = DeviceKind::NvmeSsd;
+
+    // (a) Number of chunks (paper-scale 512-token chunks).
+    let mut rows = Vec::new();
+    let ds = Dataset::standard(DatasetKind::TwoWikiSim, 7);
+    for k in [3usize, 6, 9, 12] {
+        let mut ev = QualityEval::new(&exp.model);
+        let full_q = ev.eval(&ds, SchemeKind::FullRecompute, 0.0, k, 16);
+        let blend_q = ev.eval(&ds, SchemeKind::CacheBlend, 0.18, k, 16);
+        rows.push(
+            Row::new("fig15a")
+                .col("chunks", k)
+                .num(
+                    "full_compute_s",
+                    scheme_ttft(
+                        &exp.perf,
+                        SchemeKind::FullRecompute,
+                        k,
+                        512,
+                        32,
+                        device,
+                        0.0,
+                    ),
+                )
+                .num(
+                    "blend_compute_s",
+                    exp.perf.blend_compute_time(ratio as f64, k * 512, 32),
+                )
+                .num("quality_loss", full_q.mean_score - blend_q.mean_score),
+        );
+    }
+    emit("fig15a_chunk_count", &rows);
+
+    // (b) Chunk length (paper-scale 300/600/900, scaled sim chunks).
+    let mut rows = Vec::new();
+    for (paper_len, sim_len) in [(300usize, 12usize), (600, 24), (900, 36)] {
+        let mut cfg = GenConfig::standard(DatasetKind::TwoWikiSim, 7);
+        cfg.chunk_len = sim_len;
+        let ds = Dataset::generate(Vocab::default_eval(), &cfg);
+        let mut ev = QualityEval::new(&exp.model);
+        let full_q = ev.eval(&ds, SchemeKind::FullRecompute, 0.0, 6, 16);
+        let blend_q = ev.eval(&ds, SchemeKind::CacheBlend, 0.18, 6, 16);
+        rows.push(
+            Row::new("fig15b")
+                .col("chunk_tokens", paper_len)
+                .num(
+                    "full_compute_s",
+                    exp.perf.ttft_full_prefill(6 * paper_len + 32),
+                )
+                .num(
+                    "blend_compute_s",
+                    exp.perf.blend_compute_time(ratio as f64, 6 * paper_len, 32),
+                )
+                .num("quality_loss", full_q.mean_score - blend_q.mean_score),
+        );
+    }
+    emit("fig15b_chunk_length", &rows);
+
+    // (c) Batch size: prefill compute scales with the batch; the GPU
+    // serializes prefills, so batch compute = batch × per-request compute.
+    let mut rows = Vec::new();
+    for batch in [2usize, 6, 10] {
+        let full = exp.perf.ttft_full_prefill(6 * 512 + 32) * batch as f64;
+        let blend = exp.perf.blend_compute_time(ratio as f64, 6 * 512, 32) * batch as f64;
+        rows.push(
+            Row::new("fig15c")
+                .col("batch", batch)
+                .num("full_compute_s", full)
+                .num("blend_compute_s", blend)
+                .num("reduction", full / blend),
+        );
+    }
+    emit("fig15c_batch_size", &rows);
+}

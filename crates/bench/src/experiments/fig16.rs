@@ -1,0 +1,47 @@
+//! Figure 16: the recompute-ratio sweep on Yi-34B.
+//!
+//! Paper shape: quality climbs steeply with the first ~10–18 % of
+//! recompute and plateaus at the full-recompute level; TTFT grows linearly
+//! with the ratio, so the paper's 15 % default sits at the knee.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::PaperModel;
+
+use crate::experiments::fig12::{CHUNK_TOKENS, K, SUFFIX};
+use crate::harness::{scheme_ttft, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let exp = ExpModel::new(PaperModel::Yi34B, 11);
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let ds = Dataset::standard(kind, 7);
+        let mut ev = QualityEval::new(&exp.model);
+        let full = ev.eval(&ds, SchemeKind::FullRecompute, 0.0, K, 20);
+        for ratio in [0.0f32, 0.02, 0.05, 0.10, 0.15, 0.18, 0.25, 0.50, 1.0] {
+            let q = ev.eval(&ds, SchemeKind::CacheBlend, ratio, K, 20);
+            let ttft = scheme_ttft(
+                &exp.perf,
+                SchemeKind::CacheBlend,
+                K,
+                CHUNK_TOKENS,
+                SUFFIX,
+                DeviceKind::NvmeSsd,
+                ratio as f64,
+            );
+            rows.push(
+                Row::new("fig16")
+                    .col("dataset", kind.name())
+                    .col("metric", kind.metric_name())
+                    .num("ratio", ratio as f64)
+                    .num("quality", q.mean_score)
+                    .num("quality_loss_vs_full", full.mean_score - q.mean_score)
+                    .num("ttft_s", ttft),
+            );
+        }
+    }
+    emit("fig16_ratio_sweep", &rows);
+}

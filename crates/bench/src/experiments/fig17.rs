@@ -1,0 +1,51 @@
+//! Figure 17: storage-device variation (CPU RAM vs the 4 Gb/s slow disk)
+//! on Yi-34B / 2WikiMQA.
+//!
+//! Paper shape: CacheBlend keeps its quality on both devices; on the slow
+//! disk the TTFT gap to full KV reuse narrows (both become load-bound)
+//! while the gap to full recompute stays wide.
+
+use cb_baselines::SchemeKind;
+use cb_rag::datasets::{Dataset, DatasetKind};
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::PaperModel;
+
+use crate::experiments::fig12::{CHUNK_TOKENS, K, RATIO, SUFFIX};
+use crate::harness::{scheme_ttft, ExpModel, QualityEval};
+use crate::out::{emit, Row};
+
+/// Runs the experiment and emits rows.
+pub fn run() {
+    let exp = ExpModel::new(PaperModel::Yi34B, 11);
+    let ds = Dataset::standard(DatasetKind::TwoWikiSim, 7);
+    let schemes = [
+        SchemeKind::CacheBlend,
+        SchemeKind::FullReuse,
+        SchemeKind::PrefixCaching,
+        SchemeKind::FullRecompute,
+    ];
+    let mut rows = Vec::new();
+    for device in [DeviceKind::CpuRam, DeviceKind::SlowSsd] {
+        let mut ev = QualityEval::new(&exp.model);
+        for scheme in schemes {
+            let q = ev.eval(&ds, scheme, RATIO, K, 20);
+            let ttft = scheme_ttft(
+                &exp.perf,
+                scheme,
+                K,
+                CHUNK_TOKENS,
+                SUFFIX,
+                device,
+                RATIO as f64,
+            );
+            rows.push(
+                Row::new("fig17")
+                    .col("device", device.spec().name)
+                    .col("scheme", scheme.name())
+                    .num("quality", q.mean_score)
+                    .num("ttft_s", ttft),
+            );
+        }
+    }
+    emit("fig17_storage_devices", &rows);
+}

@@ -1,0 +1,35 @@
+//! The §5 in-text delay numbers as a table: per-layer recompute at 15 % of
+//! a 4K context vs per-layer KV load from NVMe, per model.
+//!
+//! Paper anchors: Llama-7B ≈ 3 ms recompute vs ≈ 16 ms load (hidden);
+//! Llama-70B ≈ 7 ms vs ≈ 4 ms (not hidden — the controller must react).
+
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::{PaperModel, PerfModel};
+
+use crate::out::{emit, Row};
+
+/// Runs the table and emits rows.
+pub fn run() {
+    let mut rows = Vec::new();
+    for pm in [
+        PaperModel::Llama7B,
+        PaperModel::Mistral7B,
+        PaperModel::Yi34B,
+        PaperModel::Llama70B,
+    ] {
+        let perf = PerfModel::on_a40(pm);
+        let l = 4096;
+        let rec = perf.recompute_layer_time(0.15, l);
+        let load = perf.load_layer_time(l, DeviceKind::NvmeSsd);
+        rows.push(
+            Row::new("tab_delay")
+                .col("model", perf.spec.name)
+                .num("recompute_15pct_ms_per_layer", rec * 1e3)
+                .num("nvme_load_ms_per_layer", load * 1e3)
+                .col("recompute_hidden", rec <= load)
+                .num("prefill_4k_s", perf.prefill_time(l)),
+        );
+    }
+    emit("tab_delay_model", &rows);
+}

@@ -1,0 +1,15 @@
+//! Shared experiment harness for the figure-regenerating binaries.
+//!
+//! Every binary in `src/bin/` reproduces one figure/table of the paper (see
+//! `DESIGN.md` §3 for the index). This library provides the pieces they
+//! share: compiled models per profile, chunk-cache memoization, per-scheme
+//! quality evaluation on the tiny models, per-scheme TTFT from the
+//! paper-scale delay model, and row emission (pretty table + JSON under
+//! `target/experiments/`).
+
+pub mod experiments;
+pub mod harness;
+pub mod out;
+
+pub use harness::{ExpModel, QualityEval, SchemeQuality};
+pub use out::{emit, Row};

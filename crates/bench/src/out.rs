@@ -1,0 +1,80 @@
+//! Experiment output: pretty tables on stdout + JSON rows on disk.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// One output row: a flat map of column → value.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. "fig12".
+    pub experiment: String,
+    /// Labelled values in column order.
+    pub values: Vec<(String, String)>,
+}
+
+impl Row {
+    /// Starts a row for an experiment.
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds a string column.
+    pub fn col(mut self, name: &str, value: impl ToString) -> Self {
+        self.values.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float column with 4 digits.
+    pub fn num(mut self, name: &str, value: f64) -> Self {
+        self.values.push((name.to_string(), format!("{value:.4}")));
+        self
+    }
+}
+
+/// Prints rows as a markdown table and writes them as JSON to
+/// `target/experiments/<name>.json`.
+pub fn emit(name: &str, rows: &[Row]) {
+    if rows.is_empty() {
+        println!("({name}: no rows)");
+        return;
+    }
+    // Markdown table.
+    let headers: Vec<&str> = rows[0].values.iter().map(|(h, _)| h.as_str()).collect();
+    println!("\n## {name}\n");
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for r in rows {
+        let vals: Vec<&str> = r.values.iter().map(|(_, v)| v.as_str()).collect();
+        println!("| {} |", vals.join(" | "));
+    }
+    // JSON sidecar.
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(json) = serde_json::to_string_pretty(rows) {
+            let _ = fs::write(&path, json);
+            println!("\n(wrote {})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builder_orders_columns() {
+        let r = Row::new("figX").col("a", 1).num("b", 2.5);
+        assert_eq!(r.values[0].0, "a");
+        assert_eq!(r.values[1].1, "2.5000");
+    }
+}

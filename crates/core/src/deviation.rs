@@ -1,0 +1,113 @@
+//! KV deviation (Δkv) and attention deviation (Δattn) — Table 1's metrics.
+//!
+//! - Δkv of token `j` on layer `i`: L2 distance between the given KV and
+//!   the fully-recomputed KV at that token/layer. Drives HKVD selection
+//!   (§4.3) and Figures 6–8.
+//! - Δattn on layer `i`: L2 norm of the difference between forward
+//!   attention matrices (suffix queries × context keys). The quantity
+//!   selective recompute minimizes (§4.1) and Figure 6's y-axis.
+
+use cb_model::model::ForwardTrace;
+use cb_model::{KvCache, LayerKv, Model};
+use cb_tensor::stats::l2_distance;
+use cb_tokenizer::TokenId;
+
+/// Per-token KV deviation between two layer caches (must have identical
+/// shapes): `‖K₁[j] − K₂[j]‖ + ‖V₁[j] − V₂[j]‖`.
+pub fn kv_deviation(a: &LayerKv, b: &LayerKv) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "layer caches differ in length");
+    (0..a.len())
+        .map(|j| l2_distance(a.k.row(j), b.k.row(j)) + l2_distance(a.v.row(j), b.v.row(j)))
+        .collect()
+}
+
+/// Deviation of a single row pair.
+pub fn row_deviation(k_a: &[f32], v_a: &[f32], k_b: &[f32], v_b: &[f32]) -> f32 {
+    l2_distance(k_a, k_b) + l2_distance(v_a, v_b)
+}
+
+/// Attention deviation: L2 norm of the difference of two (equally shaped)
+/// forward attention matrices.
+pub fn attn_deviation(a: &cb_tensor::Matrix, b: &cb_tensor::Matrix) -> f32 {
+    a.frobenius_distance(b)
+}
+
+/// Mean per-layer attention deviation between two traces (Figure 6's
+/// y-axis averages across layers).
+pub fn trace_deviation(a: &ForwardTrace, b: &ForwardTrace) -> Vec<f32> {
+    assert_eq!(a.attn.len(), b.attn.len(), "trace depth mismatch");
+    a.attn
+        .iter()
+        .zip(b.attn.iter())
+        .map(|(x, y)| attn_deviation(x, y))
+        .collect()
+}
+
+/// Oracle per-layer, per-token KV deviation of a *reused* context cache
+/// against full recompute of the same token sequence (BOS + chunks).
+///
+/// `reused` must hold the context at positions `0..len` (BOS included).
+/// This is the ground-truth quantity of Figures 7 and 8; CacheBlend itself
+/// never computes it (it uses the layer-1 proxy).
+pub fn oracle_kv_deviation(model: &Model, reused: &KvCache) -> Vec<Vec<f32>> {
+    let tokens: Vec<TokenId> = reused.tokens.clone();
+    let positions = reused.positions.clone();
+    assert_eq!(positions, (0..tokens.len()).collect::<Vec<_>>());
+    let (full, _) = model.prefill(&tokens);
+    (0..model.n_layers())
+        .map(|l| kv_deviation(&reused.layers[l], &full.layers[l]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_tensor::Matrix;
+
+    fn layer(rows: usize, width: usize, f: impl Fn(usize, usize) -> f32) -> LayerKv {
+        let mut l = LayerKv::empty(width);
+        let m = Matrix::from_fn(rows, width, |r, c| f(r, c));
+        l.append(&m, &m);
+        l
+    }
+
+    #[test]
+    fn identical_layers_have_zero_deviation() {
+        let a = layer(3, 4, |r, c| (r + c) as f32);
+        let d = kv_deviation(&a, &a);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deviation_localizes_to_changed_rows() {
+        let a = layer(3, 4, |r, c| (r + c) as f32);
+        let mut b = a.clone();
+        let fresh = Matrix::from_fn(1, 4, |_, _| 100.0);
+        b.scatter(&[1], &fresh, &fresh);
+        let d = kv_deviation(&a, &b);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1] > 100.0);
+        assert_eq!(d[2], 0.0);
+    }
+
+    #[test]
+    fn row_deviation_sums_k_and_v_parts() {
+        let d = row_deviation(&[0.0, 0.0], &[0.0], &[3.0, 4.0], &[5.0]);
+        assert_eq!(d, 10.0);
+    }
+
+    #[test]
+    fn attn_deviation_is_frobenius() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let b = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        assert_eq!(attn_deviation(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_layers_panic() {
+        let a = layer(3, 4, |_, _| 0.0);
+        let b = layer(2, 4, |_, _| 0.0);
+        let _ = kv_deviation(&a, &b);
+    }
+}

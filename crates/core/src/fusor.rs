@@ -1,0 +1,609 @@
+//! The KV cache fusor: selective KV recompute with HKVD selection.
+//!
+//! Implements §4 of the paper end to end:
+//!
+//! 1. Relocate each chunk's precomputed cache to its position in this
+//!    request (Appendix A re-rotation, [`crate::rope_align`]).
+//! 2. Recompute **layer 0 in full** — cheap (1/n of prefill) and it gives
+//!    every token a context-correct layer-0 state to measure against
+//!    (Figure 9: "recompute all tokens on Layer 1").
+//! 3. On each later layer, compute fresh K/V for the surviving candidate
+//!    tokens, rank them by KV deviation against the loaded cache, keep the
+//!    top `r_l` fraction (the HKVD tokens), overwrite only their cache
+//!    rows, and run masked attention for them alone (§4.2's workflow — the
+//!    compute is proportional to the selected count).
+//! 4. `r_l` follows the gradual-filtering schedule (§4.3): slightly above
+//!    the target ratio on early layers, tapering below it later, so
+//!    selection integrates deviation evidence from several layers.
+//!
+//! The suffix (the user query) is never cached and always recomputed; its
+//! per-layer attention can be traced for the Δattn metric.
+
+use cb_model::model::ForwardTrace;
+use cb_model::{KvCache, Model};
+use cb_tensor::ops::top_k_indices;
+use cb_tensor::Matrix;
+use cb_tokenizer::TokenId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::deviation::row_deviation;
+use crate::rope_align;
+
+/// How HKVD tokens are chosen on each layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// Rank candidates by KV deviation on every layer, shrinking the set
+    /// gradually (the paper's §4.3 scheme).
+    Hkvd,
+    /// Rank by KV deviation on the *first* layer only and freeze that set
+    /// for all deeper layers — the "straightforward solution" §4.3
+    /// describes before arguing gradual filtering is statistically more
+    /// reliable. Ablation.
+    FirstLayerOnly,
+    /// Uniform random selection of the same sizes (the ablation that shows
+    /// *which* tokens are recomputed matters, not just how many).
+    Random {
+        /// RNG seed (per-layer streams are derived from it).
+        seed: u64,
+    },
+}
+
+/// Fusor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BlendConfig {
+    /// Mean fraction of context tokens to recompute per layer (the paper's
+    /// default `r* = 15 %`).
+    pub recompute_ratio: f32,
+    /// Gradual-filtering slope: layer 1 selects `r·(1+gamma)`, the last
+    /// layer `r·(1−gamma)`.
+    pub gamma: f32,
+    /// Token selection policy.
+    pub selection: Selection,
+}
+
+impl Default for BlendConfig {
+    fn default() -> Self {
+        Self {
+            recompute_ratio: 0.15,
+            // Gentle taper: the critical tokens must still fit the deepest
+            // layer's budget r·(1−γ), and cross-chunk-dependent tokens are
+            // typically ~8-12 % of a RAG context.
+            gamma: 0.3,
+            selection: Selection::Hkvd,
+        }
+    }
+}
+
+impl BlendConfig {
+    /// A config with the given ratio and defaults elsewhere.
+    pub fn with_ratio(ratio: f32) -> Self {
+        Self {
+            recompute_ratio: ratio,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics recorded while blending.
+#[derive(Clone, Debug, Default)]
+pub struct BlendStats {
+    /// Context tokens (BOS + chunks).
+    pub ctx_len: usize,
+    /// Suffix (query) tokens.
+    pub suffix_len: usize,
+    /// HKVD tokens recomputed on each layer ≥ 1.
+    pub selected_per_layer: Vec<usize>,
+    /// Per-token KV deviation measured on layer 1 (all context tokens) —
+    /// the signal HKVD selection acts on.
+    pub first_layer_deviations: Vec<f32>,
+}
+
+impl BlendStats {
+    /// Achieved mean recompute fraction over layers ≥ 1.
+    pub fn mean_recompute_fraction(&self) -> f32 {
+        if self.selected_per_layer.is_empty() || self.ctx_len == 0 {
+            return 0.0;
+        }
+        let total: usize = self.selected_per_layer.iter().sum();
+        total as f32 / (self.selected_per_layer.len() as f32 * self.ctx_len as f32)
+    }
+}
+
+/// The output of a blend: a fused cache ready for decoding.
+#[derive(Clone, Debug)]
+pub struct BlendResult {
+    /// Fused context + suffix KV.
+    pub cache: KvCache,
+    /// Final residual row of the suffix (feed to `Model::decode_greedy`).
+    pub last_residual: Vec<f32>,
+    /// Blend statistics.
+    pub stats: BlendStats,
+    /// Per-layer suffix attention (mean over heads), if requested.
+    pub trace: Option<ForwardTrace>,
+}
+
+/// The CacheBlend fusor.
+#[derive(Clone, Copy, Debug)]
+pub struct Fusor<'m> {
+    model: &'m Model,
+    cfg: BlendConfig,
+}
+
+impl<'m> Fusor<'m> {
+    /// Creates a fusor over a model.
+    pub fn new(model: &'m Model, cfg: BlendConfig) -> Self {
+        Self { model, cfg }
+    }
+
+    /// The gradual-filtering schedule: fraction of context tokens to select
+    /// on `layer` (1-based selection layers; layer 0 is always full).
+    pub fn ratio_for_layer(&self, layer: usize, n_layers: usize) -> f32 {
+        debug_assert!(layer >= 1);
+        let r = self.cfg.recompute_ratio;
+        if n_layers <= 2 {
+            return r.clamp(0.0, 1.0);
+        }
+        let t = (layer - 1) as f32 / (n_layers - 2) as f32;
+        (r * (1.0 + self.cfg.gamma * (1.0 - 2.0 * t))).clamp(0.0, 1.0)
+    }
+
+    /// Fuses per-chunk caches (at their local positions) and a suffix into
+    /// one request cache: relocates every chunk behind a BOS sink, then
+    /// runs selective recompute.
+    pub fn blend(&self, parts: Vec<KvCache>, suffix: &[TokenId], want_trace: bool) -> BlendResult {
+        let bos = cb_kv::precompute::bos_cache(self.model);
+        let mut segments = vec![bos];
+        let mut cursor = 1usize;
+        for mut p in parts {
+            assert!(!p.is_empty(), "cannot blend an empty chunk cache");
+            rope_align::relocate(self.model, &mut p, cursor);
+            cursor += p.len();
+            segments.push(p);
+        }
+        let refs: Vec<&KvCache> = segments.iter().collect();
+        let ctx = KvCache::concat(&refs);
+        self.blend_cache(ctx, suffix, want_trace)
+    }
+
+    /// Runs selective recompute over an already-assembled context cache
+    /// (positions must be `0..len`) and a fresh suffix.
+    pub fn blend_cache(&self, ctx: KvCache, suffix: &[TokenId], want_trace: bool) -> BlendResult {
+        assert_eq!(
+            ctx.positions,
+            (0..ctx.len()).collect::<Vec<_>>(),
+            "context cache must sit at positions 0..len"
+        );
+        let KvCache {
+            mut layers,
+            positions,
+            tokens,
+        } = ctx;
+        self.blend_streamed(
+            &positions,
+            &tokens,
+            |l| std::mem::replace(&mut layers[l], cb_model::LayerKv::empty(0)),
+            suffix,
+            want_trace,
+        )
+    }
+
+    /// Runs selective recompute with context layers pulled one at a time
+    /// from `next_layer` — the streaming entry point used by the pipelined
+    /// loader (`next_layer(l)` is the §6 `synchronize()` point: it blocks
+    /// until layer `l` has been fetched into memory).
+    pub fn blend_streamed(
+        &self,
+        ctx_positions: &[usize],
+        ctx_tokens: &[TokenId],
+        mut next_layer: impl FnMut(usize) -> cb_model::LayerKv,
+        suffix: &[TokenId],
+        want_trace: bool,
+    ) -> BlendResult {
+        assert!(!suffix.is_empty(), "blend needs a non-empty suffix (query)");
+        let model = self.model;
+        let n_layers = model.n_layers();
+        let ctx_len = ctx_positions.len();
+        let s = suffix.len();
+
+        let suffix_pos: Vec<usize> = (ctx_len..ctx_len + s).collect();
+        let mut all_tokens = ctx_tokens.to_vec();
+        all_tokens.extend_from_slice(suffix);
+        let mut x_pos: Vec<usize> = ctx_positions.to_vec();
+        x_pos.extend_from_slice(&suffix_pos);
+        let k_pos = x_pos.clone();
+
+        // Row i of `x` corresponds to cache row `row_ids[i]`; suffix rows
+        // occupy cache rows ctx_len..ctx_len+s on every layer (appended).
+        let mut x = model.embed_tokens(&all_tokens);
+        let mut row_ids: Vec<usize> = (0..ctx_len + s).collect();
+
+        let mut trace = want_trace.then(ForwardTrace::default);
+        let mut stats = BlendStats {
+            ctx_len,
+            suffix_len: s,
+            ..BlendStats::default()
+        };
+
+        let mut done_layers: Vec<cb_model::LayerKv> = Vec::with_capacity(n_layers);
+        for layer in 0..n_layers {
+            // §6 synchronize(): block until this layer's KV is in memory.
+            let mut lkv = next_layer(layer);
+            assert_eq!(lkv.len(), ctx_len, "layer {layer} has wrong row count");
+            let (q, k, v) = model.qkv(layer, &x, &x_pos);
+            let nc = x.rows() - s; // candidate context rows in x
+
+            let (keep_x_rows, selected_cache_rows): (Vec<usize>, Vec<usize>) = if layer == 0 {
+                // Full recompute of the first layer for every context token.
+                ((0..nc).collect(), row_ids[..nc].to_vec())
+            } else {
+                let dev: Vec<f32> = (0..nc)
+                    .map(|i| {
+                        let r = row_ids[i];
+                        row_deviation(k.row(i), v.row(i), lkv.k.row(r), lkv.v.row(r))
+                    })
+                    .collect();
+                if layer == 1 {
+                    stats.first_layer_deviations = dev.clone();
+                }
+                let target = ((self.ratio_for_layer(layer, n_layers) * ctx_len as f32).round()
+                    as usize)
+                    .min(nc);
+                let pick: Vec<usize> = match self.cfg.selection {
+                    Selection::Hkvd => top_k_indices(&dev, target),
+                    Selection::FirstLayerOnly => {
+                        if layer == 1 {
+                            // Fixed budget r (no taper) chosen once.
+                            let flat = ((self.cfg.recompute_ratio * ctx_len as f32).round()
+                                as usize)
+                                .min(nc);
+                            top_k_indices(&dev, flat)
+                        } else {
+                            // Keep every surviving candidate: the set was
+                            // frozen at layer 1 and only shrinks if the
+                            // schedule would exceed it (it cannot: we keep
+                            // all).
+                            (0..nc).collect()
+                        }
+                    }
+                    Selection::Random { seed } => {
+                        let mut rng =
+                            SmallRng::seed_from_u64(seed ^ (layer as u64).wrapping_mul(0x9E37));
+                        rand::seq::index::sample(&mut rng, nc, target).into_vec()
+                    }
+                };
+                stats.selected_per_layer.push(pick.len());
+                let cache_rows: Vec<usize> = pick.iter().map(|&i| row_ids[i]).collect();
+                (pick, cache_rows)
+            };
+
+            // Overwrite the selected tokens' KV with fresh values; append
+            // the suffix KV (computed fresh every layer).
+            let k_sel = k.gather_rows(&keep_x_rows);
+            let v_sel = v.gather_rows(&keep_x_rows);
+            lkv.scatter(&selected_cache_rows, &k_sel, &v_sel);
+            lkv.append(&k.slice_rows(nc, nc + s), &v.slice_rows(nc, nc + s));
+
+            // Narrow the residual to the surviving rows + suffix and attend.
+            let mut active_x_rows = keep_x_rows;
+            active_x_rows.extend(nc..nc + s);
+            let q_act = q.gather_rows(&active_x_rows);
+            let act_pos: Vec<usize> = active_x_rows.iter().map(|&i| x_pos[i]).collect();
+            let mut probs = trace.as_ref().map(|_| Matrix::zeros(0, 0));
+            let delta = model.attend(
+                layer,
+                &q_act,
+                &act_pos,
+                &lkv.k,
+                &lkv.v,
+                &k_pos,
+                probs.as_mut(),
+            );
+            let mut x_new = x.gather_rows(&active_x_rows);
+            x_new.add_assign(&delta);
+            if let Some(m) = model.mlp_delta(layer, &x_new) {
+                x_new.add_assign(&m);
+            }
+            if let (Some(t), Some(p)) = (trace.as_mut(), probs) {
+                // Record the suffix rows' attention only (the forward
+                // attention matrix of §2).
+                t.attn.push(p.slice_rows(p.rows() - s, p.rows()));
+            }
+
+            row_ids = active_x_rows
+                .iter()
+                .map(|&i| row_ids[i])
+                .collect::<Vec<_>>();
+            x_pos = act_pos;
+            x = x_new;
+            done_layers.push(lkv);
+        }
+
+        let mut positions = ctx_positions.to_vec();
+        positions.extend_from_slice(&suffix_pos);
+        let mut tokens = ctx_tokens.to_vec();
+        tokens.extend_from_slice(suffix);
+        let last_residual = x.row(x.rows() - 1).to_vec();
+        BlendResult {
+            cache: KvCache {
+                layers: done_layers,
+                positions,
+                tokens,
+            },
+            last_residual,
+            stats,
+            trace,
+        }
+    }
+
+    /// Convenience: blend then greedy-decode an answer.
+    pub fn answer(
+        &self,
+        parts: Vec<KvCache>,
+        suffix: &[TokenId],
+        max_tokens: usize,
+    ) -> Vec<TokenId> {
+        let mut out = self.blend(parts, suffix, false);
+        self.model
+            .decode_greedy(&mut out.cache, &out.last_residual, max_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_kv::precompute::precompute_chunk;
+    use cb_model::{ModelConfig, ModelProfile};
+    use cb_tokenizer::TokenKind::{self, *};
+
+    fn model() -> Model {
+        Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
+    }
+
+    fn ids(m: &Model, spec: &[TokenKind]) -> Vec<TokenId> {
+        spec.iter().map(|&k| m.cfg.vocab.id(k)).collect()
+    }
+
+    /// Two chunks where chunk 2's first fact subject is a coreference to
+    /// chunk 1's entity — the cross-attention scenario of Figure 3. Chunk 2
+    /// also carries a self-contained fact, so (as in realistic chunks) only
+    /// the REF fact's tokens are cross-chunk dependent.
+    fn ref_scenario(m: &Model) -> (Vec<TokenId>, Vec<TokenId>, Vec<TokenId>, TokenId) {
+        let c1 = ids(
+            m,
+            &[Entity(5), Attr(0), Value(1), Sep, Filler(3), Filler(7)],
+        );
+        let c2 = ids(
+            m,
+            &[
+                Ref,
+                Attr(3),
+                Value(9),
+                Sep,
+                Entity(8),
+                Attr(1),
+                Value(4),
+                Sep,
+            ],
+        );
+        let query = ids(m, &[Query, Entity(5), Attr(3), QMark]);
+        let gold = m.cfg.vocab.id(Value(9));
+        (c1, c2, query, gold)
+    }
+
+    fn full_prefill_answer(m: &Model, chunks: &[&[TokenId]], query: &[TokenId]) -> Vec<TokenId> {
+        let mut toks = vec![m.cfg.vocab.id(Bos)];
+        for c in chunks {
+            toks.extend_from_slice(c);
+        }
+        toks.extend_from_slice(query);
+        m.generate(&toks, 4)
+    }
+
+    #[test]
+    fn full_prefill_answers_the_ref_query() {
+        let m = model();
+        let (c1, c2, q, gold) = ref_scenario(&m);
+        assert_eq!(full_prefill_answer(&m, &[&c1, &c2], &q), vec![gold]);
+    }
+
+    #[test]
+    fn zero_ratio_blend_misses_the_ref_query() {
+        // With no selective recompute (beyond the always-full first layer),
+        // the REF fact's binding keys stay corrupted and the answer is lost
+        // — the full-KV-reuse failure mode.
+        let m = model();
+        let (c1, c2, q, gold) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.0));
+        let ans = fusor.answer(parts, &q, 4);
+        assert_ne!(ans, vec![gold], "r=0 should not recover cross-attention");
+    }
+
+    #[test]
+    fn hkvd_blend_recovers_the_ref_query() {
+        let m = model();
+        let (c1, c2, q, gold) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.45));
+        let ans = fusor.answer(parts, &q, 4);
+        assert_eq!(ans, vec![gold], "HKVD recompute should repair the answer");
+    }
+
+    #[test]
+    fn self_contained_fact_survives_even_at_zero_ratio() {
+        // A fact whose subject is in the same chunk needs no
+        // cross-attention: full KV reuse answers it (the PromptCache happy
+        // path), so r=0 must too.
+        let m = model();
+        let c1 = ids(&m, &[Entity(5), Attr(0), Value(1), Sep]);
+        let c2 = ids(&m, &[Entity(8), Attr(3), Value(9), Sep]);
+        let q = ids(&m, &[Query, Entity(8), Attr(3), QMark]);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.0));
+        let ans = fusor.answer(parts, &q, 4);
+        assert_eq!(ans, vec![m.cfg.vocab.id(Value(9))]);
+    }
+
+    #[test]
+    fn full_ratio_blend_matches_full_prefill_exactly() {
+        let m = model();
+        let (c1, c2, q, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(1.0));
+        let out = fusor.blend(parts, &q, false);
+
+        let mut toks = vec![m.cfg.vocab.id(Bos)];
+        toks.extend_from_slice(&c1);
+        toks.extend_from_slice(&c2);
+        toks.extend_from_slice(&q);
+        let (full, x) = m.prefill(&toks);
+        for l in 0..m.n_layers() {
+            let d = out.cache.layers[l].k.frobenius_distance(&full.layers[l].k)
+                + out.cache.layers[l].v.frobenius_distance(&full.layers[l].v);
+            assert!(d < 1e-2, "layer {l} KV differs from full prefill: {d}");
+        }
+        let dl = cb_tensor::stats::l2_distance(&out.last_residual, x.row(x.rows() - 1));
+        assert!(dl < 1e-2, "final residual differs: {dl}");
+    }
+
+    #[test]
+    fn hkvd_flags_the_ref_fact_tokens() {
+        let m = model();
+        let (c1, c2, q, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::default());
+        let out = fusor.blend(parts, &q, false);
+        let dev = &out.stats.first_layer_deviations;
+        // Context layout: [bos | c1(6) | c2(8)]; the REF fact occupies
+        // context rows 7..=10 (REF attr value SEP) and its attr/value rows
+        // 8 and 9 must rank among the top deviations, while chunk 2's
+        // self-contained fact (rows 11..=14) must not.
+        let ranked = top_k_indices(dev, 5);
+        assert!(
+            ranked.contains(&8) && ranked.contains(&9),
+            "REF-fact tokens not in top-5 deviations: {ranked:?} (dev {dev:?})"
+        );
+        assert!(
+            !ranked.contains(&12) && !ranked.contains(&13),
+            "self-contained fact flagged as HKVD: {ranked:?}"
+        );
+    }
+
+    #[test]
+    fn hkvd_beats_random_selection() {
+        let m = model();
+        let (c1, c2, q, gold) = ref_scenario(&m);
+        let mk = || vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let hkvd = Fusor::new(&m, BlendConfig::with_ratio(0.4)).answer(mk(), &q, 4);
+        assert_eq!(hkvd, vec![gold]);
+        // Random selection at the same budget usually misses the REF rows;
+        // over several seeds at least one must fail for the ablation to
+        // mean anything (deterministically checked seeds).
+        let mut failures = 0;
+        for seed in 0..5 {
+            let cfg = BlendConfig {
+                recompute_ratio: 0.4,
+                gamma: 0.3,
+                selection: Selection::Random { seed },
+            };
+            let ans = Fusor::new(&m, cfg).answer(mk(), &q, 4);
+            if ans != vec![gold] {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "random selection never failed — ablation void"
+        );
+    }
+
+    #[test]
+    fn first_layer_only_selection_also_recovers_simple_cases() {
+        // The §4.3 "straightforward solution": select once on layer 1. On
+        // a scenario whose critical tokens are cleanly separated it works;
+        // gradual filtering exists for the statistically murkier cases.
+        let m = model();
+        let (c1, c2, q, gold) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let cfg = BlendConfig {
+            recompute_ratio: 0.45,
+            gamma: 0.3,
+            selection: Selection::FirstLayerOnly,
+        };
+        let ans = Fusor::new(&m, cfg).answer(parts, &q, 4);
+        assert_eq!(ans, vec![gold]);
+    }
+
+    #[test]
+    fn first_layer_only_keeps_a_flat_budget() {
+        let m = model();
+        let (c1, c2, q, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let cfg = BlendConfig {
+            recompute_ratio: 0.3,
+            gamma: 0.3,
+            selection: Selection::FirstLayerOnly,
+        };
+        let out = Fusor::new(&m, cfg).blend(parts, &q, false);
+        let counts = &out.stats.selected_per_layer;
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "set must stay frozen: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn gradual_filtering_schedule_tapers() {
+        let m = model();
+        let f = Fusor::new(&m, BlendConfig::default());
+        let r1 = f.ratio_for_layer(1, 10);
+        let r9 = f.ratio_for_layer(9, 10);
+        assert!(
+            r1 > 0.15 && r9 < 0.15,
+            "schedule should taper: {r1} .. {r9}"
+        );
+        let mean: f32 = (1..10).map(|l| f.ratio_for_layer(l, 10)).sum::<f32>() / 9.0;
+        assert!((mean - 0.15).abs() < 0.01, "mean ratio drifted: {mean}");
+    }
+
+    #[test]
+    fn selected_counts_respect_schedule_and_shrink() {
+        let m = model();
+        let (c1, c2, q, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.3));
+        let out = fusor.blend(parts, &q, false);
+        let counts = &out.stats.selected_per_layer;
+        assert_eq!(counts.len(), m.n_layers() - 1);
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "selection must shrink: {counts:?}"
+        );
+        let frac = out.stats.mean_recompute_fraction();
+        assert!((frac - 0.3).abs() < 0.1, "achieved fraction {frac}");
+    }
+
+    #[test]
+    fn trace_has_one_suffix_attention_per_layer() {
+        let m = model();
+        let (c1, c2, q, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let out = Fusor::new(&m, BlendConfig::default()).blend(parts, &q, true);
+        let t = out.trace.unwrap();
+        assert_eq!(t.attn.len(), m.n_layers());
+        for a in &t.attn {
+            assert_eq!(a.rows(), q.len());
+            assert_eq!(a.cols(), 15 + q.len()); // bos + 14 ctx + suffix
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty suffix")]
+    fn empty_suffix_rejected() {
+        let m = model();
+        let (c1, _, _, _) = ref_scenario(&m);
+        let parts = vec![precompute_chunk(&m, &c1)];
+        let _ = Fusor::new(&m, BlendConfig::default()).blend(parts, &[], false);
+    }
+}

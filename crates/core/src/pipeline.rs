@@ -1,0 +1,297 @@
+//! Pipelined KV loading overlapped with selective recompute (§5/§6).
+//!
+//! A loader thread streams one fused context layer at a time — decoding
+//! each chunk's serialized entry (`cb-kv::serialize::EntryReader`),
+//! applying the Appendix-A re-rotation, and concatenating the chunk rows —
+//! through a bounded channel. The fusor consumes layers in order; its
+//! per-layer `synchronize()` is simply the channel `recv`. Because HKVD
+//! selection for layer `i` needs only layer `i`'s loaded KV, loading layer
+//! `i+1` proceeds while layer `i` is recomputed, exactly the overlap that
+//! lets CacheBlend keep KV on slow devices without TTFT cost.
+//!
+//! An optional per-layer throttle emulates a storage device's read time for
+//! tests/benches that demonstrate the overlap.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use cb_kv::serialize::{DecodeError, EntryReader};
+use cb_model::{LayerKv, Model};
+use cb_tensor::Matrix;
+use cb_tokenizer::TokenId;
+use crossbeam::channel::bounded;
+
+use crate::fusor::{BlendConfig, BlendResult, Fusor};
+use crate::rope_align;
+
+/// Timing evidence from a pipelined blend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineReport {
+    /// Wall-clock of the whole blend.
+    pub total: Duration,
+    /// Time the fusor spent blocked waiting for a layer (`synchronize()`).
+    pub wait: Duration,
+    /// Time the loader spent producing layers (decode + rotate + throttle).
+    pub loader_busy: Duration,
+}
+
+/// Result of [`blend_pipelined`].
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The blend result (cache, residual, stats).
+    pub result: BlendResult,
+    /// Overlap evidence.
+    pub report: PipelineReport,
+}
+
+/// Fuses serialized chunk entries with a real loader thread.
+///
+/// `parts` are the serialized per-chunk caches (as stored by
+/// `cb-kv::KvStore`), in request order. `throttle` adds an artificial
+/// per-layer read delay emulating a device.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if any entry fails its checksum.
+pub fn blend_pipelined(
+    model: &Model,
+    cfg: BlendConfig,
+    parts: Vec<Bytes>,
+    suffix: &[TokenId],
+    throttle: Option<Duration>,
+) -> Result<PipelineOutput, DecodeError> {
+    let readers: Vec<EntryReader> = parts
+        .into_iter()
+        .map(EntryReader::new)
+        .collect::<Result<_, _>>()?;
+
+    // Context metadata: BOS at 0, then each chunk relocated after the last.
+    let bos = cb_kv::precompute::bos_cache(model);
+    let mut offsets = Vec::with_capacity(readers.len());
+    let mut positions: Vec<usize> = vec![0];
+    let mut tokens: Vec<TokenId> = bos.tokens.clone();
+    let mut cursor = 1usize;
+    for r in &readers {
+        offsets.push(cursor);
+        positions.extend(cursor..cursor + r.rows());
+        tokens.extend_from_slice(r.tokens());
+        cursor += r.rows();
+    }
+
+    let n_layers = model.n_layers();
+    let start = Instant::now();
+    let (tx, rx) = bounded::<LayerKv>(2);
+
+    let (result, loader_busy) = std::thread::scope(|scope| {
+        let loader = scope.spawn(|| {
+            let busy_start = Instant::now();
+            for layer in 0..n_layers {
+                let mut ks: Vec<Matrix> = Vec::with_capacity(readers.len() + 1);
+                let mut vs: Vec<Matrix> = Vec::with_capacity(readers.len() + 1);
+                ks.push(bos.layers[layer].k.clone());
+                vs.push(bos.layers[layer].v.clone());
+                for (r, &off) in readers.iter().zip(offsets.iter()) {
+                    let mut lkv = r.layer(layer);
+                    let delta = off as i64 - r.positions()[0] as i64;
+                    rope_align::relocate_layer(model, layer, &mut lkv, delta);
+                    ks.push(lkv.k);
+                    vs.push(lkv.v);
+                }
+                if let Some(d) = throttle {
+                    std::thread::sleep(d);
+                }
+                let merged = LayerKv {
+                    k: Matrix::vcat(&ks.iter().collect::<Vec<_>>()),
+                    v: Matrix::vcat(&vs.iter().collect::<Vec<_>>()),
+                };
+                if tx.send(merged).is_err() {
+                    break; // consumer gone (panic downstream)
+                }
+            }
+            drop(tx);
+            busy_start.elapsed()
+        });
+
+        let mut wait = Duration::ZERO;
+        let fusor = Fusor::new(model, cfg);
+        let mut result = fusor.blend_streamed(
+            &positions,
+            &tokens,
+            |_l| {
+                let t = Instant::now();
+                let lkv = rx.recv().expect("loader thread died");
+                wait += t.elapsed();
+                lkv
+            },
+            suffix,
+            false,
+        );
+        result.stats.first_layer_deviations.shrink_to_fit();
+        let loader_busy = loader.join().expect("loader panicked");
+        ((result, wait), loader_busy)
+    });
+    let ((result, wait), loader_busy) = (result, loader_busy);
+
+    Ok(PipelineOutput {
+        result,
+        report: PipelineReport {
+            total: start.elapsed(),
+            wait,
+            loader_busy,
+        },
+    })
+}
+
+/// Sequential reference: load (and throttle) *everything first*, then
+/// blend — the unpipelined ablation of Figure 10(a).
+pub fn blend_sequential(
+    model: &Model,
+    cfg: BlendConfig,
+    parts: Vec<Bytes>,
+    suffix: &[TokenId],
+    throttle: Option<Duration>,
+) -> Result<PipelineOutput, DecodeError> {
+    let start = Instant::now();
+    let mut caches = Vec::new();
+    for b in parts {
+        let c = cb_kv::serialize::decode(b)?;
+        if let Some(d) = throttle {
+            std::thread::sleep(d * model.n_layers() as u32);
+        }
+        caches.push(c);
+    }
+    let load_time = start.elapsed();
+    let fusor = Fusor::new(model, cfg);
+    let result = fusor.blend(caches, suffix, false);
+    Ok(PipelineOutput {
+        result,
+        report: PipelineReport {
+            total: start.elapsed(),
+            wait: load_time,
+            loader_busy: load_time,
+        },
+    })
+}
+
+/// Convenience used by tests/benches: serialize a fused request's chunks.
+pub fn serialize_chunks(model: &Model, chunks: &[Vec<TokenId>]) -> Vec<Bytes> {
+    chunks
+        .iter()
+        .map(|c| cb_kv::serialize::encode(&cb_kv::precompute::precompute_chunk(model, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::{KvCache, ModelConfig, ModelProfile};
+    use cb_tokenizer::TokenKind::*;
+
+    fn model() -> Model {
+        Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
+    }
+
+    fn scenario(m: &Model) -> (Vec<Vec<TokenId>>, Vec<TokenId>, TokenId) {
+        let v = &m.cfg.vocab;
+        let c1: Vec<TokenId> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<TokenId> = [
+            Ref,
+            Attr(3),
+            Value(9),
+            Sep,
+            Entity(8),
+            Attr(1),
+            Value(4),
+            Sep,
+        ]
+        .map(|k| v.id(k))
+        .to_vec();
+        let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        (vec![c1, c2], q, v.id(Value(9)))
+    }
+
+    #[test]
+    fn pipelined_matches_eager_blend() {
+        let m = model();
+        let (chunks, q, _) = scenario(&m);
+        let bytes = serialize_chunks(&m, &chunks);
+        let cfg = BlendConfig::with_ratio(0.4);
+        let piped = blend_pipelined(&m, cfg, bytes, &q, None).unwrap();
+
+        let parts: Vec<KvCache> = chunks
+            .iter()
+            .map(|c| cb_kv::precompute::precompute_chunk(&m, c))
+            .collect();
+        let eager = Fusor::new(&m, cfg).blend(parts, &q, false);
+        for l in 0..m.n_layers() {
+            let d = piped.result.cache.layers[l]
+                .k
+                .frobenius_distance(&eager.cache.layers[l].k);
+            assert!(d < 1e-4, "layer {l} differs between pipelined and eager");
+        }
+        let dl = cb_tensor::stats::l2_distance(&piped.result.last_residual, &eager.last_residual);
+        assert!(dl < 1e-4);
+    }
+
+    #[test]
+    fn pipelined_answers_correctly() {
+        let m = model();
+        let (chunks, q, gold) = scenario(&m);
+        let bytes = serialize_chunks(&m, &chunks);
+        let mut out = blend_pipelined(&m, BlendConfig::with_ratio(0.45), bytes, &q, None).unwrap();
+        let ans = m.decode_greedy(&mut out.result.cache, &out.result.last_residual, 4);
+        assert_eq!(ans, vec![gold]);
+    }
+
+    #[test]
+    fn corrupted_entry_is_rejected() {
+        let m = model();
+        let (chunks, q, _) = scenario(&m);
+        let mut bytes = serialize_chunks(&m, &chunks);
+        let mut raw = bytes[0].to_vec();
+        let n = raw.len();
+        raw[n / 2] ^= 0xFF;
+        bytes[0] = Bytes::from(raw);
+        let err = blend_pipelined(&m, BlendConfig::default(), bytes, &q, None).unwrap_err();
+        assert_eq!(err, DecodeError::Corrupted);
+    }
+
+    #[test]
+    fn pipelining_hides_load_latency() {
+        // With a per-layer throttle, the pipelined total must be well below
+        // "load everything, then compute" — the §5 overlap claim measured
+        // on real threads.
+        let m = model();
+        let (chunks, q, _) = scenario(&m);
+        let bytes = serialize_chunks(&m, &chunks);
+        let throttle = Duration::from_millis(8);
+        let cfg = BlendConfig::with_ratio(0.4);
+        let piped = blend_pipelined(&m, cfg, bytes.clone(), &q, Some(throttle)).unwrap();
+        let seq = blend_sequential(&m, cfg, bytes, &q, Some(throttle)).unwrap();
+        assert!(
+            piped.report.total < seq.report.total,
+            "pipelined {:?} !< sequential {:?}",
+            piped.report.total,
+            seq.report.total
+        );
+    }
+
+    #[test]
+    fn report_accounts_wait_time() {
+        let m = model();
+        let (chunks, q, _) = scenario(&m);
+        let bytes = serialize_chunks(&m, &chunks);
+        let out = blend_pipelined(
+            &m,
+            BlendConfig::default(),
+            bytes,
+            &q,
+            Some(Duration::from_millis(2)),
+        )
+        .unwrap();
+        assert!(out.report.wait <= out.report.total);
+        assert!(out.report.loader_busy >= Duration::from_millis(2 * 4));
+    }
+}

@@ -1,0 +1,80 @@
+//! Content hashing of token chunks.
+//!
+//! Chunks are identified by an FNV-1a hash of their token ids, the same
+//! content-addressing idea vLLM uses for paged blocks: two requests that
+//! retrieve the same chunk text map to the same cache entry regardless of
+//! where the chunk lands in the LLM input.
+
+use cb_tokenizer::TokenId;
+
+/// Identifier of a cached text chunk (content hash of its tokens).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over the token id stream.
+pub fn hash_tokens(tokens: &[TokenId]) -> ChunkId {
+    let mut h = FNV_OFFSET;
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    ChunkId(h)
+}
+
+/// Hash chaining for prefix identification (used by the prefix-caching
+/// baseline): the id of a block *in context* depends on every preceding
+/// block, exactly like vLLM's prefix block hashes.
+pub fn chain_hash(prev: ChunkId, tokens: &[TokenId]) -> ChunkId {
+    let mut h = FNV_OFFSET;
+    // Fold the parent id in first so chained ids differ from plain hashes
+    // even for a zero parent.
+    for b in prev.0.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    ChunkId(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_tokens_same_hash() {
+        assert_eq!(hash_tokens(&[1, 2, 3]), hash_tokens(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn different_tokens_different_hash() {
+        assert_ne!(hash_tokens(&[1, 2, 3]), hash_tokens(&[1, 2, 4]));
+        assert_ne!(hash_tokens(&[1, 2, 3]), hash_tokens(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn empty_chunk_hashes_to_offset() {
+        assert_eq!(hash_tokens(&[]).0, FNV_OFFSET);
+    }
+
+    #[test]
+    fn chain_hash_depends_on_prefix() {
+        let a = chain_hash(hash_tokens(&[1]), &[5, 6]);
+        let b = chain_hash(hash_tokens(&[2]), &[5, 6]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chain_hash_differs_from_plain_hash() {
+        assert_ne!(chain_hash(ChunkId(0), &[5, 6]), hash_tokens(&[5, 6]));
+    }
+}

@@ -1,0 +1,26 @@
+//! The KV cache store: chunk hashing, precompute, serialization, and a
+//! tiered LRU store.
+//!
+//! This is the "KV cache store" component of §5.1: it maps text chunks to
+//! their precomputed KV caches, places entries on (simulated) storage
+//! devices, serializes caches to bytes for device-resident storage, and
+//! evicts least-recently-used entries when a device fills up.
+//!
+//! Modules:
+//!
+//! - [`chunk`] — content hashing of token chunks (vLLM-style block hashing).
+//! - [`precompute`] — computing a chunk's standalone KV cache (the
+//!   PromptCache-style precompute that full KV reuse and CacheBlend both
+//!   start from).
+//! - [`serialize`] — byte serialization with checksums (corruption is
+//!   detected, exercised by failure-injection tests).
+//! - [`store`] — the tiered LRU [`store::KvStore`].
+
+pub mod chunk;
+pub mod precompute;
+pub mod quantize;
+pub mod serialize;
+pub mod store;
+
+pub use chunk::ChunkId;
+pub use store::KvStore;

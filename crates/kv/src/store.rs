@@ -1,0 +1,356 @@
+//! The tiered LRU KV cache store.
+//!
+//! Entries are serialized caches placed on storage tiers (e.g. RAM, then
+//! SSD). Within a tier, least-recently-used entries are evicted when an
+//! insert needs room; an entry that cannot fit in a tier falls through to
+//! the next. Lookup walks tiers in order, so callers learn *which* tier
+//! served the hit and can charge the matching load delay from
+//! `cb-storage`'s device models.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use cb_model::KvCache;
+use parking_lot::Mutex;
+
+use crate::chunk::ChunkId;
+use crate::serialize::{decode, encode, DecodeError};
+
+/// Configuration of one storage tier.
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// Human-readable label ("cpu-ram", "nvme-ssd", …).
+    pub label: String,
+    /// Capacity in bytes.
+    pub capacity: u64,
+}
+
+/// Aggregate store counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Successful inserts.
+    pub inserts: u64,
+}
+
+#[derive(Debug)]
+struct StoredEntry {
+    bytes: Bytes,
+    last_used: u64,
+    size: u64,
+}
+
+#[derive(Debug)]
+struct TierState {
+    cfg: TierConfig,
+    used: u64,
+    entries: HashMap<ChunkId, StoredEntry>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tiers: Vec<TierState>,
+    clock: u64,
+    stats: StoreStats,
+}
+
+/// Errors returned by store operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The entry is larger than every tier's total capacity.
+    TooLarge {
+        /// Size of the rejected entry in bytes.
+        size: u64,
+    },
+    /// The stored bytes failed to decode (corruption).
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::TooLarge { size } => {
+                write!(f, "entry of {size} bytes exceeds every tier capacity")
+            }
+            StoreError::Decode(e) => write!(f, "stored entry corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A thread-safe tiered LRU store of serialized KV caches.
+#[derive(Debug)]
+pub struct KvStore {
+    inner: Mutex<Inner>,
+}
+
+impl KvStore {
+    /// Creates a store with the given tiers, fastest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn new(tiers: Vec<TierConfig>) -> Self {
+        assert!(!tiers.is_empty(), "store needs at least one tier");
+        Self {
+            inner: Mutex::new(Inner {
+                tiers: tiers
+                    .into_iter()
+                    .map(|cfg| TierState {
+                        cfg,
+                        used: 0,
+                        entries: HashMap::new(),
+                    })
+                    .collect(),
+                clock: 0,
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    /// Convenience: a single-tier store (the paper's default configuration).
+    pub fn single(label: &str, capacity: u64) -> Self {
+        Self::new(vec![TierConfig {
+            label: label.to_string(),
+            capacity,
+        }])
+    }
+
+    /// Inserts (or refreshes) a cache entry. Returns the tier index it
+    /// landed on.
+    pub fn insert(&self, id: ChunkId, cache: &KvCache) -> Result<usize, StoreError> {
+        let bytes = encode(cache);
+        self.insert_bytes(id, bytes)
+    }
+
+    /// Inserts pre-serialized bytes (used by tests and migration).
+    pub fn insert_bytes(&self, id: ChunkId, bytes: Bytes) -> Result<usize, StoreError> {
+        let size = bytes.len() as u64;
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        // Refresh in place if present anywhere.
+        for (t, tier) in inner.tiers.iter_mut().enumerate() {
+            if let Some(e) = tier.entries.get_mut(&id) {
+                e.last_used = now;
+                return Ok(t);
+            }
+        }
+        for t in 0..inner.tiers.len() {
+            if inner.tiers[t].cfg.capacity < size {
+                continue;
+            }
+            // Evict LRU entries until the new one fits.
+            while inner.tiers[t].used + size > inner.tiers[t].cfg.capacity {
+                let victim = inner.tiers[t]
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("over capacity with no entries");
+                let gone = inner.tiers[t].entries.remove(&victim).unwrap();
+                inner.tiers[t].used -= gone.size;
+                inner.stats.evictions += 1;
+            }
+            inner.tiers[t].used += size;
+            inner.tiers[t].entries.insert(
+                id,
+                StoredEntry {
+                    bytes,
+                    last_used: now,
+                    size,
+                },
+            );
+            inner.stats.inserts += 1;
+            return Ok(t);
+        }
+        Err(StoreError::TooLarge { size })
+    }
+
+    /// Looks up an entry; on a hit returns the decoded cache and the tier
+    /// index that served it, bumping its recency.
+    pub fn get(&self, id: ChunkId) -> Result<Option<(KvCache, usize)>, StoreError> {
+        match self.get_bytes(id) {
+            Some((bytes, tier)) => {
+                let cache = decode(bytes).map_err(StoreError::Decode)?;
+                Ok(Some((cache, tier)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Raw-bytes lookup (the streaming pipeline decodes layer ranges
+    /// itself).
+    pub fn get_bytes(&self, id: ChunkId) -> Option<(Bytes, usize)> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        for t in 0..inner.tiers.len() {
+            if let Some(e) = inner.tiers[t].entries.get_mut(&id) {
+                e.last_used = now;
+                let bytes = e.bytes.clone();
+                inner.stats.hits += 1;
+                return Some((bytes, t));
+            }
+        }
+        inner.stats.misses += 1;
+        None
+    }
+
+    /// True if the id is cached on any tier (does not bump recency or
+    /// stats).
+    pub fn contains(&self, id: ChunkId) -> bool {
+        let inner = self.inner.lock();
+        inner.tiers.iter().any(|t| t.entries.contains_key(&id))
+    }
+
+    /// Number of entries across all tiers.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.tiers.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes used on a tier.
+    pub fn tier_used(&self, tier: usize) -> u64 {
+        self.inner.lock().tiers[tier].used
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Test hook: overwrite an entry's bytes in place (corruption
+    /// injection).
+    pub fn corrupt(&self, id: ChunkId, flip_byte: usize) -> bool {
+        let mut inner = self.inner.lock();
+        for tier in &mut inner.tiers {
+            if let Some(e) = tier.entries.get_mut(&id) {
+                let mut raw = e.bytes.to_vec();
+                if raw.is_empty() {
+                    return false;
+                }
+                let idx = flip_byte % raw.len();
+                raw[idx] ^= 0xFF;
+                e.bytes = Bytes::from(raw);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_model::LayerKv;
+    use cb_tensor::Matrix;
+
+    fn toy_cache(rows: usize, fill: f32) -> KvCache {
+        let mut c = KvCache::empty(1, 4);
+        let k = Matrix::from_fn(rows, 4, |r, d| fill + (r * 4 + d) as f32);
+        c.layers[0] = LayerKv::empty(4);
+        c.layers[0].append(&k, &k);
+        c.positions = (1..=rows).collect();
+        c.tokens = vec![9; rows];
+        c
+    }
+
+    fn entry_size(rows: usize) -> u64 {
+        encode(&toy_cache(rows, 0.0)).len() as u64
+    }
+
+    #[test]
+    fn insert_then_get_roundtrips() {
+        let s = KvStore::single("ram", 1 << 20);
+        let c = toy_cache(3, 1.0);
+        let tier = s.insert(ChunkId(1), &c).unwrap();
+        assert_eq!(tier, 0);
+        let (got, t) = s.get(ChunkId(1)).unwrap().unwrap();
+        assert_eq!(t, 0);
+        assert_eq!(got, c);
+        assert_eq!(s.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let s = KvStore::single("ram", 1 << 20);
+        assert!(s.get(ChunkId(42)).unwrap().is_none());
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let sz = entry_size(2);
+        let s = KvStore::single("ram", 2 * sz);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap();
+        // Touch 1 so 2 becomes LRU.
+        let _ = s.get(ChunkId(1));
+        s.insert(ChunkId(3), &toy_cache(2, 3.0)).unwrap();
+        assert!(s.contains(ChunkId(1)));
+        assert!(!s.contains(ChunkId(2)), "LRU entry should be evicted");
+        assert!(s.contains(ChunkId(3)));
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_falls_through_to_bigger_tier() {
+        let small = entry_size(2);
+        let s = KvStore::new(vec![
+            TierConfig {
+                label: "ram".into(),
+                capacity: small,
+            },
+            TierConfig {
+                label: "ssd".into(),
+                capacity: 100 * small,
+            },
+        ]);
+        let tier = s.insert(ChunkId(7), &toy_cache(10, 0.0)).unwrap();
+        assert_eq!(tier, 1, "large entry should land on the SSD tier");
+    }
+
+    #[test]
+    fn entry_larger_than_everything_is_rejected() {
+        let s = KvStore::single("ram", 16);
+        let err = s.insert(ChunkId(1), &toy_cache(8, 0.0)).unwrap_err();
+        assert!(matches!(err, StoreError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let s = KvStore::single("ram", 1 << 20);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_surfaced_as_decode_error() {
+        let s = KvStore::single("ram", 1 << 20);
+        s.insert(ChunkId(1), &toy_cache(3, 1.0)).unwrap();
+        assert!(s.corrupt(ChunkId(1), 40));
+        let err = s.get(ChunkId(1)).unwrap_err();
+        assert!(matches!(err, StoreError::Decode(_)));
+    }
+
+    #[test]
+    fn used_bytes_tracked() {
+        let s = KvStore::single("ram", 1 << 20);
+        assert_eq!(s.tier_used(0), 0);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        assert_eq!(s.tier_used(0), entry_size(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Model configuration, residual-stream layout, and scaled profiles.
+
+use cb_tokenizer::Vocab;
+
+/// Width of one identity-code subspace in the residual stream.
+pub const CODE_DIM: usize = 32;
+
+/// Named subspaces of the residual stream used by the compiled program.
+///
+/// The stream is
+/// `[CUR | PREV | ENT | KEYA | KEYB | ANS | CLS(8) | CONST | SINK | scratch]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Subspace {
+    /// Identity code of the token at this position.
+    Cur,
+    /// Identity code of the *previous* token (written by the prev-token head).
+    Prev,
+    /// Identity code of the most recent entity (written by the last-entity
+    /// head — the cross-chunk coreference channel).
+    Ent,
+    /// First half of the fact-binding key `code(ent) ⊙ code(prev)` (written
+    /// by the bilinear MLP); value positions carry their fact's key here,
+    /// the query position carries the probe.
+    KeyA,
+    /// Second half of the binding key, `roll(code(ent), 1) ⊙ code(prev)` —
+    /// doubles the match margin of the recall lookup.
+    KeyB,
+    /// Answer accumulator read by the unembedding.
+    Ans,
+}
+
+impl Subspace {
+    /// Offset of this subspace in the residual stream.
+    pub fn offset(self) -> usize {
+        match self {
+            Subspace::Cur => 0,
+            Subspace::Prev => CODE_DIM,
+            Subspace::Ent => 2 * CODE_DIM,
+            Subspace::KeyA => 3 * CODE_DIM,
+            Subspace::KeyB => 4 * CODE_DIM,
+            Subspace::Ans => 5 * CODE_DIM,
+        }
+    }
+}
+
+/// Offset of the 8 class-indicator dims.
+pub const CLS_OFFSET: usize = 6 * CODE_DIM;
+/// Number of class-indicator dims.
+pub const CLS_DIMS: usize = 8;
+/// Offset of the always-one bias dim.
+pub const CONST_OFFSET: usize = CLS_OFFSET + CLS_DIMS;
+/// Offset of the BOS sink flag (1.0 only on the BOS embedding; lets linear
+/// value projections cancel the sink token's content so "no match" heads
+/// write nothing).
+pub const SINK_OFFSET: usize = CONST_OFFSET + 1;
+/// Offset of the scratch region (noise heads write here).
+pub const SCRATCH_OFFSET: usize = SINK_OFFSET + 1;
+/// Total residual width (scratch pads to a multiple of 16).
+pub const D_MODEL: usize = 224;
+
+/// Class-indicator channel indices within the CLS block.
+pub mod cls {
+    /// Entity tokens *and* BOS (the null-entity sink).
+    pub const ENT_OR_BOS: usize = 0;
+    /// Attribute tokens.
+    pub const ATTR: usize = 1;
+    /// Value tokens.
+    pub const VALUE: usize = 2;
+    /// The coreference marker.
+    pub const REF: usize = 3;
+    /// The end-of-query marker.
+    pub const QMARK: usize = 4;
+    /// The fact separator.
+    pub const SEP: usize = 5;
+    /// Filler words.
+    pub const FILLER: usize = 6;
+    /// Everything else (query introducer, EOS, PAD).
+    pub const OTHER: usize = 7;
+}
+
+/// The three evaluation model profiles plus a tiny test profile.
+///
+/// Each profile is a *scaled stand-in* for the paper's model of the same
+/// name: program depth is identical (4 layers) and extra "mixing" layers of
+/// seeded noise emulate the deeper stacks, so per-layer statistics
+/// (Figures 7/8) have multiple layers to range over. The matching *paper
+/// scale* constants (real layer counts, KV bytes/token) live in
+/// `cb-storage::perf`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelProfile {
+    /// 6-layer stand-in for Mistral-7B.
+    Mistral7B,
+    /// 10-layer stand-in for Yi-34B.
+    Yi34B,
+    /// 14-layer stand-in for Llama-70B.
+    Llama70B,
+    /// 4-layer (program only) profile for fast unit tests.
+    Tiny,
+}
+
+impl ModelProfile {
+    /// All evaluation profiles (excludes [`ModelProfile::Tiny`]).
+    pub fn evaluation_profiles() -> [ModelProfile; 3] {
+        [
+            ModelProfile::Mistral7B,
+            ModelProfile::Yi34B,
+            ModelProfile::Llama70B,
+        ]
+    }
+
+    /// Total transformer layers in the scaled model.
+    pub fn n_layers(self) -> usize {
+        match self {
+            ModelProfile::Tiny => 4,
+            ModelProfile::Mistral7B => 6,
+            ModelProfile::Yi34B => 10,
+            ModelProfile::Llama70B => 14,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelProfile::Tiny => "Tiny",
+            ModelProfile::Mistral7B => "Mistral-7B",
+            ModelProfile::Yi34B => "Yi-34B",
+            ModelProfile::Llama70B => "Llama-70B",
+        }
+    }
+}
+
+/// Full model configuration.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// The structured vocabulary.
+    pub vocab: Vocab,
+    /// Profile determining depth.
+    pub profile: ModelProfile,
+    /// Attention heads per layer.
+    pub n_heads: usize,
+    /// Dimensions per head.
+    pub head_dim: usize,
+    /// Seed for token codes and noise weights.
+    pub seed: u64,
+    /// Output scale of noise (mixing) heads and MLPs.
+    pub noise_scale: f32,
+}
+
+impl ModelConfig {
+    /// The standard configuration for a profile: 4 heads × 64 dims (the
+    /// recall/induction heads need 64 dims for their double-width binding
+    /// keys), moderate mixing noise.
+    pub fn standard(profile: ModelProfile, seed: u64) -> Self {
+        Self {
+            vocab: Vocab::default_eval(),
+            profile,
+            n_heads: 4,
+            head_dim: 64,
+            seed,
+            noise_scale: 0.02,
+        }
+    }
+
+    /// Residual width (fixed by the program layout).
+    pub fn d_model(&self) -> usize {
+        D_MODEL
+    }
+
+    /// Total layers.
+    pub fn n_layers(&self) -> usize {
+        self.profile.n_layers()
+    }
+
+    /// Width of one layer's K (or V) row: heads × head_dim.
+    pub fn kv_width(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subspaces_fit_in_d_model() {
+        assert!(SCRATCH_OFFSET < D_MODEL);
+        assert_eq!(Subspace::Ans.offset() + CODE_DIM, CLS_OFFSET);
+    }
+
+    #[test]
+    fn subspaces_are_disjoint() {
+        let offs = [
+            Subspace::Cur.offset(),
+            Subspace::Prev.offset(),
+            Subspace::Ent.offset(),
+            Subspace::KeyA.offset(),
+            Subspace::KeyB.offset(),
+            Subspace::Ans.offset(),
+        ];
+        for (i, &a) in offs.iter().enumerate() {
+            for &b in offs.iter().skip(i + 1) {
+                assert!(a + CODE_DIM <= b || b + CODE_DIM <= a);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_have_room_for_program() {
+        for p in ModelProfile::evaluation_profiles() {
+            assert!(p.n_layers() >= 4, "{p:?} too shallow for the program");
+        }
+    }
+
+    #[test]
+    fn standard_config_is_consistent() {
+        let cfg = ModelConfig::standard(ModelProfile::Tiny, 1);
+        assert_eq!(cfg.kv_width(), 256);
+        assert_eq!(cfg.d_model(), 224);
+        assert_eq!(cfg.n_layers(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! A from-scratch decoder-only transformer with a *compiled* cross-chunk
+//! recall program.
+//!
+//! The CacheBlend reproduction cannot run Mistral-7B/Yi-34B/Llama-70B on a
+//! CPU, so this crate provides the substitute the evaluation runs on: a real
+//! transformer forward pass (multi-head causal attention, RoPE, residual
+//! stream, MLPs, KV cache) whose weights are *constructed*, not trained, to
+//! perform multi-hop associative recall over facts spread across text
+//! chunks. Cross-chunk attention is mechanistically load-bearing: a
+//! coreference (`REF`) fact can only be resolved by attending to a previous
+//! chunk, exactly the property CacheBlend's selective KV recompute restores.
+//!
+//! Modules:
+//!
+//! - [`config`] — model configuration, residual-stream layout, and the three
+//!   scaled model profiles.
+//! - [`weights`] — head/MLP weight containers and noise-weight builders.
+//! - [`program`] — the compiler that emits the recall program weights.
+//! - [`kvcache`] — KV cache containers ([`kvcache::KvCache`]).
+//! - [`model`] — the [`model::Model`] type and its forward passes (full
+//!   prefill, cached-prefix extension, incremental decode, attention
+//!   tracing).
+
+pub mod config;
+pub mod kvcache;
+pub mod model;
+pub mod program;
+pub mod weights;
+
+pub use config::{ModelConfig, ModelProfile};
+pub use kvcache::{KvCache, LayerKv};
+pub use model::Model;

@@ -1,0 +1,369 @@
+//! The [`Model`] type and its forward passes.
+//!
+//! All higher-level execution modes — full prefill, prefix-cached prefill,
+//! full KV reuse, and CacheBlend's selective recompute — are composed from
+//! three primitives exposed here:
+//!
+//! - [`Model::qkv`]: project residual rows to per-head Q/K/V (RoPE applied),
+//! - [`Model::attend`]: masked multi-head attention of query rows against a
+//!   full K/V set at arbitrary absolute positions,
+//! - [`Model::mlp_delta`]: the layer's feed-forward residual delta.
+//!
+//! [`Model::forward_rows`] strings the primitives together for the common
+//! "append these tokens to a cache" case (prefill = empty cache, decode =
+//! one row). The CacheBlend fusor in `cb-core` drives the primitives
+//! directly to implement §4.2's masked selective recompute.
+
+use cb_tensor::ops;
+use cb_tensor::rope;
+use cb_tensor::Matrix;
+use cb_tokenizer::codes::CodeBook;
+use cb_tokenizer::{TokenId, TokenKind};
+
+use crate::config::ModelConfig;
+use crate::kvcache::KvCache;
+use crate::program;
+use crate::weights::Layer;
+
+/// Per-layer attention probabilities of traced query rows (mean over heads,
+/// `traced_q × keys`). Used for the forward-attention-deviation metric
+/// (Δattn, Figures 4 and 6).
+#[derive(Clone, Debug, Default)]
+pub struct ForwardTrace {
+    /// One matrix per layer.
+    pub attn: Vec<Matrix>,
+}
+
+/// A compiled or random transformer.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// Configuration (profile, heads, seeds).
+    pub cfg: ModelConfig,
+    /// Token identity codes shared with the dataset generators.
+    pub codebook: CodeBook,
+    /// Embedding table, `vocab × d_model`.
+    pub embed: Matrix,
+    /// Unembedding, `d_model × vocab`.
+    pub unembed: Matrix,
+    /// Transformer layers.
+    pub layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Builds the compiled recall-program model for a configuration.
+    pub fn compiled(cfg: ModelConfig) -> Self {
+        program::compile(cfg)
+    }
+
+    /// Builds an all-noise model (used by throughput benches where only the
+    /// computation shape matters).
+    pub fn random(cfg: ModelConfig) -> Self {
+        program::compile_noise_only(cfg)
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Creates an empty KV cache shaped for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::empty(self.n_layers(), self.cfg.kv_width())
+    }
+
+    /// Embeds tokens into residual rows (`tokens.len() × d_model`).
+    pub fn embed_tokens(&self, tokens: &[TokenId]) -> Matrix {
+        let mut x = Matrix::zeros(tokens.len(), self.cfg.d_model());
+        for (r, &t) in tokens.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.embed.row(t as usize));
+        }
+        x
+    }
+
+    /// Projects residual rows to Q/K/V for `layer`, RoPE-rotating Q and K at
+    /// the given absolute positions. Outputs are head-major
+    /// (`rows × kv_width`).
+    pub fn qkv(&self, layer: usize, x: &Matrix, pos: &[usize]) -> (Matrix, Matrix, Matrix) {
+        assert_eq!(x.rows(), pos.len(), "row/position count mismatch");
+        let hd = self.cfg.head_dim;
+        let width = self.cfg.kv_width();
+        let mut q = Matrix::zeros(x.rows(), width);
+        let mut k = Matrix::zeros(x.rows(), width);
+        let mut v = Matrix::zeros(x.rows(), width);
+        for (h, head) in self.layers[layer].heads.iter().enumerate() {
+            let mut qh = x.matmul(&head.wq);
+            let mut kh = x.matmul(&head.wk);
+            let vh = x.matmul(&head.wv);
+            if let Some(table) = &head.rope {
+                rope::apply_rope(&mut qh, table, pos);
+                rope::apply_rope(&mut kh, table, pos);
+            }
+            q.set_col_block(h * hd, &qh);
+            k.set_col_block(h * hd, &kh);
+            v.set_col_block(h * hd, &vh);
+        }
+        (q, k, v)
+    }
+
+    /// Multi-head attention of query rows (`q`, at positions `q_pos`)
+    /// against the full key/value set (`k_all`/`v_all`, at positions
+    /// `k_pos`), causally masked by absolute position. Returns the residual
+    /// delta (`q.rows() × d_model`).
+    ///
+    /// When `probs_out` is provided it receives the attention probabilities
+    /// averaged over heads (`q.rows() × k_all.rows()`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn attend(
+        &self,
+        layer: usize,
+        q: &Matrix,
+        q_pos: &[usize],
+        k_all: &Matrix,
+        v_all: &Matrix,
+        k_pos: &[usize],
+        mut probs_out: Option<&mut Matrix>,
+    ) -> Matrix {
+        let hd = self.cfg.head_dim;
+        let mut delta = Matrix::zeros(q.rows(), self.cfg.d_model());
+        if let Some(p) = probs_out.as_deref_mut() {
+            *p = Matrix::zeros(q.rows(), k_all.rows());
+        }
+        let n_heads = self.layers[layer].heads.len();
+        for (h, head) in self.layers[layer].heads.iter().enumerate() {
+            let qh = q.col_block(h * hd, (h + 1) * hd);
+            let kh = k_all.col_block(h * hd, (h + 1) * hd);
+            let vh = v_all.col_block(h * hd, (h + 1) * hd);
+            let mut scores = qh.matmul_transposed(&kh);
+            scores.scale(head.scale);
+            for (i, &qp) in q_pos.iter().enumerate() {
+                let row = scores.row_mut(i);
+                for (j, &kp) in k_pos.iter().enumerate() {
+                    if kp > qp {
+                        row[j] = f32::NEG_INFINITY;
+                    } else {
+                        row[j] += head.bias.bias(qp, kp);
+                    }
+                }
+                ops::softmax_row(row);
+            }
+            if let Some(p) = probs_out.as_deref_mut() {
+                for (dst, &src) in p.as_mut_slice().iter_mut().zip(scores.as_slice()) {
+                    *dst += src / n_heads as f32;
+                }
+            }
+            let ctx = scores.matmul(&vh);
+            delta.add_assign(&ctx.matmul(&head.wo));
+        }
+        delta
+    }
+
+    /// The layer's feed-forward residual delta for rows `x`, if any.
+    pub fn mlp_delta(&self, layer: usize, x: &Matrix) -> Option<Matrix> {
+        self.layers[layer].mlp.forward(x)
+    }
+
+    /// Runs the full stack over `tokens` at `positions`, appending their KV
+    /// to `cache`, and returns the final residual rows.
+    ///
+    /// - Prefill: call with an empty cache and positions `0..n`.
+    /// - Prefix-cached prefill / full KV reuse: call with the context cache
+    ///   already populated and suffix positions following it.
+    /// - Decode: call with a single token.
+    ///
+    /// When `trace` is given, each layer's attention probabilities for these
+    /// rows are recorded (mean over heads).
+    pub fn forward_rows(
+        &self,
+        tokens: &[TokenId],
+        positions: &[usize],
+        cache: &mut KvCache,
+        mut trace: Option<&mut ForwardTrace>,
+    ) -> Matrix {
+        assert!(!tokens.is_empty(), "forward_rows needs at least one token");
+        assert_eq!(tokens.len(), positions.len());
+        assert!(
+            cache.positions.iter().all(|&p| p < positions[0]),
+            "new rows must follow all cached positions"
+        );
+        let mut x = self.embed_tokens(tokens);
+        let mut k_pos: Vec<usize> = cache.positions.clone();
+        k_pos.extend_from_slice(positions);
+        for layer in 0..self.n_layers() {
+            let (q, k, v) = self.qkv(layer, &x, positions);
+            cache.layers[layer].append(&k, &v);
+            let mut probs = trace.as_deref_mut().map(|_| Matrix::zeros(0, 0));
+            let delta = self.attend(
+                layer,
+                &q,
+                positions,
+                &cache.layers[layer].k,
+                &cache.layers[layer].v,
+                &k_pos,
+                probs.as_mut(),
+            );
+            x.add_assign(&delta);
+            if let Some(m) = self.mlp_delta(layer, &x) {
+                x.add_assign(&m);
+            }
+            if let (Some(t), Some(p)) = (trace.as_deref_mut(), probs) {
+                t.attn.push(p);
+            }
+        }
+        cache.positions.extend_from_slice(positions);
+        cache.tokens.extend_from_slice(tokens);
+        x
+    }
+
+    /// Full prefill from scratch: returns the populated cache and the final
+    /// residual rows.
+    pub fn prefill(&self, tokens: &[TokenId]) -> (KvCache, Matrix) {
+        let mut cache = self.new_cache();
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let x = self.forward_rows(tokens, &positions, &mut cache, None);
+        (cache, x)
+    }
+
+    /// Token logits for one residual row.
+    pub fn logits(&self, x_row: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, x_row.len(), x_row.to_vec());
+        x.matmul(&self.unembed).as_slice().to_vec()
+    }
+
+    /// Greedy decode starting from a populated cache whose last row was the
+    /// end of the prompt. `last_residual` is the final residual row of the
+    /// prompt (as returned by [`Model::forward_rows`]).
+    ///
+    /// Decoding stops at `max_tokens` or at the first non-[`TokenKind::Value`]
+    /// token (answers in the structured vocabulary are value sequences).
+    pub fn decode_greedy(
+        &self,
+        cache: &mut KvCache,
+        last_residual: &[f32],
+        max_tokens: usize,
+    ) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        let mut logits = self.logits(last_residual);
+        for _ in 0..max_tokens {
+            let next = ops::argmax(&logits) as TokenId;
+            if !matches!(self.cfg.vocab.kind(next), TokenKind::Value(_)) {
+                break;
+            }
+            out.push(next);
+            let pos = cache.positions.last().map(|&p| p + 1).unwrap_or(0);
+            let x = self.forward_rows(&[next], &[pos], cache, None);
+            logits = self.logits(x.row(0));
+        }
+        out
+    }
+
+    /// Convenience: full prefill of `prompt` followed by greedy decode.
+    pub fn generate(&self, prompt: &[TokenId], max_tokens: usize) -> Vec<TokenId> {
+        let (mut cache, x) = self.prefill(prompt);
+        let last = x.row(x.rows() - 1).to_vec();
+        self.decode_greedy(&mut cache, &last, max_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelProfile;
+
+    fn tiny() -> Model {
+        Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
+    }
+
+    #[test]
+    fn prefill_populates_every_layer() {
+        let m = tiny();
+        let v = &m.cfg.vocab;
+        let toks = vec![v.id(TokenKind::Bos), v.id(TokenKind::Entity(3))];
+        let (cache, x) = m.prefill(&toks);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.n_layers(), m.n_layers());
+        for l in &cache.layers {
+            assert_eq!(l.len(), 2);
+        }
+        assert_eq!(x.rows(), 2);
+    }
+
+    #[test]
+    fn forward_rows_incremental_matches_batch() {
+        // Prefilling [a, b, c] at once must equal prefilling [a, b] then
+        // extending with [c] (causal attention sees identical K/V sets).
+        let m = tiny();
+        let v = &m.cfg.vocab;
+        let toks = vec![
+            v.id(TokenKind::Bos),
+            v.id(TokenKind::Entity(1)),
+            v.id(TokenKind::Attr(2)),
+        ];
+        let (cache_full, x_full) = m.prefill(&toks);
+
+        let mut cache_inc = m.new_cache();
+        m.forward_rows(&toks[..2], &[0, 1], &mut cache_inc, None);
+        let x_last = m.forward_rows(&toks[2..], &[2], &mut cache_inc, None);
+
+        assert_eq!(cache_full.positions, cache_inc.positions);
+        for l in 0..m.n_layers() {
+            let d = cache_full.layers[l]
+                .k
+                .frobenius_distance(&cache_inc.layers[l].k);
+            assert!(d < 1e-4, "layer {l} K mismatch: {d}");
+        }
+        let dl = cb_tensor::stats::l2_distance(x_full.row(2), x_last.row(0));
+        assert!(dl < 1e-4, "residual mismatch: {dl}");
+    }
+
+    #[test]
+    fn trace_records_one_matrix_per_layer() {
+        let m = tiny();
+        let v = &m.cfg.vocab;
+        let toks = vec![v.id(TokenKind::Bos), v.id(TokenKind::Entity(1))];
+        let mut cache = m.new_cache();
+        let mut trace = ForwardTrace::default();
+        m.forward_rows(&toks, &[0, 1], &mut cache, Some(&mut trace));
+        assert_eq!(trace.attn.len(), m.n_layers());
+        assert_eq!(trace.attn[0].rows(), 2);
+        assert_eq!(trace.attn[0].cols(), 2);
+        // Attention rows are probability distributions.
+        let s: f32 = trace.attn[0].row(1).iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must follow all cached positions")]
+    fn forward_rows_rejects_out_of_order_positions() {
+        let m = tiny();
+        let v = &m.cfg.vocab;
+        let mut cache = m.new_cache();
+        m.forward_rows(&[v.id(TokenKind::Bos)], &[5], &mut cache, None);
+        m.forward_rows(&[v.id(TokenKind::Sep)], &[3], &mut cache, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_prefill_rejected() {
+        let m = tiny();
+        let _ = m.prefill(&[]);
+    }
+
+    #[test]
+    fn decode_with_zero_budget_returns_nothing() {
+        let m = tiny();
+        let v = &m.cfg.vocab;
+        let (mut cache, x) = m.prefill(&[v.id(TokenKind::Bos)]);
+        let last = x.row(0).to_vec();
+        assert!(m.decode_greedy(&mut cache, &last, 0).is_empty());
+    }
+
+    #[test]
+    fn random_model_runs_forward() {
+        let m = Model::random(ModelConfig::standard(ModelProfile::Tiny, 2));
+        let v = &m.cfg.vocab;
+        let toks: Vec<_> = (0..8).map(|i| v.id(TokenKind::Filler(i))).collect();
+        let (cache, x) = m.prefill(&toks);
+        assert_eq!(cache.len(), 8);
+        assert!(x.max_abs().is_finite());
+    }
+}

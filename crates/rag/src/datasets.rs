@@ -1,0 +1,634 @@
+//! Synthetic dataset generators: the Musique/2WikiMQA/SAMSum/MultiNews
+//! stand-ins.
+//!
+//! Each dataset is a set of *documents*; a document is a token stream of
+//! facts (`subject attr value… .`) separated by filler words. Subjects are
+//! either explicit entities or the coreference marker `REF` ("it"),
+//! referring to the most recent entity. The stream is split into fixed
+//! `chunk_len` windows — the paper's Langchain chunking — so two kinds of
+//! cross-chunk dependence *emerge* rather than being planted:
+//!
+//! - a `REF` fact whose antecedent entity landed in an earlier chunk, and
+//! - a fact whose value chain straddles a chunk boundary.
+//!
+//! Queries target facts and are classified [`CaseKind::CrossChunk`] /
+//! [`CaseKind::WithinChunk`] / [`CaseKind::Direct`] accordingly; QA
+//! datasets score with token F1, summarization datasets with Rouge-L.
+
+use cb_tokenizer::{TokenId, TokenKind, Vocab};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::embed::Embedder;
+use crate::index::VectorIndex;
+use crate::metrics::{f1_score, rouge_l};
+
+/// The four evaluation datasets (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Multi-hop QA, coreference-heavy (Musique analogue).
+    MusiqueSim,
+    /// Multi-document QA (2WikiMQA analogue).
+    TwoWikiSim,
+    /// Dialogue summarization, short chains (SAMSum analogue).
+    SamsumSim,
+    /// Multi-document summarization, long chains (MultiNews analogue).
+    MultiNewsSim,
+}
+
+impl DatasetKind {
+    /// All four datasets in the paper's order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::MusiqueSim,
+            DatasetKind::TwoWikiSim,
+            DatasetKind::SamsumSim,
+            DatasetKind::MultiNewsSim,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::MusiqueSim => "Musique-sim",
+            DatasetKind::TwoWikiSim => "2WikiMQA-sim",
+            DatasetKind::SamsumSim => "SAMSum-sim",
+            DatasetKind::MultiNewsSim => "MultiNews-sim",
+        }
+    }
+
+    /// Name of the quality metric this dataset is scored with.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            DatasetKind::MusiqueSim | DatasetKind::TwoWikiSim => "F1",
+            _ => "Rouge-L",
+        }
+    }
+
+    /// True for the QA datasets (F1), false for summarization (Rouge-L).
+    pub fn is_qa(self) -> bool {
+        matches!(self, DatasetKind::MusiqueSim | DatasetKind::TwoWikiSim)
+    }
+}
+
+/// Why a query does (or does not) need cross-chunk attention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// Needs information flow between chunks (REF antecedent in an earlier
+    /// chunk, or the value chain straddles a boundary).
+    CrossChunk,
+    /// A coreference resolved within its own chunk.
+    WithinChunk,
+    /// A fully self-contained fact.
+    Direct,
+}
+
+/// One evaluation query.
+#[derive(Clone, Debug)]
+pub struct QueryCase {
+    /// The prompt suffix: `Q: entity attr ?`.
+    pub query: Vec<TokenId>,
+    /// Gold answer tokens (the fact's values, in order).
+    pub gold: Vec<TokenId>,
+    /// Extra retrieval-only keywords: content tokens from the gold fact's
+    /// neighborhood, *excluding* the answer. Real questions share many
+    /// words with their gold paragraphs beyond the entity/relation ("who in
+    /// the IT department proposed using RAG…"); these tokens model that
+    /// lexical overlap and are never shown to the model.
+    pub retrieval_hint: Vec<TokenId>,
+    /// Chunks that must be in context for the answer to be derivable
+    /// (antecedent chunk through the fact's last chunk).
+    pub relevant_chunks: Vec<usize>,
+    /// Cross-attention classification.
+    pub kind: CaseKind,
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Which dataset flavour to produce.
+    pub kind: DatasetKind,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Facts per document.
+    pub doc_facts: usize,
+    /// Tokens per chunk (the scaled analogue of the paper's 128/512-token
+    /// chunks; the compiled model's positional kernels are reliable to
+    /// ~1100 context tokens, so chunks are proportionally smaller).
+    pub chunk_len: usize,
+    /// Answer length range (inclusive); 1 for QA, longer for summaries.
+    pub answer_len: (usize, usize),
+    /// Probability a fact's subject is a coreference.
+    pub ref_prob: f32,
+    /// Expected filler tokens between facts.
+    pub filler_rate: f32,
+    /// Queries to emit.
+    pub n_cases: usize,
+    /// Target case mix (cross, within, direct) — best effort.
+    pub case_mix: (f32, f32, f32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// The standard configuration for a dataset (used by the experiment
+    /// binaries).
+    pub fn standard(kind: DatasetKind, seed: u64) -> Self {
+        match kind {
+            DatasetKind::MusiqueSim => Self {
+                kind,
+                n_docs: 20,
+                doc_facts: 12,
+                chunk_len: 24,
+                answer_len: (1, 1),
+                ref_prob: 0.55,
+                filler_rate: 1.0,
+                n_cases: 48,
+                case_mix: (0.6, 0.2, 0.2),
+                seed,
+            },
+            DatasetKind::TwoWikiSim => Self {
+                kind,
+                n_docs: 24,
+                doc_facts: 10,
+                chunk_len: 24,
+                answer_len: (1, 2),
+                ref_prob: 0.45,
+                filler_rate: 1.2,
+                n_cases: 48,
+                case_mix: (0.5, 0.25, 0.25),
+                seed: seed.wrapping_add(1),
+            },
+            DatasetKind::SamsumSim => Self {
+                kind,
+                n_docs: 16,
+                doc_facts: 6,
+                chunk_len: 20,
+                answer_len: (3, 5),
+                ref_prob: 0.35,
+                filler_rate: 0.8,
+                n_cases: 40,
+                case_mix: (0.5, 0.15, 0.35),
+                seed: seed.wrapping_add(2),
+            },
+            DatasetKind::MultiNewsSim => Self {
+                kind,
+                n_docs: 16,
+                doc_facts: 8,
+                chunk_len: 32,
+                answer_len: (4, 6),
+                ref_prob: 0.4,
+                filler_rate: 1.5,
+                n_cases: 40,
+                case_mix: (0.5, 0.15, 0.35),
+                seed: seed.wrapping_add(3),
+            },
+        }
+    }
+}
+
+struct FactMeta {
+    subject: u32,
+    attr: u32,
+    values: Vec<u32>,
+    subj_pos: usize,       // doc-relative position of the subject token
+    end_pos: usize,        // doc-relative position of the last value token
+    antecedent_pos: usize, // position of the resolving entity token
+    is_ref: bool,
+}
+
+/// A generated dataset with its retrieval index.
+pub struct Dataset {
+    /// Dataset flavour.
+    pub kind: DatasetKind,
+    /// Vocabulary shared with the model.
+    pub vocab: Vocab,
+    /// The chunk database.
+    pub chunks: Vec<Vec<TokenId>>,
+    /// Document id of each chunk (chunks of one document are contiguous).
+    pub chunk_doc: Vec<usize>,
+    /// Evaluation queries.
+    pub cases: Vec<QueryCase>,
+    embedder: Embedder,
+    index: VectorIndex,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({}, {} chunks, {} cases)",
+            self.kind.name(),
+            self.chunks.len(),
+            self.cases.len()
+        )
+    }
+}
+
+/// Maximum tokens since the last explicit entity before the generator
+/// forces an explicit subject (keeps REF antecedents within the model's
+/// reliable window).
+const MAX_REF_GAP: usize = 100;
+
+/// Keeps only content-bearing tokens (entities, attributes, values) —
+/// filler and control tokens carry no retrieval signal.
+fn content_tokens(vocab: &Vocab, tokens: &[TokenId]) -> Vec<TokenId> {
+    tokens
+        .iter()
+        .copied()
+        .filter(|&t| {
+            matches!(
+                vocab.kind(t),
+                TokenKind::Entity(_) | TokenKind::Attr(_) | TokenKind::Value(_)
+            )
+        })
+        .collect()
+}
+
+impl Dataset {
+    /// Generates a dataset with the standard parameters for `kind`.
+    pub fn standard(kind: DatasetKind, seed: u64) -> Self {
+        Self::generate(Vocab::default_eval(), &GenConfig::standard(kind, seed))
+    }
+
+    /// Generates a dataset.
+    pub fn generate(vocab: Vocab, cfg: &GenConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let n_ent = vocab.n_entities();
+        let n_attr = vocab.n_attrs();
+        let n_val = vocab.n_values();
+        let n_fill = vocab.n_fillers();
+        let mut used_pairs: HashSet<(u32, u32)> = HashSet::new();
+
+        let mut chunks: Vec<Vec<TokenId>> = Vec::new();
+        let mut chunk_doc: Vec<usize> = Vec::new();
+        let mut facts_by_kind: [Vec<QueryCase>; 3] = [vec![], vec![], vec![]];
+
+        for doc in 0..cfg.n_docs {
+            // 2-3 entities per document, disjoint across documents.
+            let ents_per_doc = 3u32;
+            let doc_ents: Vec<u32> = (0..ents_per_doc)
+                .map(|j| (doc as u32 * ents_per_doc + j) % n_ent)
+                .collect();
+            let mut stream: Vec<TokenId> = Vec::new();
+            let mut facts: Vec<FactMeta> = Vec::new();
+            let mut cur_subject: Option<(u32, usize)> = None; // (entity, pos)
+            let mut used_values: HashSet<u32> = HashSet::new();
+            let mut ent_cursor = 0usize;
+
+            for f in 0..cfg.doc_facts {
+                // Filler between facts.
+                let n_fillers = (cfg.filler_rate * rng.random::<f32>() * 3.0) as usize;
+                for _ in 0..n_fillers {
+                    stream.push(vocab.id(TokenKind::Filler(rng.random_range(0..n_fill))));
+                }
+                // Subject: explicit or coreferent.
+                let gap = cur_subject
+                    .map(|(_, p)| stream.len() - p)
+                    .unwrap_or(usize::MAX);
+                let make_ref = f > 0
+                    && cur_subject.is_some()
+                    && gap < MAX_REF_GAP
+                    && rng.random::<f32>() < cfg.ref_prob;
+                let (subject, subj_pos, antecedent_pos, is_ref) = if make_ref {
+                    let (e, p) = cur_subject.unwrap();
+                    stream.push(vocab.id(TokenKind::Ref));
+                    (e, stream.len() - 1, p, true)
+                } else {
+                    let e = doc_ents[ent_cursor % doc_ents.len()];
+                    ent_cursor += 1;
+                    stream.push(vocab.id(TokenKind::Entity(e)));
+                    let p = stream.len() - 1;
+                    cur_subject = Some((e, p));
+                    (e, p, p, false)
+                };
+                // Attribute with a globally-unique (subject, attr) pair.
+                let attr = (0..n_attr)
+                    .map(|_| rng.random_range(0..n_attr))
+                    .find(|&a| !used_pairs.contains(&(subject, a)));
+                let Some(attr) = attr else {
+                    stream.pop();
+                    continue; // subject exhausted its attributes
+                };
+                used_pairs.insert((subject, attr));
+                stream.push(vocab.id(TokenKind::Attr(attr)));
+                // Values: unique within the document so induction chains
+                // are unambiguous.
+                let len = rng.random_range(cfg.answer_len.0..=cfg.answer_len.1);
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let v = (0..4 * n_val)
+                        .map(|_| rng.random_range(0..n_val))
+                        .find(|v| !used_values.contains(v))
+                        .unwrap_or_else(|| rng.random_range(0..n_val));
+                    used_values.insert(v);
+                    values.push(v);
+                    stream.push(vocab.id(TokenKind::Value(v)));
+                }
+                let end_pos = stream.len() - 1;
+                stream.push(vocab.id(TokenKind::Sep));
+                facts.push(FactMeta {
+                    subject,
+                    attr,
+                    values,
+                    subj_pos,
+                    end_pos,
+                    antecedent_pos,
+                    is_ref,
+                });
+            }
+
+            // Fixed-window chunking of the document stream.
+            let base = chunks.len();
+            for w in stream.chunks(cfg.chunk_len) {
+                chunks.push(w.to_vec());
+                chunk_doc.push(doc);
+            }
+            let chunk_of = |pos: usize| base + pos / cfg.chunk_len;
+
+            // Classify facts into query cases.
+            for m in &facts {
+                let subj_chunk = chunk_of(m.subj_pos);
+                let end_chunk = chunk_of(m.end_pos);
+                let ante_chunk = chunk_of(m.antecedent_pos);
+                let kind = if ante_chunk < subj_chunk || end_chunk > subj_chunk {
+                    CaseKind::CrossChunk
+                } else if m.is_ref {
+                    CaseKind::WithinChunk
+                } else {
+                    CaseKind::Direct
+                };
+                let query = vec![
+                    vocab.id(TokenKind::Query),
+                    vocab.id(TokenKind::Entity(m.subject)),
+                    vocab.id(TokenKind::Attr(m.attr)),
+                    vocab.id(TokenKind::QMark),
+                ];
+                let gold: Vec<TokenId> = m
+                    .values
+                    .iter()
+                    .map(|&v| vocab.id(TokenKind::Value(v)))
+                    .collect();
+                // Retrieval hint: content tokens from the neighborhood of
+                // *both* hops (the fact's chunk and the antecedent's), minus
+                // the answer values.
+                let mut retrieval_hint: Vec<TokenId> = content_tokens(&vocab, &chunks[subj_chunk])
+                    .into_iter()
+                    .filter(|t| !gold.contains(t))
+                    .take(3)
+                    .collect();
+                if ante_chunk != subj_chunk {
+                    retrieval_hint.extend(
+                        content_tokens(&vocab, &chunks[ante_chunk])
+                            .into_iter()
+                            .filter(|t| !gold.contains(t))
+                            .take(3),
+                    );
+                }
+                let slot = match kind {
+                    CaseKind::CrossChunk => 0,
+                    CaseKind::WithinChunk => 1,
+                    CaseKind::Direct => 2,
+                };
+                facts_by_kind[slot].push(QueryCase {
+                    query,
+                    gold,
+                    retrieval_hint,
+                    relevant_chunks: (ante_chunk..=end_chunk).collect(),
+                    kind,
+                });
+            }
+        }
+
+        // Stratified case sampling toward the target mix, then a seeded
+        // shuffle so any prefix of `cases` approximates the mix (experiment
+        // binaries cap the case count).
+        let mut cases = Vec::with_capacity(cfg.n_cases);
+        let targets = [
+            (cfg.case_mix.0 * cfg.n_cases as f32).round() as usize,
+            (cfg.case_mix.1 * cfg.n_cases as f32).round() as usize,
+            usize::MAX, // direct fills the remainder
+        ];
+        let mut taken = [0usize; 3];
+        for slot in 0..3 {
+            let want = targets[slot].min(facts_by_kind[slot].len());
+            while cases.len() < cfg.n_cases && taken[slot] < want {
+                cases.push(facts_by_kind[slot][taken[slot]].clone());
+                taken[slot] += 1;
+            }
+        }
+        // Top up from whatever is left if a class ran short.
+        for slot in 0..3 {
+            while cases.len() < cfg.n_cases && taken[slot] < facts_by_kind[slot].len() {
+                cases.push(facts_by_kind[slot][taken[slot]].clone());
+                taken[slot] += 1;
+            }
+        }
+        {
+            use rand::seq::SliceRandom;
+            let mut shuffle_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xCA5E);
+            cases.shuffle(&mut shuffle_rng);
+        }
+
+        // Retrieval index over content tokens only (entities, attributes,
+        // values) — the stopword filtering every real retriever does.
+        let embedder = Embedder::new(cfg.seed ^ 0xE55E);
+        let mut index = VectorIndex::new();
+        for c in &chunks {
+            index.add(embedder.embed(&content_tokens(&vocab, c)));
+        }
+
+        Dataset {
+            kind: cfg.kind,
+            vocab,
+            chunks,
+            chunk_doc,
+            cases,
+            embedder,
+            index,
+        }
+    }
+
+    /// Retrieves the top-`k` chunks for a case by embedding L2 distance and
+    /// returns them in *document order* (ascending chunk id), the standard
+    /// RAG practice of ordering stuffed context by source position.
+    pub fn retrieve(&self, case: &QueryCase, k: usize) -> Vec<usize> {
+        let mut q_tokens = content_tokens(&self.vocab, &case.query);
+        q_tokens.extend_from_slice(&case.retrieval_hint);
+        let q = self.embedder.embed(&q_tokens);
+        let mut ids: Vec<usize> = self
+            .index
+            .search(&q, k)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Oracle context: the case's relevant chunks padded with retrieved
+    /// distractors up to `k`, in document order. Used by experiments that
+    /// isolate *generation* quality from retrieval quality.
+    pub fn oracle_context(&self, case: &QueryCase, k: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = case.relevant_chunks.clone();
+        for c in self.retrieve(case, k) {
+            if ids.len() >= k {
+                break;
+            }
+            if !ids.contains(&c) {
+                ids.push(c);
+            }
+        }
+        ids.sort_unstable();
+        ids.truncate(k);
+        ids
+    }
+
+    /// Scores a prediction against a gold answer with the dataset's metric.
+    pub fn score(&self, pred: &[TokenId], gold: &[TokenId]) -> f32 {
+        if self.kind.is_qa() {
+            f1_score(pred, gold)
+        } else {
+            rouge_l(pred, gold)
+        }
+    }
+
+    /// The token sequences of the given chunk ids.
+    pub fn chunk_tokens(&self, ids: &[usize]) -> Vec<Vec<TokenId>> {
+        ids.iter().map(|&i| self.chunks[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(kind: DatasetKind) -> Dataset {
+        Dataset::standard(kind, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ds(DatasetKind::MusiqueSim);
+        let b = ds(DatasetKind::MusiqueSim);
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(a.cases.len(), b.cases.len());
+    }
+
+    #[test]
+    fn all_kinds_generate_cases() {
+        for kind in DatasetKind::all() {
+            let d = ds(kind);
+            assert!(
+                d.cases.len() >= 20,
+                "{}: only {} cases",
+                kind.name(),
+                d.cases.len()
+            );
+            assert!(!d.chunks.is_empty());
+        }
+    }
+
+    #[test]
+    fn chunks_respect_length_limit() {
+        for kind in DatasetKind::all() {
+            let cfg = GenConfig::standard(kind, 7);
+            let d = Dataset::generate(Vocab::default_eval(), &cfg);
+            assert!(d.chunks.iter().all(|c| c.len() <= cfg.chunk_len));
+        }
+    }
+
+    #[test]
+    fn cross_chunk_cases_exist_and_are_meaningful() {
+        let d = ds(DatasetKind::MusiqueSim);
+        let cross = d
+            .cases
+            .iter()
+            .filter(|c| c.kind == CaseKind::CrossChunk)
+            .count();
+        assert!(cross >= 10, "only {cross} cross-chunk cases");
+        for c in d.cases.iter().filter(|c| c.kind == CaseKind::CrossChunk) {
+            assert!(
+                c.relevant_chunks.len() >= 2,
+                "cross-chunk case with a single relevant chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn answer_lengths_match_dataset_flavour() {
+        let qa = ds(DatasetKind::MusiqueSim);
+        assert!(qa.cases.iter().all(|c| c.gold.len() == 1));
+        let summ = ds(DatasetKind::MultiNewsSim);
+        assert!(summ.cases.iter().all(|c| c.gold.len() >= 4));
+    }
+
+    #[test]
+    fn queries_are_well_formed() {
+        let d = ds(DatasetKind::TwoWikiSim);
+        for c in &d.cases {
+            assert_eq!(c.query.len(), 4);
+            assert_eq!(d.vocab.kind(c.query[0]), TokenKind::Query);
+            assert!(matches!(d.vocab.kind(c.query[1]), TokenKind::Entity(_)));
+            assert!(matches!(d.vocab.kind(c.query[2]), TokenKind::Attr(_)));
+            assert_eq!(d.vocab.kind(c.query[3]), TokenKind::QMark);
+        }
+    }
+
+    #[test]
+    fn retrieval_finds_relevant_chunks_often() {
+        let d = ds(DatasetKind::MusiqueSim);
+        let mut hits = 0;
+        let mut total = 0;
+        for c in &d.cases {
+            let got = d.retrieve(c, 6);
+            total += c.relevant_chunks.len();
+            hits += c.relevant_chunks.iter().filter(|r| got.contains(r)).count();
+        }
+        let recall = hits as f32 / total as f32;
+        assert!(recall > 0.5, "retrieval recall too low: {recall}");
+    }
+
+    #[test]
+    fn retrieval_returns_sorted_unique_ids() {
+        let d = ds(DatasetKind::SamsumSim);
+        let got = d.retrieve(&d.cases[0], 8);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        assert!(got.len() <= 8);
+    }
+
+    #[test]
+    fn oracle_context_contains_all_relevant() {
+        let d = ds(DatasetKind::MusiqueSim);
+        for c in d.cases.iter().take(10) {
+            let ctx = d.oracle_context(c, 6);
+            for r in &c.relevant_chunks {
+                assert!(ctx.contains(r), "relevant chunk {r} missing from oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn score_dispatches_by_kind() {
+        let qa = ds(DatasetKind::MusiqueSim);
+        assert_eq!(qa.score(&[1, 2], &[2, 1]), 1.0); // F1 order-insensitive
+        let summ = ds(DatasetKind::SamsumSim);
+        assert!(summ.score(&[1, 2], &[2, 1]) < 1.0); // Rouge-L is not
+    }
+
+    #[test]
+    fn fact_pairs_are_globally_unique() {
+        // No two cases share (entity, attr) with different golds.
+        let d = ds(DatasetKind::TwoWikiSim);
+        let mut seen: std::collections::HashMap<(TokenId, TokenId), Vec<TokenId>> =
+            std::collections::HashMap::new();
+        for c in &d.cases {
+            let key = (c.query[1], c.query[2]);
+            if let Some(prev) = seen.get(&key) {
+                assert_eq!(prev, &c.gold, "conflicting facts for {key:?}");
+            }
+            seen.insert(key, c.gold.clone());
+        }
+    }
+}

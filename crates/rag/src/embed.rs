@@ -1,0 +1,89 @@
+//! Deterministic text embeddings (the SentenceTransformers stand-in).
+//!
+//! A chunk or query is embedded as the L2-normalized sum of per-token
+//! random feature vectors (seeded by token id). Two texts sharing tokens —
+//! a query naming an entity and the chunk stating facts about it — land
+//! close in L2, which is all the retrieval experiments need.
+
+use cb_tokenizer::TokenId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Embedding dimensionality.
+pub const EMBED_DIM: usize = 64;
+
+/// A deterministic embedder.
+#[derive(Clone, Debug)]
+pub struct Embedder {
+    seed: u64,
+}
+
+impl Embedder {
+    /// Creates an embedder; the same seed always produces the same space.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    fn token_feature(&self, t: TokenId) -> [f32; EMBED_DIM] {
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let mut f = [0.0f32; EMBED_DIM];
+        for v in &mut f {
+            *v = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        }
+        f
+    }
+
+    /// Embeds a token sequence (bag-of-tokens, L2-normalized).
+    pub fn embed(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; EMBED_DIM];
+        for &t in tokens {
+            let f = self.token_feature(t);
+            for (a, b) in acc.iter_mut().zip(f.iter()) {
+                *a += b;
+            }
+        }
+        let norm = acc.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in &mut acc {
+                *v /= norm;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_tensor::stats::l2_distance;
+
+    #[test]
+    fn deterministic() {
+        let e = Embedder::new(3);
+        assert_eq!(e.embed(&[1, 2, 3]), e.embed(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn normalized() {
+        let e = Embedder::new(3);
+        let v = e.embed(&[5, 9, 11]);
+        let n: f32 = v.iter().map(|x| x * x).sum();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shared_tokens_are_closer() {
+        let e = Embedder::new(3);
+        let q = e.embed(&[10, 20]);
+        let near = e.embed(&[10, 20, 30, 31]);
+        let far = e.embed(&[40, 41, 42, 43]);
+        assert!(l2_distance(&q, &near) < l2_distance(&q, &far));
+    }
+
+    #[test]
+    fn empty_input_embeds_to_zero() {
+        let e = Embedder::new(3);
+        assert!(e.embed(&[]).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Exact L2 top-k vector search (the FAISS stand-in).
+
+use cb_tensor::stats::l2_distance;
+
+/// A flat vector index with exact search.
+#[derive(Clone, Debug, Default)]
+pub struct VectorIndex {
+    dim: usize,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl VectorIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Adds a vector; its id is its insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn add(&mut self, v: Vec<f32>) -> usize {
+        if self.vectors.is_empty() {
+            self.dim = v.len();
+        }
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    /// The `k` nearest stored vectors by L2 distance, closest first
+    /// (ties broken by lower id).
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, l2_distance(query, v)))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_match_first() {
+        let mut ix = VectorIndex::new();
+        ix.add(vec![0.0, 0.0]);
+        ix.add(vec![1.0, 1.0]);
+        ix.add(vec![2.0, 2.0]);
+        let hits = ix.search(&[1.0, 1.0], 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[0].1, 0.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let mut ix = VectorIndex::new();
+        ix.add(vec![0.0]);
+        assert_eq!(ix.search(&[5.0], 10).len(), 1);
+    }
+
+    #[test]
+    fn distances_are_sorted() {
+        let mut ix = VectorIndex::new();
+        for i in 0..10 {
+            ix.add(vec![i as f32]);
+        }
+        let hits = ix.search(&[3.2], 5);
+        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut ix = VectorIndex::new();
+        ix.add(vec![0.0, 1.0]);
+        ix.add(vec![0.0]);
+    }
+}

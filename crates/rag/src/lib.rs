@@ -1,0 +1,26 @@
+//! RAG substrate: synthetic datasets, embeddings, vector retrieval, and
+//! generation-quality metrics.
+//!
+//! The paper evaluates on Musique, 2WikiMQA, SAMSum and MultiNews; none are
+//! usable offline with a compiled model, so this crate generates structured
+//! analogues with the same *mechanics*: documents are streams of facts
+//! (some coreferent, some self-contained) split into fixed-size chunks —
+//! so cross-chunk dependence emerges exactly where it does in real RAG:
+//! coreferences whose antecedent landed in the previous chunk, and facts
+//! straddling a chunk boundary. Queries come with gold answers, retrieval
+//! runs over deterministic embeddings, and quality is scored with the
+//! paper's metrics (token-level F1, Rouge-L).
+//!
+//! Modules:
+//!
+//! - [`metrics`] — token-level F1 and Rouge-L.
+//! - [`embed`] — deterministic bag-of-token random-projection embeddings.
+//! - [`index`] — exact L2 top-k search.
+//! - [`datasets`] — the four dataset generators and retrieval plumbing.
+
+pub mod datasets;
+pub mod embed;
+pub mod index;
+pub mod metrics;
+
+pub use datasets::{Dataset, DatasetKind, GenConfig, QueryCase};

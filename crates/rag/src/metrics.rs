@@ -1,0 +1,137 @@
+//! Generation-quality metrics: token-level F1 and Rouge-L.
+//!
+//! F1 follows the SQuAD convention (bag-of-tokens overlap) used for
+//! Musique/2WikiMQA; Rouge-L follows Lin (2004) (LCS-based F-measure) used
+//! for SAMSum/MultiNews.
+
+use cb_tokenizer::TokenId;
+use std::collections::HashMap;
+
+/// Token-level F1 between a prediction and a gold answer.
+///
+/// Returns 1.0 when both are empty (vacuously perfect), 0.0 when exactly
+/// one is empty.
+pub fn f1_score(pred: &[TokenId], gold: &[TokenId]) -> f32 {
+    if pred.is_empty() && gold.is_empty() {
+        return 1.0;
+    }
+    if pred.is_empty() || gold.is_empty() {
+        return 0.0;
+    }
+    let mut gold_counts: HashMap<TokenId, usize> = HashMap::new();
+    for &t in gold {
+        *gold_counts.entry(t).or_default() += 1;
+    }
+    let mut overlap = 0usize;
+    for &t in pred {
+        if let Some(c) = gold_counts.get_mut(&t) {
+            if *c > 0 {
+                *c -= 1;
+                overlap += 1;
+            }
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let p = overlap as f32 / pred.len() as f32;
+    let r = overlap as f32 / gold.len() as f32;
+    2.0 * p * r / (p + r)
+}
+
+/// Length of the longest common subsequence.
+fn lcs_len(a: &[TokenId], b: &[TokenId]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &x in a {
+        for (j, &y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Rouge-L F-measure between a prediction and a gold summary.
+pub fn rouge_l(pred: &[TokenId], gold: &[TokenId]) -> f32 {
+    if pred.is_empty() && gold.is_empty() {
+        return 1.0;
+    }
+    if pred.is_empty() || gold.is_empty() {
+        return 0.0;
+    }
+    let lcs = lcs_len(pred, gold) as f32;
+    if lcs == 0.0 {
+        return 0.0;
+    }
+    let p = lcs / pred.len() as f32;
+    let r = lcs / gold.len() as f32;
+    2.0 * p * r / (p + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_scores_one() {
+        assert_eq!(f1_score(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(rouge_l(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        assert_eq!(f1_score(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(rouge_l(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap() {
+        // pred {1,2}, gold {2,3}: overlap 1, P = R = 0.5, F1 = 0.5.
+        assert!((f1_score(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f1_is_order_insensitive_but_rouge_is_not() {
+        let a = [1, 2, 3];
+        let rev = [3, 2, 1];
+        assert_eq!(f1_score(&a, &rev), 1.0);
+        assert!(rouge_l(&a, &rev) < 1.0);
+    }
+
+    #[test]
+    fn f1_respects_multiplicity() {
+        // pred has one `1`, gold needs two.
+        let s = f1_score(&[1], &[1, 1]);
+        // overlap 1, P = 1, R = 0.5 → F1 = 2/3.
+        assert!((s - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rouge_l_prefix_match() {
+        // pred [1,2], gold [1,2,3,4]: LCS 2, P=1, R=0.5 → 2/3.
+        assert!((rouge_l(&[1, 2], &[1, 2, 3, 4]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(f1_score(&[], &[]), 1.0);
+        assert_eq!(f1_score(&[], &[1]), 0.0);
+        assert_eq!(f1_score(&[1], &[]), 0.0);
+        assert_eq!(rouge_l(&[], &[]), 1.0);
+        assert_eq!(rouge_l(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn lcs_skips_gaps() {
+        // LCS of [1,9,2,9,3] and [1,2,3] is 3.
+        assert_eq!(lcs_len(&[1, 9, 2, 9, 3], &[1, 2, 3]), 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! Serving-layer simulation: request streams, queueing, cache-hit
+//! accounting, and TTFT/throughput statistics (Figure 14).
+//!
+//! The quality side of the evaluation runs the tiny compiled model; the
+//! *serving* side — what happens when requests arrive at rate λ against a
+//! bounded KV store on a busy GPU — is a queueing question, answered here
+//! with a discrete-event simulator driven by the paper-scale delay model
+//! from `cb-storage`. The simulator reproduces the figure-14 mechanics:
+//! Poisson arrivals, FIFO prefill admission, per-chunk cache hits with LRU
+//! eviction, prefix-chain hits for the prefix-caching baseline (which must
+//! store one entry per *prefix*, not per chunk — the storage blow-up §7.2
+//! discusses), and pipelined load/recompute for CacheBlend.
+//!
+//! Modules:
+//!
+//! - [`workload`] — seeded Poisson request streams with popularity-skewed
+//!   chunk reuse (the "extended dataset" construction).
+//! - [`sim`] — the event loop and per-scheme service-time models.
+//! - [`stats`] — latency summaries.
+
+pub mod sim;
+pub mod stats;
+pub mod workload;
+
+pub use sim::{ServingConfig, ServingStats, Simulator};
+pub use workload::{Request, Workload, WorkloadConfig};

@@ -1,0 +1,342 @@
+//! The discrete-event serving simulator.
+//!
+//! Single-GPU FIFO serving: each request waits for the GPU, then runs its
+//! scheme's admission work (loading cached KV, recomputing, prefilling
+//! misses and the query). TTFT = completion of prefill − arrival. Chunk
+//! (or prefix) entries live in a byte-bounded LRU store; misses are
+//! computed at full prefill cost and inserted.
+//!
+//! Scheme differences (the figure-14 mechanics):
+//!
+//! - **Full recompute** — no store; everything prefilled.
+//! - **Prefix caching** — entries are *prefix chains*: a chunk cached
+//!   behind one prefix cannot be reused behind another, so the same chunk
+//!   occupies multiple entries (the storage blow-up of §7.2); loads are
+//!   idealized free (the paper's assumption in its favor).
+//! - **Full KV reuse** — per-chunk entries; hits are loaded, never
+//!   recomputed.
+//! - **CacheBlend** — per-chunk entries; hits are loaded *pipelined* with
+//!   selective recompute at the configured ratio.
+
+use std::collections::HashMap;
+
+use cb_baselines::SchemeKind;
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::PerfModel;
+
+use crate::stats::LatencySummary;
+use crate::workload::Workload;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Which scheme serves the requests.
+    pub scheme: SchemeKind,
+    /// Paper-scale delay model.
+    pub perf: PerfModel,
+    /// Device the KV store lives on.
+    pub device: DeviceKind,
+    /// CacheBlend's recompute ratio.
+    pub recompute_ratio: f64,
+    /// Paper-scale tokens per chunk (512 in Figure 14).
+    pub chunk_tokens: usize,
+    /// Query suffix tokens.
+    pub query_tokens: usize,
+    /// Decoded tokens per request (occupies the GPU after TTFT).
+    pub decode_tokens: usize,
+    /// KV store capacity in bytes.
+    pub store_capacity: f64,
+}
+
+impl ServingConfig {
+    /// The figure-14 setup for a scheme/model/device.
+    pub fn fig14(scheme: SchemeKind, perf: PerfModel, device: DeviceKind) -> Self {
+        Self {
+            scheme,
+            perf,
+            device,
+            recompute_ratio: 0.15,
+            chunk_tokens: 512,
+            query_tokens: 32,
+            decode_tokens: 24,
+            // 64 GB of KV storage.
+            store_capacity: 64.0e9,
+        }
+    }
+}
+
+/// Aggregate results of one simulation.
+#[derive(Clone, Debug)]
+pub struct ServingStats {
+    /// TTFT distribution.
+    pub ttft: LatencySummary,
+    /// Fraction of chunk lookups served from cache.
+    pub hit_rate: f64,
+    /// Completed requests / makespan.
+    pub throughput_rps: f64,
+    /// Peak bytes resident in the store.
+    pub peak_store_bytes: f64,
+    /// Entries evicted.
+    pub evictions: u64,
+}
+
+struct LruStore {
+    capacity: f64,
+    used: f64,
+    peak: f64,
+    clock: u64,
+    entries: HashMap<u64, (f64, u64)>, // id -> (bytes, last_used)
+    evictions: u64,
+}
+
+impl LruStore {
+    fn new(capacity: f64) -> Self {
+        Self {
+            capacity,
+            used: 0.0,
+            peak: 0.0,
+            clock: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    fn hit(&mut self, id: u64) -> bool {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.1 = self.clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, id: u64, bytes: f64) {
+        self.clock += 1;
+        if self.entries.contains_key(&id) || bytes > self.capacity {
+            return;
+        }
+        while self.used + bytes > self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .expect("over capacity with no entries");
+            let (b, _) = self.entries.remove(&victim).unwrap();
+            self.used -= b;
+            self.evictions += 1;
+        }
+        self.entries.insert(id, (bytes, self.clock));
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    cfg: ServingConfig,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    (a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new(cfg: ServingConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs a workload to completion.
+    pub fn run(&self, workload: &Workload) -> ServingStats {
+        let cfg = &self.cfg;
+        let perf = &cfg.perf;
+        let entry_bytes = perf.total_kv_bytes(cfg.chunk_tokens);
+        let mut store = LruStore::new(cfg.store_capacity);
+        let mut gpu_free = 0.0f64;
+        let mut ttfts = Vec::with_capacity(workload.requests.len());
+        let mut lookups = 0u64;
+        let mut hits = 0u64;
+        let mut last_finish = 0.0f64;
+
+        for req in &workload.requests {
+            let k = req.chunk_ids.len();
+            let ctx_tokens = k * cfg.chunk_tokens;
+
+            // Admission work for this scheme.
+            let (ttft_work, gpu_work) = match cfg.scheme {
+                SchemeKind::FullRecompute | SchemeKind::MapReduce | SchemeKind::MapRerank => {
+                    let t = perf.ttft_full_prefill(ctx_tokens + cfg.query_tokens);
+                    (t, t)
+                }
+                SchemeKind::PrefixCaching => {
+                    // Longest cached prefix chain. Every chunk counts as a
+                    // lookup; chunks past the first miss can never hit.
+                    let mut chain = 0u64;
+                    let mut matched = 0usize;
+                    let mut walking = true;
+                    let mut ids = Vec::with_capacity(k);
+                    lookups += k as u64;
+                    for &c in &req.chunk_ids {
+                        chain = mix(chain, c);
+                        ids.push(chain);
+                        if walking {
+                            if store.hit(chain) {
+                                hits += 1;
+                                matched += 1;
+                            } else {
+                                walking = false;
+                            }
+                        }
+                    }
+                    for &id in ids.iter().skip(matched) {
+                        store.insert(id, entry_bytes);
+                    }
+                    let hit_tokens = matched * cfg.chunk_tokens;
+                    let t = perf.ttft_prefix_caching(ctx_tokens + cfg.query_tokens, hit_tokens);
+                    (t, t)
+                }
+                SchemeKind::FullReuse | SchemeKind::CacheBlend => {
+                    let mut hit_chunks = 0usize;
+                    for &c in &req.chunk_ids {
+                        lookups += 1;
+                        if store.hit(c) {
+                            hits += 1;
+                            hit_chunks += 1;
+                        } else {
+                            store.insert(c, entry_bytes);
+                        }
+                    }
+                    let hit_tokens = hit_chunks * cfg.chunk_tokens;
+                    let miss_tokens = ctx_tokens - hit_tokens;
+                    if cfg.scheme == SchemeKind::FullReuse {
+                        let t = perf.ttft_full_reuse(hit_tokens.max(1), 0, cfg.device)
+                            + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
+                        (t, perf.ttft_full_prefill(miss_tokens + cfg.query_tokens))
+                    } else {
+                        let blend = if hit_tokens > 0 {
+                            perf.ttft_blend(cfg.recompute_ratio, hit_tokens, 0, cfg.device)
+                        } else {
+                            0.0
+                        };
+                        let t = blend + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
+                        let g = if hit_tokens > 0 {
+                            perf.blend_compute_time(cfg.recompute_ratio, hit_tokens, 0)
+                        } else {
+                            0.0
+                        } + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
+                        (t, g)
+                    }
+                }
+            };
+
+            let decode = cfg.decode_tokens as f64 * perf.decode_time_per_token();
+            let start = gpu_free.max(req.arrival_s);
+            let first_token = start + ttft_work;
+            ttfts.push(first_token - req.arrival_s);
+            gpu_free = start + ttft_work.max(gpu_work) + decode;
+            last_finish = gpu_free;
+        }
+
+        let makespan = last_finish.max(f64::EPSILON);
+        ServingStats {
+            ttft: LatencySummary::of(ttfts),
+            hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            throughput_rps: workload.requests.len() as f64 / makespan,
+            peak_store_bytes: store.peak,
+            evictions: store.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use cb_storage::perf::PaperModel;
+
+    fn run(scheme: SchemeKind, rate: f64) -> ServingStats {
+        let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+        let cfg = ServingConfig::fig14(scheme, perf, DeviceKind::NvmeSsd);
+        let w = Workload::generate(&WorkloadConfig::extended(rate, 42));
+        Simulator::new(cfg).run(&w)
+    }
+
+    #[test]
+    fn blend_beats_full_recompute_on_ttft() {
+        let blend = run(SchemeKind::CacheBlend, 0.5);
+        let full = run(SchemeKind::FullRecompute, 0.5);
+        assert!(
+            blend.ttft.mean_s < full.ttft.mean_s / 1.5,
+            "blend {} !≪ full {}",
+            blend.ttft.mean_s,
+            full.ttft.mean_s
+        );
+    }
+
+    #[test]
+    fn blend_beats_prefix_caching_on_ttft() {
+        let blend = run(SchemeKind::CacheBlend, 0.5);
+        let prefix = run(SchemeKind::PrefixCaching, 0.5);
+        assert!(blend.ttft.mean_s < prefix.ttft.mean_s);
+    }
+
+    #[test]
+    fn ttft_grows_with_request_rate() {
+        let lo = run(SchemeKind::FullRecompute, 0.1);
+        let hi = run(SchemeKind::FullRecompute, 2.0);
+        assert!(
+            hi.ttft.mean_s > lo.ttft.mean_s * 2.0,
+            "queueing should inflate TTFT: {} vs {}",
+            lo.ttft.mean_s,
+            hi.ttft.mean_s
+        );
+    }
+
+    #[test]
+    fn blend_sustains_higher_rates_than_full() {
+        // At a rate that saturates full recompute, CacheBlend stays near
+        // its unloaded TTFT — the crossing structure of Figure 14.
+        let rate = 0.8;
+        let blend = run(SchemeKind::CacheBlend, rate);
+        let full = run(SchemeKind::FullRecompute, rate);
+        assert!(blend.ttft.p95_s < full.ttft.p95_s / 2.0);
+    }
+
+    #[test]
+    fn chunk_reuse_produces_cache_hits() {
+        let s = run(SchemeKind::CacheBlend, 0.5);
+        assert!(s.hit_rate > 0.5, "hit rate {}", s.hit_rate);
+    }
+
+    #[test]
+    fn prefix_caching_hits_less_than_chunk_caching() {
+        // Only leading chunks can hit for prefix caching.
+        let blend = run(SchemeKind::CacheBlend, 0.5);
+        let prefix = run(SchemeKind::PrefixCaching, 0.5);
+        assert!(prefix.hit_rate < blend.hit_rate);
+    }
+
+    #[test]
+    fn full_reuse_is_fastest_scheme() {
+        let reuse = run(SchemeKind::FullReuse, 0.5);
+        let blend = run(SchemeKind::CacheBlend, 0.5);
+        assert!(reuse.ttft.mean_s <= blend.ttft.mean_s + 1e-9);
+    }
+
+    #[test]
+    fn store_capacity_bounds_residency() {
+        let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+        let mut cfg = ServingConfig::fig14(SchemeKind::CacheBlend, perf, DeviceKind::NvmeSsd);
+        cfg.store_capacity = 20.0 * perf.total_kv_bytes(cfg.chunk_tokens);
+        let w = Workload::generate(&WorkloadConfig::extended(0.5, 42));
+        let s = Simulator::new(cfg.clone()).run(&w);
+        assert!(s.peak_store_bytes <= cfg.store_capacity + 1.0);
+        assert!(s.evictions > 0, "tiny store must evict");
+    }
+}

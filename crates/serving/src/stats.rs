@@ -1,0 +1,70 @@
+//! Latency summaries.
+
+/// Summary statistics of a latency sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean, seconds.
+    pub mean_s: f64,
+    /// Median, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// Maximum, seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample (empty samples yield zeros).
+    pub fn of(mut xs: Vec<f64>) -> Self {
+        if xs.is_empty() {
+            return Self {
+                n: 0,
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let pick = |q: f64| xs[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+        Self {
+            n,
+            mean_s: mean,
+            p50_s: pick(0.5),
+            p95_s: pick(0.95),
+            max_s: xs[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = LatencySummary::of(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean_s - 2.5).abs() < 1e-12);
+        assert_eq!(s.max_s, 4.0);
+        assert!(s.p50_s == 2.0 || s.p50_s == 3.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeros() {
+        let s = LatencySummary::of(vec![]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean_s, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = LatencySummary::of(xs);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.max_s);
+    }
+}

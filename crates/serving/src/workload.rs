@@ -1,0 +1,214 @@
+//! Seeded request-stream generation (the "extended dataset" construction).
+//!
+//! The paper builds its serving workload by taking 1 500 queries, having
+//! GPT-4 produce 3 paraphrases of each (so 4 requests share the same
+//! retrieved chunk set), and replaying 6 000 requests at a Poisson rate
+//! against a chunk database. This module reproduces the *structure*:
+//! a chunk universe, query groups that share top-k chunk sets, Zipf-ish
+//! group popularity, and exponential inter-arrivals.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One serving request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Ids of the retrieved chunks, in context order.
+    pub chunk_ids: Vec<u64>,
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Mean request rate (Poisson), requests/second.
+    pub rate_per_s: f64,
+    /// Total requests.
+    pub n_requests: usize,
+    /// Distinct query groups (each group shares one chunk set).
+    pub n_groups: usize,
+    /// Chunk universe size.
+    pub n_chunks: u64,
+    /// Chunks retrieved per request.
+    pub chunks_per_request: usize,
+    /// Zipf skew of group popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Shuffle each request's chunk order (the paper retrieves the top-k
+    /// "in a random order" (citation 34 of the paper) — this is what breaks prefix chains while
+    /// leaving per-chunk caching untouched).
+    pub shuffle_order: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The figure-14 extended-dataset shape at a given rate.
+    pub fn extended(rate_per_s: f64, seed: u64) -> Self {
+        Self {
+            rate_per_s,
+            n_requests: 400,
+            n_groups: 100,
+            n_chunks: 600,
+            chunks_per_request: 6,
+            zipf_s: 0.9,
+            shuffle_order: true,
+            seed,
+        }
+    }
+}
+
+/// A generated request stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Requests sorted by arrival time.
+    pub requests: Vec<Request>,
+}
+
+impl Workload {
+    /// Generates a stream from the config.
+    pub fn generate(cfg: &WorkloadConfig) -> Self {
+        assert!(cfg.rate_per_s > 0.0, "rate must be positive");
+        assert!(cfg.n_groups > 0 && cfg.chunks_per_request > 0);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // Chunk popularity is Zipf-skewed: popular chunks are retrieved by
+        // *many different* queries — the property that lets per-chunk
+        // caching (CacheBlend, full reuse) hit across query groups while
+        // prefix caching only hits identical leading chains.
+        let chunk_weights: Vec<f64> = (1..=cfg.n_chunks)
+            .map(|r| 1.0 / (r as f64).powf(cfg.zipf_s))
+            .collect();
+        let chunk_total: f64 = chunk_weights.iter().sum();
+        let pick_chunk = |rng: &mut SmallRng| -> u64 {
+            let mut x = rng.random::<f64>() * chunk_total;
+            for (i, w) in chunk_weights.iter().enumerate() {
+                if x < *w {
+                    return i as u64;
+                }
+                x -= w;
+            }
+            cfg.n_chunks - 1
+        };
+
+        // Each group owns a fixed retrieved set (sorted: document order).
+        let groups: Vec<Vec<u64>> = (0..cfg.n_groups)
+            .map(|_| {
+                let mut set = std::collections::BTreeSet::new();
+                while set.len() < cfg.chunks_per_request {
+                    set.insert(pick_chunk(&mut rng));
+                }
+                set.into_iter().collect()
+            })
+            .collect();
+
+        // Zipf-ish popularity over groups.
+        let weights: Vec<f64> = (1..=cfg.n_groups)
+            .map(|r| 1.0 / (r as f64).powf(cfg.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+
+        let mut t = 0.0f64;
+        // Separate stream so toggling `shuffle_order` does not perturb
+        // arrivals or group picks.
+        let mut shuffle_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5AFF_1E00);
+        let mut requests = Vec::with_capacity(cfg.n_requests);
+        for _ in 0..cfg.n_requests {
+            // Exponential inter-arrival.
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            t += -u.ln() / cfg.rate_per_s;
+            // Weighted group pick.
+            let mut x = rng.random::<f64>() * total;
+            let mut g = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    g = i;
+                    break;
+                }
+                x -= w;
+                g = i;
+            }
+            let mut chunk_ids = groups[g].clone();
+            if cfg.shuffle_order {
+                use rand::seq::SliceRandom;
+                chunk_ids.shuffle(&mut shuffle_rng);
+            }
+            requests.push(Request {
+                arrival_s: t,
+                chunk_ids,
+            });
+        }
+        Workload { requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::extended(1.0, 5);
+        let a = Workload::generate(&cfg);
+        let b = Workload::generate(&cfg);
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.requests[10].chunk_ids, b.requests[10].chunk_ids);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_roughly_matches() {
+        let cfg = WorkloadConfig::extended(2.0, 5);
+        let w = Workload::generate(&cfg);
+        assert!(w
+            .requests
+            .windows(2)
+            .all(|p| p[0].arrival_s <= p[1].arrival_s));
+        let span = w.requests.last().unwrap().arrival_s;
+        let rate = cfg.n_requests as f64 / span;
+        assert!((1.2..3.2).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn requests_reuse_chunk_sets() {
+        let cfg = WorkloadConfig::extended(1.0, 5);
+        let w = Workload::generate(&cfg);
+        let mut distinct = std::collections::HashSet::new();
+        for r in &w.requests {
+            let mut set = r.chunk_ids.clone();
+            set.sort_unstable();
+            distinct.insert(set);
+        }
+        assert!(
+            distinct.len() <= cfg.n_groups,
+            "more chunk sets than groups"
+        );
+        assert!(distinct.len() >= 10, "no reuse diversity");
+    }
+
+    #[test]
+    fn unshuffled_chunk_ids_sorted_in_document_order() {
+        let mut cfg = WorkloadConfig::extended(1.0, 5);
+        cfg.shuffle_order = false;
+        let w = Workload::generate(&cfg);
+        for r in &w.requests {
+            assert!(r.chunk_ids.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn shuffling_changes_order_not_sets() {
+        let mut cfg = WorkloadConfig::extended(1.0, 5);
+        cfg.shuffle_order = false;
+        let sorted = Workload::generate(&cfg);
+        cfg.shuffle_order = true;
+        let shuffled = Workload::generate(&cfg);
+        let mut any_reordered = false;
+        for (a, b) in sorted.requests.iter().zip(shuffled.requests.iter()) {
+            let mut bs = b.chunk_ids.clone();
+            bs.sort_unstable();
+            assert_eq!(a.chunk_ids, bs, "sets must be identical");
+            any_reordered |= a.chunk_ids != b.chunk_ids;
+        }
+        assert!(any_reordered);
+    }
+}

@@ -1,0 +1,156 @@
+//! Storage device catalogue.
+
+use serde::{Deserialize, Serialize};
+
+/// The storage devices the evaluation sweeps over (Figures 10 and 17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// CPU DRAM (pinned host memory).
+    CpuRam,
+    /// The paper's testbed NVMe SSD (measured 4.8 GB/s).
+    NvmeSsd,
+    /// The paper's "slower disk" (4 Gb/s ≈ 0.5 GB/s).
+    SlowSsd,
+    /// A 1 GB/s commodity SSD (Figure 10's example device).
+    CommoditySsd,
+    /// Cloud object storage over the network.
+    ObjectStore,
+}
+
+/// Physical characteristics of a storage device.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DeviceSpec {
+    /// Catalogue entry this spec was derived from.
+    pub kind: DeviceKind,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Sustained read throughput to GPU memory, bytes/second.
+    pub read_bytes_per_s: f64,
+    /// Per-request access latency, seconds.
+    pub latency_s: f64,
+    /// Storage cost, $ per GB-month (0 for RAM counts the DRAM rental via
+    /// `cost_per_gb_month` anyway — DRAM is by far the most expensive).
+    pub cost_per_gb_month: f64,
+}
+
+impl DeviceKind {
+    /// The full catalogue, fastest first.
+    pub fn all() -> [DeviceKind; 5] {
+        [
+            DeviceKind::CpuRam,
+            DeviceKind::NvmeSsd,
+            DeviceKind::CommoditySsd,
+            DeviceKind::SlowSsd,
+            DeviceKind::ObjectStore,
+        ]
+    }
+
+    /// The catalogue spec for this device.
+    ///
+    /// Throughputs: RAM ≈ 16 GB/s effective host-to-GPU (PCIe 4.0 x16 in
+    /// practice), NVMe 4.8 GB/s (measured in §7.1), commodity SSD 1 GB/s
+    /// (Figure 10's running example), slow disk 4 Gb/s = 0.5 GB/s (§7.3),
+    /// object store 0.2 GB/s. Costs follow typical 2024 cloud pricing used
+    /// for the paper's cost argument (DRAM ≫ NVMe ≫ HDD ≫ object store).
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DeviceKind::CpuRam => DeviceSpec {
+                kind: self,
+                name: "cpu-ram",
+                read_bytes_per_s: 16.0e9,
+                latency_s: 10e-6,
+                cost_per_gb_month: 2.5,
+            },
+            DeviceKind::NvmeSsd => DeviceSpec {
+                kind: self,
+                name: "nvme-ssd",
+                read_bytes_per_s: 4.8e9,
+                latency_s: 100e-6,
+                cost_per_gb_month: 0.25,
+            },
+            DeviceKind::CommoditySsd => DeviceSpec {
+                kind: self,
+                name: "commodity-ssd",
+                read_bytes_per_s: 1.0e9,
+                latency_s: 150e-6,
+                cost_per_gb_month: 0.10,
+            },
+            DeviceKind::SlowSsd => DeviceSpec {
+                kind: self,
+                name: "slow-ssd-4gbps",
+                read_bytes_per_s: 0.5e9,
+                latency_s: 200e-6,
+                cost_per_gb_month: 0.05,
+            },
+            DeviceKind::ObjectStore => DeviceSpec {
+                kind: self,
+                name: "object-store",
+                read_bytes_per_s: 0.2e9,
+                latency_s: 20e-3,
+                cost_per_gb_month: 0.023,
+            },
+        }
+    }
+
+    /// Seconds to read `bytes` from this device.
+    pub fn read_time(self, bytes: f64) -> f64 {
+        let s = self.spec();
+        s.latency_s + bytes / s.read_bytes_per_s
+    }
+
+    /// $ to keep `gb` stored for `months`.
+    pub fn storage_cost(self, gb: f64, months: f64) -> f64 {
+        self.spec().cost_per_gb_month * gb * months
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_ordered_fastest_first() {
+        let all = DeviceKind::all();
+        for w in all.windows(2) {
+            assert!(
+                w[0].spec().read_bytes_per_s >= w[1].spec().read_bytes_per_s,
+                "{:?} slower than {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_devices_are_slower() {
+        let all = DeviceKind::all();
+        for w in all.windows(2) {
+            assert!(
+                w[0].spec().cost_per_gb_month >= w[1].spec().cost_per_gb_month,
+                "{:?} cheaper than {:?} but faster",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn read_time_includes_latency() {
+        let t0 = DeviceKind::ObjectStore.read_time(0.0);
+        assert!(t0 >= 20e-3);
+        let t1 = DeviceKind::ObjectStore.read_time(0.2e9);
+        assert!((t1 - t0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nvme_matches_paper_measurement() {
+        // §7.1: "1TB NVME SSD whose measured throughput is 4.8 GB/s".
+        assert_eq!(DeviceKind::NvmeSsd.spec().read_bytes_per_s, 4.8e9);
+    }
+
+    #[test]
+    fn storage_cost_scales_linearly() {
+        let c = DeviceKind::NvmeSsd.storage_cost(100.0, 2.0);
+        assert!((c - 0.25 * 200.0).abs() < 1e-9);
+    }
+}

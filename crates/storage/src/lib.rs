@@ -1,0 +1,23 @@
+//! Storage device models and the CacheBlend delay/cost estimators (§5.1).
+//!
+//! The paper's loading controller reasons with two analytic estimators —
+//! `T_recompute(r%, LLM, L) = r% × Prefill(LLM, L)` and
+//! `T_load(LLM, L, device) = PerTokenKVSize(LLM) × L / Throughput(device)` —
+//! plus a storage-cost estimator. This crate implements those models at
+//! *paper scale*: the real Mistral-7B/Yi-34B/Llama-70B layer counts and KV
+//! sizes, an A40-class GPU profile, and the device throughputs the paper
+//! measures (4.8 GB/s NVMe, a 4 Gb/s slow disk, CPU RAM). The tiny
+//! executable models in `cb-model` produce quality; this crate produces
+//! TTFT, keeping each where it can be faithful.
+//!
+//! Modules:
+//!
+//! - [`device`] — storage device catalogue (throughput, latency, $/GB·mo).
+//! - [`perf`] — paper-scale model specs, GPU profile, prefill/recompute/
+//!   load delay estimators, and pipelined TTFT.
+
+pub mod device;
+pub mod perf;
+
+pub use device::{DeviceKind, DeviceSpec};
+pub use perf::{GpuSpec, PaperModel, PerfModel};

@@ -1,0 +1,401 @@
+//! Paper-scale performance model: prefill, selective recompute, KV loading.
+//!
+//! The tiny executable models in `cb-model` cannot reproduce A40-class
+//! timing, so TTFT numbers come from this analytic model — which is
+//! faithful to the paper's own methodology: the §5.1 loading controller
+//! *is* an analytic model (`T_recompute = r% × Prefill(LLM, L)`,
+//! `T_load = PerTokenKVSize × L / Throughput`), with `Prefill` profiled
+//! offline. We "profile" against the numbers the paper prints:
+//!
+//! - §2: prefill of a 4K-token input ≈ 3 s for Yi-34B, ≈ 6 s for Llama-70B
+//!   (on 1 and 2 A40s respectively, 8-bit).
+//! - §5: Llama-7B, 4K context: recomputing 15 % of tokens ≈ 3 ms/layer;
+//!   loading one layer's KV from NVMe ≈ 16 ms. Llama-70B: 7 ms vs 4 ms.
+//! - §7.1: NVMe throughput 4.8 GB/s.
+//!
+//! The model reproduces these within small factors (see tests) and, more
+//! importantly, preserves the *ordering and crossover structure* the
+//! figures depend on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceKind;
+
+/// GPU compute profile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak dense fp16 throughput per GPU, FLOP/s.
+    pub peak_flops: f64,
+    /// Achieved fraction of peak during prefill (MFU).
+    pub efficiency: f64,
+}
+
+impl GpuSpec {
+    /// The paper's NVIDIA A40 (≈150 TFLOPs fp16 with sparsity off, ~45 %
+    /// prefill MFU).
+    pub fn a40() -> Self {
+        Self {
+            name: "A40",
+            peak_flops: 150.0e12,
+            efficiency: 0.45,
+        }
+    }
+}
+
+/// The real (paper-scale) models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperModel {
+    /// Llama-2-7B (the §5 pipelining example).
+    Llama7B,
+    /// Mistral-7B (GQA, fp16).
+    Mistral7B,
+    /// Yi-34B (8-bit).
+    Yi34B,
+    /// Llama-70B (8-bit, 2 GPUs).
+    Llama70B,
+}
+
+/// Architecture/deployment constants of a paper-scale model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PaperModelSpec {
+    /// Which model this is.
+    pub model: PaperModel,
+    /// Display name.
+    pub name: &'static str,
+    /// Parameter count, billions.
+    pub params_b: f64,
+    /// Transformer layers.
+    pub n_layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// KV heads (GQA) × head dim = KV projection width.
+    pub kv_width: usize,
+    /// Bytes per KV element (2 = fp16, 1 = 8-bit quantized).
+    pub kv_elem_bytes: usize,
+    /// GPUs serving the model (prefill parallelism).
+    pub gpus: usize,
+}
+
+impl PaperModel {
+    /// The three evaluation models (§7.1).
+    pub fn evaluation_models() -> [PaperModel; 3] {
+        [
+            PaperModel::Mistral7B,
+            PaperModel::Yi34B,
+            PaperModel::Llama70B,
+        ]
+    }
+
+    /// Architecture constants.
+    pub fn spec(self) -> PaperModelSpec {
+        match self {
+            PaperModel::Llama7B => PaperModelSpec {
+                model: self,
+                name: "Llama-7B",
+                params_b: 7.0,
+                n_layers: 32,
+                hidden: 4096,
+                kv_width: 4096, // MHA: 32 heads × 128
+                kv_elem_bytes: 2,
+                gpus: 1,
+            },
+            PaperModel::Mistral7B => PaperModelSpec {
+                model: self,
+                name: "Mistral-7B",
+                params_b: 7.0,
+                n_layers: 32,
+                hidden: 4096,
+                kv_width: 1024, // GQA: 8 kv-heads × 128
+                kv_elem_bytes: 2,
+                gpus: 1,
+            },
+            PaperModel::Yi34B => PaperModelSpec {
+                model: self,
+                name: "Yi-34B",
+                params_b: 34.0,
+                n_layers: 60,
+                hidden: 7168,
+                kv_width: 1024,
+                kv_elem_bytes: 1, // 8-bit quantization (§7.1)
+                gpus: 1,
+            },
+            PaperModel::Llama70B => PaperModelSpec {
+                model: self,
+                name: "Llama-70B",
+                params_b: 70.0,
+                n_layers: 80,
+                hidden: 8192,
+                kv_width: 1024,
+                kv_elem_bytes: 1,
+                gpus: 2,
+            },
+        }
+    }
+}
+
+/// The §4.3 default recompute ratio: the smallest ratio with empirically
+/// negligible quality loss (Figure 16 finds 15 %).
+pub const DEFAULT_RECOMPUTE_RATIO: f64 = 0.15;
+
+/// Analytic delay model for one model on one GPU profile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PerfModel {
+    /// Model constants.
+    pub spec: PaperModelSpec,
+    /// GPU profile.
+    pub gpu: GpuSpec,
+}
+
+impl PerfModel {
+    /// A model served on the paper's A40 testbed.
+    pub fn on_a40(model: PaperModel) -> Self {
+        Self {
+            spec: model.spec(),
+            gpu: GpuSpec::a40(),
+        }
+    }
+
+    /// Total prefill FLOPs for `l_tokens` of context: weight GEMMs
+    /// (`2·P·L`) plus quadratic attention (`4·layers·L²·hidden`).
+    pub fn prefill_flops(&self, l_tokens: usize) -> f64 {
+        let l = l_tokens as f64;
+        let weights = 2.0 * self.spec.params_b * 1e9 * l;
+        let attn = 4.0 * self.spec.n_layers as f64 * l * l * self.spec.hidden as f64;
+        weights + attn
+    }
+
+    /// Seconds of full prefill over `l_tokens` (the paper's
+    /// `Prefill(LLM, L)`).
+    pub fn prefill_time(&self, l_tokens: usize) -> f64 {
+        self.prefill_flops(l_tokens)
+            / (self.gpu.peak_flops * self.gpu.efficiency * self.spec.gpus as f64)
+    }
+
+    /// Seconds of prefill attributable to one layer.
+    pub fn prefill_layer_time(&self, l_tokens: usize) -> f64 {
+        self.prefill_time(l_tokens) / self.spec.n_layers as f64
+    }
+
+    /// Seconds to recompute `ratio` of tokens' KV on one layer
+    /// (`T_recompute(r%, LLM, L) / n_layers`).
+    pub fn recompute_layer_time(&self, ratio: f64, l_tokens: usize) -> f64 {
+        ratio * self.prefill_layer_time(l_tokens)
+    }
+
+    /// KV bytes of one layer for `l_tokens`.
+    pub fn layer_kv_bytes(&self, l_tokens: usize) -> f64 {
+        2.0 * l_tokens as f64 * self.spec.kv_width as f64 * self.spec.kv_elem_bytes as f64
+    }
+
+    /// KV bytes across all layers.
+    pub fn total_kv_bytes(&self, l_tokens: usize) -> f64 {
+        self.layer_kv_bytes(l_tokens) * self.spec.n_layers as f64
+    }
+
+    /// Seconds to load one layer's KV from `device`
+    /// (`T_load(LLM, L, device) / n_layers`).
+    pub fn load_layer_time(&self, l_tokens: usize, device: DeviceKind) -> f64 {
+        device.read_time(self.layer_kv_bytes(l_tokens))
+    }
+
+    /// TTFT of full prefill (no reuse).
+    pub fn ttft_full_prefill(&self, l_tokens: usize) -> f64 {
+        self.prefill_time(l_tokens)
+    }
+
+    /// TTFT of prefix caching with the first `hit_tokens` cached: only the
+    /// remainder is prefilled. Like the paper's baseline we idealize the
+    /// prefix load as free.
+    pub fn ttft_prefix_caching(&self, l_tokens: usize, hit_tokens: usize) -> f64 {
+        let rest = l_tokens.saturating_sub(hit_tokens);
+        self.prefill_time(rest)
+    }
+
+    /// TTFT of full KV reuse: load everything, prefill only the suffix.
+    pub fn ttft_full_reuse(&self, l_tokens: usize, suffix: usize, device: DeviceKind) -> f64 {
+        self.load_layer_time(l_tokens, device) * self.spec.n_layers as f64
+            + self.prefill_time(suffix)
+    }
+
+    /// TTFT of CacheBlend with pipelined loading (§5): loading layer `i+1`
+    /// overlaps recomputing layer `i`, so each stage costs
+    /// `max(T_load_layer, T_recompute_layer)`; layer 0 is recomputed in
+    /// full (HKVD selection) and the first load cannot be hidden.
+    pub fn ttft_blend(
+        &self,
+        ratio: f64,
+        l_tokens: usize,
+        suffix: usize,
+        device: DeviceKind,
+    ) -> f64 {
+        let n = self.spec.n_layers as f64;
+        let load = self.load_layer_time(l_tokens, device);
+        let rec = self.recompute_layer_time(ratio, l_tokens);
+        let first_layer = self.prefill_layer_time(l_tokens); // full recompute of layer 0
+        load + first_layer + (n - 1.0) * load.max(rec) + self.prefill_time(suffix)
+    }
+
+    /// TTFT of CacheBlend *without* pipelining (ablation in Figure 10a):
+    /// all loading then all recompute.
+    pub fn ttft_blend_unpipelined(
+        &self,
+        ratio: f64,
+        l_tokens: usize,
+        suffix: usize,
+        device: DeviceKind,
+    ) -> f64 {
+        let n = self.spec.n_layers as f64;
+        let load = self.load_layer_time(l_tokens, device) * n;
+        let rec = self.prefill_layer_time(l_tokens)
+            + self.recompute_layer_time(ratio, l_tokens) * (n - 1.0);
+        load + rec + self.prefill_time(suffix)
+    }
+
+    /// GPU-seconds of compute consumed by a blended prefill (for
+    /// throughput accounting): one full layer plus `ratio` of the rest.
+    pub fn blend_compute_time(&self, ratio: f64, l_tokens: usize, suffix: usize) -> f64 {
+        let n = self.spec.n_layers as f64;
+        self.prefill_layer_time(l_tokens) * (1.0 + ratio * (n - 1.0)) + self.prefill_time(suffix)
+    }
+
+    /// The ratio at which per-layer recompute exactly equals per-layer
+    /// loading — recomputing more than this stops being free (Figure 10a).
+    pub fn equal_delay_ratio(&self, l_tokens: usize, device: DeviceKind) -> f64 {
+        (self.load_layer_time(l_tokens, device) / self.prefill_layer_time(l_tokens)).min(1.0)
+    }
+
+    /// $ to store the KV of `l_tokens` for `months` on `device`.
+    pub fn storage_cost(&self, l_tokens: usize, months: f64, device: DeviceKind) -> f64 {
+        device.storage_cost(self.total_kv_bytes(l_tokens) / 1e9, months)
+    }
+
+    /// Seconds per decoded token (memory-bandwidth bound: one pass over the
+    /// weights). Used by the serving simulator.
+    pub fn decode_time_per_token(&self) -> f64 {
+        // 2 bytes/param over ~1 TB/s effective HBM bandwidth per GPU.
+        let bytes = self.spec.params_b * 1e9 * self.spec.kv_elem_bytes as f64;
+        bytes / (1.0e12 * self.spec.gpus as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_4k_matches_paper_anchors() {
+        // §2: "three (or six) seconds for Llama-34B (or Llama-70B)".
+        let yi = PerfModel::on_a40(PaperModel::Yi34B).prefill_time(4096);
+        assert!((2.0..6.0).contains(&yi), "Yi-34B 4K prefill {yi}s");
+        let ll = PerfModel::on_a40(PaperModel::Llama70B).prefill_time(4096);
+        assert!((4.0..9.0).contains(&ll), "Llama-70B 4K prefill {ll}s");
+        assert!(ll > yi, "70B must be slower than 34B");
+    }
+
+    #[test]
+    fn llama7b_layer_load_matches_paper() {
+        // §5: "loading one layer's KV cache takes 16 ms from an NVME SSD"
+        // for Llama-7B at 4K (fp16 MHA: 64 MB/layer / 4.8 GB/s ≈ 13 ms).
+        let m = PerfModel::on_a40(PaperModel::Llama7B);
+        let t = m.load_layer_time(4096, DeviceKind::NvmeSsd);
+        assert!((0.008..0.024).contains(&t), "layer load {t}s");
+    }
+
+    #[test]
+    fn llama7b_recompute_is_hidden_by_nvme_load() {
+        // §5: for Llama-7B, 15% recompute (≈3 ms) hides under the 16 ms
+        // load: no extra delay from recomputation.
+        let m = PerfModel::on_a40(PaperModel::Llama7B);
+        let rec = m.recompute_layer_time(0.15, 4096);
+        let load = m.load_layer_time(4096, DeviceKind::NvmeSsd);
+        assert!(
+            rec < load,
+            "recompute {rec}s should hide under load {load}s"
+        );
+    }
+
+    #[test]
+    fn llama70b_recompute_exceeds_nvme_load() {
+        // §5: for Llama-70B the 15% recompute (7 ms) is NOT hidden by the
+        // 4 ms layer load — the crossover the controller must handle.
+        let m = PerfModel::on_a40(PaperModel::Llama70B);
+        let rec = m.recompute_layer_time(0.15, 4096);
+        let load = m.load_layer_time(4096, DeviceKind::NvmeSsd);
+        assert!(
+            rec > load,
+            "recompute {rec}s should exceed load {load}s for 70B"
+        );
+    }
+
+    #[test]
+    fn blend_beats_full_prefill_by_paper_factor() {
+        // Figure 12's headline: 2.2–3.3× TTFT reduction. Check the model
+        // lands in a compatible band (2–8×) across all three models on the
+        // 3072-token, 6×512-chunk workload.
+        for pm in PaperModel::evaluation_models() {
+            let m = PerfModel::on_a40(pm);
+            let full = m.ttft_full_prefill(3072 + 32);
+            let blend = m.ttft_blend(0.15, 3072, 32, DeviceKind::NvmeSsd);
+            let speedup = full / blend;
+            assert!(
+                (1.8..9.0).contains(&speedup),
+                "{}: speedup {speedup:.2}",
+                m.spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn pipelining_strictly_helps() {
+        let m = PerfModel::on_a40(PaperModel::Mistral7B);
+        for dev in DeviceKind::all() {
+            let with = m.ttft_blend(0.15, 3072, 32, dev);
+            let without = m.ttft_blend_unpipelined(0.15, 3072, 32, dev);
+            assert!(with < without, "{dev:?}: {with} !< {without}");
+        }
+    }
+
+    #[test]
+    fn equal_delay_ratio_orders_by_device_speed() {
+        let m = PerfModel::on_a40(PaperModel::Mistral7B);
+        let slow = m.equal_delay_ratio(4096, DeviceKind::SlowSsd);
+        let fast = m.equal_delay_ratio(4096, DeviceKind::CpuRam);
+        assert!(
+            slow > fast,
+            "slower devices allow more recompute: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn full_reuse_is_fastest_but_loads_everything() {
+        let m = PerfModel::on_a40(PaperModel::Yi34B);
+        let reuse = m.ttft_full_reuse(3072, 32, DeviceKind::NvmeSsd);
+        let blend = m.ttft_blend(0.15, 3072, 32, DeviceKind::NvmeSsd);
+        let full = m.ttft_full_prefill(3104);
+        assert!(reuse <= blend && blend < full);
+    }
+
+    #[test]
+    fn storage_cost_favors_slower_devices() {
+        let m = PerfModel::on_a40(PaperModel::Mistral7B);
+        let ram = m.storage_cost(4096, 1.0, DeviceKind::CpuRam);
+        let ssd = m.storage_cost(4096, 1.0, DeviceKind::NvmeSsd);
+        assert!(ram > ssd);
+    }
+
+    #[test]
+    fn kv_bytes_match_architecture() {
+        // Mistral-7B GQA fp16: 2 (K,V) × 1024 × 2 B = 4 KiB per token-layer.
+        let m = PerfModel::on_a40(PaperModel::Mistral7B);
+        assert_eq!(m.layer_kv_bytes(1), 4096.0);
+    }
+
+    #[test]
+    fn decode_time_is_milliseconds() {
+        let m = PerfModel::on_a40(PaperModel::Mistral7B);
+        let t = m.decode_time_per_token();
+        assert!((0.001..0.1).contains(&t));
+    }
+}

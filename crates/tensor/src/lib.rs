@@ -1,0 +1,21 @@
+//! Dense f32 tensor kernels for the CacheBlend reproduction.
+//!
+//! Everything in this crate is plain safe Rust operating on row-major
+//! [`Matrix`] buffers. The kernels are deliberately simple (loops the
+//! compiler can autovectorize) — the reproduction runs tiny model profiles on
+//! a single CPU core, so clarity and determinism win over peak FLOPs.
+//!
+//! Modules:
+//!
+//! - [`matrix`] — the row-major [`Matrix`] type and matmul kernels.
+//! - [`ops`] — softmax, RMSNorm, activations, masked attention helpers.
+//! - [`rope`] — rotary positional embedding (RoPE) and the Appendix-A
+//!   re-rotation used to relocate cached keys.
+//! - [`stats`] — deviation norms, Spearman rank correlation, CDFs.
+
+pub mod matrix;
+pub mod ops;
+pub mod rope;
+pub mod stats;
+
+pub use matrix::Matrix;

@@ -1,0 +1,400 @@
+//! Row-major dense f32 matrix and matmul kernels.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense `f32` matrix.
+///
+/// `rows × cols` values stored contiguously; row `r` occupies
+/// `data[r*cols .. (r+1)*cols]`. This is the only tensor type the
+/// reproduction needs: vectors are `1 × n` or `n × 1` matrices, and the
+/// 3-D activations of a transformer layer are handled as `(seq, dim)`
+/// matrices per layer.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != cols`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols);
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Returns a new matrix containing only the rows listed in `idx`
+    /// (in that order). Used by selective prefill to gather HKVD tokens.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (dst, &src) in idx.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Scatters the rows of `src` back into `self` at positions `idx`.
+    /// The inverse of [`Matrix::gather_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.rows() != idx.len()` or the column counts differ.
+    pub fn scatter_rows(&mut self, idx: &[usize], src: &Matrix) {
+        assert_eq!(src.rows(), idx.len());
+        assert_eq!(src.cols(), self.cols);
+        for (s, &dst) in idx.iter().enumerate() {
+            self.row_mut(dst).copy_from_slice(src.row(s));
+        }
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// Uses an ikj loop order so the inner loop streams both `rhs` rows and
+    /// output rows; rustc autovectorizes this well at `-O3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // Compiled program weights are sparse.
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × rhsᵀ` without materializing the transpose.
+    ///
+    /// This is the attention-score kernel: `Q · Kᵀ`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Concatenates matrices vertically (stacking rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or `parts` is empty.
+    pub fn vcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vcat of zero matrices");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "vcat column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Returns the submatrix of columns `lo..hi` (copied).
+    ///
+    /// Attention slices per-head column blocks out of head-major K/V rows.
+    pub fn col_block(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.cols);
+        let mut out = Matrix::zeros(self.rows, hi - lo);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.data[r * self.cols + lo..r * self.cols + hi]);
+        }
+        out
+    }
+
+    /// Writes `src` into columns `lo..lo + src.cols()` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or the block exceeds the width.
+    pub fn set_col_block(&mut self, lo: usize, src: &Matrix) {
+        assert_eq!(self.rows, src.rows());
+        assert!(lo + src.cols() <= self.cols);
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols + lo..r * self.cols + lo + src.cols()];
+            dst.copy_from_slice(src.row(r));
+        }
+    }
+
+    /// Returns the submatrix of rows `lo..hi`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.rows);
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
+    /// Frobenius norm of the difference `self - rhs`.
+    pub fn frobenius_distance(&self, rhs: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_and_index() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        let id = Matrix::identity(3);
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32 * 0.1);
+        let b = Matrix::from_fn(3, 5, |r, c| ((r + 2) * (c + 1)) as f32 * 0.01);
+        let bt = Matrix::from_fn(5, 3, |r, c| b[(c, r)]);
+        let via_t = a.matmul(&bt);
+        let direct = a.matmul_transposed(&b);
+        for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrips() {
+        let src = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let idx = [4usize, 0, 2];
+        let g = src.gather_rows(&idx);
+        assert_eq!(g.row(0), src.row(4));
+        assert_eq!(g.row(1), src.row(0));
+        let mut dst = Matrix::zeros(5, 3);
+        dst.scatter_rows(&idx, &g);
+        assert_eq!(dst.row(4), src.row(4));
+        assert_eq!(dst.row(0), src.row(0));
+        assert_eq!(dst.row(2), src.row(2));
+        assert!(dst.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vcat_stacks_rows() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = Matrix::vcat(&[&a, &b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_range() {
+        let a = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0)[0], 1.0);
+        assert_eq!(s.row(1)[0], 2.0);
+    }
+
+    #[test]
+    fn frobenius_distance_of_equal_is_zero() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * c) as f32);
+        assert_eq!(a.frobenius_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![0.5, 0.5, 0.5]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+    }
+}

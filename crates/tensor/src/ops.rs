@@ -1,0 +1,199 @@
+//! Elementwise and row-wise neural-network operations.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable in-place softmax over a single row (slice).
+///
+/// Entries equal to [`f32::NEG_INFINITY`] (masked positions) receive exactly
+/// zero probability. If *every* entry is masked the row becomes all zeros
+/// rather than NaN, which is the behaviour selective prefill relies on for
+/// empty attention windows.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Applies [`softmax_row`] to every row of `m`.
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    for r in 0..m.rows() {
+        let _ = cols;
+        softmax_row(m.row_mut(r));
+    }
+}
+
+/// RMSNorm over each row: `x_i * g_i / rms(x)` with `rms = sqrt(mean(x^2) + eps)`.
+///
+/// `gain` must have length `m.cols()`.
+pub fn rmsnorm_rows(m: &mut Matrix, gain: &[f32], eps: f32) {
+    assert_eq!(gain.len(), m.cols(), "rmsnorm gain length mismatch");
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let ms: f32 = row.iter().map(|&v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for (v, &g) in row.iter_mut().zip(gain.iter()) {
+            *v *= inv * g;
+        }
+    }
+}
+
+/// SiLU (swish) activation applied in place.
+pub fn silu(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = *v / (1.0 + (-*v).exp());
+    }
+}
+
+/// Tanh applied in place.
+pub fn tanh(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = v.tanh();
+    }
+}
+
+/// Applies a causal mask to a `q_len × k_len` score matrix where query row
+/// `i` corresponds to absolute position `q_pos[i]` and key column `j` to
+/// absolute position `k_pos[j]`: entries with `k_pos[j] > q_pos[i]` are set
+/// to `-inf`.
+///
+/// Selective prefill uses the general form: the query rows are a *subset* of
+/// positions while key columns cover every position, so a plain triangular
+/// mask is not enough.
+pub fn causal_mask(scores: &mut Matrix, q_pos: &[usize], k_pos: &[usize]) {
+    assert_eq!(scores.rows(), q_pos.len());
+    assert_eq!(scores.cols(), k_pos.len());
+    for (i, &qp) in q_pos.iter().enumerate() {
+        let row = scores.row_mut(i);
+        for (j, &kp) in k_pos.iter().enumerate() {
+            if kp > qp {
+                row[j] = f32::NEG_INFINITY;
+            }
+        }
+    }
+}
+
+/// Returns the index of the maximum element of `row`.
+///
+/// # Panics
+///
+/// Panics if `row` is empty.
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = row[0];
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Returns the indices of the `k` largest elements of `vals`, sorted by
+/// descending value (ties broken by lower index first).
+pub fn top_k_indices(vals: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..vals.len()).collect();
+    idx.sort_by(|&a, &b| {
+        vals[b]
+            .partial_cmp(&vals[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = vec![1.0, 2.0, 3.0];
+        softmax_row(&mut row);
+        assert_close(row.iter().sum::<f32>(), 1.0, 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_row_handles_large_values() {
+        let mut row = vec![10000.0, 10001.0];
+        softmax_row(&mut row);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert_close(row.iter().sum::<f32>(), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn softmax_row_masked_entries_get_zero() {
+        let mut row = vec![f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY];
+        softmax_row(&mut row);
+        assert_eq!(row, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_row_all_masked_becomes_zero() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_row(&mut row);
+        assert!(row.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms_with_unit_gain() {
+        let mut m = Matrix::from_vec(1, 4, vec![2.0, -2.0, 2.0, -2.0]);
+        rmsnorm_rows(&mut m, &[1.0; 4], 1e-6);
+        let ms: f32 = m.row(0).iter().map(|&v| v * v).sum::<f32>() / 4.0;
+        assert_close(ms, 1.0, 1e-4);
+    }
+
+    #[test]
+    fn causal_mask_general_positions() {
+        // Query rows at absolute positions 2 and 5; keys at 0..6.
+        let mut s = Matrix::zeros(2, 6);
+        causal_mask(&mut s, &[2, 5], &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(s[(0, 2)], 0.0);
+        assert_eq!(s[(0, 3)], f32::NEG_INFINITY);
+        assert_eq!(s[(1, 5)], 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn top_k_orders_by_value() {
+        let v = [1.0, 9.0, 5.0, 9.0, 2.0];
+        assert_eq!(top_k_indices(&v, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_k_larger_than_len() {
+        let v = [1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let mut m = Matrix::from_vec(1, 1, vec![1.0]);
+        silu(&mut m);
+        assert_close(m[(0, 0)], 1.0 / (1.0 + (-1.0f32).exp()), 1e-6);
+    }
+}

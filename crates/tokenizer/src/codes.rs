@@ -1,0 +1,163 @@
+//! Deterministic ±1 identity codes for tokens.
+//!
+//! The compiled transformer program identifies tokens by *random codes*
+//! rather than one-hot vectors: token `t` is assigned a vector
+//! `c_t ∈ {−1,+1}^d` drawn deterministically from `(seed, t)`. Inner
+//! products concentrate — `⟨c_t, c_t⟩ = d` while `⟨c_t, c_u⟩` for `t ≠ u`
+//! is a sum of `d` independent ±1 variables (mean 0, σ = √d) — so a softmax
+//! over match scores acts as a reliable selector once `d` comfortably
+//! exceeds `3√d + ln(seq_len)` margins. With the default `d = 32` and
+//! sequences ≤ 1024 the match/mismatch gap is ≈ 32 vs ≲ 20.
+//!
+//! Codes live in the tokenizer crate (not the model) because dataset
+//! generators and tests also reason about code geometry.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::TokenId;
+
+/// Default code dimensionality used by the evaluation profiles.
+pub const DEFAULT_CODE_DIM: usize = 32;
+
+/// A deterministic code book assigning each token id a ±1 vector.
+#[derive(Clone, Debug)]
+pub struct CodeBook {
+    dim: usize,
+    codes: Vec<f32>, // vocab_size × dim, row-major
+}
+
+impl CodeBook {
+    /// Builds the code book for `vocab_size` tokens with `dim`-dimensional
+    /// codes, deterministically from `seed`.
+    pub fn new(vocab_size: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "code dim must be positive");
+        let mut codes = Vec::with_capacity(vocab_size * dim);
+        for t in 0..vocab_size as u64 {
+            // Per-token RNG so the code of token t is independent of
+            // vocab_size and of other tokens.
+            let mut rng = SmallRng::seed_from_u64(seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for _ in 0..dim {
+                codes.push(if rng.random::<bool>() { 1.0 } else { -1.0 });
+            }
+        }
+        Self { dim, codes }
+    }
+
+    /// Code dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of tokens in the book.
+    pub fn vocab_size(&self) -> usize {
+        self.codes.len() / self.dim
+    }
+
+    /// The code of token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the book.
+    pub fn code(&self, t: TokenId) -> &[f32] {
+        let t = t as usize;
+        assert!(t < self.vocab_size(), "token id {t} outside code book");
+        &self.codes[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// Inner product between the codes of two tokens.
+    pub fn dot(&self, a: TokenId, b: TokenId) -> f32 {
+        self.code(a)
+            .iter()
+            .zip(self.code(b).iter())
+            .map(|(x, y)| x * y)
+            .sum()
+    }
+
+    /// Decodes the token whose code best matches `v` (by inner product)
+    /// restricted to ids in `candidates`; returns the winning id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `v.len() != dim`.
+    pub fn nearest(&self, v: &[f32], candidates: impl IntoIterator<Item = TokenId>) -> TokenId {
+        assert_eq!(v.len(), self.dim, "query vector length mismatch");
+        let mut best: Option<(TokenId, f32)> = None;
+        for t in candidates {
+            let score: f32 = self.code(t).iter().zip(v.iter()).map(|(c, x)| c * x).sum();
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((t, score));
+            }
+        }
+        best.expect("nearest called with no candidates").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_deterministic() {
+        let a = CodeBook::new(64, 32, 7);
+        let b = CodeBook::new(64, 32, 7);
+        assert_eq!(a.code(13), b.code(13));
+    }
+
+    #[test]
+    fn codes_differ_across_seeds() {
+        let a = CodeBook::new(64, 32, 7);
+        let b = CodeBook::new(64, 32, 8);
+        assert_ne!(a.code(13), b.code(13));
+    }
+
+    #[test]
+    fn codes_independent_of_vocab_size() {
+        let a = CodeBook::new(64, 32, 7);
+        let b = CodeBook::new(128, 32, 7);
+        assert_eq!(a.code(13), b.code(13));
+    }
+
+    #[test]
+    fn self_dot_is_dim() {
+        let cb = CodeBook::new(16, 32, 1);
+        for t in 0..16 {
+            assert_eq!(cb.dot(t, t), 32.0);
+        }
+    }
+
+    #[test]
+    fn cross_dots_concentrate() {
+        // With d = 32 mismatched dots should stay well below the match
+        // value 32; 3σ = 3·√32 ≈ 17.
+        let cb = CodeBook::new(256, 32, 42);
+        let mut max_abs: f32 = 0.0;
+        for a in 0..256u32 {
+            for b in (a + 1)..256u32 {
+                max_abs = max_abs.max(cb.dot(a, b).abs());
+            }
+        }
+        assert!(
+            max_abs < 28.0,
+            "worst cross-correlation too high: {max_abs}"
+        );
+    }
+
+    #[test]
+    fn nearest_recovers_token_from_noisy_code() {
+        let cb = CodeBook::new(100, 32, 5);
+        let mut v: Vec<f32> = cb.code(37).to_vec();
+        for (i, x) in v.iter_mut().enumerate() {
+            *x += ((i as f32 * 0.71).sin()) * 0.4; // mild noise
+        }
+        assert_eq!(cb.nearest(&v, 0..100), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn nearest_empty_candidates_panics() {
+        let cb = CodeBook::new(4, 8, 0);
+        let v = vec![0.0; 8];
+        let _ = cb.nearest(&v, std::iter::empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Structured vocabulary and deterministic token codes.
+//!
+//! The reproduction replaces a learned BPE tokenizer with a *structured*
+//! vocabulary whose tokens have explicit roles (entities, attributes,
+//! values, coreference markers, filler words, control tokens). The synthetic
+//! datasets in `cb-rag` emit token streams over this vocabulary, and the
+//! compiled transformer program in `cb-model` recognizes token roles through
+//! class-indicator embedding dimensions.
+//!
+//! Modules:
+//!
+//! - [`vocab`] — the [`vocab::Vocab`] table, [`vocab::TokenKind`] roles, and
+//!   text rendering.
+//! - [`codes`] — deterministic ±1 identity codes with concentration
+//!   guarantees (the "random feature" embedding of token identity).
+
+pub mod codes;
+pub mod vocab;
+
+pub use vocab::{TokenId, TokenKind, Vocab};

@@ -1,0 +1,314 @@
+//! The structured vocabulary: token roles, id layout, and text rendering.
+
+/// A token identifier. Ids are dense: control tokens first, then entity,
+/// attribute, value, and filler ranges.
+pub type TokenId = u32;
+
+/// The role of a token in the structured vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Padding (also used as the "null" antecedent for coreference).
+    Pad,
+    /// Beginning of sequence; also acts as the null entity sink.
+    Bos,
+    /// Fact separator (rendered ".").
+    Sep,
+    /// Coreference marker: "the same entity as the most recent one".
+    Ref,
+    /// Query introducer (rendered "Q:").
+    Query,
+    /// End-of-query marker (rendered "?"); generation starts after it.
+    QMark,
+    /// End of answer.
+    Eos,
+    /// An entity name, e.g. "ent17".
+    Entity(u32),
+    /// An attribute name, e.g. "attr3".
+    Attr(u32),
+    /// A value word, e.g. "val42". Answers are sequences of values.
+    Value(u32),
+    /// A filler word carrying no task information.
+    Filler(u32),
+}
+
+/// Number of control tokens preceding the entity range.
+const N_CONTROL: u32 = 7;
+
+/// A structured vocabulary with fixed-size entity/attribute/value/filler
+/// ranges.
+///
+/// The id layout is `[control | entities | attrs | values | fillers]`, and
+/// every mapping is a pure function of the four range sizes, so a `Vocab`
+/// is cheap to construct and trivially consistent across crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vocab {
+    n_entities: u32,
+    n_attrs: u32,
+    n_values: u32,
+    n_fillers: u32,
+}
+
+impl Vocab {
+    /// Creates a vocabulary with the given range sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is zero (the generators assume non-empty ranges).
+    pub fn new(n_entities: u32, n_attrs: u32, n_values: u32, n_fillers: u32) -> Self {
+        assert!(
+            n_entities > 0 && n_attrs > 0 && n_values > 0 && n_fillers > 0,
+            "all vocabulary ranges must be non-empty"
+        );
+        Self {
+            n_entities,
+            n_attrs,
+            n_values,
+            n_fillers,
+        }
+    }
+
+    /// The default vocabulary used across the evaluation: large enough that
+    /// synthetic datasets do not exhaust ids, small enough for tiny models.
+    pub fn default_eval() -> Self {
+        Self::new(96, 24, 96, 64)
+    }
+
+    /// Total number of token ids.
+    pub fn size(&self) -> usize {
+        (N_CONTROL + self.n_entities + self.n_attrs + self.n_values + self.n_fillers) as usize
+    }
+
+    /// Number of entity tokens.
+    pub fn n_entities(&self) -> u32 {
+        self.n_entities
+    }
+
+    /// Number of attribute tokens.
+    pub fn n_attrs(&self) -> u32 {
+        self.n_attrs
+    }
+
+    /// Number of value tokens.
+    pub fn n_values(&self) -> u32 {
+        self.n_values
+    }
+
+    /// Number of filler tokens.
+    pub fn n_fillers(&self) -> u32 {
+        self.n_fillers
+    }
+
+    /// Maps a token kind to its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind's index exceeds its range.
+    pub fn id(&self, kind: TokenKind) -> TokenId {
+        match kind {
+            TokenKind::Pad => 0,
+            TokenKind::Bos => 1,
+            TokenKind::Sep => 2,
+            TokenKind::Ref => 3,
+            TokenKind::Query => 4,
+            TokenKind::QMark => 5,
+            TokenKind::Eos => 6,
+            TokenKind::Entity(e) => {
+                assert!(e < self.n_entities, "entity index {e} out of range");
+                N_CONTROL + e
+            }
+            TokenKind::Attr(a) => {
+                assert!(a < self.n_attrs, "attr index {a} out of range");
+                N_CONTROL + self.n_entities + a
+            }
+            TokenKind::Value(v) => {
+                assert!(v < self.n_values, "value index {v} out of range");
+                N_CONTROL + self.n_entities + self.n_attrs + v
+            }
+            TokenKind::Filler(w) => {
+                assert!(w < self.n_fillers, "filler index {w} out of range");
+                N_CONTROL + self.n_entities + self.n_attrs + self.n_values + w
+            }
+        }
+    }
+
+    /// Maps an id back to its kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the vocabulary.
+    pub fn kind(&self, id: TokenId) -> TokenKind {
+        assert!((id as usize) < self.size(), "token id {id} out of range");
+        match id {
+            0 => TokenKind::Pad,
+            1 => TokenKind::Bos,
+            2 => TokenKind::Sep,
+            3 => TokenKind::Ref,
+            4 => TokenKind::Query,
+            5 => TokenKind::QMark,
+            6 => TokenKind::Eos,
+            _ => {
+                let mut rest = id - N_CONTROL;
+                if rest < self.n_entities {
+                    return TokenKind::Entity(rest);
+                }
+                rest -= self.n_entities;
+                if rest < self.n_attrs {
+                    return TokenKind::Attr(rest);
+                }
+                rest -= self.n_attrs;
+                if rest < self.n_values {
+                    return TokenKind::Value(rest);
+                }
+                rest -= self.n_values;
+                TokenKind::Filler(rest)
+            }
+        }
+    }
+
+    /// True if `id` is an entity token.
+    pub fn is_entity(&self, id: TokenId) -> bool {
+        matches!(self.kind(id), TokenKind::Entity(_))
+    }
+
+    /// True if `id` is a value token.
+    pub fn is_value(&self, id: TokenId) -> bool {
+        matches!(self.kind(id), TokenKind::Value(_))
+    }
+
+    /// Renders a token id as human-readable text.
+    pub fn render(&self, id: TokenId) -> String {
+        match self.kind(id) {
+            TokenKind::Pad => "<pad>".into(),
+            TokenKind::Bos => "<bos>".into(),
+            TokenKind::Sep => ".".into(),
+            TokenKind::Ref => "it".into(),
+            TokenKind::Query => "Q:".into(),
+            TokenKind::QMark => "?".into(),
+            TokenKind::Eos => "<eos>".into(),
+            TokenKind::Entity(e) => format!("ent{e}"),
+            TokenKind::Attr(a) => format!("attr{a}"),
+            TokenKind::Value(v) => format!("val{v}"),
+            TokenKind::Filler(w) => format!("w{w}"),
+        }
+    }
+
+    /// Renders a token sequence as space-separated text.
+    pub fn render_seq(&self, ids: &[TokenId]) -> String {
+        ids.iter()
+            .map(|&t| self.render(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parses text produced by [`Vocab::render_seq`] back into ids.
+    ///
+    /// Returns `None` if any word is not in the vocabulary. (Used by tests
+    /// and the examples; the datasets work directly with ids.)
+    pub fn parse_seq(&self, text: &str) -> Option<Vec<TokenId>> {
+        text.split_whitespace()
+            .map(|w| self.parse_word(w))
+            .collect()
+    }
+
+    fn parse_word(&self, w: &str) -> Option<TokenId> {
+        let kind = match w {
+            "<pad>" => TokenKind::Pad,
+            "<bos>" => TokenKind::Bos,
+            "." => TokenKind::Sep,
+            "it" => TokenKind::Ref,
+            "Q:" => TokenKind::Query,
+            "?" => TokenKind::QMark,
+            "<eos>" => TokenKind::Eos,
+            _ => {
+                if let Some(n) = w.strip_prefix("ent") {
+                    TokenKind::Entity(n.parse().ok()?)
+                } else if let Some(n) = w.strip_prefix("attr") {
+                    TokenKind::Attr(n.parse().ok()?)
+                } else if let Some(n) = w.strip_prefix("val") {
+                    TokenKind::Value(n.parse().ok()?)
+                } else if let Some(n) = w.strip_prefix('w') {
+                    TokenKind::Filler(n.parse().ok()?)
+                } else {
+                    return None;
+                }
+            }
+        };
+        // Range-check through `id`, but without panicking on bad input.
+        let in_range = match kind {
+            TokenKind::Entity(e) => e < self.n_entities,
+            TokenKind::Attr(a) => a < self.n_attrs,
+            TokenKind::Value(v) => v < self.n_values,
+            TokenKind::Filler(f) => f < self.n_fillers,
+            _ => true,
+        };
+        in_range.then(|| self.id(kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_kind_roundtrip_covers_all_ids() {
+        let v = Vocab::new(5, 4, 3, 2);
+        for id in 0..v.size() as u32 {
+            let k = v.kind(id);
+            assert_eq!(v.id(k), id, "roundtrip failed for id {id} kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_are_disjoint() {
+        let v = Vocab::new(5, 4, 3, 2);
+        assert_ne!(v.id(TokenKind::Entity(4)), v.id(TokenKind::Attr(0)));
+        assert_ne!(v.id(TokenKind::Attr(3)), v.id(TokenKind::Value(0)));
+        assert_ne!(v.id(TokenKind::Value(2)), v.id(TokenKind::Filler(0)));
+    }
+
+    #[test]
+    fn size_counts_everything() {
+        let v = Vocab::new(5, 4, 3, 2);
+        assert_eq!(v.size(), 7 + 5 + 4 + 3 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entity_out_of_range_panics() {
+        let v = Vocab::new(5, 4, 3, 2);
+        let _ = v.id(TokenKind::Entity(5));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let v = Vocab::default_eval();
+        let seq = vec![
+            v.id(TokenKind::Bos),
+            v.id(TokenKind::Entity(17)),
+            v.id(TokenKind::Attr(3)),
+            v.id(TokenKind::Value(42)),
+            v.id(TokenKind::Sep),
+            v.id(TokenKind::Ref),
+            v.id(TokenKind::Query),
+            v.id(TokenKind::QMark),
+        ];
+        let text = v.render_seq(&seq);
+        assert_eq!(text, "<bos> ent17 attr3 val42 . it Q: ?");
+        assert_eq!(v.parse_seq(&text), Some(seq));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_words() {
+        let v = Vocab::default_eval();
+        assert_eq!(v.parse_seq("hello"), None);
+        assert_eq!(v.parse_seq("ent99999"), None);
+    }
+
+    #[test]
+    fn class_predicates() {
+        let v = Vocab::default_eval();
+        assert!(v.is_entity(v.id(TokenKind::Entity(0))));
+        assert!(!v.is_entity(v.id(TokenKind::Value(0))));
+        assert!(v.is_value(v.id(TokenKind::Value(5))));
+    }
+}

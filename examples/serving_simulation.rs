@@ -1,0 +1,43 @@
+//! Serving-rate exploration: sweep the request rate and watch each
+//! scheme's TTFT saturate (a quick interactive view of Figure 14).
+//!
+//! Run with: `cargo run --release --example serving_simulation`
+
+use cacheblend::baselines::SchemeKind;
+use cacheblend::serving::sim::{ServingConfig, Simulator};
+use cacheblend::serving::workload::{Workload, WorkloadConfig};
+use cacheblend::storage::device::DeviceKind;
+use cacheblend::storage::perf::{PaperModel, PerfModel};
+
+fn main() {
+    let perf = PerfModel::on_a40(PaperModel::Yi34B);
+    let schemes = [
+        SchemeKind::CacheBlend,
+        SchemeKind::FullReuse,
+        SchemeKind::PrefixCaching,
+        SchemeKind::FullRecompute,
+    ];
+    println!(
+        "{} on {}: mean TTFT (s) by request rate\n",
+        perf.spec.name,
+        DeviceKind::NvmeSsd.spec().name
+    );
+    print!("{:>10}", "rate(rps)");
+    for s in schemes {
+        print!("{:>20}", s.name());
+    }
+    println!();
+    let saturation = 1.0 / perf.ttft_full_prefill(6 * 512 + 32);
+    for mult in [0.2, 0.5, 0.8, 1.0, 1.5, 2.5, 4.0] {
+        let rate = saturation * mult;
+        print!("{rate:>10.3}");
+        for scheme in schemes {
+            let w = Workload::generate(&WorkloadConfig::extended(rate, 99));
+            let cfg = ServingConfig::fig14(scheme, perf, DeviceKind::NvmeSsd);
+            let stats = Simulator::new(cfg).run(&w);
+            print!("{:>20.3}", stats.ttft.mean_s);
+        }
+        println!();
+    }
+    println!("\n(each column saturates at a different rate — CacheBlend's knee is furthest right among quality-preserving schemes)");
+}

@@ -1,0 +1,47 @@
+//! # CacheBlend (Rust reproduction)
+//!
+//! A from-scratch Rust reproduction of *CacheBlend: Fast Large Language Model
+//! Serving for RAG with Cached Knowledge Fusion* (Yao et al., EuroSys 2025).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`tensor`] — dense f32 kernels (matmul, softmax, RoPE, statistics).
+//! - [`tokenizer`] — structured vocabulary and token codes.
+//! - [`model`] — the from-scratch transformer with full/prefix/selective
+//!   prefill and the compiled cross-chunk recall program.
+//! - [`kv`] — the KV cache store (hashing, layout, LRU, serialization).
+//! - [`storage`] — storage device models and the delay/cost estimators.
+//! - [`core`] — the CacheBlend fusor, loading controller, and pipeline.
+//! - [`baselines`] — full recompute, prefix caching, full KV reuse,
+//!   MapReduce, MapRerank.
+//! - [`rag`] — chunking, embeddings, vector index, synthetic datasets,
+//!   F1/Rouge-L metrics.
+//! - [`serving`] — discrete-event serving simulator and threaded pipeline.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory
+//! and per-experiment index.
+
+pub use cb_baselines as baselines;
+pub use cb_core as core;
+pub use cb_kv as kv;
+pub use cb_model as model;
+pub use cb_rag as rag;
+pub use cb_serving as serving;
+pub use cb_storage as storage;
+pub use cb_tensor as tensor;
+pub use cb_tokenizer as tokenizer;
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use cb_core::{
+        controller::LoadingController,
+        fusor::{BlendConfig, Fusor},
+    };
+    pub use cb_kv::store::KvStore;
+    pub use cb_model::{config::ModelProfile, model::Model};
+    pub use cb_rag::{
+        datasets::DatasetKind,
+        metrics::{f1_score, rouge_l},
+    };
+    pub use cb_storage::device::DeviceKind;
+}

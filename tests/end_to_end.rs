@@ -1,0 +1,210 @@
+//! Cross-crate integration: dataset → store → fusor → decode → metric,
+//! compared across execution schemes.
+
+use cacheblend::baselines::{run_full_recompute, run_full_reuse, SchemeKind};
+use cacheblend::core::fusor::{BlendConfig, Fusor};
+use cacheblend::kv::chunk::hash_tokens;
+use cacheblend::kv::precompute::precompute_chunk;
+use cacheblend::kv::store::KvStore;
+use cacheblend::model::{KvCache, Model, ModelConfig, ModelProfile};
+use cacheblend::rag::datasets::{CaseKind, Dataset, DatasetKind};
+
+fn model() -> Model {
+    Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11))
+}
+
+fn parts_for(model: &Model, ds: &Dataset, ctx: &[usize]) -> Vec<KvCache> {
+    ctx.iter()
+        .map(|&i| precompute_chunk(model, &ds.chunks[i]))
+        .collect()
+}
+
+#[test]
+fn quality_ordering_holds_end_to_end() {
+    // Full recompute ≥ CacheBlend ≫ full reuse on a multi-hop dataset,
+    // through retrieval, chunk caches, and decoding.
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let (mut full, mut blend, mut reuse) = (0.0f32, 0.0f32, 0.0f32);
+    let n = 12;
+    for case in ds.cases.iter().take(n) {
+        let ctx = ds.retrieve(case, 6);
+        let chunks = ds.chunk_tokens(&ctx);
+        full += ds.score(
+            &run_full_recompute(&m, &chunks, &case.query, 8).answer,
+            &case.gold,
+        );
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.18));
+        blend += ds.score(
+            &fusor.answer(parts_for(&m, &ds, &ctx), &case.query, 8),
+            &case.gold,
+        );
+        reuse += ds.score(
+            &run_full_reuse(&m, parts_for(&m, &ds, &ctx), &case.query, 8, true).answer,
+            &case.gold,
+        );
+    }
+    let (full, blend, reuse) = (full / n as f32, blend / n as f32, reuse / n as f32);
+    assert!(full > 0.5, "full recompute too weak: {full}");
+    assert!(
+        blend >= full - 0.15,
+        "CacheBlend lost quality: {blend} vs {full}"
+    );
+    assert!(
+        reuse < blend - 0.2,
+        "full reuse should lag: {reuse} vs {blend}"
+    );
+}
+
+#[test]
+fn store_roundtrip_preserves_blend_answers() {
+    // Serialize chunk caches through the tiered store, decode, blend: the
+    // answer must match blending the in-memory caches.
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::TwoWikiSim, 7);
+    let store = KvStore::single("ram", 1 << 30);
+    let case = &ds.cases[0];
+    let ctx = ds.retrieve(case, 6);
+    for &c in &ctx {
+        store
+            .insert(
+                hash_tokens(&ds.chunks[c]),
+                &precompute_chunk(&m, &ds.chunks[c]),
+            )
+            .unwrap();
+    }
+    let from_store: Vec<KvCache> = ctx
+        .iter()
+        .map(|&c| store.get(hash_tokens(&ds.chunks[c])).unwrap().unwrap().0)
+        .collect();
+    let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.3));
+    let a = fusor.answer(from_store, &case.query, 8);
+    let b = fusor.answer(parts_for(&m, &ds, &ctx), &case.query, 8);
+    assert_eq!(a, b, "store roundtrip changed the answer");
+}
+
+#[test]
+fn cross_chunk_cases_are_the_ones_reuse_loses() {
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let mut cross_gap = 0.0f32;
+    let mut direct_gap = 0.0f32;
+    let (mut nc, mut nd) = (0, 0);
+    for case in ds.cases.iter().take(24) {
+        let ctx = ds.oracle_context(case, 6);
+        let chunks = ds.chunk_tokens(&ctx);
+        let f = ds.score(
+            &run_full_recompute(&m, &chunks, &case.query, 8).answer,
+            &case.gold,
+        );
+        let r = ds.score(
+            &run_full_reuse(&m, parts_for(&m, &ds, &ctx), &case.query, 8, true).answer,
+            &case.gold,
+        );
+        match case.kind {
+            CaseKind::CrossChunk => {
+                cross_gap += f - r;
+                nc += 1;
+            }
+            CaseKind::Direct | CaseKind::WithinChunk => {
+                direct_gap += f - r;
+                nd += 1;
+            }
+        }
+    }
+    assert!(nc >= 5 && nd >= 3, "need both case kinds (got {nc}/{nd})");
+    let cross_gap = cross_gap / nc as f32;
+    let direct_gap = direct_gap / nd as f32;
+    assert!(
+        cross_gap > 0.4,
+        "cross-chunk cases should show a large reuse gap: {cross_gap}"
+    );
+    assert!(
+        direct_gap.abs() < 0.2,
+        "self-contained cases should be scheme-insensitive: {direct_gap}"
+    );
+}
+
+#[test]
+fn blend_ratio_one_reproduces_full_prefill_on_real_data() {
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::SamsumSim, 7);
+    for case in ds.cases.iter().take(4) {
+        let ctx = ds.retrieve(case, 4);
+        let chunks = ds.chunk_tokens(&ctx);
+        let gold_scheme = run_full_recompute(&m, &chunks, &case.query, 8).answer;
+        let fusor = Fusor::new(&m, BlendConfig::with_ratio(1.0));
+        let blend = fusor.answer(parts_for(&m, &ds, &ctx), &case.query, 8);
+        assert_eq!(blend, gold_scheme, "r=1.0 must equal full prefill");
+    }
+}
+
+#[test]
+fn summarization_chains_degrade_gracefully() {
+    // Rouge-L on chain answers: full reuse should sit strictly between 0
+    // and full recompute (partial chains survive), blend close to full.
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::MultiNewsSim, 7);
+    let (mut full, mut reuse) = (0.0f32, 0.0f32);
+    let n = 10;
+    for case in ds.cases.iter().take(n) {
+        let ctx = ds.oracle_context(case, 4);
+        let chunks = ds.chunk_tokens(&ctx);
+        full += ds.score(
+            &run_full_recompute(&m, &chunks, &case.query, 8).answer,
+            &case.gold,
+        );
+        reuse += ds.score(
+            &run_full_reuse(&m, parts_for(&m, &ds, &ctx), &case.query, 8, true).answer,
+            &case.gold,
+        );
+    }
+    let (full, reuse) = (full / n as f32, reuse / n as f32);
+    assert!(full > 0.6, "full recompute Rouge-L too low: {full}");
+    assert!(reuse < full, "reuse must lose Rouge-L: {reuse} vs {full}");
+}
+
+#[test]
+fn blending_from_quantized_caches_preserves_answers() {
+    // §8: KV compression is complementary — int8-stored caches quarter
+    // the load bytes, and the program's decision margins absorb the
+    // quantization noise.
+    use cacheblend::kv::quantize::{decode_quantized, encode_quantized};
+    let m = model();
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let fusor = Fusor::new(&m, BlendConfig::with_ratio(0.3));
+    let mut agree = 0;
+    let n = 8;
+    for case in ds.cases.iter().take(n) {
+        let ctx = ds.retrieve(case, 6);
+        let exact = fusor.answer(parts_for(&m, &ds, &ctx), &case.query, 8);
+        let quantized: Vec<KvCache> = parts_for(&m, &ds, &ctx)
+            .iter()
+            .map(|c| decode_quantized(encode_quantized(c)).unwrap())
+            .collect();
+        let q_ans = fusor.answer(quantized, &case.query, 8);
+        if q_ans == exact {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= n - 1,
+        "quantization flipped too many answers: {agree}/{n}"
+    );
+}
+
+#[test]
+fn scheme_kind_names_are_unique() {
+    let names: std::collections::HashSet<_> = [
+        SchemeKind::FullRecompute,
+        SchemeKind::PrefixCaching,
+        SchemeKind::FullReuse,
+        SchemeKind::CacheBlend,
+        SchemeKind::MapReduce,
+        SchemeKind::MapRerank,
+    ]
+    .iter()
+    .map(|s| s.name())
+    .collect();
+    assert_eq!(names.len(), 6);
+}

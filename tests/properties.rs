@@ -1,0 +1,152 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use cacheblend::core::rope_align;
+use cacheblend::kv::chunk::hash_tokens;
+use cacheblend::kv::precompute::precompute_chunk;
+use cacheblend::kv::serialize::{decode, encode};
+use cacheblend::kv::store::{KvStore, TierConfig};
+use cacheblend::model::{Model, ModelConfig, ModelProfile};
+use cacheblend::rag::metrics::{f1_score, rouge_l};
+use cacheblend::tensor::rope::{rope_score, RopeTable};
+use cacheblend::tokenizer::{TokenKind, Vocab};
+use proptest::prelude::*;
+
+fn tiny_model() -> Model {
+    Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
+}
+
+/// Arbitrary short chunks over content tokens.
+fn chunk_strategy() -> impl Strategy<Value = Vec<u32>> {
+    let v = Vocab::default_eval();
+    prop::collection::vec(0u32..4, 1..12).prop_map(move |kinds| {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| match k {
+                0 => v.id(TokenKind::Entity((i % 16) as u32)),
+                1 => v.id(TokenKind::Attr((i % 8) as u32)),
+                2 => v.id(TokenKind::Value((i % 24) as u32)),
+                _ => v.id(TokenKind::Filler((i % 10) as u32)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// KV serialization is lossless for arbitrary chunks.
+    #[test]
+    fn serialization_roundtrips(chunk in chunk_strategy()) {
+        let m = tiny_model();
+        let cache = precompute_chunk(&m, &chunk);
+        let back = decode(encode(&cache)).unwrap();
+        prop_assert_eq!(back, cache);
+    }
+
+    /// Relocation by Δ then −Δ is the identity (within f32 tolerance).
+    #[test]
+    fn relocation_is_invertible(chunk in chunk_strategy(), delta in 1usize..300) {
+        let m = tiny_model();
+        let orig = precompute_chunk(&m, &chunk);
+        let mut moved = orig.clone();
+        rope_align::relocate(&m, &mut moved, 1 + delta);
+        rope_align::relocate(&m, &mut moved, 1);
+        for l in 0..m.n_layers() {
+            let d = moved.layers[l].k.frobenius_distance(&orig.layers[l].k);
+            prop_assert!(d < 1e-2, "layer {} drifted by {}", l, d);
+        }
+    }
+
+    /// RoPE attention scores depend only on relative offsets (Prop. A.1).
+    #[test]
+    fn rope_scores_are_translation_invariant(
+        base in 0usize..500,
+        shift in 0usize..500,
+        offset in 0usize..64,
+    ) {
+        let t = RopeTable::new(8, 1000.0);
+        let q: Vec<f32> = (0..8).map(|i| ((i * 7 + 3) as f32 * 0.37).sin()).collect();
+        let k: Vec<f32> = (0..8).map(|i| ((i * 5 + 1) as f32 * 0.53).cos()).collect();
+        let s1 = rope_score(&t, &q, &k, base + offset, base);
+        let s2 = rope_score(&t, &q, &k, base + shift + offset, base + shift);
+        prop_assert!((s1 - s2).abs() < 2e-2, "{} vs {}", s1, s2);
+    }
+
+    /// Chunk hashing is injective in practice over small perturbations.
+    #[test]
+    fn chunk_hash_detects_any_single_edit(chunk in chunk_strategy(), at in 0usize..12, delta in 1u32..5) {
+        prop_assume!(at < chunk.len());
+        let mut other = chunk.clone();
+        other[at] = other[at].wrapping_add(delta);
+        prop_assert_ne!(hash_tokens(&chunk), hash_tokens(&other));
+    }
+
+    /// Metrics are bounded in [0, 1] and exact on identity.
+    #[test]
+    fn metrics_are_bounded(a in prop::collection::vec(0u32..50, 0..10),
+                           b in prop::collection::vec(0u32..50, 0..10)) {
+        for m in [f1_score(&a, &b), rouge_l(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+        prop_assert_eq!(f1_score(&a, &a), 1.0);
+        prop_assert_eq!(rouge_l(&b, &b), 1.0);
+    }
+
+    /// The LRU store never exceeds capacity and keeps what it reports.
+    #[test]
+    fn store_respects_capacity(chunks in prop::collection::vec(chunk_strategy(), 1..6)) {
+        let m = tiny_model();
+        let caches: Vec<_> = chunks.iter().map(|c| precompute_chunk(&m, c)).collect();
+        let one = encode(&caches[0]).len() as u64;
+        let cap = one * 2;
+        let store = KvStore::new(vec![TierConfig { label: "t".into(), capacity: cap }]);
+        for (i, c) in caches.iter().enumerate() {
+            let _ = store.insert(cacheblend::kv::ChunkId(i as u64), c);
+            prop_assert!(store.tier_used(0) <= cap);
+        }
+    }
+}
+
+/// The selective-prefill identity: at ratio 1.0 the fused cache equals full
+/// prefill for random chunk pairs (non-proptest loop over seeds to keep
+/// runtime bounded).
+#[test]
+fn blend_identity_over_random_chunk_pairs() {
+    use cacheblend::core::fusor::{BlendConfig, Fusor};
+    let m = tiny_model();
+    let v = &m.cfg.vocab;
+    for seed in 0..4u32 {
+        let c1: Vec<u32> = (0..6)
+            .map(|i| match (i + seed) % 3 {
+                0 => v.id(TokenKind::Entity(seed + i)),
+                1 => v.id(TokenKind::Attr(i)),
+                _ => v.id(TokenKind::Value(seed * 7 + i)),
+            })
+            .collect();
+        let c2: Vec<u32> = vec![
+            v.id(TokenKind::Ref),
+            v.id(TokenKind::Attr(7)),
+            v.id(TokenKind::Value(40 + seed)),
+            v.id(TokenKind::Sep),
+        ];
+        let q = vec![
+            v.id(TokenKind::Query),
+            v.id(TokenKind::Entity(3)),
+            v.id(TokenKind::Attr(7)),
+            v.id(TokenKind::QMark),
+        ];
+        let parts = vec![precompute_chunk(&m, &c1), precompute_chunk(&m, &c2)];
+        let out = Fusor::new(&m, BlendConfig::with_ratio(1.0)).blend(parts, &q, false);
+
+        let mut toks = vec![v.id(TokenKind::Bos)];
+        toks.extend_from_slice(&c1);
+        toks.extend_from_slice(&c2);
+        toks.extend_from_slice(&q);
+        let (full, _) = m.prefill(&toks);
+        for l in 0..m.n_layers() {
+            let d = out.cache.layers[l].k.frobenius_distance(&full.layers[l].k);
+            assert!(d < 1e-2, "seed {seed} layer {l}: {d}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Serving-layer integration: controller decisions driving the simulator,
+//! and saturation/knee structure across schemes.
+
+use cacheblend::baselines::SchemeKind;
+use cacheblend::core::controller::LoadingController;
+use cacheblend::serving::sim::{ServingConfig, Simulator};
+use cacheblend::serving::workload::{Workload, WorkloadConfig};
+use cacheblend::storage::device::DeviceKind;
+use cacheblend::storage::perf::{PaperModel, PerfModel};
+
+#[test]
+fn controller_ratio_feeds_the_simulator_consistently() {
+    // The controller's per-device ratio keeps CacheBlend's simulated TTFT
+    // monotone in device speed (slower device → no faster TTFT).
+    let perf = PerfModel::on_a40(PaperModel::Yi34B);
+    let ctl = LoadingController::new(perf);
+    let w = Workload::generate(&WorkloadConfig::extended(0.2, 3));
+    let mut prev = 0.0;
+    for device in [DeviceKind::CpuRam, DeviceKind::NvmeSsd, DeviceKind::SlowSsd] {
+        let mut cfg = ServingConfig::fig14(SchemeKind::CacheBlend, perf, device);
+        cfg.recompute_ratio = ctl.pick_ratio(6 * cfg.chunk_tokens, device);
+        let stats = Simulator::new(cfg).run(&w);
+        assert!(
+            stats.ttft.mean_s + 1e-9 >= prev,
+            "TTFT decreased on a slower device: {} then {}",
+            prev,
+            stats.ttft.mean_s
+        );
+        prev = stats.ttft.mean_s;
+    }
+}
+
+#[test]
+fn saturation_knee_ordering_matches_figure_14() {
+    // At a rate chosen above full-recompute's capacity but below
+    // CacheBlend's, full recompute queues unboundedly while CacheBlend
+    // stays near its unloaded latency.
+    let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+    let saturating = 1.2 / perf.ttft_full_prefill(6 * 512 + 32);
+    let w = Workload::generate(&WorkloadConfig::extended(saturating, 9));
+    let run =
+        |scheme| Simulator::new(ServingConfig::fig14(scheme, perf, DeviceKind::NvmeSsd)).run(&w);
+    let blend = run(SchemeKind::CacheBlend);
+    let full = run(SchemeKind::FullRecompute);
+    let prefix = run(SchemeKind::PrefixCaching);
+    assert!(full.ttft.mean_s > 3.0 * blend.ttft.mean_s);
+    assert!(prefix.ttft.mean_s > blend.ttft.mean_s);
+    assert!(blend.throughput_rps > full.throughput_rps);
+}
+
+#[test]
+fn low_rate_ttfts_match_the_analytic_model() {
+    // With no queueing, simulated mean TTFT approaches the per-request
+    // delay model (cache warm ⇒ blend path, cold misses raise the mean).
+    let perf = PerfModel::on_a40(PaperModel::Yi34B);
+    let w = Workload::generate(&WorkloadConfig::extended(0.01, 5));
+    let cfg = ServingConfig::fig14(SchemeKind::FullRecompute, perf, DeviceKind::NvmeSsd);
+    let stats = Simulator::new(cfg).run(&w);
+    let analytic = perf.ttft_full_prefill(6 * 512 + 32);
+    assert!(
+        (stats.ttft.mean_s - analytic).abs() / analytic < 0.05,
+        "sim {} vs model {}",
+        stats.ttft.mean_s,
+        analytic
+    );
+}
+
+#[test]
+fn workload_reuse_drives_blend_hit_rate_above_cold_start() {
+    let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+    let cfg = ServingConfig::fig14(SchemeKind::CacheBlend, perf, DeviceKind::NvmeSsd);
+    let small = Workload::generate(&WorkloadConfig {
+        n_requests: 40,
+        ..WorkloadConfig::extended(0.2, 5)
+    });
+    let large = Workload::generate(&WorkloadConfig {
+        n_requests: 400,
+        ..WorkloadConfig::extended(0.2, 5)
+    });
+    let cold = Simulator::new(cfg.clone()).run(&small);
+    let warm = Simulator::new(cfg).run(&large);
+    assert!(
+        warm.hit_rate > cold.hit_rate,
+        "{} !> {}",
+        warm.hit_rate,
+        cold.hit_rate
+    );
+}
