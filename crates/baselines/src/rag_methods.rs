@@ -187,7 +187,7 @@ mod tests {
         let v = &m.cfg.vocab;
         let c: Vec<TokenId> = [Filler(1), Filler(2), Filler(3)].map(|k| v.id(k)).to_vec();
         let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
-        let out = run_map_reduce(&m, &[c.clone()], &q, 4);
+        let out = run_map_reduce(&m, std::slice::from_ref(&c), &q, 4);
         assert!(out.answer.is_empty());
         assert_eq!(out.reduce_prefill, 0);
         let out = run_map_rerank(&m, &[c], &q, 4);

@@ -1,11 +1,10 @@
 //! Experiment output: pretty tables on stdout + JSON rows on disk.
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
 /// One output row: a flat map of column → value.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Experiment id, e.g. "fig12".
     pub experiment: String,
@@ -35,6 +34,52 @@ impl Row {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders rows as a JSON array of `{experiment, values: {col: val}}`
+/// objects (hand-rolled: the offline build has no serde).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!(
+            "    \"experiment\": \"{}\",\n    \"values\": {{",
+            json_escape(&r.experiment)
+        ));
+        for (j, (k, v)) in r.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      \"{}\": \"{}\"",
+                json_escape(k),
+                json_escape(v)
+            ));
+        }
+        out.push_str("\n    }\n  }");
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
 /// Prints rows as a markdown table and writes them as JSON to
 /// `target/experiments/<name>.json`.
 pub fn emit(name: &str, rows: &[Row]) {
@@ -60,10 +105,8 @@ pub fn emit(name: &str, rows: &[Row]) {
             .join("experiments");
     if fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(json) = serde_json::to_string_pretty(rows) {
-            let _ = fs::write(&path, json);
-            println!("\n(wrote {})", path.display());
-        }
+        let _ = fs::write(&path, rows_to_json(rows));
+        println!("\n(wrote {})", path.display());
     }
 }
 
@@ -76,5 +119,15 @@ mod tests {
         let r = Row::new("figX").col("a", 1).num("b", 2.5);
         assert_eq!(r.values[0].0, "a");
         assert_eq!(r.values[1].1, "2.5000");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let rows = vec![Row::new("fig\"x").col("k", "a\nb"), Row::new("y")];
+        let j = rows_to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\\\"x"));
+        assert!(j.contains("a\\nb"));
+        assert_eq!(j.matches("\"experiment\"").count(), 2);
     }
 }

@@ -66,7 +66,7 @@ mod tests {
 
     fn layer(rows: usize, width: usize, f: impl Fn(usize, usize) -> f32) -> LayerKv {
         let mut l = LayerKv::empty(width);
-        let m = Matrix::from_fn(rows, width, |r, c| f(r, c));
+        let m = Matrix::from_fn(rows, width, &f);
         l.append(&m, &m);
         l
     }

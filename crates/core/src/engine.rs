@@ -1,0 +1,824 @@
+//! The serving engine: CacheBlend behind one request/response front door.
+//!
+//! Everything the paper's serving system does per request — KV store
+//! lookup, precompute of missing chunk caches, recompute-ratio selection
+//! via the §5.1 controller, pipelined load+selective-recompute, and greedy
+//! decoding — is wired by hand in six crates elsewhere in this workspace.
+//! This module packages that lifecycle as a single concurrent API:
+//!
+//! 1. [`EngineBuilder`] fixes the deployment: model profile, tiered store
+//!    (each tier is a [`DeviceKind`] with a byte capacity), [`BlendConfig`],
+//!    and the recompute-[`RatioPolicy`].
+//! 2. [`Engine::register_chunk`] makes a chunk servable: content-hash the
+//!    tokens, precompute its standalone KV cache on a store miss, and place
+//!    the serialized entry on the tiered [`KvStore`].
+//! 3. [`Engine::submit`] serves one [`Request`]: look each chunk up in the
+//!    store (re-precomputing entries the LRU evicted), pick the recompute
+//!    ratio, stream the entries through [`blend_pipelined`], decode, and
+//!    return a [`Response`] with the answer, the [`BlendResult`] stats, and
+//!    a [`TtftBreakdown`].
+//! 4. [`Engine::submit_many`] fans a batch across a small worker pool —
+//!    [`Engine`] is `Sync`, the store serializes itself internally.
+//!
+//! [`EngineError`] unifies the error surfaces ([`DecodeError`],
+//! [`StoreError`], unknown ids, empty inputs) that previously leaked from
+//! each layer separately.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use cb_kv::chunk::hash_tokens;
+use cb_kv::serialize::{encode, DecodeError};
+use cb_kv::store::{KvStore, StoreError, TierConfig};
+use cb_kv::ChunkId;
+use cb_model::{Model, ModelConfig, ModelProfile};
+use cb_storage::device::DeviceKind;
+use cb_storage::perf::{PaperModel, PerfModel};
+use cb_tokenizer::TokenId;
+use parking_lot::Mutex;
+
+use crate::controller::LoadingController;
+use crate::fusor::{BlendConfig, BlendResult};
+use crate::pipeline::blend_pipelined;
+
+/// Unified error surface of the engine API.
+#[derive(Debug, PartialEq)]
+pub enum EngineError {
+    /// A requested chunk id was never registered with this engine, so a
+    /// store miss cannot be repaired by precompute.
+    UnknownChunk(ChunkId),
+    /// A chunk registration carried no tokens.
+    EmptyChunk,
+    /// The request's query was empty (the suffix is never cached and must
+    /// exist for the fusor to run).
+    EmptyQuery,
+    /// A chunk's serialized cache exceeds every store tier's capacity.
+    TooLarge {
+        /// Size of the rejected entry in bytes.
+        size: u64,
+    },
+    /// A stored entry failed its checksum or layout checks.
+    Corrupt(DecodeError),
+    /// The engine was misconfigured (builder-time or policy errors).
+    Config(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownChunk(id) => {
+                write!(f, "chunk {id:?} is not registered with this engine")
+            }
+            EngineError::EmptyChunk => write!(f, "cannot register an empty chunk"),
+            EngineError::EmptyQuery => write!(f, "request query must be non-empty"),
+            EngineError::TooLarge { size } => {
+                write!(f, "chunk cache of {size} bytes exceeds every store tier")
+            }
+            EngineError::Corrupt(e) => write!(f, "stored cache entry corrupt: {e}"),
+            EngineError::Config(msg) => write!(f, "engine misconfigured: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::TooLarge { size } => EngineError::TooLarge { size },
+            StoreError::Decode(d) => EngineError::Corrupt(d),
+        }
+    }
+}
+
+impl From<DecodeError> for EngineError {
+    fn from(e: DecodeError) -> Self {
+        EngineError::Corrupt(e)
+    }
+}
+
+/// How [`Engine::submit`] picks the recompute ratio when the request does
+/// not override it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RatioPolicy {
+    /// Always run at the builder's [`BlendConfig::recompute_ratio`].
+    Fixed,
+    /// Ask the §5.1 [`LoadingController`] per request: the smallest ratio
+    /// whose recomputation hides the serving tier's load delay, floored at
+    /// the quality-preserving `r*`. Requires
+    /// [`EngineBuilder::paper_model`].
+    Auto,
+}
+
+/// One serving request: retrieved chunks (by id) plus the user query.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Ids of the retrieved chunks, in context order.
+    pub chunk_ids: Vec<ChunkId>,
+    /// The query suffix (never cached, always recomputed).
+    pub query: Vec<TokenId>,
+    /// Maximum tokens to decode for the answer.
+    pub max_new_tokens: usize,
+    /// Per-request recompute-ratio override (else the engine policy).
+    pub ratio: Option<f32>,
+}
+
+impl Request {
+    /// A request with the default decode budget (8 tokens).
+    pub fn new(chunk_ids: Vec<ChunkId>, query: Vec<TokenId>) -> Self {
+        Self {
+            chunk_ids,
+            query,
+            max_new_tokens: 8,
+            ratio: None,
+        }
+    }
+
+    /// Sets the decode budget.
+    pub fn max_new_tokens(mut self, n: usize) -> Self {
+        self.max_new_tokens = n;
+        self
+    }
+
+    /// Overrides the recompute ratio for this request only.
+    pub fn ratio(mut self, r: f32) -> Self {
+        self.ratio = Some(r);
+        self
+    }
+}
+
+/// Where each requested chunk's KV came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkSource {
+    /// Served from the store; `tier` is the store tier index.
+    Hit {
+        /// Index of the tier that held the entry (0 = fastest).
+        tier: usize,
+    },
+    /// Missing (never inserted or LRU-evicted); precomputed and re-inserted
+    /// during this request.
+    Precomputed,
+}
+
+/// Where this request's time went (measured on this process, plus the
+/// paper-scale model's prediction when one is configured).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TtftBreakdown {
+    /// Prefill spent precomputing chunk caches that missed in the store.
+    pub precompute: Duration,
+    /// Time the fusor sat blocked on the loader thread
+    /// ([`crate::pipeline::PipelineReport::wait`]).
+    pub load_wait: Duration,
+    /// Time the fusor spent computing (selective recompute + suffix
+    /// prefill): pipeline total minus load wait.
+    pub recompute: Duration,
+    /// Greedy decoding of the answer tokens.
+    pub decode: Duration,
+    /// Whole [`Engine::submit`] wall clock.
+    pub total: Duration,
+    /// Paper-scale TTFT predicted by the configured [`PerfModel`] for this
+    /// request's shape, if the engine has one.
+    pub modeled_ttft_s: Option<f64>,
+}
+
+/// The engine's answer to one request.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Greedily decoded answer tokens.
+    pub answer: Vec<TokenId>,
+    /// The blend output: fused cache, final residual, per-layer stats.
+    /// `blend.cache` includes the decoded answer's rows (appended during
+    /// generation), so it is ready for continued decoding.
+    pub blend: BlendResult,
+    /// Timing evidence.
+    pub ttft: TtftBreakdown,
+    /// Recompute ratio the request actually ran at.
+    pub recompute_ratio: f32,
+    /// Per-chunk provenance, in request order.
+    pub chunk_sources: Vec<ChunkSource>,
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    profile: ModelProfile,
+    seed: u64,
+    model: Option<Model>,
+    tiers: Vec<(DeviceKind, u64)>,
+    blend: BlendConfig,
+    paper: Option<PaperModel>,
+    ratio_policy: RatioPolicy,
+    emulate_load_delay: bool,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for a model profile with defaults: seed 11, one
+    /// 1 GiB CPU-RAM store tier, default [`BlendConfig`], fixed ratio,
+    /// no load-delay emulation.
+    pub fn new(profile: ModelProfile) -> Self {
+        Self {
+            profile,
+            seed: 11,
+            model: None,
+            tiers: Vec::new(),
+            blend: BlendConfig::default(),
+            paper: None,
+            ratio_policy: RatioPolicy::Fixed,
+            emulate_load_delay: false,
+        }
+    }
+
+    /// Sets the model compilation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses an already-compiled model instead of compiling one from the
+    /// profile/seed.
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Appends a store tier (declare fastest first). The device kind names
+    /// the tier and provides its load-delay model.
+    pub fn tier(mut self, device: DeviceKind, capacity_bytes: u64) -> Self {
+        self.tiers.push((device, capacity_bytes));
+        self
+    }
+
+    /// Sets the fusor configuration (ratio, gamma, selection policy).
+    pub fn blend_config(mut self, cfg: BlendConfig) -> Self {
+        self.blend = cfg;
+        self
+    }
+
+    /// Attaches a paper-scale delay model: enables the [`RatioPolicy::Auto`]
+    /// controller and `modeled_ttft_s` in responses.
+    pub fn paper_model(mut self, paper: PaperModel) -> Self {
+        self.paper = Some(paper);
+        self
+    }
+
+    /// Sets how the recompute ratio is chosen per request.
+    pub fn ratio_policy(mut self, policy: RatioPolicy) -> Self {
+        self.ratio_policy = policy;
+        self
+    }
+
+    /// When set, the loader thread sleeps per layer according to the
+    /// serving tier's device read time — end-to-end tests of the §5
+    /// pipelining overlap use this.
+    pub fn emulate_load_delay(mut self, on: bool) -> Self {
+        self.emulate_load_delay = on;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Config`] if [`RatioPolicy::Auto`] was requested
+    /// without a paper model, or a tier has zero capacity.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        if self.ratio_policy == RatioPolicy::Auto && self.paper.is_none() {
+            return Err(EngineError::Config(
+                "RatioPolicy::Auto requires EngineBuilder::paper_model".into(),
+            ));
+        }
+        let tiers = if self.tiers.is_empty() {
+            vec![(DeviceKind::CpuRam, 1 << 30)]
+        } else {
+            self.tiers
+        };
+        if tiers.iter().any(|&(_, cap)| cap == 0) {
+            return Err(EngineError::Config("store tier with zero capacity".into()));
+        }
+        let tier_devices: Vec<DeviceKind> = tiers.iter().map(|&(d, _)| d).collect();
+        let store = KvStore::new(
+            tiers
+                .into_iter()
+                .map(|(d, capacity)| TierConfig {
+                    label: d.spec().name.to_string(),
+                    capacity,
+                })
+                .collect(),
+        );
+        let model = self
+            .model
+            .unwrap_or_else(|| Model::compiled(ModelConfig::standard(self.profile, self.seed)));
+        let controller = self
+            .paper
+            .map(|p| LoadingController::new(PerfModel::on_a40(p)));
+        Ok(Engine {
+            model,
+            store,
+            tier_devices,
+            blend: self.blend,
+            ratio_policy: self.ratio_policy,
+            controller,
+            emulate_load_delay: self.emulate_load_delay,
+            registry: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// The CacheBlend serving engine. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct Engine {
+    model: Model,
+    store: KvStore,
+    tier_devices: Vec<DeviceKind>,
+    blend: BlendConfig,
+    ratio_policy: RatioPolicy,
+    controller: Option<LoadingController>,
+    emulate_load_delay: bool,
+    /// Registered chunk tokens, for precompute-on-miss after LRU eviction.
+    registry: Mutex<HashMap<ChunkId, Vec<TokenId>>>,
+}
+
+impl Engine {
+    /// The engine's model (for vocabulary access and baselines).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The tiered KV store (for stats and capacity inspection).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// The engine's loading controller, when a paper model is configured.
+    pub fn controller(&self) -> Option<&LoadingController> {
+        self.controller.as_ref()
+    }
+
+    /// Registers a chunk: content-hashes the tokens, precomputes its
+    /// standalone KV cache if the store does not already hold it, and
+    /// returns the chunk's id for use in [`Request::chunk_ids`].
+    pub fn register_chunk(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        if tokens.is_empty() {
+            return Err(EngineError::EmptyChunk);
+        }
+        let id = hash_tokens(tokens);
+        // Content-addressed: a present entry already holds these tokens,
+        // so re-registration allocates nothing.
+        self.registry
+            .lock()
+            .entry(id)
+            .or_insert_with(|| tokens.to_vec());
+        if !self.store.contains(id) {
+            self.precompute_into_store(id, tokens)?;
+        }
+        Ok(id)
+    }
+
+    /// Registers many chunks, returning ids in input order.
+    pub fn register_chunks(&self, chunks: &[Vec<TokenId>]) -> Result<Vec<ChunkId>, EngineError> {
+        chunks.iter().map(|c| self.register_chunk(c)).collect()
+    }
+
+    /// Forgets a chunk: drops its tokens from the registry (the store's
+    /// LRU keeps or evicts the KV entry independently). The registry
+    /// retains every registered chunk's tokens so evicted entries can be
+    /// re-precomputed — long-running deployments whose chunk corpus churns
+    /// should unregister retired chunks to bound that retention. After
+    /// this, requests naming `id` fail with [`EngineError::UnknownChunk`].
+    pub fn unregister_chunk(&self, id: ChunkId) -> bool {
+        self.registry.lock().remove(&id).is_some()
+    }
+
+    /// Number of chunks currently registered.
+    pub fn registered_chunks(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    fn precompute_into_store(
+        &self,
+        id: ChunkId,
+        tokens: &[TokenId],
+    ) -> Result<bytes::Bytes, EngineError> {
+        let cache = cb_kv::precompute::precompute_chunk(&self.model, tokens);
+        let bytes = encode(&cache);
+        self.store.insert_bytes(id, bytes.clone())?;
+        Ok(bytes)
+    }
+
+    /// Serves one request. See the module docs for the lifecycle; returns
+    /// the decoded answer plus blend statistics and a TTFT breakdown.
+    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
+        self.submit_ref(&request)
+    }
+
+    fn submit_ref(&self, request: &Request) -> Result<Response, EngineError> {
+        if request.query.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        let t0 = Instant::now();
+
+        // Store lookup per chunk; repair misses by precompute. The hit
+        // path only needs the chunk's length — the token vector is cloned
+        // out of the registry solely when a miss must be re-precomputed.
+        let mut parts = Vec::with_capacity(request.chunk_ids.len());
+        let mut chunk_sources = Vec::with_capacity(request.chunk_ids.len());
+        let mut slowest_tier = 0usize;
+        let mut hit_rows = 0usize;
+        let mut miss_rows = 0usize;
+        let mut precompute = Duration::ZERO;
+        for &id in &request.chunk_ids {
+            let chunk_len = self
+                .registry
+                .lock()
+                .get(&id)
+                .map(Vec::len)
+                .ok_or(EngineError::UnknownChunk(id))?;
+            match self.store.get_bytes(id) {
+                Some((bytes, tier)) => {
+                    slowest_tier = slowest_tier.max(tier);
+                    hit_rows += chunk_len;
+                    chunk_sources.push(ChunkSource::Hit { tier });
+                    parts.push(bytes);
+                }
+                None => {
+                    let tokens = self
+                        .registry
+                        .lock()
+                        .get(&id)
+                        .cloned()
+                        .ok_or(EngineError::UnknownChunk(id))?;
+                    let t = Instant::now();
+                    let bytes = self.precompute_into_store(id, &tokens)?;
+                    precompute += t.elapsed();
+                    miss_rows += chunk_len;
+                    chunk_sources.push(ChunkSource::Precomputed);
+                    parts.push(bytes);
+                }
+            }
+        }
+        let ctx_rows = hit_rows + miss_rows;
+
+        // The serving tier is the slowest tier any hit came from; its
+        // device model drives the controller and delay emulation.
+        let device = self.tier_devices[slowest_tier.min(self.tier_devices.len() - 1)];
+        let recompute_ratio = match request.ratio {
+            Some(r) => r,
+            None => match self.ratio_policy {
+                RatioPolicy::Fixed => self.blend.recompute_ratio,
+                RatioPolicy::Auto => {
+                    let ctl = self.controller.as_ref().expect("checked at build");
+                    ctl.pick_ratio(ctx_rows.max(1), device) as f32
+                }
+            },
+        };
+        let cfg = BlendConfig {
+            recompute_ratio,
+            ..self.blend
+        };
+        let throttle = if self.emulate_load_delay {
+            let total_bytes: usize = parts.iter().map(|b| b.len()).sum();
+            let per_layer = total_bytes as f64 / self.model.n_layers() as f64;
+            Some(Duration::from_secs_f64(device.read_time(per_layer)))
+        } else {
+            None
+        };
+
+        let out = blend_pipelined(&self.model, cfg, parts, &request.query, throttle)?;
+        let t_dec = Instant::now();
+        let mut blend = out.result;
+        let answer = self.model.decode_greedy(
+            &mut blend.cache,
+            &blend.last_residual,
+            request.max_new_tokens,
+        );
+        let decode = t_dec.elapsed();
+
+        let ttft = TtftBreakdown {
+            precompute,
+            load_wait: out.report.wait,
+            recompute: out.report.total.saturating_sub(out.report.wait),
+            decode,
+            total: t0.elapsed(),
+            // Charge hits as pipelined blend from the serving tier and
+            // misses as full prefill — the same split the serving
+            // simulator charges via [`blend_admission`].
+            modeled_ttft_s: self.controller.as_ref().map(|c| {
+                blend_admission(
+                    &c.perf,
+                    device,
+                    recompute_ratio as f64,
+                    hit_rows,
+                    miss_rows,
+                    request.query.len(),
+                )
+                .ttft_s
+            }),
+        };
+        Ok(Response {
+            answer,
+            blend,
+            ttft,
+            recompute_ratio,
+            chunk_sources,
+        })
+    }
+
+    /// Serves a batch concurrently over a small worker pool, returning
+    /// per-request results in input order. The engine is `Sync`: workers
+    /// share the store (internally locked) and the read-only model.
+    pub fn submit_many(&self, requests: Vec<Request>) -> Vec<Result<Response, EngineError>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+            .min(8);
+        if workers <= 1 {
+            return requests.iter().map(|r| self.submit_ref(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<Response, EngineError>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let res = self.submit_ref(&requests[i]);
+                    slots.lock()[i] = Some(res);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("worker pool filled every slot"))
+            .collect()
+    }
+}
+
+/// Paper-scale admission cost of one blended request: cached context is
+/// loaded pipelined with selective recompute, missed context and the query
+/// are prefilled in full. `ttft_s` is the request's latency contribution;
+/// `gpu_s` is the GPU busy time it leaves behind (loading overlaps compute,
+/// so they differ). This is the engine's delay model — the serving
+/// simulator's CacheBlend arm goes through it rather than re-deriving the
+/// formula.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionCost {
+    /// Seconds until the first token (queueing excluded).
+    pub ttft_s: f64,
+    /// GPU-seconds of compute consumed.
+    pub gpu_s: f64,
+}
+
+/// Computes the [`AdmissionCost`] of a blended request with `hit_tokens`
+/// of cached context on `device`, `miss_tokens` of uncached context, and a
+/// `query_tokens` suffix.
+pub fn blend_admission(
+    perf: &PerfModel,
+    device: DeviceKind,
+    ratio: f64,
+    hit_tokens: usize,
+    miss_tokens: usize,
+    query_tokens: usize,
+) -> AdmissionCost {
+    let (blend_ttft, blend_gpu) = if hit_tokens > 0 {
+        (
+            perf.ttft_blend(ratio, hit_tokens, 0, device),
+            perf.blend_compute_time(ratio, hit_tokens, 0),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    let miss = perf.ttft_full_prefill(miss_tokens + query_tokens);
+    AdmissionCost {
+        ttft_s: blend_ttft + miss,
+        gpu_s: blend_gpu + miss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_tokenizer::TokenKind::*;
+
+    fn engine() -> Engine {
+        EngineBuilder::new(ModelProfile::Tiny).build().unwrap()
+    }
+
+    fn scenario(e: &Engine) -> (Vec<TokenId>, Vec<TokenId>, Vec<TokenId>, TokenId) {
+        let v = &e.model().cfg.vocab;
+        let c1: Vec<TokenId> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<TokenId> = [
+            Ref,
+            Attr(3),
+            Value(9),
+            Sep,
+            Entity(8),
+            Attr(1),
+            Value(4),
+            Sep,
+        ]
+        .map(|k| v.id(k))
+        .to_vec();
+        let q: Vec<TokenId> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+        (c1, c2, q, v.id(Value(9)))
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn submit_answers_the_cross_chunk_query() {
+        let e = engine();
+        let (c1, c2, q, gold) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        let resp = e
+            .submit(Request::new(ids, q).ratio(0.45).max_new_tokens(4))
+            .unwrap();
+        assert_eq!(resp.answer, vec![gold]);
+        assert!(resp
+            .chunk_sources
+            .iter()
+            .all(|s| matches!(s, ChunkSource::Hit { tier: 0 })));
+        assert_eq!(resp.blend.stats.ctx_len, 13); // BOS + 4 + 8
+    }
+
+    #[test]
+    fn unknown_chunk_is_an_error() {
+        let e = engine();
+        let (_, _, q, _) = scenario(&e);
+        let err = e.submit(Request::new(vec![ChunkId(42)], q)).unwrap_err();
+        assert_eq!(err, EngineError::UnknownChunk(ChunkId(42)));
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let e = engine();
+        let err = e.submit(Request::new(vec![], vec![])).unwrap_err();
+        assert_eq!(err, EngineError::EmptyQuery);
+    }
+
+    #[test]
+    fn empty_chunk_is_an_error() {
+        let e = engine();
+        assert_eq!(e.register_chunk(&[]).unwrap_err(), EngineError::EmptyChunk);
+    }
+
+    #[test]
+    fn evicted_entries_are_precomputed_on_miss() {
+        // A store sized for one entry forces the first chunk out when the
+        // second is registered; submit must repair it transparently.
+        let e0 = engine();
+        let (c1, c2, q, gold) = scenario(&e0);
+        let entry_size = {
+            let cache = cb_kv::precompute::precompute_chunk(e0.model(), &c2);
+            encode(&cache).len() as u64
+        };
+        let e = EngineBuilder::new(ModelProfile::Tiny)
+            .tier(DeviceKind::CpuRam, entry_size + entry_size / 4)
+            .build()
+            .unwrap();
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        assert_eq!(e.store().len(), 1, "tiny tier must have evicted");
+        let resp = e
+            .submit(Request::new(ids, q).ratio(0.45).max_new_tokens(4))
+            .unwrap();
+        assert_eq!(resp.answer, vec![gold]);
+        assert!(resp.chunk_sources.contains(&ChunkSource::Precomputed));
+        assert!(resp.ttft.precompute > Duration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_store_entry_surfaces_unified_error() {
+        let e = engine();
+        let (c1, _, q, _) = scenario(&e);
+        let id = e.register_chunk(&c1).unwrap();
+        assert!(e.store().corrupt(id, 40));
+        let err = e.submit(Request::new(vec![id], q)).unwrap_err();
+        assert!(matches!(err, EngineError::Corrupt(_)));
+    }
+
+    #[test]
+    fn auto_policy_requires_paper_model() {
+        let err = EngineBuilder::new(ModelProfile::Tiny)
+            .ratio_policy(RatioPolicy::Auto)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+    }
+
+    #[test]
+    fn auto_policy_floors_at_quality_ratio() {
+        let e = EngineBuilder::new(ModelProfile::Tiny)
+            .paper_model(PaperModel::Mistral7B)
+            .ratio_policy(RatioPolicy::Auto)
+            .build()
+            .unwrap();
+        let (c1, c2, q, _) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        let resp = e.submit(Request::new(ids, q)).unwrap();
+        // The engine must run at exactly the controller's pick for this
+        // context length and tier, which is itself floored at r* = 15%.
+        let expect =
+            e.controller()
+                .unwrap()
+                .pick_ratio(resp.blend.stats.ctx_len - 1, DeviceKind::CpuRam) as f32;
+        assert!((resp.recompute_ratio - expect).abs() < 1e-6);
+        assert!(resp.recompute_ratio >= 0.15);
+        assert!(resp.ttft.modeled_ttft_s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unregister_bounds_the_registry() {
+        let e = engine();
+        let (c1, c2, q, _) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        assert_eq!(e.registered_chunks(), 2);
+        assert!(e.unregister_chunk(ids[0]));
+        assert!(!e.unregister_chunk(ids[0]), "second removal is a no-op");
+        assert_eq!(e.registered_chunks(), 1);
+        let err = e.submit(Request::new(ids.clone(), q)).unwrap_err();
+        assert_eq!(err, EngineError::UnknownChunk(ids[0]));
+    }
+
+    #[test]
+    fn modeled_ttft_charges_misses_as_prefill() {
+        // Same request shape, warm vs cold store: the cold request's
+        // modeled TTFT must carry the full-prefill term for its misses,
+        // matching what blend_admission charges the simulator.
+        let (c1, c2, q, _) = scenario(&engine());
+        let build = |cap: Option<u64>| {
+            let mut b = EngineBuilder::new(ModelProfile::Tiny).paper_model(PaperModel::Mistral7B);
+            if let Some(cap) = cap {
+                b = b.tier(DeviceKind::CpuRam, cap);
+            }
+            b.build().unwrap()
+        };
+        let warm = build(None);
+        let ids = warm.register_chunks(&[c1.clone(), c2.clone()]).unwrap();
+        let warm_resp = warm
+            .submit(Request::new(ids, q.clone()).ratio(0.3))
+            .unwrap();
+
+        let entry = {
+            let cache = cb_kv::precompute::precompute_chunk(warm.model(), &c2);
+            encode(&cache).len() as u64
+        };
+        let cold = build(Some(entry + entry / 4));
+        let ids = cold.register_chunks(&[c1, c2]).unwrap();
+        let cold_resp = cold.submit(Request::new(ids, q).ratio(0.3)).unwrap();
+        assert!(cold_resp.chunk_sources.contains(&ChunkSource::Precomputed));
+        let (w, c) = (
+            warm_resp.ttft.modeled_ttft_s.unwrap(),
+            cold_resp.ttft.modeled_ttft_s.unwrap(),
+        );
+        assert!(c > w, "cold modeled TTFT {c} must exceed warm {w}");
+    }
+
+    #[test]
+    fn submit_many_preserves_order_and_matches_submit() {
+        let e = engine();
+        let (c1, c2, q, gold) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| {
+                Request::new(ids.clone(), q.clone())
+                    .ratio(if i % 2 == 0 { 0.45 } else { 1.0 })
+                    .max_new_tokens(4)
+            })
+            .collect();
+        let out = e.submit_many(reqs);
+        assert_eq!(out.len(), 12);
+        for r in out {
+            assert_eq!(r.unwrap().answer, vec![gold]);
+        }
+    }
+
+    #[test]
+    fn admission_cost_orders_sensibly() {
+        let perf = PerfModel::on_a40(PaperModel::Yi34B);
+        let warm = blend_admission(&perf, DeviceKind::NvmeSsd, 0.15, 3072, 0, 32);
+        let cold = blend_admission(&perf, DeviceKind::NvmeSsd, 0.15, 0, 3072, 32);
+        assert!(
+            warm.ttft_s < cold.ttft_s,
+            "{} !< {}",
+            warm.ttft_s,
+            cold.ttft_s
+        );
+        assert!(warm.gpu_s < cold.gpu_s);
+        assert!(cold.ttft_s == cold.gpu_s, "cold path is pure prefill");
+    }
+}

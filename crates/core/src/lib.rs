@@ -18,12 +18,18 @@
 //! - [`fusor`] — selective KV recompute (§4.2) + HKVD selection (§4.3).
 //! - [`controller`] — recompute-ratio and device selection (§5.1).
 //! - [`pipeline`] — layer-streaming loader overlapped with recompute (§6).
+//! - [`engine`] — the request/response serving front door tying the above
+//!   to the tiered KV store (`register_chunk` → `submit`/`submit_many`).
 
 pub mod controller;
 pub mod deviation;
+pub mod engine;
 pub mod fusor;
 pub mod pipeline;
 pub mod rope_align;
 
 pub use controller::LoadingController;
+pub use engine::{
+    Engine, EngineBuilder, EngineError, RatioPolicy, Request, Response, TtftBreakdown,
+};
 pub use fusor::{BlendConfig, BlendResult, Fusor, Selection};

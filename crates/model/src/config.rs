@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn subspaces_fit_in_d_model() {
-        assert!(SCRATCH_OFFSET < D_MODEL);
+        const { assert!(SCRATCH_OFFSET < D_MODEL) };
         assert_eq!(Subspace::Ans.offset() + CODE_DIM, CLS_OFFSET);
     }
 

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use cb_baselines::SchemeKind;
+use cb_core::engine::blend_admission;
 use cb_storage::device::DeviceKind;
 use cb_storage::perf::PerfModel;
 
@@ -45,7 +46,7 @@ pub struct ServingConfig {
     /// Decoded tokens per request (occupies the GPU after TTFT).
     pub decode_tokens: usize,
     /// KV store capacity in bytes.
-    pub store_capacity: f64,
+    pub store_capacity: u64,
 }
 
 impl ServingConfig {
@@ -60,7 +61,7 @@ impl ServingConfig {
             query_tokens: 32,
             decode_tokens: 24,
             // 64 GB of KV storage.
-            store_capacity: 64.0e9,
+            store_capacity: 64_000_000_000,
         }
     }
 }
@@ -75,26 +76,26 @@ pub struct ServingStats {
     /// Completed requests / makespan.
     pub throughput_rps: f64,
     /// Peak bytes resident in the store.
-    pub peak_store_bytes: f64,
+    pub peak_store_bytes: u64,
     /// Entries evicted.
     pub evictions: u64,
 }
 
 struct LruStore {
-    capacity: f64,
-    used: f64,
-    peak: f64,
+    capacity: u64,
+    used: u64,
+    peak: u64,
     clock: u64,
-    entries: HashMap<u64, (f64, u64)>, // id -> (bytes, last_used)
+    entries: HashMap<u64, (u64, u64)>, // id -> (bytes, last_used)
     evictions: u64,
 }
 
 impl LruStore {
-    fn new(capacity: f64) -> Self {
+    fn new(capacity: u64) -> Self {
         Self {
             capacity,
-            used: 0.0,
-            peak: 0.0,
+            used: 0,
+            peak: 0,
             clock: 0,
             entries: HashMap::new(),
             evictions: 0,
@@ -111,7 +112,7 @@ impl LruStore {
         }
     }
 
-    fn insert(&mut self, id: u64, bytes: f64) {
+    fn insert(&mut self, id: u64, bytes: u64) {
         self.clock += 1;
         if self.entries.contains_key(&id) || bytes > self.capacity {
             return;
@@ -152,7 +153,9 @@ impl Simulator {
     pub fn run(&self, workload: &Workload) -> ServingStats {
         let cfg = &self.cfg;
         let perf = &cfg.perf;
-        let entry_bytes = perf.total_kv_bytes(cfg.chunk_tokens);
+        // Entry sizes are modelled in whole bytes (rounded up) so store
+        // accounting is exact integer arithmetic.
+        let entry_bytes = perf.total_kv_bytes(cfg.chunk_tokens).ceil() as u64;
         let mut store = LruStore::new(cfg.store_capacity);
         let mut gpu_free = 0.0f64;
         let mut ttfts = Vec::with_capacity(workload.requests.len());
@@ -215,18 +218,17 @@ impl Simulator {
                             + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
                         (t, perf.ttft_full_prefill(miss_tokens + cfg.query_tokens))
                     } else {
-                        let blend = if hit_tokens > 0 {
-                            perf.ttft_blend(cfg.recompute_ratio, hit_tokens, 0, cfg.device)
-                        } else {
-                            0.0
-                        };
-                        let t = blend + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
-                        let g = if hit_tokens > 0 {
-                            perf.blend_compute_time(cfg.recompute_ratio, hit_tokens, 0)
-                        } else {
-                            0.0
-                        } + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
-                        (t, g)
+                        // CacheBlend admissions go through the engine's
+                        // delay model rather than re-deriving it here.
+                        let cost = blend_admission(
+                            perf,
+                            cfg.device,
+                            cfg.recompute_ratio,
+                            hit_tokens,
+                            miss_tokens,
+                            cfg.query_tokens,
+                        );
+                        (cost.ttft_s, cost.gpu_s)
                     }
                 }
             };
@@ -333,10 +335,10 @@ mod tests {
     fn store_capacity_bounds_residency() {
         let perf = PerfModel::on_a40(PaperModel::Mistral7B);
         let mut cfg = ServingConfig::fig14(SchemeKind::CacheBlend, perf, DeviceKind::NvmeSsd);
-        cfg.store_capacity = 20.0 * perf.total_kv_bytes(cfg.chunk_tokens);
+        cfg.store_capacity = (20.0 * perf.total_kv_bytes(cfg.chunk_tokens)) as u64;
         let w = Workload::generate(&WorkloadConfig::extended(0.5, 42));
         let s = Simulator::new(cfg.clone()).run(&w);
-        assert!(s.peak_store_bytes <= cfg.store_capacity + 1.0);
+        assert!(s.peak_store_bytes <= cfg.store_capacity);
         assert!(s.evictions > 0, "tiny store must evict");
     }
 }

@@ -1,9 +1,7 @@
 //! Storage device catalogue.
 
-use serde::{Deserialize, Serialize};
-
 /// The storage devices the evaluation sweeps over (Figures 10 and 17).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// CPU DRAM (pinned host memory).
     CpuRam,
@@ -18,7 +16,7 @@ pub enum DeviceKind {
 }
 
 /// Physical characteristics of a storage device.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeviceSpec {
     /// Catalogue entry this spec was derived from.
     pub kind: DeviceKind,

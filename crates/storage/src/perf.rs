@@ -17,12 +17,10 @@
 //! importantly, preserves the *ordering and crossover structure* the
 //! figures depend on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::DeviceKind;
 
 /// GPU compute profile.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -45,7 +43,7 @@ impl GpuSpec {
 }
 
 /// The real (paper-scale) models.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PaperModel {
     /// Llama-2-7B (the §5 pipelining example).
     Llama7B,
@@ -58,7 +56,7 @@ pub enum PaperModel {
 }
 
 /// Architecture/deployment constants of a paper-scale model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PaperModelSpec {
     /// Which model this is.
     pub model: PaperModel,
@@ -140,7 +138,7 @@ impl PaperModel {
 pub const DEFAULT_RECOMPUTE_RATIO: f64 = 0.15;
 
 /// Analytic delay model for one model on one GPU profile.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PerfModel {
     /// Model constants.
     pub spec: PaperModelSpec,

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example cross_attention`
 
-use cacheblend::core::fusor::{BlendConfig, Fusor};
+use cacheblend::blend::fusor::{BlendConfig, Fusor};
 use cacheblend::kv::precompute::precompute_chunk;
 use cacheblend::model::model::ForwardTrace;
 use cacheblend::model::{Model, ModelConfig, ModelProfile};

@@ -1,18 +1,20 @@
-//! Quickstart: precompute chunk KV caches, fuse them with CacheBlend, and
+//! Quickstart: serve a RAG request through the [`Engine`] front door, and
 //! compare the answer against full prefill and full KV reuse.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cacheblend::core::fusor::{BlendConfig, Fusor};
-use cacheblend::kv::precompute::precompute_chunk;
-use cacheblend::model::{Model, ModelConfig, ModelProfile};
+use cacheblend::prelude::*;
 use cacheblend::tokenizer::TokenKind::*;
 
 fn main() {
-    // 1. Build the compiled tiny model (a stand-in for Mistral-7B — see
-    //    DESIGN.md for the substitution rationale).
-    let model = Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11));
-    let vocab = model.cfg.vocab.clone();
+    // 1. Build the engine: compiled tiny model (a stand-in for Mistral-7B —
+    //    see DESIGN.md for the substitution rationale), one RAM store tier,
+    //    40% recompute ratio.
+    let engine = EngineBuilder::new(ModelProfile::Mistral7B)
+        .blend_config(BlendConfig::with_ratio(0.4))
+        .build()
+        .expect("engine");
+    let vocab = engine.model().cfg.vocab.clone();
     let t = |k| vocab.id(k);
 
     // 2. Two "retrieved" text chunks. Chunk 2's first fact says "*it*
@@ -34,16 +36,14 @@ fn main() {
     println!("chunk 2: {}", vocab.render_seq(&chunk2));
     println!("query:   {}\n", vocab.render_seq(&query));
 
-    // 3. Precompute each chunk's KV cache in isolation (what a KV store
-    //    would hold).
-    let parts = || {
-        vec![
-            precompute_chunk(&model, &chunk1),
-            precompute_chunk(&model, &chunk2),
-        ]
-    };
+    // 3. Register the chunks: each is content-hashed, its standalone KV
+    //    cache precomputed and placed in the engine's tiered store.
+    let ids = engine
+        .register_chunks(&[chunk1.clone(), chunk2.clone()])
+        .expect("register");
 
     // 4. Gold standard: full prefill (slow — recomputes everything).
+    let model = engine.model();
     let mut toks = vec![t(Bos)];
     toks.extend_from_slice(&chunk1);
     toks.extend_from_slice(&chunk2);
@@ -52,22 +52,33 @@ fn main() {
     println!("full prefill      → {}", vocab.render_seq(&gold));
 
     // 5. Full KV reuse: fast, but the coreference is lost.
-    let reuse = cacheblend::baselines::run_full_reuse(&model, parts(), &query, 4, true);
+    let parts = vec![
+        cacheblend::kv::precompute::precompute_chunk(model, &chunk1),
+        cacheblend::kv::precompute::precompute_chunk(model, &chunk2),
+    ];
+    let reuse = cacheblend::baselines::run_full_reuse(model, parts, &query, 4, true);
     println!("full KV reuse     → {}", vocab.render_seq(&reuse.answer));
 
-    // 6. CacheBlend: recompute only the high-KV-deviation tokens.
-    let fusor = Fusor::new(&model, BlendConfig::with_ratio(0.4));
-    let out = fusor.blend(parts(), &query, false);
-    let mut cache = out.cache;
-    let blend = model.decode_greedy(&mut cache, &out.last_residual, 4);
+    // 6. CacheBlend through the engine: store hit, pipelined load,
+    //    selective recompute of the high-KV-deviation tokens, decode.
+    let response = engine
+        .submit(Request::new(ids, query).max_new_tokens(4))
+        .expect("submit");
     println!(
         "CacheBlend (r=40%) → {}  [recomputed {:?} tokens/layer of {} context tokens]",
-        vocab.render_seq(&blend),
-        out.stats.selected_per_layer,
-        out.stats.ctx_len,
+        vocab.render_seq(&response.answer),
+        response.blend.stats.selected_per_layer,
+        response.blend.stats.ctx_len,
+    );
+    println!(
+        "TTFT breakdown: load wait {:?}, recompute {:?}, decode {:?} (total {:?})",
+        response.ttft.load_wait, response.ttft.recompute, response.ttft.decode, response.ttft.total,
     );
 
-    assert_eq!(gold, blend, "CacheBlend must match full prefill here");
+    assert_eq!(
+        gold, response.answer,
+        "CacheBlend must match full prefill here"
+    );
     assert_ne!(gold, reuse.answer, "full reuse must fail here");
     println!("\nCacheBlend matched full prefill; full KV reuse did not.");
 }

@@ -1,87 +1,72 @@
-//! End-to-end RAG serving: dataset → retrieval → KV store → pipelined
-//! CacheBlend fusion → decode → quality scoring.
+//! End-to-end RAG serving: dataset → retrieval → engine submit (store
+//! lookup → pipelined CacheBlend fusion → decode) → quality scoring.
 //!
-//! This walks the full production path of Figure 11: a vector index
-//! retrieves chunks, their serialized KV entries are fetched from a tiered
-//! store, a loader thread streams layers while the fusor recomputes the
-//! HKVD tokens, and the answer is scored against the gold label.
+//! This walks the full production path of Figure 11 through the unified
+//! [`Engine`] API: a vector index retrieves chunks, the engine fetches
+//! their serialized KV entries from its tiered store, a loader thread
+//! streams layers while the fusor recomputes the HKVD tokens, and the
+//! answer is scored against the gold label.
 //!
 //! Run with: `cargo run --release --example rag_pipeline`
 
-use cacheblend::core::controller::LoadingController;
-use cacheblend::core::fusor::BlendConfig;
-use cacheblend::core::pipeline::blend_pipelined;
-use cacheblend::kv::chunk::hash_tokens;
-use cacheblend::kv::precompute::precompute_chunk;
-use cacheblend::kv::store::KvStore;
-use cacheblend::model::{Model, ModelConfig, ModelProfile};
-use cacheblend::rag::datasets::{Dataset, DatasetKind};
-use cacheblend::storage::device::DeviceKind;
-use cacheblend::storage::perf::{PaperModel, PerfModel};
+use cacheblend::blend::engine::RatioPolicy;
+use cacheblend::prelude::*;
+use cacheblend::rag::datasets::Dataset;
+use cacheblend::storage::perf::PaperModel;
 
 fn main() {
-    let model = Model::compiled(ModelConfig::standard(ModelProfile::Mistral7B, 11));
+    // The engine owns the model, the tiered store, and the §5.1 controller
+    // (RatioPolicy::Auto picks the recompute ratio per request).
+    let engine = EngineBuilder::new(ModelProfile::Mistral7B)
+        .tier(DeviceKind::CpuRam, 1 << 30)
+        .paper_model(PaperModel::Mistral7B)
+        .ratio_policy(RatioPolicy::Auto)
+        .build()
+        .expect("engine");
     let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
     println!("dataset: {ds:?}");
 
-    // Offline: precompute every chunk's KV and fill the store (RAM tier).
-    let store = KvStore::single("cpu-ram", 1 << 30);
-    for chunk in &ds.chunks {
-        let id = hash_tokens(chunk);
-        store
-            .insert(id, &precompute_chunk(&model, chunk))
-            .expect("store insert");
-    }
-    println!("stored {} chunk entries\n", store.len());
+    // Offline: register every chunk — precompute on miss fills the store.
+    let chunk_ids = engine.register_chunks(&ds.chunks).expect("register chunks");
+    println!("stored {} chunk entries\n", engine.store().len());
 
-    // The §5.1 controller picks the recompute ratio for the device.
-    let perf = PerfModel::on_a40(PaperModel::Mistral7B);
-    let controller = LoadingController::new(perf);
-    let plan = controller.plan(6 * 512, 32, DeviceKind::NvmeSsd);
+    // The controller's paper-scale plan for the figure-12 request shape.
+    let plan =
+        engine
+            .controller()
+            .expect("controller configured")
+            .plan(6 * 512, 32, DeviceKind::NvmeSsd);
     println!(
         "controller: device={:?} ratio={:.2} predicted paper-scale TTFT={:.3}s\n",
         plan.device, plan.recompute_ratio, plan.ttft_s
     );
 
-    // Online: serve the first few queries through the pipelined fusor.
+    // Online: serve the first few queries through the engine.
     let mut total = 0.0f32;
     let n = 8;
     for (i, case) in ds.cases.iter().take(n).enumerate() {
         let ctx = ds.retrieve(case, 6);
-        let parts: Vec<_> = ctx
-            .iter()
-            .map(|&c| {
-                let (bytes, _tier) = store
-                    .get_bytes(hash_tokens(&ds.chunks[c]))
-                    .expect("retrieved chunk must be cached");
-                bytes
-            })
-            .collect();
-        let mut out = blend_pipelined(
-            &model,
-            BlendConfig::with_ratio(plan.recompute_ratio as f32),
-            parts,
-            &case.query,
-            None,
-        )
-        .expect("pipelined blend");
-        let pred = model.decode_greedy(&mut out.result.cache, &out.result.last_residual, 8);
-        let score = ds.score(&pred, &case.gold);
+        let ids: Vec<_> = ctx.iter().map(|&c| chunk_ids[c]).collect();
+        let resp = engine
+            .submit(Request::new(ids, case.query.clone()))
+            .expect("submit");
+        let score = ds.score(&resp.answer, &case.gold);
         total += score;
         println!(
-            "q{i}: {:<28} pred={:<12} gold={:<12} {}={:.2}  (loader wait {:?})",
+            "q{i}: {:<28} pred={:<12} gold={:<12} {}={:.2}  (r={:.2}, loader wait {:?})",
             ds.vocab.render_seq(&case.query),
-            ds.vocab.render_seq(&pred),
+            ds.vocab.render_seq(&resp.answer),
             ds.vocab.render_seq(&case.gold),
             ds.kind.metric_name(),
             score,
-            out.report.wait,
+            resp.recompute_ratio,
+            resp.ttft.load_wait,
         );
     }
     println!(
         "\nmean {} over {n} queries: {:.3}  (store stats: {:?})",
         ds.kind.metric_name(),
         total / n as f32,
-        store.stats()
+        engine.store().stats()
     );
 }

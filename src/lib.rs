@@ -11,18 +11,41 @@
 //!   prefill and the compiled cross-chunk recall program.
 //! - [`kv`] — the KV cache store (hashing, layout, LRU, serialization).
 //! - [`storage`] — storage device models and the delay/cost estimators.
-//! - [`core`] — the CacheBlend fusor, loading controller, and pipeline.
+//! - [`blend`] — the CacheBlend fusor, loading controller, pipeline, and the
+//!   request-oriented [`engine`].
 //! - [`baselines`] — full recompute, prefix caching, full KV reuse,
 //!   MapReduce, MapRerank.
 //! - [`rag`] — chunking, embeddings, vector index, synthetic datasets,
 //!   F1/Rouge-L metrics.
 //! - [`serving`] — discrete-event serving simulator and threaded pipeline.
 //!
+//! Most programs only need the [`engine`] front door:
+//!
+//! ```
+//! use cacheblend::prelude::*;
+//!
+//! let engine = EngineBuilder::new(ModelProfile::Tiny)
+//!     .build()
+//!     .expect("engine");
+//! let v = engine.model().cfg.vocab.clone();
+//! use cacheblend::tokenizer::TokenKind::*;
+//! let chunk = engine
+//!     .register_chunk(&[v.id(Entity(5)), v.id(Attr(0)), v.id(Value(1)), v.id(Sep)])
+//!     .unwrap();
+//! let response = engine
+//!     .submit(Request::new(
+//!         vec![chunk],
+//!         vec![v.id(Query), v.id(Entity(5)), v.id(Attr(0)), v.id(QMark)],
+//!     ))
+//!     .unwrap();
+//! assert!(!response.answer.is_empty());
+//! ```
+//!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory
 //! and per-experiment index.
 
 pub use cb_baselines as baselines;
-pub use cb_core as core;
+pub use cb_core as blend;
 pub use cb_kv as kv;
 pub use cb_model as model;
 pub use cb_rag as rag;
@@ -31,10 +54,19 @@ pub use cb_storage as storage;
 pub use cb_tensor as tensor;
 pub use cb_tokenizer as tokenizer;
 
+/// Deprecated alias of [`blend`]; shadowed the built-in `core` crate for
+/// downstream users, kept one release for migration.
+#[doc(hidden)]
+pub use cb_core as core;
+
+/// The request/response engine API (`cacheblend::engine::Engine`).
+pub use cb_core::engine;
+
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {
     pub use cb_core::{
         controller::LoadingController,
+        engine::{Engine, EngineBuilder, EngineError, Request, Response, TtftBreakdown},
         fusor::{BlendConfig, Fusor},
     };
     pub use cb_kv::store::KvStore;

@@ -1,6 +1,11 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Randomized property tests on cross-crate invariants.
+//!
+//! The offline build has no proptest, so these are seeded generate-and-check
+//! loops over the same invariants: each property draws a few dozen random
+//! inputs from a deterministic `SmallRng` stream and asserts the invariant
+//! on every draw (failures print the generating seed/case).
 
-use cacheblend::core::rope_align;
+use cacheblend::blend::rope_align;
 use cacheblend::kv::chunk::hash_tokens;
 use cacheblend::kv::precompute::precompute_chunk;
 use cacheblend::kv::serialize::{decode, encode};
@@ -9,111 +14,141 @@ use cacheblend::model::{Model, ModelConfig, ModelProfile};
 use cacheblend::rag::metrics::{f1_score, rouge_l};
 use cacheblend::tensor::rope::{rope_score, RopeTable};
 use cacheblend::tokenizer::{TokenKind, Vocab};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 fn tiny_model() -> Model {
     Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11))
 }
 
-/// Arbitrary short chunks over content tokens.
-fn chunk_strategy() -> impl Strategy<Value = Vec<u32>> {
+/// A random short chunk over content tokens (1..12 tokens).
+fn random_chunk(rng: &mut SmallRng) -> Vec<u32> {
     let v = Vocab::default_eval();
-    prop::collection::vec(0u32..4, 1..12).prop_map(move |kinds| {
-        kinds
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| match k {
-                0 => v.id(TokenKind::Entity((i % 16) as u32)),
-                1 => v.id(TokenKind::Attr((i % 8) as u32)),
-                2 => v.id(TokenKind::Value((i % 24) as u32)),
-                _ => v.id(TokenKind::Filler((i % 10) as u32)),
-            })
-            .collect()
-    })
+    let len = rng.random_range(1usize..12);
+    (0..len)
+        .map(|i| match rng.random_range(0u32..4) {
+            0 => v.id(TokenKind::Entity((i % 16) as u32)),
+            1 => v.id(TokenKind::Attr((i % 8) as u32)),
+            2 => v.id(TokenKind::Value((i % 24) as u32)),
+            _ => v.id(TokenKind::Filler((i % 10) as u32)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// KV serialization is lossless for arbitrary chunks.
-    #[test]
-    fn serialization_roundtrips(chunk in chunk_strategy()) {
-        let m = tiny_model();
+/// KV serialization is lossless for arbitrary chunks.
+#[test]
+fn serialization_roundtrips() {
+    let m = tiny_model();
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for case in 0..16 {
+        let chunk = random_chunk(&mut rng);
         let cache = precompute_chunk(&m, &chunk);
         let back = decode(encode(&cache)).unwrap();
-        prop_assert_eq!(back, cache);
+        assert_eq!(back, cache, "case {case} chunk {chunk:?}");
     }
+}
 
-    /// Relocation by Δ then −Δ is the identity (within f32 tolerance).
-    #[test]
-    fn relocation_is_invertible(chunk in chunk_strategy(), delta in 1usize..300) {
-        let m = tiny_model();
+/// Relocation by Δ then −Δ is the identity (within f32 tolerance).
+#[test]
+fn relocation_is_invertible() {
+    let m = tiny_model();
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for case in 0..16 {
+        let chunk = random_chunk(&mut rng);
+        let delta = rng.random_range(1usize..300);
         let orig = precompute_chunk(&m, &chunk);
         let mut moved = orig.clone();
         rope_align::relocate(&m, &mut moved, 1 + delta);
         rope_align::relocate(&m, &mut moved, 1);
         for l in 0..m.n_layers() {
             let d = moved.layers[l].k.frobenius_distance(&orig.layers[l].k);
-            prop_assert!(d < 1e-2, "layer {} drifted by {}", l, d);
+            assert!(d < 1e-2, "case {case} layer {l} drifted by {d}");
         }
     }
+}
 
-    /// RoPE attention scores depend only on relative offsets (Prop. A.1).
-    #[test]
-    fn rope_scores_are_translation_invariant(
-        base in 0usize..500,
-        shift in 0usize..500,
-        offset in 0usize..64,
-    ) {
-        let t = RopeTable::new(8, 1000.0);
-        let q: Vec<f32> = (0..8).map(|i| ((i * 7 + 3) as f32 * 0.37).sin()).collect();
-        let k: Vec<f32> = (0..8).map(|i| ((i * 5 + 1) as f32 * 0.53).cos()).collect();
+/// RoPE attention scores depend only on relative offsets (Prop. A.1).
+#[test]
+fn rope_scores_are_translation_invariant() {
+    let t = RopeTable::new(8, 1000.0);
+    let q: Vec<f32> = (0..8).map(|i| ((i * 7 + 3) as f32 * 0.37).sin()).collect();
+    let k: Vec<f32> = (0..8).map(|i| ((i * 5 + 1) as f32 * 0.53).cos()).collect();
+    let mut rng = SmallRng::seed_from_u64(0xC0DE);
+    for case in 0..64 {
+        let base = rng.random_range(0usize..500);
+        let shift = rng.random_range(0usize..500);
+        let offset = rng.random_range(0usize..64);
         let s1 = rope_score(&t, &q, &k, base + offset, base);
         let s2 = rope_score(&t, &q, &k, base + shift + offset, base + shift);
-        prop_assert!((s1 - s2).abs() < 2e-2, "{} vs {}", s1, s2);
+        assert!((s1 - s2).abs() < 2e-2, "case {case}: {s1} vs {s2}");
     }
+}
 
-    /// Chunk hashing is injective in practice over small perturbations.
-    #[test]
-    fn chunk_hash_detects_any_single_edit(chunk in chunk_strategy(), at in 0usize..12, delta in 1u32..5) {
-        prop_assume!(at < chunk.len());
+/// Chunk hashing is injective in practice over small perturbations.
+#[test]
+fn chunk_hash_detects_any_single_edit() {
+    let mut rng = SmallRng::seed_from_u64(0xD1CE);
+    for case in 0..64 {
+        let chunk = random_chunk(&mut rng);
+        let at = rng.random_range(0usize..chunk.len());
+        let delta = rng.random_range(1u32..5);
         let mut other = chunk.clone();
         other[at] = other[at].wrapping_add(delta);
-        prop_assert_ne!(hash_tokens(&chunk), hash_tokens(&other));
+        assert_ne!(
+            hash_tokens(&chunk),
+            hash_tokens(&other),
+            "case {case}: edit at {at} undetected in {chunk:?}"
+        );
     }
+}
 
-    /// Metrics are bounded in [0, 1] and exact on identity.
-    #[test]
-    fn metrics_are_bounded(a in prop::collection::vec(0u32..50, 0..10),
-                           b in prop::collection::vec(0u32..50, 0..10)) {
+/// Metrics are bounded in [0, 1] and exact on identity.
+#[test]
+fn metrics_are_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xE44);
+    for _ in 0..64 {
+        let draw = |rng: &mut SmallRng| -> Vec<u32> {
+            let n = rng.random_range(0usize..10);
+            (0..n).map(|_| rng.random_range(0u32..50)).collect()
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
         for m in [f1_score(&a, &b), rouge_l(&a, &b)] {
-            prop_assert!((0.0..=1.0).contains(&m));
+            assert!((0.0..=1.0).contains(&m));
         }
-        prop_assert_eq!(f1_score(&a, &a), 1.0);
-        prop_assert_eq!(rouge_l(&b, &b), 1.0);
+        assert_eq!(f1_score(&a, &a), 1.0);
+        assert_eq!(rouge_l(&b, &b), 1.0);
     }
+}
 
-    /// The LRU store never exceeds capacity and keeps what it reports.
-    #[test]
-    fn store_respects_capacity(chunks in prop::collection::vec(chunk_strategy(), 1..6)) {
-        let m = tiny_model();
-        let caches: Vec<_> = chunks.iter().map(|c| precompute_chunk(&m, c)).collect();
+/// The LRU store never exceeds capacity and keeps what it reports.
+#[test]
+fn store_respects_capacity() {
+    let m = tiny_model();
+    let mut rng = SmallRng::seed_from_u64(0xF00D);
+    for _ in 0..8 {
+        let n = rng.random_range(1usize..6);
+        let caches: Vec<_> = (0..n)
+            .map(|_| precompute_chunk(&m, &random_chunk(&mut rng)))
+            .collect();
         let one = encode(&caches[0]).len() as u64;
         let cap = one * 2;
-        let store = KvStore::new(vec![TierConfig { label: "t".into(), capacity: cap }]);
+        let store = KvStore::new(vec![TierConfig {
+            label: "t".into(),
+            capacity: cap,
+        }]);
         for (i, c) in caches.iter().enumerate() {
             let _ = store.insert(cacheblend::kv::ChunkId(i as u64), c);
-            prop_assert!(store.tier_used(0) <= cap);
+            assert!(store.tier_used(0) <= cap);
         }
     }
 }
 
 /// The selective-prefill identity: at ratio 1.0 the fused cache equals full
-/// prefill for random chunk pairs (non-proptest loop over seeds to keep
-/// runtime bounded).
+/// prefill for random chunk pairs.
 #[test]
 fn blend_identity_over_random_chunk_pairs() {
-    use cacheblend::core::fusor::{BlendConfig, Fusor};
+    use cacheblend::blend::fusor::{BlendConfig, Fusor};
     let m = tiny_model();
     let v = &m.cfg.vocab;
     for seed in 0..4u32 {

@@ -2,7 +2,7 @@
 //! and saturation/knee structure across schemes.
 
 use cacheblend::baselines::SchemeKind;
-use cacheblend::core::controller::LoadingController;
+use cacheblend::blend::controller::LoadingController;
 use cacheblend::serving::sim::{ServingConfig, Simulator};
 use cacheblend::serving::workload::{Workload, WorkloadConfig};
 use cacheblend::storage::device::DeviceKind;

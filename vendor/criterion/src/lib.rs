@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so this vendored
+//! crate provides the API subset the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with throughput, `iter`/`iter_batched`). It is a
+//! timing-only harness: each benchmark runs a short warmup then a bounded
+//! measurement loop and prints mean wall-clock per iteration — no
+//! statistics, plots, or baselines. Runs are kept short so the bench
+//! binaries stay cheap when `cargo test` executes them.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// harness always materializes one input per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark timing loop.
+pub struct Bencher {
+    iters: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warmup iteration, then the measured loop.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iters as u32);
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`
+    /// (setup time is excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = Some(total / self.iters as u32);
+    }
+}
+
+fn run_one(
+    label: &str,
+    iters: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { iters, mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                    let gbps = n as f64 / mean.as_secs_f64() / 1e9;
+                    format!("  ({gbps:.3} GB/s)")
+                }
+                Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                    let eps = n as f64 / mean.as_secs_f64();
+                    format!("  ({eps:.0} elem/s)")
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<40} {mean:>12.3?}/iter over {iters} iters{extra}");
+        }
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<S: std::fmt::Display>(
+        &mut self,
+        id: S,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement-loop iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<S: std::fmt::Display>(
+        &mut self,
+        id: S,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

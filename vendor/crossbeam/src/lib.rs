@@ -1,0 +1,71 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::bounded` with the send/recv surface the
+//! pipelined loader uses, implemented over `std::sync::mpsc::sync_channel`
+//! (same bounded-rendezvous semantics for this workspace's usage).
+
+/// Multi-producer bounded channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have hung up.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then sends.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.0.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_roundtrip_across_threads() {
+            let (tx, rx) = bounded::<u32>(2);
+            let t = std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            t.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

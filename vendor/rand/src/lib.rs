@@ -1,0 +1,308 @@
+//! Offline stand-in for the `rand` crate (0.9-style API subset).
+//!
+//! Implements exactly the surface this workspace uses: a seedable
+//! [`rngs::SmallRng`] (xoshiro256++), the [`Rng`] extension trait with
+//! `random::<T>()` and `random_range(..)`, in-place [`seq::SliceRandom`]
+//! shuffling, and [`seq::index::sample`]. Streams are deterministic per
+//! seed but do **not** byte-match the real rand crate — all in-repo seeds
+//! and statistical assertions were validated against this generator.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a seed (same seed ⇒ same stream).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator (the `StandardUniform`
+/// distribution of rand 0.9).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 uniform mantissa bits in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Integer types usable as `random_range` endpoints.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Debiased multiply-shift (Lemire); span ≪ 2^64 in practice.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128).wrapping_mul(span as u128);
+                if (m as u64) < span {
+                    let t = span.wrapping_neg() % span;
+                    while (m as u64) < t {
+                        x = rng.next_u64();
+                        m = (x as u128).wrapping_mul(span as u128);
+                    }
+                }
+                lo.wrapping_add((m >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u32, u64, usize, i64);
+
+/// Range argument forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        usize::sample_in(rng, *self.start(), *self.end() + 1)
+    }
+}
+
+impl SampleRange<u32> for std::ops::RangeInclusive<u32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        u32::sample_in(rng, *self.start(), *self.end() + 1)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution
+    /// (floats in `[0, 1)`, fair bools, full-range ints).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a (non-empty) range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            Self {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place Fisher–Yates shuffling of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::SampleUniform::sample_in(rng, 0usize, i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Sampling of distinct indices.
+    pub mod index {
+        use super::super::RngCore;
+
+        /// A set of sampled indices.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consumes into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`
+        /// (partial Fisher–Yates).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = super::super::SampleUniform::sample_in(rng, i, length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_both_halves() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let n = 4000;
+        let lows = (0..n).filter(|_| r.random::<f64>() < 0.5).count();
+        assert!((n / 2 - n / 8..n / 2 + n / 8).contains(&lows), "{lows}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = r.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(2usize..=5);
+            assert!((2..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut r = SmallRng::seed_from_u64(17);
+        let picked = super::seq::index::sample(&mut r, 20, 8).into_vec();
+        assert_eq!(picked.len(), 8);
+        let set: std::collections::HashSet<_> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+        assert!(picked.iter().all(|&i| i < 20));
+    }
+}
