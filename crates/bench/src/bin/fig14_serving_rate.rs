@@ -1,4 +1,31 @@
 //! Regenerates fig14 (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! Flags:
+//!
+//! - `--smoke` — shrunken grids (seconds, for CI).
+//! - `--backend analytic|engine|both` — the delay-model arm (default),
+//!   the closed-loop real-engine arm, or both.
+
+use cb_bench::experiments::fig14::{run_opts, BackendArm, Fig14Opts};
+
 fn main() {
-    cb_bench::experiments::fig14::run();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let backend = match args.iter().position(|a| a == "--backend") {
+        None => BackendArm::Analytic,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("analytic") => BackendArm::Analytic,
+            Some("engine") => BackendArm::Engine,
+            Some("both") => BackendArm::Both,
+            Some(other) => {
+                eprintln!("unknown --backend {other:?} (expected analytic|engine|both)");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("--backend requires a value (analytic|engine|both)");
+                std::process::exit(2);
+            }
+        },
+    };
+    run_opts(Fig14Opts { smoke, backend });
 }

@@ -3,8 +3,25 @@
 //! Paper shape: every scheme's TTFT blows up past its saturation rate;
 //! CacheBlend's knee sits 2.8–5× further right than full recompute and
 //! prefix caching.
+//!
+//! Two arms share one queueing loop through the [`ServingBackend`] trait:
+//!
+//! - **analytic** — the paper-scale delay model per scheme (the original
+//!   arm; TTFTs in A40 seconds).
+//! - **engine** — closed loop: every simulated request is served through a
+//!   real [`EngineService`] (scheduler → tiered store → pipelined blend on
+//!   the compiled tiny model) and the *measured* wall-clock TTFTs drive
+//!   the same queueing model, so the saturation knee emerges from real
+//!   engine latencies. The rate grid is normalized to a measured probe of
+//!   the warm blend service time, mirroring how the analytic grid is
+//!   normalized to the modeled full-prefill time.
+//!
+//! [`ServingBackend`]: cb_serving::backend::ServingBackend
+//! [`EngineService`]: cb_core::scheduler::EngineService
 
 use cb_baselines::SchemeKind;
+use cb_model::ModelProfile;
+use cb_serving::backend::EngineBackend;
 use cb_serving::sim::{ServingConfig, Simulator};
 use cb_serving::workload::{Workload, WorkloadConfig};
 use cb_storage::device::DeviceKind;
@@ -12,22 +29,76 @@ use cb_storage::perf::{PaperModel, PerfModel};
 
 use crate::out::{emit, Row};
 
-/// Runs the experiment and emits rows.
+/// Which backend arm(s) to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendArm {
+    /// Paper-scale delay model only (the default; what `run` does).
+    Analytic,
+    /// Real engine measurements only.
+    Engine,
+    /// Both arms.
+    Both,
+}
+
+/// Experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig14Opts {
+    /// Shrink the grids so the experiment finishes in seconds (CI smoke).
+    pub smoke: bool,
+    /// Backend arm selection.
+    pub backend: BackendArm,
+}
+
+impl Default for Fig14Opts {
+    fn default() -> Self {
+        Self {
+            smoke: false,
+            backend: BackendArm::Analytic,
+        }
+    }
+}
+
+/// Runs the default (analytic, full-grid) experiment and emits rows.
 pub fn run() {
+    run_opts(Fig14Opts::default());
+}
+
+/// Runs the experiment with explicit options.
+pub fn run_opts(opts: Fig14Opts) {
+    let mut rows = Vec::new();
+    if matches!(opts.backend, BackendArm::Analytic | BackendArm::Both) {
+        analytic_arm(opts.smoke, &mut rows);
+    }
+    if matches!(opts.backend, BackendArm::Engine | BackendArm::Both) {
+        engine_arm(opts.smoke, &mut rows);
+    }
+    emit("fig14_serving_rate", &rows);
+}
+
+fn analytic_arm(smoke: bool, rows: &mut Vec<Row>) {
     let schemes = [
         SchemeKind::CacheBlend,
         SchemeKind::FullRecompute,
         SchemeKind::PrefixCaching,
     ];
-    let mut rows = Vec::new();
-    for pm in PaperModel::evaluation_models() {
+    let models = if smoke {
+        vec![PaperModel::Mistral7B]
+    } else {
+        PaperModel::evaluation_models().to_vec()
+    };
+    let mults: &[f64] = if smoke {
+        &[0.5, 2.0]
+    } else {
+        &[0.2, 0.5, 0.8, 1.2, 2.0, 3.5, 5.0]
+    };
+    for pm in models {
         let perf = PerfModel::on_a40(pm);
         // Rate grid scaled to each model's service time so the knee is
         // visible for all of them.
         let full_service = perf.ttft_full_prefill(6 * 512 + 32);
         let base = 1.0 / full_service;
         for (ds_name, seed) in [("Musique-ext", 21u64), ("2WikiMQA-ext", 22u64)] {
-            for mult in [0.2, 0.5, 0.8, 1.2, 2.0, 3.5, 5.0] {
+            for &mult in mults {
                 let rate = base * mult;
                 let w = Workload::generate(&WorkloadConfig::extended(rate, seed));
                 for scheme in schemes {
@@ -35,6 +106,7 @@ pub fn run() {
                     let stats = Simulator::new(cfg).run(&w);
                     rows.push(
                         Row::new("fig14")
+                            .col("backend", "analytic")
                             .col("model", perf.spec.name)
                             .col("dataset", ds_name)
                             .col("scheme", scheme.name())
@@ -42,11 +114,69 @@ pub fn run() {
                             .num("mean_ttft_s", stats.ttft.mean_s)
                             .num("p95_ttft_s", stats.ttft.p95_s)
                             .num("hit_rate", stats.hit_rate)
-                            .num("throughput_rps", stats.throughput_rps),
+                            .num("throughput_rps", stats.throughput_rps)
+                            .col("peak_queue_depth", stats.peak_queue_depth)
+                            .col("deadline_misses", stats.deadline_misses),
                     );
                 }
             }
         }
     }
-    emit("fig14_serving_rate", &rows);
+}
+
+/// The closed-loop workload shape: smaller than the paper grid because
+/// every request really runs the blend path on the compiled model.
+fn engine_workload(rate: f64, n_requests: usize, seed: u64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        rate_per_s: rate,
+        n_requests,
+        n_groups: 30,
+        n_chunks: 150,
+        chunks_per_request: 4,
+        zipf_s: 0.9,
+        shuffle_order: true,
+        seed,
+    })
+}
+
+fn engine_arm(smoke: bool, rows: &mut Vec<Row>) {
+    let n_requests = if smoke { 40 } else { 120 };
+    let mults: &[f64] = if smoke {
+        &[0.5, 3.0]
+    } else {
+        &[0.3, 0.8, 1.5, 3.0]
+    };
+
+    // Normalize the rate grid to the measured warm service time, like the
+    // analytic arm normalizes to the modeled full-prefill time.
+    let service_s = EngineBackend::single_worker(ModelProfile::Tiny).warm_service_time_s();
+    let base = 1.0 / service_s;
+
+    for &mult in mults {
+        let rate = base * mult;
+        let w = engine_workload(rate, n_requests, 23);
+        // Fresh service per rate so every point starts from a cold store,
+        // matching the analytic arm.
+        let mut backend = EngineBackend::single_worker(ModelProfile::Tiny);
+        let stats = Simulator::run_with(&w, &mut backend, Some(3.0 * service_s));
+        rows.push(
+            Row::new("fig14")
+                .col("backend", "engine")
+                .col("model", "tiny-compiled")
+                .col("dataset", "Musique-ext-small")
+                .col("scheme", SchemeKind::CacheBlend.name())
+                .num("rate_rps", rate)
+                .num("mean_ttft_s", stats.ttft.mean_s)
+                .num("p95_ttft_s", stats.ttft.p95_s)
+                .num("hit_rate", stats.hit_rate)
+                .num("throughput_rps", stats.throughput_rps)
+                .col("peak_queue_depth", stats.peak_queue_depth)
+                .col("deadline_misses", stats.deadline_misses),
+        );
+        assert_eq!(
+            backend.service().stats().completed,
+            n_requests as u64,
+            "every simulated request must be really served"
+        );
+    }
 }

@@ -16,16 +16,24 @@
 //!    store (re-precomputing entries the LRU evicted), pick the recompute
 //!    ratio, stream the entries through [`blend_pipelined`], decode, and
 //!    return a [`Response`] with the answer, the [`BlendResult`] stats, and
-//!    a [`TtftBreakdown`].
-//! 4. [`Engine::submit_many`] fans a batch across a small worker pool —
-//!    [`Engine`] is `Sync`, the store serializes itself internally.
+//!    a [`TtftBreakdown`]. [`Engine::submit_streaming`] is the same
+//!    lifecycle with per-phase [`Event`]s emitted as they happen
+//!    ([`Event::FirstToken`] when prefill completes, [`Event::Token`] per
+//!    decoded token).
+//! 4. Continuous serving goes through the
+//!    [`EngineService`](crate::scheduler::EngineService) scheduler, which
+//!    owns a worker pool and an admission queue over a shared [`Engine`]
+//!    handle — [`Engine`] is a cheap clone ([`Arc`] inside) and `Sync`; the
+//!    store serializes itself internally. [`Engine::submit_many`] is a
+//!    compatibility wrapper that routes a batch through an ephemeral
+//!    service.
 //!
 //! [`EngineError`] unifies the error surfaces ([`DecodeError`],
 //! [`StoreError`], unknown ids, empty inputs) that previously leaked from
 //! each layer separately.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cb_kv::chunk::hash_tokens;
@@ -41,9 +49,11 @@ use parking_lot::Mutex;
 use crate::controller::LoadingController;
 use crate::fusor::{BlendConfig, BlendResult};
 use crate::pipeline::blend_pipelined;
+use crate::scheduler::{EngineService, ServiceConfig};
+use crate::stream::Event;
 
 /// Unified error surface of the engine API.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     /// A requested chunk id was never registered with this engine, so a
     /// store miss cannot be repaired by precompute.
@@ -62,6 +72,12 @@ pub enum EngineError {
     Corrupt(DecodeError),
     /// The engine was misconfigured (builder-time or policy errors).
     Config(String),
+    /// The request was accepted but its scheduler shut down before a
+    /// worker finished it.
+    Canceled,
+    /// The worker serving the request panicked. The scheduler contains
+    /// the panic (the pool keeps serving); only this request fails.
+    Panicked,
 }
 
 impl std::fmt::Display for EngineError {
@@ -77,6 +93,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Corrupt(e) => write!(f, "stored cache entry corrupt: {e}"),
             EngineError::Config(msg) => write!(f, "engine misconfigured: {msg}"),
+            EngineError::Canceled => {
+                write!(f, "request canceled: scheduler shut down before completion")
+            }
+            EngineError::Panicked => {
+                write!(f, "request failed: its worker panicked while serving it")
+            }
         }
     }
 }
@@ -111,6 +133,21 @@ pub enum RatioPolicy {
     Auto,
 }
 
+/// Scheduling lane of a request in the
+/// [`EngineService`](crate::scheduler::EngineService) admission queue.
+///
+/// Within a lane requests are served FIFO. High-priority requests are
+/// served first, but the scheduler guarantees progress for the normal lane
+/// (see [`ServiceConfig::fair_burst`](crate::scheduler::ServiceConfig)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive lane, served ahead of [`Priority::Normal`].
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+}
+
 /// One serving request: retrieved chunks (by id) plus the user query.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -122,16 +159,26 @@ pub struct Request {
     pub max_new_tokens: usize,
     /// Per-request recompute-ratio override (else the engine policy).
     pub ratio: Option<f32>,
+    /// Scheduling lane when the request goes through an
+    /// [`EngineService`](crate::scheduler::EngineService).
+    pub priority: Priority,
+    /// TTFT deadline, measured from admission-queue entry to first token.
+    /// Missing it does not fail the request — the scheduler counts the
+    /// miss in its [`ServiceStats`](crate::scheduler::ServiceStats).
+    pub deadline: Option<Duration>,
 }
 
 impl Request {
-    /// A request with the default decode budget (8 tokens).
+    /// A request with the default decode budget (8 tokens), normal
+    /// priority, and no deadline.
     pub fn new(chunk_ids: Vec<ChunkId>, query: Vec<TokenId>) -> Self {
         Self {
             chunk_ids,
             query,
             max_new_tokens: 8,
             ratio: None,
+            priority: Priority::Normal,
+            deadline: None,
         }
     }
 
@@ -144,6 +191,18 @@ impl Request {
     /// Overrides the recompute ratio for this request only.
     pub fn ratio(mut self, r: f32) -> Self {
         self.ratio = Some(r);
+        self
+    }
+
+    /// Sets the scheduling lane.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets a TTFT deadline (queue entry → first token).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
         self
     }
 }
@@ -313,21 +372,32 @@ impl EngineBuilder {
             .paper
             .map(|p| LoadingController::new(PerfModel::on_a40(p)));
         Ok(Engine {
-            model,
-            store,
-            tier_devices,
-            blend: self.blend,
-            ratio_policy: self.ratio_policy,
-            controller,
-            emulate_load_delay: self.emulate_load_delay,
-            registry: Mutex::new(HashMap::new()),
+            core: Arc::new(EngineCore {
+                model,
+                store,
+                tier_devices,
+                blend: self.blend,
+                ratio_policy: self.ratio_policy,
+                controller,
+                emulate_load_delay: self.emulate_load_delay,
+                registry: Mutex::new(HashMap::new()),
+            }),
         })
     }
 }
 
-/// The CacheBlend serving engine. See the module docs for the lifecycle.
-#[derive(Debug)]
+/// The CacheBlend serving engine — a cheaply cloneable handle whose state
+/// (model, tiered store, chunk registry) lives behind an [`Arc`], so
+/// clones share one deployment. The
+/// [`EngineService`](crate::scheduler::EngineService) workers each hold a
+/// clone. See the module docs for the lifecycle.
+#[derive(Clone, Debug)]
 pub struct Engine {
+    core: Arc<EngineCore>,
+}
+
+#[derive(Debug)]
+struct EngineCore {
     model: Model,
     store: KvStore,
     tier_devices: Vec<DeviceKind>,
@@ -342,23 +412,59 @@ pub struct Engine {
 impl Engine {
     /// The engine's model (for vocabulary access and baselines).
     pub fn model(&self) -> &Model {
-        &self.model
+        &self.core.model
     }
 
     /// The tiered KV store (for stats and capacity inspection).
     pub fn store(&self) -> &KvStore {
-        &self.store
+        &self.core.store
     }
 
     /// The engine's loading controller, when a paper model is configured.
     pub fn controller(&self) -> Option<&LoadingController> {
-        self.controller.as_ref()
+        self.core.controller.as_ref()
     }
 
     /// Registers a chunk: content-hashes the tokens, precomputes its
     /// standalone KV cache if the store does not already hold it, and
     /// returns the chunk's id for use in [`Request::chunk_ids`].
     pub fn register_chunk(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        self.core.register_chunk(tokens)
+    }
+
+    /// Registers many chunks, returning ids in input order.
+    pub fn register_chunks(&self, chunks: &[Vec<TokenId>]) -> Result<Vec<ChunkId>, EngineError> {
+        chunks.iter().map(|c| self.register_chunk(c)).collect()
+    }
+
+    /// Registers a chunk *without* precomputing its KV cache: only the
+    /// tokens enter the registry, and the cache is computed on the chunk's
+    /// first use (charged to that request as a store miss). Use this when
+    /// registration must not pay the precompute up front — e.g. serving
+    /// backends that measure cold-start admissions.
+    pub fn register_chunk_lazy(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        self.core.register_tokens(tokens)
+    }
+
+    /// Forgets a chunk: drops its tokens from the registry *and* its KV
+    /// entry from the store, so both the registry retention and the
+    /// entry's resident bytes are reclaimed. Long-running deployments
+    /// whose chunk corpus churns should unregister retired chunks. After
+    /// this, requests naming `id` fail with [`EngineError::UnknownChunk`].
+    pub fn unregister_chunk(&self, id: ChunkId) -> bool {
+        let registered = self.core.registry.lock().remove(&id).is_some();
+        let stored = self.core.store.remove(id);
+        registered || stored
+    }
+
+    /// Number of chunks currently registered.
+    pub fn registered_chunks(&self) -> usize {
+        self.core.registry.lock().len()
+    }
+}
+
+impl EngineCore {
+    fn register_tokens(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
         if tokens.is_empty() {
             return Err(EngineError::EmptyChunk);
         }
@@ -369,30 +475,15 @@ impl Engine {
             .lock()
             .entry(id)
             .or_insert_with(|| tokens.to_vec());
+        Ok(id)
+    }
+
+    fn register_chunk(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        let id = self.register_tokens(tokens)?;
         if !self.store.contains(id) {
             self.precompute_into_store(id, tokens)?;
         }
         Ok(id)
-    }
-
-    /// Registers many chunks, returning ids in input order.
-    pub fn register_chunks(&self, chunks: &[Vec<TokenId>]) -> Result<Vec<ChunkId>, EngineError> {
-        chunks.iter().map(|c| self.register_chunk(c)).collect()
-    }
-
-    /// Forgets a chunk: drops its tokens from the registry (the store's
-    /// LRU keeps or evicts the KV entry independently). The registry
-    /// retains every registered chunk's tokens so evicted entries can be
-    /// re-precomputed — long-running deployments whose chunk corpus churns
-    /// should unregister retired chunks to bound that retention. After
-    /// this, requests naming `id` fail with [`EngineError::UnknownChunk`].
-    pub fn unregister_chunk(&self, id: ChunkId) -> bool {
-        self.registry.lock().remove(&id).is_some()
-    }
-
-    /// Number of chunks currently registered.
-    pub fn registered_chunks(&self) -> usize {
-        self.registry.lock().len()
     }
 
     fn precompute_into_store(
@@ -403,16 +494,24 @@ impl Engine {
         let cache = cb_kv::precompute::precompute_chunk(&self.model, tokens);
         let bytes = encode(&cache);
         self.store.insert_bytes(id, bytes.clone())?;
+        // A concurrent unregister_chunk may have run between our registry
+        // read and this insert; it removes the registry entry *before* the
+        // store entry, so if the registry no longer names the chunk we
+        // must undo the insert ourselves or the bytes leak unreachably
+        // (the in-flight request still serves from `bytes`).
+        if !self.registry.lock().contains_key(&id) {
+            self.store.remove(id);
+        }
         Ok(bytes)
     }
 
-    /// Serves one request. See the module docs for the lifecycle; returns
-    /// the decoded answer plus blend statistics and a TTFT breakdown.
-    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
-        self.submit_ref(&request)
-    }
-
-    fn submit_ref(&self, request: &Request) -> Result<Response, EngineError> {
+    /// The full request lifecycle with per-phase event emission; see
+    /// [`Engine::submit_streaming`].
+    fn submit_streaming(
+        &self,
+        request: &Request,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<Response, EngineError> {
         if request.query.is_empty() {
             return Err(EngineError::EmptyQuery);
         }
@@ -485,20 +584,15 @@ impl Engine {
         };
 
         let out = blend_pipelined(&self.model, cfg, parts, &request.query, throttle)?;
-        let t_dec = Instant::now();
-        let mut blend = out.result;
-        let answer = self.model.decode_greedy(
-            &mut blend.cache,
-            &blend.last_residual,
-            request.max_new_tokens,
-        );
-        let decode = t_dec.elapsed();
 
-        let ttft = TtftBreakdown {
+        // Prefill is complete — the next computed row is the first answer
+        // token. The breakdown emitted here is the TTFT measurement;
+        // `decode`/`total` are finalized in the response's copy.
+        let mut ttft = TtftBreakdown {
             precompute,
             load_wait: out.report.wait,
             recompute: out.report.total.saturating_sub(out.report.wait),
-            decode,
+            decode: Duration::ZERO,
             total: t0.elapsed(),
             // Charge hits as pipelined blend from the serving tier and
             // misses as full prefill — the same split the serving
@@ -515,6 +609,18 @@ impl Engine {
                 .ttft_s
             }),
         };
+        emit(Event::FirstToken(ttft));
+
+        let t_dec = Instant::now();
+        let mut blend = out.result;
+        let answer = self.model.decode_greedy_with(
+            &mut blend.cache,
+            &blend.last_residual,
+            request.max_new_tokens,
+            &mut |t| emit(Event::Token(t)),
+        );
+        ttft.decode = t_dec.elapsed();
+        ttft.total = t0.elapsed();
         Ok(Response {
             answer,
             blend,
@@ -523,10 +629,39 @@ impl Engine {
             chunk_sources,
         })
     }
+}
 
-    /// Serves a batch concurrently over a small worker pool, returning
-    /// per-request results in input order. The engine is `Sync`: workers
-    /// share the store (internally locked) and the read-only model.
+impl Engine {
+    /// Serves one request. See the module docs for the lifecycle; returns
+    /// the decoded answer plus blend statistics and a TTFT breakdown.
+    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
+        self.core.submit_streaming(&request, &mut |_| {})
+    }
+
+    /// Serves one request, emitting streaming [`Event`]s as each phase
+    /// completes: [`Event::FirstToken`] when prefill finishes (that
+    /// breakdown *is* the TTFT measurement — its `decode` is zero) and
+    /// [`Event::Token`] per decoded answer token. The returned response is
+    /// identical to [`Engine::submit`]'s. The
+    /// [`EngineService`](crate::scheduler::EngineService) scheduler wraps
+    /// this with [`Event::Queued`]/[`Event::Admitted`]/[`Event::Done`].
+    pub fn submit_streaming(
+        &self,
+        request: &Request,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<Response, EngineError> {
+        self.core.submit_streaming(request, emit)
+    }
+
+    /// Serves a batch concurrently, returning per-request results in input
+    /// order.
+    ///
+    /// Compatibility wrapper over the streaming scheduler: the batch is
+    /// routed through an ephemeral
+    /// [`EngineService`](crate::scheduler::EngineService) sized to the
+    /// batch (so batch serving and continuous serving exercise one code
+    /// path). Deployments serving an ongoing request stream should hold a
+    /// long-lived service instead of calling this repeatedly.
     pub fn submit_many(&self, requests: Vec<Request>) -> Vec<Result<Response, EngineError>> {
         let n = requests.len();
         if n == 0 {
@@ -538,28 +673,20 @@ impl Engine {
             .min(n)
             .min(8);
         if workers <= 1 {
-            return requests.iter().map(|r| self.submit_ref(r)).collect();
+            return requests
+                .iter()
+                .map(|r| self.core.submit_streaming(r, &mut |_| {}))
+                .collect();
         }
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<Response, EngineError>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let res = self.submit_ref(&requests[i]);
-                    slots.lock()[i] = Some(res);
-                });
-            }
-        });
-        slots
-            .into_inner()
+        let service = EngineService::new(
+            self.clone(),
+            ServiceConfig::default().workers(workers).queue_capacity(n),
+        );
+        let streams: Vec<_> = requests
             .into_iter()
-            .map(|r| r.expect("worker pool filled every slot"))
-            .collect()
+            .map(|r| service.submit_stream(r))
+            .collect();
+        streams.into_iter().map(|s| s.collect()).collect()
     }
 }
 
@@ -752,6 +879,48 @@ mod tests {
         assert_eq!(e.registered_chunks(), 1);
         let err = e.submit(Request::new(ids.clone(), q)).unwrap_err();
         assert_eq!(err, EngineError::UnknownChunk(ids[0]));
+    }
+
+    #[test]
+    fn unregister_reclaims_store_capacity() {
+        // Regression: unregistering used to drop only the registry tokens
+        // and leave the serialized KV entry resident, so the "freed"
+        // capacity could never be reused.
+        let e = engine();
+        let (c1, c2, _, _) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        let used_both = e.store().tier_used(0);
+        assert!(used_both > 0);
+        assert!(e.unregister_chunk(ids[0]));
+        assert!(!e.store().contains(ids[0]), "KV entry must be dropped too");
+        assert!(e.store().tier_used(0) < used_both);
+        assert!(e.unregister_chunk(ids[1]));
+        assert_eq!(e.store().tier_used(0), 0, "all bytes reclaimed");
+        assert_eq!(e.store().len(), 0);
+    }
+
+    #[test]
+    fn lazy_registration_defers_precompute_to_first_use() {
+        let e = engine();
+        let (c1, _, q, _) = scenario(&e);
+        let id = e.register_chunk_lazy(&c1).unwrap();
+        assert!(!e.store().contains(id), "no KV precomputed at registration");
+        assert_eq!(e.registered_chunks(), 1);
+        let resp = e.submit(Request::new(vec![id], q).ratio(0.45)).unwrap();
+        assert_eq!(resp.chunk_sources, vec![ChunkSource::Precomputed]);
+        assert!(e.store().contains(id), "first use populated the store");
+    }
+
+    #[test]
+    fn engine_clones_share_state() {
+        let e = engine();
+        let (c1, _, q, _) = scenario(&e);
+        let clone = e.clone();
+        let id = clone.register_chunk(&c1).unwrap();
+        assert_eq!(e.registered_chunks(), 1, "clones share the registry");
+        assert!(e.store().contains(id));
+        let resp = e.submit(Request::new(vec![id], q).ratio(0.45)).unwrap();
+        assert_eq!(resp.chunk_sources, vec![ChunkSource::Hit { tier: 0 }]);
     }
 
     #[test]

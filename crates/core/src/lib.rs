@@ -20,6 +20,10 @@
 //! - [`pipeline`] — layer-streaming loader overlapped with recompute (§6).
 //! - [`engine`] — the request/response serving front door tying the above
 //!   to the tiered KV store (`register_chunk` → `submit`/`submit_many`).
+//! - [`scheduler`] — the persistent [`EngineService`]: bounded admission
+//!   queue with priority lanes, long-lived worker pool, backpressure.
+//! - [`stream`] — the per-request [`Event`] lifecycle and
+//!   [`ResponseStream`] (`Queued → Admitted → FirstToken → Token* → Done`).
 
 pub mod controller;
 pub mod deviation;
@@ -27,9 +31,13 @@ pub mod engine;
 pub mod fusor;
 pub mod pipeline;
 pub mod rope_align;
+pub mod scheduler;
+pub mod stream;
 
 pub use controller::LoadingController;
 pub use engine::{
-    Engine, EngineBuilder, EngineError, RatioPolicy, Request, Response, TtftBreakdown,
+    Engine, EngineBuilder, EngineError, Priority, RatioPolicy, Request, Response, TtftBreakdown,
 };
 pub use fusor::{BlendConfig, BlendResult, Fusor, Selection};
+pub use scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError};
+pub use stream::{Event, ResponseStream};

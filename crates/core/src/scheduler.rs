@@ -1,0 +1,605 @@
+//! The persistent scheduler: [`EngineService`] owns a long-lived worker
+//! pool over a shared [`Engine`] handle and serves streaming responses.
+//!
+//! Where [`Engine::submit`] is one-shot and synchronous, the service is a
+//! request-lifecycle front end for continuous serving:
+//!
+//! - **Bounded admission queue** with two lanes ([`Priority::High`] /
+//!   [`Priority::Normal`]), FIFO within a lane. A full queue pushes back:
+//!   [`EngineService::try_submit_stream`] returns
+//!   [`TrySubmitError::QueueFull`] (returning the request to the caller),
+//!   while [`EngineService::submit_stream`] blocks until space frees.
+//! - **Anti-starvation**: after [`ServiceConfig::fair_burst`] consecutive
+//!   high-lane dispatches while normal work waits, the next dispatch comes
+//!   from the normal lane, so neither lane starves.
+//! - **Streaming**: every submission returns a [`ResponseStream`] yielding
+//!   [`Event`]s (`Queued → Admitted → FirstToken → Token* → Done`);
+//!   `ResponseStream::collect()` recovers the one-shot shape.
+//! - **Observability**: [`ServiceStats`] counts submissions, rejections,
+//!   completions, failures, TTFT-deadline misses, and the peak queue
+//!   depth.
+//!
+//! Workers drain the queue on shutdown ([`EngineService`]'s `Drop` joins
+//! them), so every accepted request reaches a terminal event as long as at
+//! least one worker exists.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Sender};
+
+use crate::engine::{Engine, EngineError, Priority, Request, Response};
+use crate::stream::{Event, ResponseStream};
+
+/// Configuration of an [`EngineService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads serving the queue. `0` creates a *paused* service
+    /// whose queue never drains — useful for testing admission
+    /// backpressure deterministically (pair with
+    /// [`EngineService::try_submit_stream`]; a blocking submit against a
+    /// full paused queue would wait forever).
+    pub workers: usize,
+    /// Maximum requests waiting across both lanes (admitted-but-running
+    /// requests do not count).
+    pub queue_capacity: usize,
+    /// Consecutive high-lane dispatches allowed while normal-lane work is
+    /// waiting before one normal request is dispatched.
+    pub fair_burst: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(4),
+            queue_capacity: 64,
+            fair_burst: 4,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (a zero-capacity queue could admit nothing).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "queue capacity must be positive");
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the anti-starvation burst length.
+    pub fn fair_burst(mut self, n: usize) -> Self {
+        self.fair_burst = n;
+        self
+    }
+}
+
+/// Error returned by [`EngineService::try_submit_stream`].
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// The admission queue is at capacity; the request is handed back so
+    /// the caller can retry, shed, or block.
+    QueueFull(Request),
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::QueueFull(_) => write!(f, "admission queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// Counters of a service's lifetime (monotone; read with
+/// [`EngineService::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected with [`TrySubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Requests that reached [`Event::Done`].
+    pub completed: u64,
+    /// Requests that reached [`Event::Failed`].
+    pub failed: u64,
+    /// Requests whose first token arrived after their
+    /// [`Request::deadline`].
+    pub deadline_misses: u64,
+    /// Requests skipped because the client dropped the
+    /// [`ResponseStream`] while they were still queued.
+    pub canceled: u64,
+    /// Highest number of requests simultaneously waiting in the queue.
+    pub peak_queue_depth: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_misses: AtomicU64,
+    canceled: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Two FIFO lanes with a total capacity and an anti-starvation dispatch
+/// rule: at most `fair_burst` consecutive high-lane pops while the normal
+/// lane is non-empty.
+#[derive(Debug)]
+struct LaneQueue<T> {
+    high: VecDeque<T>,
+    normal: VecDeque<T>,
+    capacity: usize,
+    fair_burst: usize,
+    high_streak: usize,
+}
+
+impl<T> LaneQueue<T> {
+    fn new(capacity: usize, fair_burst: usize) -> Self {
+        Self {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            capacity,
+            fair_burst,
+            high_streak: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Enqueues into the lane for `priority`, or hands the item back when
+    /// at capacity.
+    fn push(&mut self, priority: Priority, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        match priority {
+            Priority::High => self.high.push_back(item),
+            Priority::Normal => self.normal.push_back(item),
+        }
+        Ok(())
+    }
+
+    /// Dispatches the next item under the fairness rule. The streak only
+    /// accumulates while normal-lane work is actually waiting.
+    fn pop(&mut self) -> Option<T> {
+        if self.normal.is_empty() {
+            self.high_streak = 0;
+            return self.high.pop_front();
+        }
+        if self.high.is_empty() || self.high_streak >= self.fair_burst {
+            self.high_streak = 0;
+            return self.normal.pop_front();
+        }
+        self.high_streak += 1;
+        self.high.pop_front()
+    }
+}
+
+/// One queued request plus its event channel.
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    tx: Sender<Event>,
+    enqueued: Instant,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    queue: LaneQueue<Job>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<SchedState>,
+    /// Workers wait here for jobs (or shutdown).
+    jobs_cv: Condvar,
+    /// Blocking submitters wait here for queue space.
+    space_cv: Condvar,
+    stats: AtomicStats,
+}
+
+/// The persistent streaming scheduler over an [`Engine`]. See the module
+/// docs for the lifecycle; dropping the service shuts the pool down after
+/// draining the queue.
+#[derive(Debug)]
+pub struct EngineService {
+    engine: Engine,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EngineService {
+    /// Starts the service: spawns `cfg.workers` threads, each holding a
+    /// clone of `engine` (clones share the store, registry, and model).
+    pub fn new(engine: Engine, cfg: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue: LaneQueue::new(cfg.queue_capacity.max(1), cfg.fair_burst.max(1)),
+                shutdown: false,
+            }),
+            jobs_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            stats: AtomicStats::default(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let engine = engine.clone();
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(engine, shared))
+            })
+            .collect();
+        Self {
+            engine,
+            shared,
+            workers,
+        }
+    }
+
+    /// The engine this service schedules over (register chunks here).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Submits a request, blocking while the admission queue is full, and
+    /// returns its event stream. The stream's first event is
+    /// [`Event::Queued`].
+    pub fn submit_stream(&self, request: Request) -> ResponseStream {
+        let (tx, rx) = channel::unbounded();
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                // tx drops here: the stream closes without a terminal
+                // event and collect() reports Canceled.
+                return ResponseStream::new(rx);
+            }
+            if !st.queue.is_full() {
+                break;
+            }
+            st = self.shared.space_cv.wait(st).unwrap();
+        }
+        let _ = tx.send(Event::Queued);
+        self.enqueue_locked(&mut st, request, tx);
+        drop(st);
+        self.shared.jobs_cv.notify_one();
+        ResponseStream::new(rx)
+    }
+
+    /// Non-blocking submit: on a full queue the request is handed back in
+    /// [`TrySubmitError::QueueFull`] instead of waiting.
+    pub fn try_submit_stream(&self, request: Request) -> Result<ResponseStream, TrySubmitError> {
+        let (tx, rx) = channel::unbounded();
+        let mut st = self.shared.state.lock().unwrap();
+        if st.queue.is_full() || st.shutdown {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(TrySubmitError::QueueFull(request));
+        }
+        let _ = tx.send(Event::Queued);
+        self.enqueue_locked(&mut st, request, tx);
+        drop(st);
+        self.shared.jobs_cv.notify_one();
+        Ok(ResponseStream::new(rx))
+    }
+
+    fn enqueue_locked(&self, st: &mut SchedState, request: Request, tx: Sender<Event>) {
+        let priority = request.priority;
+        let job = Job {
+            request,
+            tx,
+            enqueued: Instant::now(),
+        };
+        st.queue
+            .push(priority, job)
+            .unwrap_or_else(|_| unreachable!("capacity checked under the same lock"));
+        let stats = &self.shared.stats;
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        stats
+            .peak_queue_depth
+            .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Blocking one-shot convenience: `submit_stream(request).collect()`.
+    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
+        self.submit_stream(request).collect()
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for EngineService {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.jobs_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(engine: Engine, shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop() {
+                    shared.space_cv.notify_one();
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.jobs_cv.wait(st).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+
+        // If the client already dropped the stream, skip the blend — no
+        // one is listening, and the lane is better spent on live requests.
+        if job.tx.send(Event::Admitted).is_err() {
+            shared.stats.canceled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let mut first_token_at = None;
+        // A panic anywhere in the blend/decode path must not kill the
+        // worker — that would silently shrink the pool and leave queued
+        // streams hanging. Contain it and fail only this request.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.submit_streaming(&job.request, &mut |event| {
+                if first_token_at.is_none() && matches!(event, Event::FirstToken(_)) {
+                    first_token_at = Some(Instant::now());
+                }
+                let _ = job.tx.send(event);
+            })
+        }))
+        .unwrap_or(Err(EngineError::Panicked));
+        if let (Some(deadline), Some(at)) = (job.request.deadline, first_token_at) {
+            if at.duration_since(job.enqueued) > deadline {
+                shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        match result {
+            Ok(resp) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Event::Done(resp));
+            }
+            Err(err) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Event::Failed(err));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use cb_model::ModelProfile;
+    use cb_tokenizer::TokenKind::*;
+
+    #[test]
+    fn lane_queue_respects_capacity() {
+        let mut q: LaneQueue<u32> = LaneQueue::new(2, 4);
+        assert!(q.push(Priority::Normal, 1).is_ok());
+        assert!(q.push(Priority::High, 2).is_ok());
+        assert_eq!(q.push(Priority::High, 3), Err(3));
+        q.pop();
+        assert!(q.push(Priority::Normal, 3).is_ok());
+    }
+
+    #[test]
+    fn lane_queue_serves_high_first_but_never_starves_normal() {
+        // 20 high + 4 normal items, fair_burst = 3: with the normal lane
+        // non-empty throughout its residence, a normal item must surface at
+        // least every fair_burst + 1 dispatches.
+        let mut q: LaneQueue<(Priority, u32)> = LaneQueue::new(64, 3);
+        for i in 0..20 {
+            q.push(Priority::High, (Priority::High, i)).unwrap();
+        }
+        for i in 0..4 {
+            q.push(Priority::Normal, (Priority::Normal, i)).unwrap();
+        }
+        let order: Vec<(Priority, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order.len(), 24);
+        assert_eq!(order[0].0, Priority::High, "high lane is served first");
+        let normal_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| *p == Priority::Normal)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(normal_positions.len(), 4);
+        // First normal item within the first burst window; consecutive
+        // normal dispatches no further than a burst apart.
+        assert!(normal_positions[0] <= 3, "positions {normal_positions:?}");
+        for w in normal_positions.windows(2) {
+            assert!(w[1] - w[0] <= 4, "positions {normal_positions:?}");
+        }
+        // FIFO within each lane.
+        let highs: Vec<u32> = order
+            .iter()
+            .filter(|(p, _)| *p == Priority::High)
+            .map(|&(_, i)| i)
+            .collect();
+        assert_eq!(highs, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_queue_streak_resets_when_normal_lane_is_empty() {
+        let mut q: LaneQueue<u32> = LaneQueue::new(8, 2);
+        q.push(Priority::High, 0).unwrap();
+        q.push(Priority::High, 1).unwrap();
+        q.push(Priority::High, 2).unwrap();
+        // Normal lane empty: pops don't accumulate a streak.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(Priority::Normal, 10).unwrap();
+        q.push(Priority::High, 3).unwrap();
+        q.push(Priority::High, 4).unwrap();
+        // Full burst of high available before the waiting normal.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(10), "burst of 2 exhausted");
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    fn service(workers: usize, capacity: usize) -> EngineService {
+        let engine = EngineBuilder::new(ModelProfile::Tiny).build().unwrap();
+        EngineService::new(
+            engine,
+            ServiceConfig::default()
+                .workers(workers)
+                .queue_capacity(capacity),
+        )
+    }
+
+    #[test]
+    fn stream_yields_lifecycle_in_order_and_collect_answers() {
+        let s = service(2, 8);
+        let v = s.engine().model().cfg.vocab.clone();
+        let c1: Vec<_> = [Entity(5), Attr(0), Value(1), Sep]
+            .map(|k| v.id(k))
+            .to_vec();
+        let c2: Vec<_> = [Ref, Attr(3), Value(9), Sep].map(|k| v.id(k)).to_vec();
+        let ids = s.engine().register_chunks(&[c1, c2]).unwrap();
+        let q: Vec<_> = [Query, Entity(5), Attr(3), QMark].map(|k| v.id(k)).to_vec();
+
+        let stream = s.submit_stream(Request::new(ids, q).ratio(0.45).max_new_tokens(4));
+        let mut events = Vec::new();
+        for e in stream {
+            events.push(e);
+        }
+        assert!(matches!(events[0], Event::Queued));
+        assert!(matches!(events[1], Event::Admitted));
+        assert!(matches!(events[2], Event::FirstToken(_)));
+        let tokens: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Token(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let Event::Done(resp) = events.last().unwrap() else {
+            panic!("missing terminal Done: {events:?}");
+        };
+        assert_eq!(tokens, resp.answer, "streamed tokens match the answer");
+        assert_eq!(resp.answer, vec![v.id(Value(9))]);
+        assert_eq!(s.stats().completed, 1);
+    }
+
+    #[test]
+    fn failures_stream_a_terminal_failed_event() {
+        let s = service(1, 4);
+        let v = s.engine().model().cfg.vocab.clone();
+        let q = vec![v.id(Query), v.id(QMark)];
+        let err = s
+            .submit_stream(Request::new(vec![cb_kv::ChunkId(99)], q))
+            .collect()
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownChunk(cb_kv::ChunkId(99)));
+        assert_eq!(s.stats().failed, 1);
+    }
+
+    #[test]
+    fn paused_service_backpressures_with_queue_full() {
+        // workers = 0: nothing drains, so the capacity-2 queue fills
+        // deterministically and the third submit is pushed back.
+        let s = service(0, 2);
+        let v = s.engine().model().cfg.vocab.clone();
+        let chunk = vec![v.id(Entity(1)), v.id(Attr(1)), v.id(Value(1))];
+        let id = s.engine().register_chunk(&chunk).unwrap();
+        let q = vec![v.id(Query), v.id(QMark)];
+        let mk = || Request::new(vec![id], q.clone());
+
+        let _s1 = s.try_submit_stream(mk()).expect("first fits");
+        let _s2 = s.try_submit_stream(mk()).expect("second fits");
+        match s.try_submit_stream(mk()) {
+            Err(TrySubmitError::QueueFull(req)) => assert_eq!(req.chunk_ids, vec![id]),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(s.queue_depth(), 2);
+        let st = s.stats();
+        assert_eq!((st.submitted, st.rejected), (2, 1));
+        assert_eq!(st.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn dropping_a_paused_service_cancels_queued_streams() {
+        let s = service(0, 2);
+        let v = s.engine().model().cfg.vocab.clone();
+        let id = s
+            .engine()
+            .register_chunk(&[v.id(Entity(1)), v.id(Value(1))])
+            .unwrap();
+        let stream = s
+            .try_submit_stream(Request::new(vec![id], vec![v.id(Query), v.id(QMark)]))
+            .unwrap();
+        drop(s);
+        assert_eq!(stream.collect().unwrap_err(), EngineError::Canceled);
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        let s = service(1, 8);
+        let v = s.engine().model().cfg.vocab.clone();
+        let id = s
+            .engine()
+            .register_chunk(&[v.id(Entity(2)), v.id(Attr(1)), v.id(Value(3)), v.id(Sep)])
+            .unwrap();
+        let q = vec![v.id(Query), v.id(Entity(2)), v.id(Attr(1)), v.id(QMark)];
+        // An impossible deadline is always missed; a generous one never is.
+        s.submit(Request::new(vec![id], q.clone()).deadline(std::time::Duration::ZERO))
+            .unwrap();
+        s.submit(Request::new(vec![id], q).deadline(std::time::Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(s.stats().deadline_misses, 1);
+    }
+}

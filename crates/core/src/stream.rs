@@ -1,0 +1,102 @@
+//! Streaming responses: the per-request [`Event`] lifecycle and the
+//! [`ResponseStream`] handle returned by
+//! [`EngineService::submit_stream`](crate::scheduler::EngineService::submit_stream).
+//!
+//! Every request admitted to the scheduler produces one event stream:
+//!
+//! ```text
+//! Queued → Admitted → FirstToken(ttft) → Token* → Done(response)
+//!                                                  └ or Failed(error)
+//! ```
+//!
+//! Events always arrive in that order. `FirstToken` fires the moment
+//! prefill (the blend) completes — its [`TtftBreakdown`] is the TTFT
+//! measurement. `Token` fires once per decoded answer token (requests
+//! whose first logits already terminate the answer stream zero `Token`
+//! events). Exactly one terminal event (`Done` or `Failed`) closes the
+//! stream; if the service shuts down first, the stream ends without a
+//! terminal event and [`ResponseStream::collect`] reports
+//! [`EngineError::Canceled`].
+
+use cb_tokenizer::TokenId;
+use crossbeam::channel::Receiver;
+
+use crate::engine::{EngineError, Response, TtftBreakdown};
+
+/// One step in a request's lifecycle, in stream order.
+// The Done variant carries the full Response by design (the terminal
+// event moves once per request, never copies), so the size skew between
+// variants is acceptable.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The request was accepted into the admission queue.
+    Queued,
+    /// A scheduler worker picked the request up and started serving it.
+    Admitted,
+    /// Prefill (pipelined blend) completed; decoding begins. The
+    /// breakdown is the TTFT measurement (its `decode` field is zero).
+    FirstToken(TtftBreakdown),
+    /// One decoded answer token.
+    Token(TokenId),
+    /// Terminal: the request completed. The response's `ttft` carries the
+    /// finalized decode/total durations.
+    Done(Response),
+    /// Terminal: the request failed.
+    Failed(EngineError),
+}
+
+impl Event {
+    /// True for the terminal events ([`Event::Done`] / [`Event::Failed`]).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Event::Done(_) | Event::Failed(_))
+    }
+}
+
+/// Receiving end of one request's event stream. Iterate it for the events
+/// as they happen, or call [`ResponseStream::collect`] to block until the
+/// terminal event and recover the one-shot
+/// [`Engine::submit`](crate::engine::Engine::submit) shape.
+#[derive(Debug)]
+pub struct ResponseStream {
+    rx: Receiver<Event>,
+}
+
+impl ResponseStream {
+    pub(crate) fn new(rx: Receiver<Event>) -> Self {
+        Self { rx }
+    }
+
+    /// Blocks for the next event; `None` once the stream is closed (after
+    /// the terminal event, or if the service shut down mid-flight).
+    pub fn recv(&self) -> Option<Event> {
+        self.rx.recv().ok()
+    }
+
+    /// Returns a buffered event without blocking.
+    pub fn try_recv(&self) -> Option<Event> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks until the stream's terminal event and returns the one-shot
+    /// response — equivalent to [`Engine::submit`](crate::engine::Engine::submit)
+    /// for the same request. Intermediate events are drained and dropped.
+    pub fn collect(self) -> Result<Response, EngineError> {
+        for event in self {
+            match event {
+                Event::Done(resp) => return Ok(resp),
+                Event::Failed(err) => return Err(err),
+                _ => {}
+            }
+        }
+        Err(EngineError::Canceled)
+    }
+}
+
+impl Iterator for ResponseStream {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        self.rx.recv().ok()
+    }
+}

@@ -18,7 +18,7 @@ use cb_tensor::Matrix;
 const MAGIC: u32 = 0x4342_4b56; // "CBKV"
 
 /// Errors surfaced when decoding a serialized cache entry.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
     /// Buffer too short for the declared sizes.
     Truncated,

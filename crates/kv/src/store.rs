@@ -57,6 +57,7 @@ struct Inner {
     tiers: Vec<TierState>,
     clock: u64,
     stats: StoreStats,
+    peak_bytes: u64,
 }
 
 /// Errors returned by store operations.
@@ -110,6 +111,7 @@ impl KvStore {
                     .collect(),
                 clock: 0,
                 stats: StoreStats::default(),
+                peak_bytes: 0,
             }),
         }
     }
@@ -168,6 +170,8 @@ impl KvStore {
                 },
             );
             inner.stats.inserts += 1;
+            let used: u64 = inner.tiers.iter().map(|tier| tier.used).sum();
+            inner.peak_bytes = inner.peak_bytes.max(used);
             return Ok(t);
         }
         Err(StoreError::TooLarge { size })
@@ -203,6 +207,19 @@ impl KvStore {
         None
     }
 
+    /// Removes an entry from whichever tier holds it, reclaiming its
+    /// bytes. Returns `true` if an entry was present.
+    pub fn remove(&self, id: ChunkId) -> bool {
+        let mut inner = self.inner.lock();
+        for tier in &mut inner.tiers {
+            if let Some(e) = tier.entries.remove(&id) {
+                tier.used -= e.size;
+                return true;
+            }
+        }
+        false
+    }
+
     /// True if the id is cached on any tier (does not bump recency or
     /// stats).
     pub fn contains(&self, id: ChunkId) -> bool {
@@ -224,6 +241,17 @@ impl KvStore {
     /// Bytes used on a tier.
     pub fn tier_used(&self, tier: usize) -> u64 {
         self.inner.lock().tiers[tier].used
+    }
+
+    /// Bytes used across all tiers.
+    pub fn used_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.tiers.iter().map(|t| t.used).sum()
+    }
+
+    /// High-water mark of [`KvStore::used_bytes`] over the store's life.
+    pub fn peak_bytes(&self) -> u64 {
+        self.inner.lock().peak_bytes
     }
 
     /// Snapshot of the counters.
@@ -352,5 +380,22 @@ mod tests {
         assert_eq!(s.tier_used(0), 0);
         s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
         assert_eq!(s.tier_used(0), entry_size(2));
+    }
+
+    #[test]
+    fn remove_reclaims_capacity() {
+        let s = KvStore::single("ram", 1 << 20);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        assert!(s.tier_used(0) > 0);
+        assert!(s.remove(ChunkId(1)));
+        assert!(!s.contains(ChunkId(1)));
+        assert_eq!(s.tier_used(0), 0);
+        assert_eq!(s.len(), 0);
+        assert!(!s.remove(ChunkId(1)), "second removal is a no-op");
+        assert_eq!(
+            s.peak_bytes(),
+            entry_size(2),
+            "peak survives removal as a high-water mark"
+        );
     }
 }

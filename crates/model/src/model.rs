@@ -241,6 +241,19 @@ impl Model {
         last_residual: &[f32],
         max_tokens: usize,
     ) -> Vec<TokenId> {
+        self.decode_greedy_with(cache, last_residual, max_tokens, &mut |_| {})
+    }
+
+    /// [`Model::decode_greedy`] with a per-token callback: `on_token` fires
+    /// as each answer token is committed (before its forward pass extends
+    /// the cache), which lets callers stream tokens out while decoding.
+    pub fn decode_greedy_with(
+        &self,
+        cache: &mut KvCache,
+        last_residual: &[f32],
+        max_tokens: usize,
+        on_token: &mut dyn FnMut(TokenId),
+    ) -> Vec<TokenId> {
         let mut out = Vec::new();
         let mut logits = self.logits(last_residual);
         for _ in 0..max_tokens {
@@ -249,6 +262,7 @@ impl Model {
                 break;
             }
             out.push(next);
+            on_token(next);
             let pos = cache.positions.last().map(|&p| p + 1).unwrap_or(0);
             let x = self.forward_rows(&[next], &[pos], cache, None);
             logits = self.logits(x.row(0));

@@ -11,16 +11,27 @@
 //! store one entry per *prefix*, not per chunk — the storage blow-up §7.2
 //! discusses), and pipelined load/recompute for CacheBlend.
 //!
+//! The simulator is generic over a [`backend::ServingBackend`]: the
+//! analytic delay model prices admissions on paper-scale hardware, while
+//! [`backend::EngineBackend`] serves every simulated request through a
+//! real [`EngineService`](cb_core::scheduler::EngineService) and feeds the
+//! *measured* blend TTFTs back into the same queueing loop — the
+//! closed-loop Figure-14 arm.
+//!
 //! Modules:
 //!
 //! - [`workload`] — seeded Poisson request streams with popularity-skewed
 //!   chunk reuse (the "extended dataset" construction).
-//! - [`sim`] — the event loop and per-scheme service-time models.
+//! - [`backend`] — the [`backend::ServingBackend`] trait, the analytic
+//!   per-scheme service-time models, and the real-engine backend.
+//! - [`sim`] — the event loop (queueing, TTFT, queue depth, deadlines).
 //! - [`stats`] — latency summaries.
 
+pub mod backend;
 pub mod sim;
 pub mod stats;
 pub mod workload;
 
+pub use backend::{Admission, AnalyticBackend, BackendSummary, EngineBackend, ServingBackend};
 pub use sim::{ServingConfig, ServingStats, Simulator};
 pub use workload::{Request, Workload, WorkloadConfig};

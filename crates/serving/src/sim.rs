@@ -1,34 +1,28 @@
 //! The discrete-event serving simulator.
 //!
 //! Single-GPU FIFO serving: each request waits for the GPU, then runs its
-//! scheme's admission work (loading cached KV, recomputing, prefilling
-//! misses and the query). TTFT = completion of prefill − arrival. Chunk
-//! (or prefix) entries live in a byte-bounded LRU store; misses are
-//! computed at full prefill cost and inserted.
+//! backend's admission work (loading cached KV, recomputing, prefilling
+//! misses and the query). TTFT = completion of prefill − arrival.
 //!
-//! Scheme differences (the figure-14 mechanics):
+//! The *cost* of one admission comes from a [`ServingBackend`]: either the
+//! analytic paper-scale delay model ([`AnalyticBackend`], the Figure-14
+//! mechanics — see its docs for the per-scheme differences) or the real
+//! engine measured end to end ([`EngineBackend`]). The event loop is the
+//! same for both, so the saturation knees can be compared directly.
 //!
-//! - **Full recompute** — no store; everything prefilled.
-//! - **Prefix caching** — entries are *prefix chains*: a chunk cached
-//!   behind one prefix cannot be reused behind another, so the same chunk
-//!   occupies multiple entries (the storage blow-up of §7.2); loads are
-//!   idealized free (the paper's assumption in its favor).
-//! - **Full KV reuse** — per-chunk entries; hits are loaded, never
-//!   recomputed.
-//! - **CacheBlend** — per-chunk entries; hits are loaded *pipelined* with
-//!   selective recompute at the configured ratio.
-
-use std::collections::HashMap;
+//! [`AnalyticBackend`]: crate::backend::AnalyticBackend
+//! [`EngineBackend`]: crate::backend::EngineBackend
 
 use cb_baselines::SchemeKind;
-use cb_core::engine::blend_admission;
 use cb_storage::device::DeviceKind;
 use cb_storage::perf::PerfModel;
 
+use crate::backend::{AnalyticBackend, ServingBackend};
 use crate::stats::LatencySummary;
 use crate::workload::Workload;
 
-/// Simulator configuration.
+/// Simulator configuration (the analytic backend's knobs plus the
+/// queueing options shared by every backend).
 #[derive(Clone, Debug)]
 pub struct ServingConfig {
     /// Which scheme serves the requests.
@@ -47,6 +41,9 @@ pub struct ServingConfig {
     pub decode_tokens: usize,
     /// KV store capacity in bytes.
     pub store_capacity: u64,
+    /// TTFT deadline: requests whose first token lands later count as
+    /// deadline misses in [`ServingStats`]. `None` disables the check.
+    pub ttft_deadline_s: Option<f64>,
 }
 
 impl ServingConfig {
@@ -62,6 +59,7 @@ impl ServingConfig {
             decode_tokens: 24,
             // 64 GB of KV storage.
             store_capacity: 64_000_000_000,
+            ttft_deadline_s: None,
         }
     }
 }
@@ -79,68 +77,19 @@ pub struct ServingStats {
     pub peak_store_bytes: u64,
     /// Entries evicted.
     pub evictions: u64,
-}
-
-struct LruStore {
-    capacity: u64,
-    used: u64,
-    peak: u64,
-    clock: u64,
-    entries: HashMap<u64, (u64, u64)>, // id -> (bytes, last_used)
-    evictions: u64,
-}
-
-impl LruStore {
-    fn new(capacity: u64) -> Self {
-        Self {
-            capacity,
-            used: 0,
-            peak: 0,
-            clock: 0,
-            entries: HashMap::new(),
-            evictions: 0,
-        }
-    }
-
-    fn hit(&mut self, id: u64) -> bool {
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&id) {
-            e.1 = self.clock;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn insert(&mut self, id: u64, bytes: u64) {
-        self.clock += 1;
-        if self.entries.contains_key(&id) || bytes > self.capacity {
-            return;
-        }
-        while self.used + bytes > self.capacity {
-            let victim = *self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k)
-                .expect("over capacity with no entries");
-            let (b, _) = self.entries.remove(&victim).unwrap();
-            self.used -= b;
-            self.evictions += 1;
-        }
-        self.entries.insert(id, (bytes, self.clock));
-        self.used += bytes;
-        self.peak = self.peak.max(self.used);
-    }
+    /// Most requests simultaneously waiting for the GPU (arrived but not
+    /// yet started).
+    pub peak_queue_depth: usize,
+    /// Requests whose TTFT exceeded the configured deadline.
+    pub deadline_misses: u64,
+    /// Requests the backend failed to serve (excluded from the TTFT
+    /// distribution; always zero for the analytic backend).
+    pub failures: u64,
 }
 
 /// The discrete-event simulator.
 pub struct Simulator {
     cfg: ServingConfig,
-}
-
-fn mix(a: u64, b: u64) -> u64 {
-    (a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD)
 }
 
 impl Simulator {
@@ -149,99 +98,67 @@ impl Simulator {
         Self { cfg }
     }
 
-    /// Runs a workload to completion.
+    /// Runs a workload to completion against the analytic delay-model
+    /// backend built from this simulator's configuration.
     pub fn run(&self, workload: &Workload) -> ServingStats {
-        let cfg = &self.cfg;
-        let perf = &cfg.perf;
-        // Entry sizes are modelled in whole bytes (rounded up) so store
-        // accounting is exact integer arithmetic.
-        let entry_bytes = perf.total_kv_bytes(cfg.chunk_tokens).ceil() as u64;
-        let mut store = LruStore::new(cfg.store_capacity);
+        let mut backend = AnalyticBackend::new(self.cfg.clone());
+        Self::run_with(workload, &mut backend, self.cfg.ttft_deadline_s)
+    }
+
+    /// Runs a workload against any [`ServingBackend`] — the analytic
+    /// model or the real engine — applying the same single-GPU FIFO
+    /// queueing either way. `ttft_deadline_s` counts deadline misses
+    /// against queueing-inclusive TTFT.
+    pub fn run_with(
+        workload: &Workload,
+        backend: &mut dyn ServingBackend,
+        ttft_deadline_s: Option<f64>,
+    ) -> ServingStats {
         let mut gpu_free = 0.0f64;
         let mut ttfts = Vec::with_capacity(workload.requests.len());
         let mut lookups = 0u64;
         let mut hits = 0u64;
         let mut last_finish = 0.0f64;
+        // Service start times, non-decreasing: FIFO admission on a single
+        // GPU with sorted arrivals.
+        let mut starts: Vec<f64> = Vec::with_capacity(workload.requests.len());
+        let mut peak_queue_depth = 0usize;
+        let mut deadline_misses = 0u64;
+        let mut failures = 0u64;
 
         for req in &workload.requests {
-            let k = req.chunk_ids.len();
-            let ctx_tokens = k * cfg.chunk_tokens;
-
-            // Admission work for this scheme.
-            let (ttft_work, gpu_work) = match cfg.scheme {
-                SchemeKind::FullRecompute | SchemeKind::MapReduce | SchemeKind::MapRerank => {
-                    let t = perf.ttft_full_prefill(ctx_tokens + cfg.query_tokens);
-                    (t, t)
-                }
-                SchemeKind::PrefixCaching => {
-                    // Longest cached prefix chain. Every chunk counts as a
-                    // lookup; chunks past the first miss can never hit.
-                    let mut chain = 0u64;
-                    let mut matched = 0usize;
-                    let mut walking = true;
-                    let mut ids = Vec::with_capacity(k);
-                    lookups += k as u64;
-                    for &c in &req.chunk_ids {
-                        chain = mix(chain, c);
-                        ids.push(chain);
-                        if walking {
-                            if store.hit(chain) {
-                                hits += 1;
-                                matched += 1;
-                            } else {
-                                walking = false;
-                            }
-                        }
-                    }
-                    for &id in ids.iter().skip(matched) {
-                        store.insert(id, entry_bytes);
-                    }
-                    let hit_tokens = matched * cfg.chunk_tokens;
-                    let t = perf.ttft_prefix_caching(ctx_tokens + cfg.query_tokens, hit_tokens);
-                    (t, t)
-                }
-                SchemeKind::FullReuse | SchemeKind::CacheBlend => {
-                    let mut hit_chunks = 0usize;
-                    for &c in &req.chunk_ids {
-                        lookups += 1;
-                        if store.hit(c) {
-                            hits += 1;
-                            hit_chunks += 1;
-                        } else {
-                            store.insert(c, entry_bytes);
-                        }
-                    }
-                    let hit_tokens = hit_chunks * cfg.chunk_tokens;
-                    let miss_tokens = ctx_tokens - hit_tokens;
-                    if cfg.scheme == SchemeKind::FullReuse {
-                        let t = perf.ttft_full_reuse(hit_tokens.max(1), 0, cfg.device)
-                            + perf.ttft_full_prefill(miss_tokens + cfg.query_tokens);
-                        (t, perf.ttft_full_prefill(miss_tokens + cfg.query_tokens))
-                    } else {
-                        // CacheBlend admissions go through the engine's
-                        // delay model rather than re-deriving it here.
-                        let cost = blend_admission(
-                            perf,
-                            cfg.device,
-                            cfg.recompute_ratio,
-                            hit_tokens,
-                            miss_tokens,
-                            cfg.query_tokens,
-                        );
-                        (cost.ttft_s, cost.gpu_s)
-                    }
-                }
-            };
-
-            let decode = cfg.decode_tokens as f64 * perf.decode_time_per_token();
+            let adm = backend.serve(req);
+            if adm.failed {
+                failures += 1;
+                continue;
+            }
             let start = gpu_free.max(req.arrival_s);
-            let first_token = start + ttft_work;
-            ttfts.push(first_token - req.arrival_s);
-            gpu_free = start + ttft_work.max(gpu_work) + decode;
+
+            // Queue depth at this arrival: earlier requests still waiting
+            // for the GPU (start time ahead of now), plus this request
+            // itself when it cannot start immediately. (EngineService's
+            // own peak counter samples right after enqueue, before any
+            // worker pops, so its floor is 1 where this one's is 0.)
+            let started = starts.partition_point(|&s| s <= req.arrival_s);
+            let waiting = (starts.len() - started) + usize::from(start > req.arrival_s);
+            peak_queue_depth = peak_queue_depth.max(waiting);
+            starts.push(start);
+
+            let ttft = start + adm.ttft_work_s - req.arrival_s;
+            ttfts.push(ttft);
+            if let Some(deadline) = ttft_deadline_s {
+                if ttft > deadline {
+                    deadline_misses += 1;
+                }
+            }
+            gpu_free = start + adm.ttft_work_s.max(adm.gpu_work_s) + adm.decode_s;
             last_finish = gpu_free;
+            lookups += adm.lookups;
+            hits += adm.hits;
         }
 
         let makespan = last_finish.max(f64::EPSILON);
+        let summary = backend.summary();
         ServingStats {
             ttft: LatencySummary::of(ttfts),
             hit_rate: if lookups > 0 {
@@ -249,9 +166,12 @@ impl Simulator {
             } else {
                 0.0
             },
-            throughput_rps: workload.requests.len() as f64 / makespan,
-            peak_store_bytes: store.peak,
-            evictions: store.evictions,
+            throughput_rps: (workload.requests.len() as u64 - failures) as f64 / makespan,
+            peak_store_bytes: summary.peak_store_bytes,
+            evictions: summary.evictions,
+            peak_queue_depth,
+            deadline_misses,
+            failures,
         }
     }
 }
@@ -340,5 +260,34 @@ mod tests {
         let s = Simulator::new(cfg.clone()).run(&w);
         assert!(s.peak_store_bytes <= cfg.store_capacity);
         assert!(s.evictions > 0, "tiny store must evict");
+    }
+
+    #[test]
+    fn queue_depth_grows_past_saturation() {
+        let lo = run(SchemeKind::FullRecompute, 0.05);
+        let hi = run(SchemeKind::FullRecompute, 2.0);
+        assert!(
+            hi.peak_queue_depth > lo.peak_queue_depth.max(3),
+            "saturated queue {} !> unloaded queue {}",
+            hi.peak_queue_depth,
+            lo.peak_queue_depth
+        );
+    }
+
+    #[test]
+    fn deadline_misses_track_the_knee() {
+        let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+        let unloaded = perf.ttft_full_prefill(6 * 512 + 32);
+        let mut cfg = ServingConfig::fig14(SchemeKind::FullRecompute, perf, DeviceKind::NvmeSsd);
+        cfg.ttft_deadline_s = Some(3.0 * unloaded);
+        let gen = |rate| Workload::generate(&WorkloadConfig::extended(rate, 42));
+        let lo = Simulator::new(cfg.clone()).run(&gen(0.05));
+        let hi = Simulator::new(cfg).run(&gen(2.0));
+        assert_eq!(lo.deadline_misses, 0, "unloaded requests meet the deadline");
+        assert!(
+            hi.deadline_misses > 100,
+            "saturation should blow the deadline: {}",
+            hi.deadline_misses
+        );
     }
 }

@@ -1,12 +1,15 @@
 //! Serving-rate exploration: sweep the request rate and watch each
-//! scheme's TTFT saturate (a quick interactive view of Figure 14), then
-//! serve a real batch through [`Engine::submit_many`].
+//! scheme's TTFT saturate (a quick interactive view of Figure 14), serve
+//! a real batch through [`Engine::submit_many`], then close the loop:
+//! run the same simulator against the *real* engine via
+//! [`EngineBackend`].
 //!
 //! Run with: `cargo run --release --example serving_simulation`
 
 use cacheblend::baselines::SchemeKind;
 use cacheblend::prelude::*;
 use cacheblend::rag::datasets::Dataset;
+use cacheblend::serving::backend::EngineBackend;
 use cacheblend::serving::sim::{ServingConfig, Simulator};
 use cacheblend::serving::workload::{Workload, WorkloadConfig};
 use cacheblend::storage::perf::{PaperModel, PerfModel};
@@ -86,4 +89,30 @@ fn main() {
         ds.kind.metric_name(),
         engine.store().stats(),
     );
+
+    // Closed loop: the same discrete-event queueing, but every admission
+    // is really served through an EngineService and the measured TTFTs
+    // drive the knee.
+    println!("\nclosed loop (tiny compiled model through the EngineService):");
+    let probe_service_s = EngineBackend::single_worker(ModelProfile::Tiny).warm_service_time_s();
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "rate(rps)", "mean TTFT (s)", "peak queue"
+    );
+    for mult in [0.3, 1.0, 3.0] {
+        let rate = mult / probe_service_s;
+        let w = Workload::generate(&WorkloadConfig {
+            n_requests: 60,
+            n_groups: 20,
+            n_chunks: 100,
+            chunks_per_request: 4,
+            ..WorkloadConfig::extended(rate, 12)
+        });
+        let mut backend = EngineBackend::single_worker(ModelProfile::Tiny);
+        let stats = Simulator::run_with(&w, &mut backend, None);
+        println!(
+            "{rate:>12.1} {:>16.5} {:>16}",
+            stats.ttft.mean_s, stats.peak_queue_depth
+        );
+    }
 }

@@ -1,0 +1,95 @@
+//! The streaming scheduler front door: an [`EngineService`] serving
+//! prioritized requests as token streams, with admission backpressure.
+//!
+//! Run with: `cargo run --release --example streaming_service`
+
+use std::time::Duration;
+
+use cacheblend::prelude::*;
+use cacheblend::tokenizer::TokenKind::*;
+
+fn main() {
+    // Deployment: the engine owns the model and the tiered KV store; the
+    // service owns the admission queue and the worker pool over it.
+    let engine = EngineBuilder::new(ModelProfile::Mistral7B)
+        .tier(DeviceKind::CpuRam, 1 << 30)
+        .blend_config(BlendConfig::with_ratio(0.4))
+        .build()
+        .expect("engine");
+    let v = engine.model().cfg.vocab.clone();
+    let service = EngineService::new(
+        engine,
+        ServiceConfig::default().workers(2).queue_capacity(8),
+    );
+
+    // Offline: register the retrieved chunks.
+    let chunk1 = service
+        .engine()
+        .register_chunk(&[v.id(Entity(5)), v.id(Attr(0)), v.id(Value(1)), v.id(Sep)])
+        .unwrap();
+    let chunk2 = service
+        .engine()
+        .register_chunk(&[v.id(Ref), v.id(Attr(3)), v.id(Value(9)), v.id(Sep)])
+        .unwrap();
+    let query = vec![v.id(Query), v.id(Entity(5)), v.id(Attr(3)), v.id(QMark)];
+
+    // Online: one latency-sensitive stream, watched event by event.
+    println!("high-priority stream:");
+    let stream = service.submit_stream(
+        Request::new(vec![chunk1, chunk2], query.clone())
+            .priority(Priority::High)
+            .deadline(Duration::from_secs(5))
+            .max_new_tokens(4),
+    );
+    for event in stream {
+        match event {
+            Event::Queued => println!("  queued"),
+            Event::Admitted => println!("  admitted by a worker"),
+            Event::FirstToken(ttft) => println!(
+                "  first token after {:?} (load wait {:?}, recompute {:?})",
+                ttft.total, ttft.load_wait, ttft.recompute
+            ),
+            Event::Token(t) => println!("  token: {}", v.render(t)),
+            Event::Done(resp) => println!(
+                "  done: answer {:?}, ratio {:.2}, total {:?}",
+                v.render_seq(&resp.answer),
+                resp.recompute_ratio,
+                resp.ttft.total
+            ),
+            Event::Failed(err) => println!("  failed: {err}"),
+        }
+    }
+
+    // A batch of background streams on the normal lane; collect() gives
+    // back the one-shot response shape.
+    let streams: Vec<ResponseStream> = (0..6)
+        .map(|_| service.submit_stream(Request::new(vec![chunk1, chunk2], query.clone())))
+        .collect();
+    let ok = streams
+        .into_iter()
+        .map(|s| s.collect())
+        .filter(Result::is_ok)
+        .count();
+    println!("\nbatch: {ok}/6 normal-lane requests served");
+
+    // Backpressure: a paused service (no workers) fills its bounded queue
+    // and hands the overflow request back instead of buffering unboundedly.
+    let paused = EngineService::new(
+        service.engine().clone(),
+        ServiceConfig::default().workers(0).queue_capacity(2),
+    );
+    let _a = paused.try_submit_stream(Request::new(vec![chunk1], query.clone()));
+    let _b = paused.try_submit_stream(Request::new(vec![chunk1], query.clone()));
+    match paused.try_submit_stream(Request::new(vec![chunk1], query)) {
+        Err(TrySubmitError::QueueFull(_)) => {
+            println!("backpressure: third submit rejected with QueueFull (capacity 2)")
+        }
+        Ok(_) => unreachable!("paused queue of 2 cannot admit a third request"),
+    }
+
+    let stats = service.stats();
+    println!(
+        "\nservice stats: submitted {}, completed {}, deadline misses {}, peak queue {}",
+        stats.submitted, stats.completed, stats.deadline_misses, stats.peak_queue_depth
+    );
+}

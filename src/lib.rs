@@ -11,8 +11,9 @@
 //!   prefill and the compiled cross-chunk recall program.
 //! - [`kv`] — the KV cache store (hashing, layout, LRU, serialization).
 //! - [`storage`] — storage device models and the delay/cost estimators.
-//! - [`blend`] — the CacheBlend fusor, loading controller, pipeline, and the
-//!   request-oriented [`engine`].
+//! - [`blend`] — the CacheBlend fusor, loading controller, pipeline, the
+//!   request-oriented [`engine`], and the streaming [`scheduler`]
+//!   ([`EngineService`](cb_core::scheduler::EngineService)).
 //! - [`baselines`] — full recompute, prefix caching, full KV reuse,
 //!   MapReduce, MapRerank.
 //! - [`rag`] — chunking, embeddings, vector index, synthetic datasets,
@@ -54,20 +55,20 @@ pub use cb_storage as storage;
 pub use cb_tensor as tensor;
 pub use cb_tokenizer as tokenizer;
 
-/// Deprecated alias of [`blend`]; shadowed the built-in `core` crate for
-/// downstream users, kept one release for migration.
-#[doc(hidden)]
-pub use cb_core as core;
-
 /// The request/response engine API (`cacheblend::engine::Engine`).
 pub use cb_core::engine;
+
+/// The streaming scheduler API (`cacheblend::scheduler::EngineService`).
+pub use cb_core::scheduler;
 
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {
     pub use cb_core::{
         controller::LoadingController,
-        engine::{Engine, EngineBuilder, EngineError, Request, Response, TtftBreakdown},
+        engine::{Engine, EngineBuilder, EngineError, Priority, Request, Response, TtftBreakdown},
         fusor::{BlendConfig, Fusor},
+        scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError},
+        stream::{Event, ResponseStream},
     };
     pub use cb_kv::store::KvStore;
     pub use cb_model::{config::ModelProfile, model::Model};

@@ -185,3 +185,226 @@ fn blend_identity_over_random_chunk_pairs() {
         }
     }
 }
+
+/// Shared harness for the scheduler properties: a tiny engine wrapped in a
+/// service, plus the registered cross-chunk scenario.
+fn scheduler_fixture(
+    workers: usize,
+    capacity: usize,
+) -> (
+    cacheblend::scheduler::EngineService,
+    Vec<cacheblend::kv::ChunkId>,
+    Vec<u32>,
+) {
+    use cacheblend::prelude::*;
+    let engine = EngineBuilder::new(ModelProfile::Tiny).build().unwrap();
+    let v = engine.model().cfg.vocab.clone();
+    let c1: Vec<u32> = vec![
+        v.id(TokenKind::Entity(5)),
+        v.id(TokenKind::Attr(0)),
+        v.id(TokenKind::Value(1)),
+        v.id(TokenKind::Sep),
+    ];
+    let c2: Vec<u32> = vec![
+        v.id(TokenKind::Ref),
+        v.id(TokenKind::Attr(3)),
+        v.id(TokenKind::Value(9)),
+        v.id(TokenKind::Sep),
+    ];
+    let ids = engine.register_chunks(&[c1, c2]).unwrap();
+    let q = vec![
+        v.id(TokenKind::Query),
+        v.id(TokenKind::Entity(5)),
+        v.id(TokenKind::Attr(3)),
+        v.id(TokenKind::QMark),
+    ];
+    let service = cacheblend::scheduler::EngineService::new(
+        engine,
+        cacheblend::scheduler::ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(capacity),
+    );
+    (service, ids, q)
+}
+
+/// Every stream's events arrive in lifecycle order:
+/// `Queued ≤ Admitted ≤ FirstToken ≤ Token* ≤ Done`, with exactly one
+/// terminal event — across a randomized mix of priorities, decode budgets,
+/// and failing requests, and no stream starves (all terminate).
+#[test]
+fn scheduler_streams_events_in_lifecycle_order() {
+    use cacheblend::prelude::*;
+    use cacheblend::scheduler::EngineService;
+
+    fn check_stream(events: &[Event]) {
+        assert!(events.len() >= 3, "Queued, Admitted, terminal: {events:?}");
+        assert!(matches!(events[0], Event::Queued));
+        assert!(matches!(events[1], Event::Admitted));
+        let terminal = events.len() - 1;
+        assert!(events[terminal].is_terminal(), "{events:?}");
+        assert_eq!(
+            events.iter().filter(|e| e.is_terminal()).count(),
+            1,
+            "exactly one terminal event"
+        );
+        let first_token = events
+            .iter()
+            .position(|e| matches!(e, Event::FirstToken(_)));
+        match &events[terminal] {
+            Event::Done(resp) => {
+                let ft = first_token.expect("Done implies FirstToken");
+                assert!((2..terminal).contains(&ft), "{events:?}");
+                let tokens: Vec<u32> = events
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| match e {
+                        Event::Token(t) => {
+                            assert!(i > ft && i < terminal, "Token outside window");
+                            Some(*t)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(tokens, resp.answer, "streamed tokens = answer");
+            }
+            Event::Failed(_) => {
+                assert!(first_token.is_none(), "failures precede prefill completion");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(0x5EED_5EED);
+    for round in 0..3 {
+        let workers = 1 + (round % 3);
+        let (service, ids, q) = scheduler_fixture(workers, 64);
+        let service: &EngineService = &service;
+        let n = 14;
+        let streams: Vec<_> = (0..n)
+            .map(|_| {
+                let bad = rng.random_range(0u32..5) == 0;
+                let chunk_ids = if bad {
+                    vec![cacheblend::kv::ChunkId(0xDEAD)]
+                } else {
+                    ids.clone()
+                };
+                let pri = if rng.random_range(0u32..2) == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                let req = Request::new(chunk_ids, q.clone())
+                    .ratio(0.45)
+                    .max_new_tokens(rng.random_range(1usize..5))
+                    .priority(pri);
+                service.submit_stream(req)
+            })
+            .collect();
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        for stream in streams {
+            let mut events: Vec<Event> = Vec::new();
+            for e in stream {
+                events.push(e);
+            }
+            check_stream(&events);
+            match events.last().unwrap() {
+                Event::Done(_) => done += 1,
+                Event::Failed(e) => {
+                    assert_eq!(
+                        *e,
+                        EngineError::UnknownChunk(cacheblend::kv::ChunkId(0xDEAD))
+                    );
+                    failed += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(done + failed, n, "round {round}: no stream may starve");
+        let stats = service.stats();
+        assert_eq!(stats.completed, done);
+        assert_eq!(stats.failed, failed);
+        assert_eq!(stats.submitted, n);
+    }
+}
+
+/// A priority-lane flood never starves the normal lane: every normal
+/// request completes even while high-priority work saturates the queue.
+#[test]
+fn scheduler_never_starves_the_normal_lane() {
+    use cacheblend::prelude::*;
+    let (service, ids, q) = scheduler_fixture(1, 64);
+    let mk = |p: Priority| {
+        Request::new(ids.clone(), q.clone())
+            .ratio(0.45)
+            .max_new_tokens(2)
+            .priority(p)
+    };
+    // One worker, interleaved flood: 24 high, 6 normal.
+    let streams: Vec<_> = (0..30)
+        .map(|i| {
+            let p = if i % 5 == 4 {
+                Priority::Normal
+            } else {
+                Priority::High
+            };
+            service.submit_stream(mk(p))
+        })
+        .collect();
+    for s in streams {
+        s.collect().expect("every lane's requests complete");
+    }
+    assert_eq!(service.stats().completed, 30);
+    assert_eq!(service.stats().deadline_misses, 0);
+}
+
+/// Backpressure: a paused service (no workers) fills its bounded queue
+/// deterministically, hands overflow back via `QueueFull`, and cancels
+/// what it accepted when dropped.
+#[test]
+fn scheduler_backpressure_returns_queue_full() {
+    use cacheblend::prelude::*;
+    let mut rng = SmallRng::seed_from_u64(0xBAC_0FF);
+    for _ in 0..4 {
+        let capacity = rng.random_range(1usize..6);
+        let (service, ids, q) = scheduler_fixture(0, capacity);
+        let mk = || Request::new(ids.clone(), q.clone());
+        let mut accepted = Vec::new();
+        for _ in 0..capacity {
+            accepted.push(service.try_submit_stream(mk()).expect("fits in queue"));
+        }
+        match service.try_submit_stream(mk()) {
+            Err(TrySubmitError::QueueFull(returned)) => {
+                assert_eq!(returned.chunk_ids, ids, "request handed back intact");
+            }
+            Ok(_) => panic!("queue of {capacity} accepted {} requests", capacity + 1),
+        }
+        assert_eq!(service.queue_depth(), capacity);
+        assert_eq!(service.stats().rejected, 1);
+        assert_eq!(service.stats().peak_queue_depth, capacity as u64);
+        drop(service);
+        for s in accepted {
+            assert_eq!(s.collect().unwrap_err(), EngineError::Canceled);
+        }
+    }
+}
+
+/// `submit_stream(..).collect()` is the one-shot `Engine::submit`: same
+/// answer, ratio, provenance, and blend shape for the same request.
+#[test]
+fn scheduler_collect_equals_one_shot_submit() {
+    use cacheblend::prelude::*;
+    let (service, ids, q) = scheduler_fixture(2, 16);
+    let mut rng = SmallRng::seed_from_u64(0xC0_11EC);
+    for case in 0..6 {
+        let req = Request::new(ids.clone(), q.clone())
+            .ratio(0.25 + 0.15 * rng.random_range(0u32..4) as f32)
+            .max_new_tokens(rng.random_range(1usize..6));
+        let direct = service.engine().submit(req.clone()).unwrap();
+        let streamed = service.submit_stream(req).collect().unwrap();
+        assert_eq!(streamed.answer, direct.answer, "case {case}");
+        assert_eq!(streamed.recompute_ratio, direct.recompute_ratio);
+        assert_eq!(streamed.chunk_sources, direct.chunk_sources);
+        assert_eq!(streamed.blend.stats.ctx_len, direct.blend.stats.ctx_len);
+    }
+}

@@ -1,8 +1,11 @@
 //! Serving-layer integration: controller decisions driving the simulator,
-//! and saturation/knee structure across schemes.
+//! saturation/knee structure across schemes, and the closed loop between
+//! the simulator and the real engine through the `ServingBackend` trait.
 
 use cacheblend::baselines::SchemeKind;
 use cacheblend::blend::controller::LoadingController;
+use cacheblend::model::config::ModelProfile;
+use cacheblend::serving::backend::{AnalyticBackend, EngineBackend, ServingBackend};
 use cacheblend::serving::sim::{ServingConfig, Simulator};
 use cacheblend::serving::workload::{Workload, WorkloadConfig};
 use cacheblend::storage::device::DeviceKind;
@@ -62,6 +65,65 @@ fn low_rate_ttfts_match_the_analytic_model() {
         "sim {} vs model {}",
         stats.ttft.mean_s,
         analytic
+    );
+}
+
+fn engine_backend() -> EngineBackend {
+    EngineBackend::single_worker(ModelProfile::Tiny)
+}
+
+fn small_workload(rate: f64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        n_requests: 30,
+        n_groups: 12,
+        n_chunks: 60,
+        chunks_per_request: 4,
+        ..WorkloadConfig::extended(rate, 17)
+    })
+}
+
+#[test]
+fn both_backends_run_through_the_same_simulator_entry_point() {
+    // The acceptance shape of the redesign: one `run_with`, two backends.
+    let w = small_workload(0.5);
+    let perf = PerfModel::on_a40(PaperModel::Mistral7B);
+    let cfg = ServingConfig::fig14(SchemeKind::CacheBlend, perf, DeviceKind::NvmeSsd);
+    let mut analytic = AnalyticBackend::new(cfg);
+    let a = Simulator::run_with(&w, &mut analytic, None);
+    let mut engine = engine_backend();
+    let e = Simulator::run_with(&w, &mut engine, None);
+    for stats in [&a, &e] {
+        assert_eq!(stats.ttft.n, 30);
+        assert!(stats.ttft.mean_s > 0.0);
+        assert!(stats.hit_rate > 0.0);
+    }
+    // The engine arm really served every request through the scheduler.
+    assert_eq!(engine.service().stats().completed, 30);
+    assert!(engine.summary().peak_store_bytes > 0);
+}
+
+#[test]
+fn engine_backend_shows_the_saturation_knee_with_real_ttfts() {
+    // Probe the warm service time, then drive the same workload shape far
+    // below and far above saturation: queueing must inflate the measured
+    // closed-loop TTFT by a large factor past the knee.
+    let service_s = engine_backend().warm_service_time_s();
+
+    let mut cool = engine_backend();
+    let lo = Simulator::run_with(&small_workload(0.2 / service_s), &mut cool, None);
+    let mut hot = engine_backend();
+    let hi = Simulator::run_with(&small_workload(4.0 / service_s), &mut hot, None);
+    assert!(
+        hi.ttft.mean_s > 2.0 * lo.ttft.mean_s,
+        "no knee: unloaded {} vs saturated {}",
+        lo.ttft.mean_s,
+        hi.ttft.mean_s
+    );
+    assert!(
+        hi.peak_queue_depth > lo.peak_queue_depth,
+        "saturation must deepen the queue: {} vs {}",
+        lo.peak_queue_depth,
+        hi.peak_queue_depth
     );
 }
 

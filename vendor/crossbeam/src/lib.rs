@@ -1,12 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::bounded` with the send/recv surface the
-//! pipelined loader uses, implemented over `std::sync::mpsc::sync_channel`
-//! (same bounded-rendezvous semantics for this workspace's usage).
+//! Provides `crossbeam::channel::{bounded, unbounded}` with the
+//! send/recv surface the pipelined loader and the engine scheduler use,
+//! implemented over `std::sync::mpsc` (same semantics for this
+//! workspace's usage: bounded channels rendezvous on capacity, unbounded
+//! channels never block the sender).
 
-/// Multi-producer bounded channels.
+/// Multi-producer channels.
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Error returned when the receiving side has hung up.
     #[derive(Debug, PartialEq, Eq)]
@@ -16,24 +19,55 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// Sending half of a bounded channel.
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still connected).
+        Empty,
+        /// All senders have hung up and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// All senders have hung up and the buffer is drained.
+        Disconnected,
+    }
+
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    enum AnySender<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(AnySender<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                AnySender::Bounded(tx) => AnySender::Bounded(tx.clone()),
+                AnySender::Unbounded(tx) => AnySender::Unbounded(tx.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
-        /// Blocks until there is room, then sends.
+        /// Sends a value. Bounded channels block until there is room;
+        /// unbounded channels never block.
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
-            self.0.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                AnySender::Bounded(tx) => tx.send(v).map_err(|mpsc::SendError(v)| SendError(v)),
+                AnySender::Unbounded(tx) => tx.send(v).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
         }
     }
 
-    /// Receiving half of a bounded channel.
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
@@ -42,12 +76,34 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
         }
+
+        /// Returns immediately with a value if one is buffered.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Creates a bounded channel with the given capacity.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (Sender(AnySender::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel (sends never block).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(AnySender::Unbounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -66,6 +122,40 @@ pub mod channel {
             t.join().unwrap();
             assert_eq!(got, (0..10).collect::<Vec<_>>());
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn unbounded_never_blocks_the_sender() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got.len(), 1000);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_recv_reports_empty_then_value() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_on_empty_channel() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
