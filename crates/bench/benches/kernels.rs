@@ -15,10 +15,26 @@ fn bench_matmul(c: &mut Criterion) {
         g.bench_function(format!("{n}x{n}"), |bench| {
             bench.iter(|| black_box(a.matmul(&b)))
         });
+        g.bench_function(format!("{n}x{n}_reference"), |bench| {
+            bench.iter(|| black_box(a.matmul_reference(&b)))
+        });
         g.bench_function(format!("{n}x{n}_transposed"), |bench| {
             bench.iter(|| black_box(a.matmul_transposed(&b)))
         });
+        g.bench_function(format!("{n}x{n}_transposed_reference"), |bench| {
+            bench.iter(|| black_box(a.matmul_transposed_reference(&b)))
+        });
     }
+    // The fused-QKV shape, allocation-free (`_into` reuses the buffer).
+    let a = Matrix::from_fn(64, 224, |r, q| ((r * 7 + q) % 13) as f32 * 0.1);
+    let b = Matrix::from_fn(224, 768, |r, q| ((r * 3 + q) % 11) as f32 * 0.1);
+    let mut out = Matrix::default();
+    g.bench_function("64x224x768_into", |bench| {
+        bench.iter(|| {
+            a.matmul_into(&b, &mut out);
+            black_box(out.as_slice()[0])
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,15 @@
+//! Regenerates the kernel/forward-pass throughput baseline
+//! (`target/experiments/BENCH_kernels.json`): prefill tokens/s, blend
+//! TTFT, and decode tokens/s for the scalar / blocked / parallel arms on
+//! the Small and Standard profiles. See `experiments::kernels`.
+//!
+//! Flags:
+//!
+//! - `--smoke` — shrunken sizes/repetitions (seconds, for CI).
+
+use cb_bench::experiments::kernels::{run_opts, KernelOpts};
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    run_opts(KernelOpts { smoke });
+}

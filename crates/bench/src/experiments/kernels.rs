@@ -1,0 +1,227 @@
+//! Kernel/forward-pass throughput: scalar vs blocked vs parallel.
+//!
+//! The repo's first measured perf baseline. Three arms run the same
+//! workloads on the same model shapes:
+//!
+//! - **scalar** — the seed's reference path ([`Model::with_reference_kernels`]:
+//!   per-head matmuls, copied column blocks, per-element mask/bias loops,
+//!   copy-on-append caches), thread pool pinned to 1.
+//! - **blocked** — the fused/blocked kernels, thread pool pinned to 1
+//!   (isolates the single-core kernel win).
+//! - **parallel** — the blocked kernels with a 4-thread pool (row-range and
+//!   per-head parallelism; on a single-core host this measures that the
+//!   parallel path adds no meaningful overhead).
+//!
+//! Three metrics per arm on the Small (Tiny) and Standard (Mistral-7B)
+//! profiles, on the noise model (dense weights — [`Model::random`] exists
+//! exactly for throughput benches where only the computation shape
+//! matters):
+//!
+//! - **prefill tokens/s** — one full prefill of a fixed prompt.
+//! - **blend TTFT (ms)** — `blend_pipelined` over serialized chunk caches
+//!   (the engine's hot path: load + selective recompute + suffix).
+//! - **decode tokens/s** — single-row forward steps against a growing
+//!   cache (the steady-state generation loop).
+//!
+//! Each measurement is the best of several repetitions. Output lands in
+//! `target/experiments/BENCH_kernels.json`; later PRs regress against it.
+
+use std::time::Instant;
+
+use cb_core::fusor::BlendConfig;
+use cb_core::pipeline::{blend_pipelined, serialize_chunks};
+use cb_model::{Model, ModelConfig, ModelProfile, Scratch};
+use cb_tokenizer::{TokenId, TokenKind};
+
+use crate::out::{emit, Row};
+
+/// Options for the kernels experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelOpts {
+    /// Shrunken sizes/repetitions (seconds, for CI).
+    pub smoke: bool,
+}
+
+/// Sizes of one profile's workload.
+struct Workload {
+    prefill_tokens: usize,
+    chunks: usize,
+    chunk_tokens: usize,
+    decode_prompt: usize,
+    decode_steps: usize,
+    reps: usize,
+}
+
+impl Workload {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                prefill_tokens: 64,
+                chunks: 2,
+                chunk_tokens: 24,
+                decode_prompt: 24,
+                decode_steps: 24,
+                reps: 1,
+            }
+        } else {
+            // Paper-scale shapes: fig. 12's retrieval setting is six
+            // 512-token chunks, and prefill throughput is quoted on
+            // multi-thousand-token contexts.
+            Self {
+                prefill_tokens: 2048,
+                chunks: 6,
+                chunk_tokens: 512,
+                decode_prompt: 256,
+                decode_steps: 128,
+                reps: 3,
+            }
+        }
+    }
+}
+
+fn filler_tokens(model: &Model, n: usize, salt: usize) -> Vec<TokenId> {
+    let v = &model.cfg.vocab;
+    (0..n)
+        .map(|i| v.id(TokenKind::Filler(((i + salt) % 8) as u32)))
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_prefill(model: &Model, w: &Workload) -> f64 {
+    let toks = filler_tokens(model, w.prefill_tokens, 0);
+    let secs = best_secs(w.reps, || {
+        let (cache, x) = model.prefill(&toks);
+        assert_eq!(cache.len(), toks.len());
+        std::hint::black_box(x.max_abs());
+    });
+    w.prefill_tokens as f64 / secs
+}
+
+fn bench_blend(model: &Model, bytes: &[bytes::Bytes], query: &[TokenId], w: &Workload) -> f64 {
+    let cfg = BlendConfig::with_ratio(0.2);
+    let secs = best_secs(w.reps, || {
+        let out = blend_pipelined(model, cfg, bytes.to_vec(), query, None).expect("blend");
+        std::hint::black_box(out.result.last_residual[0]);
+    });
+    secs * 1e3
+}
+
+fn bench_decode(model: &Model, w: &Workload) -> f64 {
+    let prompt = filler_tokens(model, w.decode_prompt, 1);
+    let tok = model.cfg.vocab.id(TokenKind::Filler(3));
+    let mut best = f64::INFINITY;
+    for _ in 0..w.reps.max(1) {
+        // Prefill (untimed) sets up the cache; the timed region is the
+        // steady-state single-row loop with a warm scratch arena.
+        let (mut cache, _) = model.prefill(&prompt);
+        cache.reserve(w.decode_steps);
+        let mut scratch = Scratch::new();
+        scratch.reserve_decode(
+            model.cfg.n_heads,
+            model.cfg.d_model(),
+            model.cfg.kv_width(),
+            cache.len() + w.decode_steps,
+        );
+        let t = Instant::now();
+        for i in 0..w.decode_steps {
+            model.forward_rows_with(
+                &[tok],
+                &[w.decode_prompt + i],
+                &mut cache,
+                None,
+                &mut scratch,
+            );
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(cache.len());
+    }
+    w.decode_steps as f64 / best
+}
+
+/// Runs the experiment with default options.
+pub fn run() {
+    run_opts(KernelOpts { smoke: false });
+}
+
+/// Runs the experiment.
+pub fn run_opts(opts: KernelOpts) {
+    let w = Workload::new(opts.smoke);
+    let arms: [(&str, bool, usize); 3] = [
+        ("scalar", true, 1),
+        ("blocked", false, 1),
+        ("parallel", false, 4),
+    ];
+    let profiles = [
+        ("Small", ModelProfile::Tiny),
+        ("Standard", ModelProfile::Mistral7B),
+    ];
+    let mut rows = Vec::new();
+    for (pname, profile) in profiles {
+        let fast = Model::random(ModelConfig::standard(profile, 7));
+        let chunks: Vec<Vec<TokenId>> = (0..w.chunks)
+            .map(|c| filler_tokens(&fast, w.chunk_tokens, c))
+            .collect();
+        let bytes = serialize_chunks(&fast, &chunks);
+        let query = filler_tokens(&fast, if opts.smoke { 8 } else { 16 }, 5);
+
+        let mut scalar_base: Option<(f64, f64, f64)> = None;
+        for (aname, reference, threads) in arms {
+            cb_tensor::pool::set_threads(threads);
+            let model = if reference {
+                fast.clone().with_reference_kernels()
+            } else {
+                fast.clone()
+            };
+            let prefill_tps = bench_prefill(&model, &w);
+            let blend_ms = bench_blend(&model, &bytes, &query, &w);
+            let decode_tps = bench_decode(&model, &w);
+            let base = *scalar_base.get_or_insert((prefill_tps, blend_ms, decode_tps));
+            rows.push(
+                Row::new("kernels")
+                    .col("profile", pname)
+                    .col("arm", aname)
+                    .col("threads", threads)
+                    .num("prefill_tok_s", prefill_tps)
+                    .num("blend_ttft_ms", blend_ms)
+                    .num("decode_tok_s", decode_tps)
+                    .num("speedup_prefill", prefill_tps / base.0)
+                    .num("speedup_blend_ttft", base.1 / blend_ms)
+                    .num("speedup_decode", decode_tps / base.2),
+            );
+        }
+    }
+    cb_tensor::pool::set_threads(cb_tensor::pool::default_threads());
+    emit("BENCH_kernels", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_arms_agree_on_answers() {
+        // The three arms must compute the same blend, not just fast ones:
+        // compare last residuals between scalar and blocked on one blend.
+        let model = Model::random(ModelConfig::standard(ModelProfile::Tiny, 7));
+        let chunks = vec![filler_tokens(&model, 12, 0), filler_tokens(&model, 12, 1)];
+        let bytes = serialize_chunks(&model, &chunks);
+        let query = filler_tokens(&model, 4, 5);
+        let cfg = BlendConfig::with_ratio(0.3);
+        let fast = blend_pipelined(&model, cfg, bytes.clone(), &query, None).unwrap();
+        let scalar_model = model.clone().with_reference_kernels();
+        let scalar = blend_pipelined(&scalar_model, cfg, bytes, &query, None).unwrap();
+        let d =
+            cb_tensor::stats::l2_distance(&fast.result.last_residual, &scalar.result.last_residual);
+        assert!(d < 1e-3, "arms diverge: {d}");
+    }
+}

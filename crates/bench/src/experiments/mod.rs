@@ -13,10 +13,12 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod kernels;
 pub mod tab_delay;
 
 /// Runs every experiment in figure order.
 pub fn run_all() {
+    kernels::run();
     tab_delay::run();
     fig02::run();
     fig06::run();

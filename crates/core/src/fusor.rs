@@ -20,7 +20,7 @@
 //! per-layer attention can be traced for the Δattn metric.
 
 use cb_model::model::ForwardTrace;
-use cb_model::{KvCache, Model};
+use cb_model::{KvCache, Model, Scratch};
 use cb_tensor::ops::top_k_indices;
 use cb_tensor::Matrix;
 use cb_tokenizer::TokenId;
@@ -29,6 +29,55 @@ use rand::SeedableRng;
 
 use crate::deviation::row_deviation;
 use crate::rope_align;
+
+/// Reusable buffers for the fusor's per-layer HKVD
+/// gather → recompute → scatter loop. One arena serves a whole blend (and
+/// can be reused across blends): the per-layer QKV projections, deviation
+/// scores, gathered K/V rows, the shrinking residual, and the attention
+/// scratch all live here, so the steady-state layer loop performs no heap
+/// allocation beyond the fused caches it must hand back.
+#[derive(Debug, Default)]
+pub struct BlendScratch {
+    /// Forward-pass buffers (QKV, attention, MLP).
+    fwd: Scratch,
+    /// Residual rows of the surviving tokens.
+    x: Matrix,
+    /// Next layer's residual (ping-pong partner of `x`).
+    x_new: Matrix,
+    /// Gathered fresh K rows of the selected tokens.
+    k_sel: Matrix,
+    /// Gathered fresh V rows of the selected tokens.
+    v_sel: Matrix,
+    /// Gathered queries of the active rows.
+    q_act: Matrix,
+    /// Per-candidate KV deviation of the current layer.
+    dev: Vec<f32>,
+    /// Residual-row indices kept on the current layer.
+    keep: Vec<usize>,
+    /// Cache rows the kept indices map to.
+    cache_rows: Vec<usize>,
+    /// Kept rows plus the suffix rows.
+    active: Vec<usize>,
+    /// Cache row of each residual row.
+    row_ids: Vec<usize>,
+    /// Remap staging for `row_ids`.
+    row_ids_new: Vec<usize>,
+    /// Absolute position of each residual row.
+    x_pos: Vec<usize>,
+    /// Positions of the active rows.
+    act_pos: Vec<usize>,
+    /// Key positions (all context + suffix rows).
+    k_pos: Vec<usize>,
+    /// Context + suffix token ids.
+    all_tokens: Vec<TokenId>,
+}
+
+impl BlendScratch {
+    /// A fresh (empty) arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// How HKVD tokens are chosen on each layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -196,9 +245,33 @@ impl<'m> Fusor<'m> {
         &self,
         ctx_positions: &[usize],
         ctx_tokens: &[TokenId],
+        next_layer: impl FnMut(usize) -> cb_model::LayerKv,
+        suffix: &[TokenId],
+        want_trace: bool,
+    ) -> BlendResult {
+        let mut scratch = BlendScratch::new();
+        self.blend_streamed_scratch(
+            ctx_positions,
+            ctx_tokens,
+            next_layer,
+            suffix,
+            want_trace,
+            &mut scratch,
+        )
+    }
+
+    /// [`Fusor::blend_streamed`] on a caller-provided [`BlendScratch`]:
+    /// the per-layer gather/recompute/scatter reuses the arena's buffers,
+    /// so a warm blend allocates only the fused cache it returns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blend_streamed_scratch(
+        &self,
+        ctx_positions: &[usize],
+        ctx_tokens: &[TokenId],
         mut next_layer: impl FnMut(usize) -> cb_model::LayerKv,
         suffix: &[TokenId],
         want_trace: bool,
+        sc: &mut BlendScratch,
     ) -> BlendResult {
         assert!(!suffix.is_empty(), "blend needs a non-empty suffix (query)");
         let model = self.model;
@@ -206,17 +279,20 @@ impl<'m> Fusor<'m> {
         let ctx_len = ctx_positions.len();
         let s = suffix.len();
 
-        let suffix_pos: Vec<usize> = (ctx_len..ctx_len + s).collect();
-        let mut all_tokens = ctx_tokens.to_vec();
-        all_tokens.extend_from_slice(suffix);
-        let mut x_pos: Vec<usize> = ctx_positions.to_vec();
-        x_pos.extend_from_slice(&suffix_pos);
-        let k_pos = x_pos.clone();
+        sc.all_tokens.clear();
+        sc.all_tokens.extend_from_slice(ctx_tokens);
+        sc.all_tokens.extend_from_slice(suffix);
+        sc.x_pos.clear();
+        sc.x_pos.extend_from_slice(ctx_positions);
+        sc.x_pos.extend(ctx_len..ctx_len + s);
+        sc.k_pos.clear();
+        sc.k_pos.extend_from_slice(&sc.x_pos);
 
         // Row i of `x` corresponds to cache row `row_ids[i]`; suffix rows
         // occupy cache rows ctx_len..ctx_len+s on every layer (appended).
-        let mut x = model.embed_tokens(&all_tokens);
-        let mut row_ids: Vec<usize> = (0..ctx_len + s).collect();
+        model.embed_tokens_into(&sc.all_tokens, &mut sc.x);
+        sc.row_ids.clear();
+        sc.row_ids.extend(0..ctx_len + s);
 
         let mut trace = want_trace.then(ForwardTrace::default);
         let mut stats = BlendStats {
@@ -230,79 +306,107 @@ impl<'m> Fusor<'m> {
             // §6 synchronize(): block until this layer's KV is in memory.
             let mut lkv = next_layer(layer);
             assert_eq!(lkv.len(), ctx_len, "layer {layer} has wrong row count");
-            let (q, k, v) = model.qkv(layer, &x, &x_pos);
-            let nc = x.rows() - s; // candidate context rows in x
+            model.qkv_into(
+                layer,
+                &sc.x,
+                &sc.x_pos,
+                &mut sc.fwd.q,
+                &mut sc.fwd.k,
+                &mut sc.fwd.v,
+                &mut sc.fwd.fused,
+            );
+            let (q, k, v) = (&sc.fwd.q, &sc.fwd.k, &sc.fwd.v);
+            let nc = sc.x.rows() - s; // candidate context rows in x
 
-            let (keep_x_rows, selected_cache_rows): (Vec<usize>, Vec<usize>) = if layer == 0 {
+            sc.keep.clear();
+            if layer == 0 {
                 // Full recompute of the first layer for every context token.
-                ((0..nc).collect(), row_ids[..nc].to_vec())
+                sc.keep.extend(0..nc);
             } else {
-                let dev: Vec<f32> = (0..nc)
-                    .map(|i| {
-                        let r = row_ids[i];
-                        row_deviation(k.row(i), v.row(i), lkv.k.row(r), lkv.v.row(r))
-                    })
-                    .collect();
+                sc.dev.clear();
+                sc.dev.extend((0..nc).map(|i| {
+                    let r = sc.row_ids[i];
+                    row_deviation(k.row(i), v.row(i), lkv.k.row(r), lkv.v.row(r))
+                }));
                 if layer == 1 {
-                    stats.first_layer_deviations = dev.clone();
+                    stats.first_layer_deviations = sc.dev.clone();
                 }
                 let target = ((self.ratio_for_layer(layer, n_layers) * ctx_len as f32).round()
                     as usize)
                     .min(nc);
-                let pick: Vec<usize> = match self.cfg.selection {
-                    Selection::Hkvd => top_k_indices(&dev, target),
+                match self.cfg.selection {
+                    Selection::Hkvd => sc.keep.extend(top_k_indices(&sc.dev, target)),
                     Selection::FirstLayerOnly => {
                         if layer == 1 {
                             // Fixed budget r (no taper) chosen once.
                             let flat = ((self.cfg.recompute_ratio * ctx_len as f32).round()
                                 as usize)
                                 .min(nc);
-                            top_k_indices(&dev, flat)
+                            sc.keep.extend(top_k_indices(&sc.dev, flat));
                         } else {
                             // Keep every surviving candidate: the set was
                             // frozen at layer 1 and only shrinks if the
                             // schedule would exceed it (it cannot: we keep
                             // all).
-                            (0..nc).collect()
+                            sc.keep.extend(0..nc);
                         }
                     }
                     Selection::Random { seed } => {
                         let mut rng =
                             SmallRng::seed_from_u64(seed ^ (layer as u64).wrapping_mul(0x9E37));
-                        rand::seq::index::sample(&mut rng, nc, target).into_vec()
+                        sc.keep
+                            .extend(rand::seq::index::sample(&mut rng, nc, target).into_vec());
                     }
-                };
-                stats.selected_per_layer.push(pick.len());
-                let cache_rows: Vec<usize> = pick.iter().map(|&i| row_ids[i]).collect();
-                (pick, cache_rows)
-            };
+                }
+                stats.selected_per_layer.push(sc.keep.len());
+                // Ascending residual order (selection is a set): keeps the
+                // active rows' positions sorted, which the attention
+                // kernels' causal-cutoff tiling wants, and improves gather
+                // locality.
+                sc.keep.sort_unstable();
+            }
+            sc.cache_rows.clear();
+            sc.cache_rows.extend(sc.keep.iter().map(|&i| sc.row_ids[i]));
 
             // Overwrite the selected tokens' KV with fresh values; append
             // the suffix KV (computed fresh every layer).
-            let k_sel = k.gather_rows(&keep_x_rows);
-            let v_sel = v.gather_rows(&keep_x_rows);
-            lkv.scatter(&selected_cache_rows, &k_sel, &v_sel);
-            lkv.append(&k.slice_rows(nc, nc + s), &v.slice_rows(nc, nc + s));
+            k.gather_rows_into(&sc.keep, &mut sc.k_sel);
+            v.gather_rows_into(&sc.keep, &mut sc.v_sel);
+            lkv.scatter(&sc.cache_rows, &sc.k_sel, &sc.v_sel);
+            lkv.append_rows(k, v, nc, nc + s);
 
             // Narrow the residual to the surviving rows + suffix and attend.
-            let mut active_x_rows = keep_x_rows;
-            active_x_rows.extend(nc..nc + s);
-            let q_act = q.gather_rows(&active_x_rows);
-            let act_pos: Vec<usize> = active_x_rows.iter().map(|&i| x_pos[i]).collect();
+            sc.active.clear();
+            sc.active.extend_from_slice(&sc.keep);
+            sc.active.extend(nc..nc + s);
+            q.gather_rows_into(&sc.active, &mut sc.q_act);
+            sc.act_pos.clear();
+            sc.act_pos.extend(sc.active.iter().map(|&i| sc.x_pos[i]));
             let mut probs = trace.as_ref().map(|_| Matrix::zeros(0, 0));
-            let delta = model.attend(
+            model.attend_into(
                 layer,
-                &q_act,
-                &act_pos,
+                &sc.q_act,
+                &sc.act_pos,
                 &lkv.k,
                 &lkv.v,
-                &k_pos,
+                &sc.k_pos,
                 probs.as_mut(),
+                &mut sc.fwd.delta,
+                &mut sc.fwd.attend,
             );
-            let mut x_new = x.gather_rows(&active_x_rows);
-            x_new.add_assign(&delta);
-            if let Some(m) = model.mlp_delta(layer, &x_new) {
-                x_new.add_assign(&m);
+            sc.x.gather_rows_into(&sc.active, &mut sc.x_new);
+            sc.x_new.add_assign(&sc.fwd.delta);
+            if model.reference_kernels {
+                if let Some(m) = model.mlp_delta(layer, &sc.x_new) {
+                    sc.x_new.add_assign(&m);
+                }
+            } else if model.layers[layer].mlp.forward_into(
+                &sc.x_new,
+                &mut sc.fwd.h1,
+                &mut sc.fwd.h2,
+                &mut sc.fwd.mlp_out,
+            ) {
+                sc.x_new.add_assign(&sc.fwd.mlp_out);
             }
             if let (Some(t), Some(p)) = (trace.as_mut(), probs) {
                 // Record the suffix rows' attention only (the forward
@@ -310,20 +414,20 @@ impl<'m> Fusor<'m> {
                 t.attn.push(p.slice_rows(p.rows() - s, p.rows()));
             }
 
-            row_ids = active_x_rows
-                .iter()
-                .map(|&i| row_ids[i])
-                .collect::<Vec<_>>();
-            x_pos = act_pos;
-            x = x_new;
+            sc.row_ids_new.clear();
+            sc.row_ids_new
+                .extend(sc.active.iter().map(|&i| sc.row_ids[i]));
+            std::mem::swap(&mut sc.row_ids, &mut sc.row_ids_new);
+            std::mem::swap(&mut sc.x_pos, &mut sc.act_pos);
+            std::mem::swap(&mut sc.x, &mut sc.x_new);
             done_layers.push(lkv);
         }
 
         let mut positions = ctx_positions.to_vec();
-        positions.extend_from_slice(&suffix_pos);
+        positions.extend(ctx_len..ctx_len + s);
         let mut tokens = ctx_tokens.to_vec();
         tokens.extend_from_slice(suffix);
-        let last_residual = x.row(x.rows() - 1).to_vec();
+        let last_residual = sc.x.row(sc.x.rows() - 1).to_vec();
         BlendResult {
             cache: KvCache {
                 layers: done_layers,

@@ -17,7 +17,6 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use cb_kv::serialize::{DecodeError, EntryReader};
 use cb_model::{LayerKv, Model};
-use cb_tensor::Matrix;
 use cb_tokenizer::TokenId;
 use crossbeam::channel::bounded;
 
@@ -82,28 +81,29 @@ pub fn blend_pipelined(
     let start = Instant::now();
     let (tx, rx) = bounded::<LayerKv>(2);
 
+    let width = model.cfg.kv_width();
+    let total_rows = 1 + readers.iter().map(|r| r.rows()).sum::<usize>();
     let (result, loader_busy) = std::thread::scope(|scope| {
         let loader = scope.spawn(|| {
             let busy_start = Instant::now();
+            // One scratch buffer decodes every chunk of every layer; the
+            // BOS layer KV is shared by reference (the historical loader
+            // cloned it once per layer and stacked owned matrices through
+            // a double-collected `vcat`).
+            let mut chunk_buf = LayerKv::empty(width);
             for layer in 0..n_layers {
-                let mut ks: Vec<Matrix> = Vec::with_capacity(readers.len() + 1);
-                let mut vs: Vec<Matrix> = Vec::with_capacity(readers.len() + 1);
-                ks.push(bos.layers[layer].k.clone());
-                vs.push(bos.layers[layer].v.clone());
+                let mut merged = LayerKv::empty(width);
+                merged.reserve(total_rows);
+                merged.append(&bos.layers[layer].k, &bos.layers[layer].v);
                 for (r, &off) in readers.iter().zip(offsets.iter()) {
-                    let mut lkv = r.layer(layer);
+                    r.layer_into(layer, &mut chunk_buf);
                     let delta = off as i64 - r.positions()[0] as i64;
-                    rope_align::relocate_layer(model, layer, &mut lkv, delta);
-                    ks.push(lkv.k);
-                    vs.push(lkv.v);
+                    rope_align::relocate_layer(model, layer, &mut chunk_buf, delta);
+                    merged.append(&chunk_buf.k, &chunk_buf.v);
                 }
                 if let Some(d) = throttle {
                     std::thread::sleep(d);
                 }
-                let merged = LayerKv {
-                    k: Matrix::vcat(&ks.iter().collect::<Vec<_>>()),
-                    v: Matrix::vcat(&vs.iter().collect::<Vec<_>>()),
-                };
                 if tx.send(merged).is_err() {
                     break; // consumer gone (panic downstream)
                 }

@@ -12,9 +12,9 @@
 //! show it destroys the recency head.
 
 use cb_model::{KvCache, LayerKv, Model};
-use cb_tensor::rope;
 
-/// Rotates the RoPE'd head blocks of one layer's keys by `delta` positions.
+/// Rotates the RoPE'd head blocks of one layer's keys by `delta` positions
+/// (in place on each row's head segment — no column-block copies).
 pub fn relocate_layer(model: &Model, layer: usize, kv: &mut LayerKv, delta: i64) {
     if delta == 0 {
         return;
@@ -22,9 +22,7 @@ pub fn relocate_layer(model: &Model, layer: usize, kv: &mut LayerKv, delta: i64)
     let hd = model.cfg.head_dim;
     for (h, head) in model.layers[layer].heads.iter().enumerate() {
         if let Some(table) = &head.rope {
-            let mut block = kv.k.col_block(h * hd, (h + 1) * hd);
-            rope::rotate_rows_by(&mut block, table, delta);
-            kv.k.set_col_block(h * hd, &block);
+            cb_tensor::rope::rotate_col_block_by(&mut kv.k, table, h * hd, delta);
         }
     }
 }

@@ -37,11 +37,34 @@ impl LayerKv {
         self.len() == 0
     }
 
-    /// Appends the rows of `k`/`v` (shape `n × kv_width`).
+    /// Appends the rows of `k`/`v` (shape `n × kv_width`) in place —
+    /// amortized O(n) per append (and allocation-free once
+    /// [`LayerKv::reserve`] has sized the buffers), where the historical
+    /// implementation re-copied the whole accumulated cache every call.
     pub fn append(&mut self, k: &Matrix, v: &Matrix) {
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        self.k.extend_rows(k);
+        self.v.extend_rows(v);
+    }
+
+    /// Appends rows `lo..hi` of `k`/`v` without slicing a temporary.
+    pub fn append_rows(&mut self, k: &Matrix, v: &Matrix, lo: usize, hi: usize) {
+        self.k.extend_from_rows(k, lo, hi);
+        self.v.extend_from_rows(v, lo, hi);
+    }
+
+    /// The seed's copy-on-append (`vcat` of old + new). Kept only as the
+    /// faithful "scalar baseline" arm of the throughput benchmarks.
+    pub fn append_vcat(&mut self, k: &Matrix, v: &Matrix) {
         assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
         self.k = Matrix::vcat(&[&self.k, k]);
         self.v = Matrix::vcat(&[&self.v, v]);
+    }
+
+    /// Reserves capacity for `extra` more cached tokens.
+    pub fn reserve(&mut self, extra: usize) {
+        self.k.reserve_rows(extra);
+        self.v.reserve_rows(extra);
     }
 
     /// Overwrites rows `rows[i]` with row `i` of `k`/`v` (selective
@@ -88,6 +111,16 @@ impl KvCache {
     /// Number of layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Reserves capacity for `extra` more tokens on every layer (decode
+    /// loops call this once so steady-state appends allocate nothing).
+    pub fn reserve(&mut self, extra: usize) {
+        for l in &mut self.layers {
+            l.reserve(extra);
+        }
+        self.positions.reserve(extra);
+        self.tokens.reserve(extra);
     }
 
     /// Concatenates caches for consecutive text segments into one cache.

@@ -25,8 +25,10 @@ pub mod config;
 pub mod kvcache;
 pub mod model;
 pub mod program;
+pub mod scratch;
 pub mod weights;
 
 pub use config::{ModelConfig, ModelProfile};
 pub use kvcache::{KvCache, LayerKv};
 pub use model::Model;
+pub use scratch::{AttendScratch, HeadScratch, Scratch};

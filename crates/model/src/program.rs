@@ -338,7 +338,7 @@ pub fn compile(cfg: ModelConfig) -> Model {
             1 => binding_mlp(d),
             _ => Mlp::noise(&mut rng, d, NOISE_HIDDEN, cfg.noise_scale),
         };
-        layers.push(Layer { heads, mlp });
+        layers.push(Layer::new(heads, mlp));
     }
 
     let embed = build_embed(&cfg.vocab, &codebook, d);
@@ -349,6 +349,7 @@ pub fn compile(cfg: ModelConfig) -> Model {
         embed,
         unembed,
         layers,
+        reference_kernels: false,
     }
 }
 
@@ -363,11 +364,11 @@ pub fn compile_noise_only(cfg: ModelConfig) -> Model {
             .wrapping_add(cfg.n_layers() as u64),
     );
     let layers = (0..cfg.n_layers())
-        .map(|_| Layer {
-            heads: (0..cfg.n_heads)
+        .map(|_| {
+            let heads = (0..cfg.n_heads)
                 .map(|_| HeadWeights::noise(&mut rng, d, hd, 0.1))
-                .collect(),
-            mlp: Mlp::noise(&mut rng, d, NOISE_HIDDEN, 0.1),
+                .collect();
+            Layer::new(heads, Mlp::noise(&mut rng, d, NOISE_HIDDEN, 0.1))
         })
         .collect();
     let embed = build_embed(&cfg.vocab, &codebook, d);
@@ -378,6 +379,7 @@ pub fn compile_noise_only(cfg: ModelConfig) -> Model {
         embed,
         unembed,
         layers,
+        reference_kernels: false,
     }
 }
 

@@ -169,21 +169,62 @@ impl Mlp {
     /// Applies the block to `x` (`rows × d_model`), returning the residual
     /// *delta* (caller adds it).
     pub fn forward(&self, x: &Matrix) -> Option<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        let mut h1 = Matrix::zeros(0, 0);
+        let mut h2 = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut h1, &mut h2, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Mlp::forward`] into caller-provided buffers (`h1`/`h2` are hidden
+    /// scratch, `out` receives the delta). Returns false for [`Mlp::None`]
+    /// (`out` untouched).
+    pub fn forward_into(
+        &self,
+        x: &Matrix,
+        h1: &mut Matrix,
+        h2: &mut Matrix,
+        out: &mut Matrix,
+    ) -> bool {
+        match self {
+            Mlp::None => false,
+            Mlp::Bilinear { wg, wu, wd } => {
+                x.matmul_into(wg, h1);
+                x.matmul_into(wu, h2);
+                for (hv, uv) in h1.as_mut_slice().iter_mut().zip(h2.as_slice()) {
+                    *hv *= *uv;
+                }
+                h1.matmul_into(wd, out);
+                true
+            }
+            Mlp::Noise { w1, w2, scale } => {
+                x.matmul_into(w1, h1);
+                cb_tensor::ops::tanh(h1);
+                h1.matmul_into(w2, out);
+                out.scale(*scale);
+                true
+            }
+        }
+    }
+
+    /// [`Mlp::forward`] on the seed's scalar reference kernels (the
+    /// "scalar" arm of the throughput benchmarks).
+    pub fn forward_reference(&self, x: &Matrix) -> Option<Matrix> {
         match self {
             Mlp::None => None,
             Mlp::Bilinear { wg, wu, wd } => {
-                let g = x.matmul(wg);
-                let u = x.matmul(wu);
+                let g = x.matmul_reference(wg);
+                let u = x.matmul_reference(wu);
                 let mut h = g;
                 for (hv, uv) in h.as_mut_slice().iter_mut().zip(u.as_slice()) {
                     *hv *= *uv;
                 }
-                Some(h.matmul(wd))
+                Some(h.matmul_reference(wd))
             }
             Mlp::Noise { w1, w2, scale } => {
-                let mut h = x.matmul(w1);
+                let mut h = x.matmul_reference(w1);
                 cb_tensor::ops::tanh(&mut h);
-                let mut out = h.matmul(w2);
+                let mut out = h.matmul_reference(w2);
                 out.scale(*scale);
                 Some(out)
             }
@@ -198,6 +239,46 @@ pub struct Layer {
     pub heads: Vec<HeadWeights>,
     /// Feed-forward block.
     pub mlp: Mlp,
+    /// Every head's `wq`/`wk`/`wv` packed into one
+    /// `d_model × 3·kv_width` projection (columns `[Q | K | V]`, each
+    /// head-major), so the per-layer QKV projection is a single blocked
+    /// matmul instead of `3 × n_heads` small ones. Built once by
+    /// [`Layer::new`] from the per-head weights it mirrors.
+    pub fused_qkv: Matrix,
+}
+
+impl Layer {
+    /// Builds a layer, packing the per-head projections into
+    /// [`Layer::fused_qkv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is empty or head shapes disagree.
+    pub fn new(heads: Vec<HeadWeights>, mlp: Mlp) -> Self {
+        assert!(!heads.is_empty(), "a layer needs at least one head");
+        let d = heads[0].wq.rows();
+        let hd = heads[0].wq.cols();
+        let width = heads.len() * hd;
+        let mut fused = Matrix::zeros(d, 3 * width);
+        for (h, head) in heads.iter().enumerate() {
+            assert_eq!((head.wq.rows(), head.wq.cols()), (d, hd));
+            assert_eq!((head.wk.rows(), head.wk.cols()), (d, hd));
+            assert_eq!((head.wv.rows(), head.wv.cols()), (d, hd));
+            for r in 0..d {
+                let row = fused.row_mut(r);
+                for c in 0..hd {
+                    row[h * hd + c] = head.wq[(r, c)];
+                    row[width + h * hd + c] = head.wk[(r, c)];
+                    row[2 * width + h * hd + c] = head.wv[(r, c)];
+                }
+            }
+        }
+        Self {
+            heads,
+            mlp,
+            fused_qkv: fused,
+        }
+    }
 }
 
 /// Standard-normal sample via Box–Muller (keeps us off rand_distr).

@@ -1,25 +1,130 @@
 //! Row-major dense f32 matrix and matmul kernels.
+//!
+//! Two kernel families live here:
+//!
+//! - **Blocked kernels** ([`Matrix::matmul`], [`Matrix::matmul_transposed`]
+//!   and their `_into` / column-block variants): register-tiled loops with
+//!   lane-split accumulators the compiler vectorizes without needing FP
+//!   reassociation, a dense fast path with no per-element branches, and a
+//!   sparse path that skips all-zero rows of the right-hand operand. The
+//!   sparse path is chosen by a one-time density probe cached per matrix
+//!   (compiled program weights are heavily row-sparse — e.g. a subspace
+//!   read touches 32 of 224 rows — while noise weights are dense).
+//!   Large products are split across the crate's [`crate::pool`] thread
+//!   pool by disjoint output-row ranges, which keeps results bit-identical
+//!   for any thread count.
+//! - **Reference kernels** ([`Matrix::matmul_reference`],
+//!   [`Matrix::matmul_transposed_reference`]): the original scalar loops,
+//!   kept verbatim as the parity baseline for tests and the "scalar" arm
+//!   of the throughput benchmarks.
+//!
+//! `rows × cols` values stored contiguously; row `r` occupies
+//! `data[r*cols .. (r+1)*cols]`. This is the only tensor type the
+//! reproduction needs: vectors are `1 × n` or `n × 1` matrices, and the
+//! 3-D activations of a transformer layer are handled as `(seq, dim)`
+//! matrices per layer.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::OnceLock;
+
+use crate::pool;
+
+/// Row unroll of the dense kernel (parallel row chunks stay aligned to it
+/// so every chunk groups rows the way the serial kernel would; grouping
+/// never changes per-element accumulation order, so this is purely a
+/// locality choice).
+const MR: usize = 4;
+/// Accumulator lanes of the dot-product (transposed) kernel.
+const LANES: usize = 16;
+/// Column pairs computed together by the transposed kernel.
+const JB: usize = 2;
+/// A matrix axis is classified sparse when at most this fraction of its
+/// rows (or columns) contain a non-zero.
+const SPARSE_FRACTION: f32 = 0.75;
+/// Minimum output rows before a matmul is split across the thread pool.
+const PAR_MIN_ROWS: usize = 64;
+
+/// One-time density probe of a matrix, along both axes: the `k` loop of a
+/// product can skip a left operand's all-zero *columns* and a right
+/// operand's all-zero *rows* (either way the skipped products are exactly
+/// zero). Compiled program weights are row-sparse; compiled embeddings are
+/// column-sparse.
+#[derive(Clone, Debug)]
+struct DensityProfile {
+    /// Non-zero rows, when at most `SPARSE_FRACTION` of rows are non-zero.
+    nz_rows: Option<Box<[u32]>>,
+    /// Non-zero columns, under the same threshold.
+    nz_cols: Option<Box<[u32]>>,
+}
+
+/// Which `k` indices participate in a product.
+enum KSet<'a> {
+    /// Every row (dense operand).
+    All(usize),
+    /// Only these rows hold non-zeros.
+    List(&'a [u32]),
+}
+
+impl KSet<'_> {
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        match self {
+            KSet::All(n) => {
+                for k in 0..*n {
+                    f(k);
+                }
+            }
+            KSet::List(rows) => {
+                for &k in *rows {
+                    f(k as usize);
+                }
+            }
+        }
+    }
+}
 
 /// A row-major dense `f32` matrix.
-///
-/// `rows × cols` values stored contiguously; row `r` occupies
-/// `data[r*cols .. (r+1)*cols]`. This is the only tensor type the
-/// reproduction needs: vectors are `1 × n` or `n × 1` matrices, and the
-/// 3-D activations of a transformer layer are handled as `(seq, dim)`
-/// matrices per layer.
-#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    /// Cached [`DensityProfile`]. Reset by every mutating accessor; never
+    /// observable through `PartialEq`.
+    profile: OnceLock<DensityProfile>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let profile = OnceLock::new();
+        if let Some(p) = self.profile.get() {
+            let _ = profile.set(p.clone());
+        }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+            profile,
+        }
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (scratch buffers start here).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -30,6 +135,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            profile: OnceLock::new(),
         }
     }
 
@@ -45,7 +151,12 @@ impl Matrix {
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data,
+            profile: OnceLock::new(),
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every element.
@@ -56,7 +167,7 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Self { rows, cols, data }
+        Self::from_vec(rows, cols, data)
     }
 
     /// The identity matrix of size `n × n`.
@@ -76,6 +187,16 @@ impl Matrix {
         self.cols
     }
 
+    /// Invalidates the cached density profile; must precede every mutable
+    /// exposure of the data (a stale sparse profile would let the kernels
+    /// skip rows that have since become non-zero).
+    #[inline]
+    fn touch(&mut self) {
+        if self.profile.get().is_some() {
+            self.profile.take();
+        }
+    }
+
     /// Immutable view of the underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
@@ -85,6 +206,7 @@ impl Matrix {
     /// Mutable view of the underlying row-major buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.touch();
         &mut self.data
     }
 
@@ -99,6 +221,7 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
+        self.touch();
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -112,14 +235,79 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
+    /// Reshapes to `rows × cols` with every element zeroed, reusing the
+    /// existing allocation when it is large enough. The workhorse of the
+    /// `_into` kernels and scratch arenas.
+    pub fn zero_resize(&mut self, rows: usize, cols: usize) {
+        self.touch();
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` WITHOUT clearing: contents are whatever
+    /// the buffer previously held. Only for callers that overwrite every
+    /// element before reading (skips a full memset on large outputs —
+    /// score kernels, the KV byte decoder).
+    pub fn resize_dirty(&mut self, rows: usize, cols: usize) {
+        self.touch();
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reserves capacity for `extra` additional rows without changing the
+    /// shape (so steady-state [`Matrix::extend_rows`] growth allocates
+    /// nothing).
+    pub fn reserve_rows(&mut self, extra: usize) {
+        self.data.reserve(extra * self.cols);
+    }
+
+    /// Appends the rows of `src` in place (no intermediate matrix, unlike
+    /// the historical `vcat(&[&self, src])` pattern which copied the whole
+    /// accumulated buffer on every append).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn extend_rows(&mut self, src: &Matrix) {
+        self.extend_from_rows(src, 0, src.rows);
+    }
+
+    /// Appends rows `lo..hi` of `src` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or `hi > src.rows()`.
+    pub fn extend_from_rows(&mut self, src: &Matrix, lo: usize, hi: usize) {
+        assert_eq!(src.cols, self.cols, "extend_rows column mismatch");
+        assert!(lo <= hi && hi <= src.rows);
+        self.touch();
+        self.data
+            .extend_from_slice(&src.data[lo * src.cols..hi * src.cols]);
+        self.rows += hi - lo;
+    }
+
     /// Returns a new matrix containing only the rows listed in `idx`
     /// (in that order). Used by selective prefill to gather HKVD tokens.
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
-        for (dst, &src) in idx.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
-        }
+        let mut out = Matrix::zeros(0, self.cols);
+        self.gather_rows_into(idx, &mut out);
         out
+    }
+
+    /// [`Matrix::gather_rows`] into a caller-provided buffer.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.touch();
+        out.rows = idx.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(idx.len() * self.cols);
+        for &src in idx {
+            out.data
+                .extend_from_slice(&self.data[src * self.cols..(src + 1) * self.cols]);
+        }
     }
 
     /// Scatters the rows of `src` back into `self` at positions `idx`.
@@ -136,15 +324,288 @@ impl Matrix {
         }
     }
 
+    /// The cached one-time density probe (one scan computes both axes).
+    fn density(&self) -> &DensityProfile {
+        self.profile.get_or_init(|| {
+            let mut nz_rows = Vec::new();
+            let mut col_has = vec![false; self.cols];
+            for r in 0..self.rows {
+                let mut any = false;
+                for (c, &v) in self.row(r).iter().enumerate() {
+                    if v != 0.0 {
+                        any = true;
+                        col_has[c] = true;
+                    }
+                }
+                if any {
+                    nz_rows.push(r as u32);
+                }
+            }
+            let nz_cols: Vec<u32> = col_has
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &h)| h.then_some(c as u32))
+                .collect();
+            DensityProfile {
+                nz_rows: ((nz_rows.len() as f32) <= self.rows as f32 * SPARSE_FRACTION)
+                    .then(|| nz_rows.into_boxed_slice()),
+                nz_cols: ((nz_cols.len() as f32) <= self.cols as f32 * SPARSE_FRACTION)
+                    .then(|| nz_cols.into_boxed_slice()),
+            }
+        })
+    }
+
     /// Matrix product `self × rhs`.
     ///
-    /// Uses an ikj loop order so the inner loop streams both `rhs` rows and
-    /// output rows; rustc autovectorizes this well at `-O3`.
+    /// Allocating wrapper over [`Matrix::matmul_into`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self × rhs` written into `out` (resized, previous
+    /// contents discarded, allocation reused when large enough).
+    ///
+    /// Dispatches on `rhs`'s cached density probe: dense operands take the
+    /// register-tiled branch-free kernel; row-sparse operands (compiled
+    /// program weights) skip their all-zero rows outright. Splits output
+    /// rows across the [`crate::pool`] when the product is large enough —
+    /// per-row accumulation order is fixed, so results are bit-identical
+    /// for every pool size.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.zero_resize(self.rows, rhs.cols);
+        let (m, n, kdim) = (self.rows, rhs.cols, self.cols);
+        if m == 0 || n == 0 {
+            return;
+        }
+        let ks = pick_kset(self.density(), rhs.density(), kdim);
+        // Check the size threshold before touching the global pool: tiny
+        // products (every decode-step matmul) skip the RwLock/Arc traffic.
+        if m < PAR_MIN_ROWS {
+            gemm_block(&self.data, kdim, &rhs.data, n, 0, &mut out.data, m, n, &ks);
+            return;
+        }
+        let pool = pool::current();
+        if pool.threads() <= 1 {
+            gemm_block(&self.data, kdim, &rhs.data, n, 0, &mut out.data, m, n, &ks);
+            return;
+        }
+        // Chunk rows MR-aligned so every row sees the same tile shape it
+        // would serially (bit-identical output for any split).
+        let threads = pool.threads();
+        let chunk = (m.div_ceil(threads)).div_ceil(MR) * MR;
+        let a = &self.data;
+        let b = &rhs.data;
+        let jobs: Vec<pool::Job<'_>> = out
+            .data
+            .chunks_mut(chunk * n)
+            .enumerate()
+            .map(|(i, o)| {
+                let lo = i * chunk;
+                let rows = o.len() / n;
+                let a_part = &a[lo * kdim..(lo + rows) * kdim];
+                let ks = pick_kset(self.density(), rhs.density(), kdim);
+                let job: pool::Job<'_> = Box::new(move || {
+                    gemm_block(a_part, kdim, b, n, 0, o, rows, n, &ks);
+                });
+                job
+            })
+            .collect();
+        pool.run(jobs);
+    }
+
+    /// `self × rhs[:, lo..hi]` written into `out` — the right-hand operand
+    /// is a column block viewed in place (no copy). This is the attention
+    /// context kernel `P × V_h` over a head's columns.
+    pub fn matmul_cols_into(&self, rhs: &Matrix, lo: usize, hi: usize, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul_cols shape mismatch");
+        assert!(lo <= hi && hi <= rhs.cols);
+        out.zero_resize(self.rows, hi - lo);
+        if self.rows == 0 || hi == lo {
+            return;
+        }
+        gemm_block(
+            &self.data,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            lo,
+            &mut out.data,
+            self.rows,
+            hi - lo,
+            &KSet::All(self.cols),
+        );
+    }
+
+    /// Matrix product `self × rhsᵀ` without materializing the transpose.
+    ///
+    /// This is the attention-score kernel: `Q · Kᵀ`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transposed_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_transposed`] into a caller-provided buffer.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        self.matmul_transposed_block_into(rhs, 0, self.cols, out);
+    }
+
+    /// `self[:, lo..hi] × (rhs[:, lo..hi])ᵀ` into `out`: both operands are
+    /// viewed through the same column block in place. This is the per-head
+    /// attention-score kernel `Q_h · K_hᵀ` — no `col_block` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or the block is out of range.
+    pub fn matmul_transposed_block_into(
+        &self,
+        rhs: &Matrix,
+        lo: usize,
+        hi: usize,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(self.cols, rhs.cols, "column-block width mismatch");
+        assert!(lo <= hi && hi <= self.cols);
+        out.zero_resize(self.rows, rhs.rows);
+        let (m, jn) = (self.rows, rhs.rows);
+        if m == 0 || jn == 0 {
+            return;
+        }
+        let (lda, ldb) = (self.cols, rhs.cols);
+        let a = &self.data;
+        let b = &rhs.data;
+        let full_j = jn - jn % JB;
+        for i in 0..m {
+            let ar = &a[i * lda + lo..i * lda + hi];
+            let orow = &mut out.data[i * jn..(i + 1) * jn];
+            let mut j = 0;
+            while j < full_j {
+                let b0 = &b[j * ldb + lo..j * ldb + hi];
+                let b1 = &b[(j + 1) * ldb + lo..(j + 1) * ldb + hi];
+                let (d0, d1) = dot2(ar, b0, b1);
+                orow[j] = d0;
+                orow[j + 1] = d1;
+                j += JB;
+            }
+            for (jj, orv) in orow.iter_mut().enumerate().skip(full_j) {
+                let br = &b[jj * ldb + lo..jj * ldb + hi];
+                *orv = dot1(ar, br);
+            }
+        }
+    }
+
+    /// [`Matrix::matmul_transposed_block_into`] with a per-row column
+    /// limit: row `i` computes dots only against `rhs` rows `0..limits[i]`
+    /// and fills the rest with exact `0.0`. This is the causal attention
+    /// score kernel — masked positions are never computed at all (for
+    /// prefill that halves the score work), and the exact zeros let the
+    /// downstream context product skip them too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limits.len() != self.rows()` or any limit exceeds
+    /// `rhs.rows()`.
+    pub fn matmul_transposed_block_limited_into(
+        &self,
+        rhs: &Matrix,
+        lo: usize,
+        hi: usize,
+        limits: &[usize],
+        scale: f32,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(self.cols, rhs.cols, "column-block width mismatch");
+        assert!(lo <= hi && hi <= self.cols);
+        assert_eq!(limits.len(), self.rows, "one limit per query row");
+        // Every element is written below (live dots + zero tail), so the
+        // usual zeroing memset would be pure overhead on big score
+        // matrices.
+        out.resize_dirty(self.rows, rhs.rows);
+        let (m, jn) = (self.rows, rhs.rows);
+        if m == 0 || jn == 0 {
+            return;
+        }
+        assert!(limits.iter().all(|&l| l <= jn), "limit exceeds key rows");
+        let (lda, ldb) = (self.cols, rhs.cols);
+        let a = &self.data;
+        let b = &rhs.data;
+        // Query tiling: each key quad is loaded once per QI query rows
+        // (the key matrix exceeds L2 at paper-scale contexts, so streaming
+        // it per query row would be memory-bound).
+        const QI: usize = 8;
+        let mut i0 = 0;
+        while i0 < m {
+            let rows = QI.min(m - i0);
+            let cmin = limits[i0..i0 + rows].iter().copied().min().unwrap();
+            let full = cmin - cmin % 4;
+            let mut j = 0;
+            while j < full {
+                let b0 = &b[j * ldb + lo..j * ldb + hi];
+                let b1 = &b[(j + 1) * ldb + lo..(j + 1) * ldb + hi];
+                let b2 = &b[(j + 2) * ldb + lo..(j + 2) * ldb + hi];
+                let b3 = &b[(j + 3) * ldb + lo..(j + 3) * ldb + hi];
+                for r in 0..rows {
+                    let i = i0 + r;
+                    let ar = &a[i * lda + lo..i * lda + hi];
+                    let d = dot4(ar, b0, b1, b2, b3);
+                    let o = i * jn + j;
+                    out.data[o] = d[0] * scale;
+                    out.data[o + 1] = d[1] * scale;
+                    out.data[o + 2] = d[2] * scale;
+                    out.data[o + 3] = d[3] * scale;
+                }
+                j += 4;
+            }
+            // Per-row remainder past the tile's shared prefix, plus the
+            // zero tail.
+            for r in 0..rows {
+                let i = i0 + r;
+                let lim = limits[i];
+                let ar = &a[i * lda + lo..i * lda + hi];
+                let orow = &mut out.data[i * jn..(i + 1) * jn];
+                let mut jj = full;
+                while jj + 4 <= lim {
+                    let b0 = &b[jj * ldb + lo..jj * ldb + hi];
+                    let b1 = &b[(jj + 1) * ldb + lo..(jj + 1) * ldb + hi];
+                    let b2 = &b[(jj + 2) * ldb + lo..(jj + 2) * ldb + hi];
+                    let b3 = &b[(jj + 3) * ldb + lo..(jj + 3) * ldb + hi];
+                    let d = dot4(ar, b0, b1, b2, b3);
+                    orow[jj] = d[0] * scale;
+                    orow[jj + 1] = d[1] * scale;
+                    orow[jj + 2] = d[2] * scale;
+                    orow[jj + 3] = d[3] * scale;
+                    jj += 4;
+                }
+                while jj < lim {
+                    let br = &b[jj * ldb + lo..jj * ldb + hi];
+                    orow[jj] = dot1(ar, br) * scale;
+                    jj += 1;
+                }
+                orow[lim..].fill(0.0);
+            }
+            i0 += rows;
+        }
+    }
+
+    /// The seed's scalar `matmul` (ikj loop with a per-element zero skip),
+    /// kept verbatim as the parity/throughput baseline.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -167,10 +628,9 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self × rhsᵀ` without materializing the transpose.
-    ///
-    /// This is the attention-score kernel: `Q · Kᵀ`.
-    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+    /// The seed's scalar `matmul_transposed` (single sequential dot per
+    /// output element), kept verbatim as the parity/throughput baseline.
+    pub fn matmul_transposed_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
@@ -198,6 +658,7 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.touch();
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b;
         }
@@ -205,6 +666,7 @@ impl Matrix {
 
     /// Element-wise in-place scaling.
     pub fn scale(&mut self, s: f32) {
+        self.touch();
         for a in &mut self.data {
             *a *= s;
         }
@@ -216,15 +678,31 @@ impl Matrix {
     ///
     /// Panics if the column counts differ or `parts` is empty.
     pub fn vcat(parts: &[&Matrix]) -> Matrix {
-        assert!(!parts.is_empty(), "vcat of zero matrices");
-        let cols = parts[0].cols;
-        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        Matrix::vcat_from(parts.iter().copied())
+    }
+
+    /// [`Matrix::vcat`] over any re-iterable source of matrix references —
+    /// callers no longer need to collect a `Vec<&Matrix>` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or the iterator is empty.
+    pub fn vcat_from<'a, I>(parts: I) -> Matrix
+    where
+        I: IntoIterator<Item = &'a Matrix>,
+        I::IntoIter: Clone,
+    {
+        let iter = parts.into_iter();
+        let mut sizing = iter.clone();
+        let first = sizing.next().expect("vcat of zero matrices");
+        let cols = first.cols;
+        let rows: usize = first.rows + sizing.map(|m| m.rows).sum::<usize>();
         let mut data = Vec::with_capacity(rows * cols);
-        for m in parts {
+        for m in iter {
             assert_eq!(m.cols, cols, "vcat column mismatch");
             data.extend_from_slice(&m.data);
         }
-        Matrix { rows, cols, data }
+        Matrix::from_vec(rows, cols, data)
     }
 
     /// Returns the submatrix of columns `lo..hi` (copied).
@@ -248,6 +726,7 @@ impl Matrix {
     pub fn set_col_block(&mut self, lo: usize, src: &Matrix) {
         assert_eq!(self.rows, src.rows());
         assert!(lo + src.cols() <= self.cols);
+        self.touch();
         for r in 0..self.rows {
             let dst = &mut self.data[r * self.cols + lo..r * self.cols + lo + src.cols()];
             dst.copy_from_slice(src.row(r));
@@ -257,11 +736,11 @@ impl Matrix {
     /// Returns the submatrix of rows `lo..hi`.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Matrix {
         assert!(lo <= hi && hi <= self.rows);
-        Matrix {
-            rows: hi - lo,
-            cols: self.cols,
-            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
-        }
+        Matrix::from_vec(
+            hi - lo,
+            self.cols,
+            self.data[lo * self.cols..hi * self.cols].to_vec(),
+        )
     }
 
     /// Frobenius norm of the difference `self - rhs`.
@@ -281,6 +760,209 @@ impl Matrix {
     }
 }
 
+/// Chooses the `k` set of a product: the shorter of the left operand's
+/// non-zero columns and the right operand's non-zero rows (skipping either
+/// side's structural zeros is exact), or the full range when both are
+/// dense.
+fn pick_kset<'a>(lhs: &'a DensityProfile, rhs: &'a DensityProfile, kdim: usize) -> KSet<'a> {
+    match (&lhs.nz_cols, &rhs.nz_rows) {
+        (Some(c), Some(r)) => KSet::List(if c.len() <= r.len() { c } else { r }),
+        (Some(c), None) => KSet::List(c),
+        (None, Some(r)) => KSet::List(r),
+        (None, None) => KSet::All(kdim),
+    }
+}
+
+/// Lane-split dot product over two equal-length slices: lane accumulators
+/// keep the FP adds independent, so the loop vectorizes without
+/// reassociation licence. Accumulation order is fixed (deterministic).
+#[inline]
+fn dot1(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut ach = a.chunks_exact(LANES);
+    let mut bch = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ach).zip(&mut bch) {
+        for t in 0..LANES {
+            acc[t] = ca[t].mul_add(cb[t], acc[t]);
+        }
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    for (&x, &y) in ach.remainder().iter().zip(bch.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Two dot products sharing the left operand (halves the `a` loads).
+#[inline]
+fn dot2(a: &[f32], b0: &[f32], b1: &[f32]) -> (f32, f32) {
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut ach = a.chunks_exact(LANES);
+    let mut b0ch = b0.chunks_exact(LANES);
+    let mut b1ch = b1.chunks_exact(LANES);
+    for ((ca, c0), c1) in (&mut ach).zip(&mut b0ch).zip(&mut b1ch) {
+        for t in 0..LANES {
+            acc0[t] = ca[t].mul_add(c0[t], acc0[t]);
+            acc1[t] = ca[t].mul_add(c1[t], acc1[t]);
+        }
+    }
+    let (mut s0, mut s1) = (0.0f32, 0.0f32);
+    for t in 0..LANES {
+        s0 += acc0[t];
+        s1 += acc1[t];
+    }
+    for ((&x, &y0), &y1) in ach
+        .remainder()
+        .iter()
+        .zip(b0ch.remainder())
+        .zip(b1ch.remainder())
+    {
+        s0 += x * y0;
+        s1 += x * y1;
+    }
+    (s0, s1)
+}
+
+/// Four dot products sharing the left operand.
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    let mut ach = a.chunks_exact(LANES);
+    let mut b0ch = b0.chunks_exact(LANES);
+    let mut b1ch = b1.chunks_exact(LANES);
+    let mut b2ch = b2.chunks_exact(LANES);
+    let mut b3ch = b3.chunks_exact(LANES);
+    for ((((ca, c0), c1), c2), c3) in (&mut ach)
+        .zip(&mut b0ch)
+        .zip(&mut b1ch)
+        .zip(&mut b2ch)
+        .zip(&mut b3ch)
+    {
+        for t in 0..LANES {
+            acc0[t] = ca[t].mul_add(c0[t], acc0[t]);
+            acc1[t] = ca[t].mul_add(c1[t], acc1[t]);
+            acc2[t] = ca[t].mul_add(c2[t], acc2[t]);
+            acc3[t] = ca[t].mul_add(c3[t], acc3[t]);
+        }
+    }
+    let mut s = [0.0f32; 4];
+    for t in 0..LANES {
+        s[0] += acc0[t];
+        s[1] += acc1[t];
+        s[2] += acc2[t];
+        s[3] += acc3[t];
+    }
+    for ((((&x, &y0), &y1), &y2), &y3) in ach
+        .remainder()
+        .iter()
+        .zip(b0ch.remainder())
+        .zip(b1ch.remainder())
+        .zip(b2ch.remainder())
+        .zip(b3ch.remainder())
+    {
+        s[0] += x * y0;
+        s[1] += x * y1;
+        s[2] += x * y2;
+        s[3] += x * y3;
+    }
+    s
+}
+
+/// The dense GEMM core: `out[m × n] += a[m × kdim] × b[·, bcol..bcol+n]`,
+/// with `b` viewed through row stride `ldb` at column offset `bcol`.
+/// `out` is contiguous `m × n` and must be zeroed. `ks` selects the
+/// participating rows of `b` (the probed sparse path).
+///
+/// The kernel is a branch-free ikj AXPY — the shape rustc autovectorizes
+/// best on this workload — unrolled two output rows deep so each `b` row
+/// is loaded once per row pair. Every output element accumulates in fixed
+/// ascending-`ks` order, so the result is independent of how callers
+/// partition `m` (bit-identical for any thread count).
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    bcol: usize,
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    ks: &KSet<'_>,
+) {
+    let mut i = 0;
+    // 4-row main loop: each `b` row is loaded once per four output rows,
+    // which matters when `b` overflows L2 (the fused QKV weight does).
+    while i + 4 <= m {
+        let (o0, rest) = out[i * n..].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, rest) = rest.split_at_mut(n);
+        let o3 = &mut rest[..n];
+        ks.for_each(|k| {
+            let a0 = a[i * lda + k];
+            let a1 = a[(i + 1) * lda + k];
+            let a2 = a[(i + 2) * lda + k];
+            let a3 = a[(i + 3) * lda + k];
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                // Structural zeros (masked attention rows, sparse
+                // residuals) contribute nothing; skipping them is exact.
+                return;
+            }
+            let brow = &b[k * ldb + bcol..k * ldb + bcol + n];
+            for ((((x0, x1), x2), x3), &bv) in o0
+                .iter_mut()
+                .zip(o1.iter_mut())
+                .zip(o2.iter_mut())
+                .zip(o3.iter_mut())
+                .zip(brow)
+            {
+                *x0 = bv.mul_add(a0, *x0);
+                *x1 = bv.mul_add(a1, *x1);
+                *x2 = bv.mul_add(a2, *x2);
+                *x3 = bv.mul_add(a3, *x3);
+            }
+        });
+        i += 4;
+    }
+    while i + 2 <= m {
+        let (o0, rest) = out[i * n..].split_at_mut(n);
+        let o1 = &mut rest[..n];
+        ks.for_each(|k| {
+            let a0 = a[i * lda + k];
+            let a1 = a[(i + 1) * lda + k];
+            if a0 == 0.0 && a1 == 0.0 {
+                return;
+            }
+            let brow = &b[k * ldb + bcol..k * ldb + bcol + n];
+            for ((x0, x1), &bv) in o0.iter_mut().zip(o1.iter_mut()).zip(brow) {
+                *x0 = bv.mul_add(a0, *x0);
+                *x1 = bv.mul_add(a1, *x1);
+            }
+        });
+        i += 2;
+    }
+    if i < m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        ks.for_each(|k| {
+            let av = a[i * lda + k];
+            if av == 0.0 {
+                return;
+            }
+            let brow = &b[k * ldb + bcol..k * ldb + bcol + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = bv.mul_add(av, *o);
+            }
+        });
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -293,6 +975,7 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        self.touch();
         &mut self.data[r * self.cols + c]
     }
 }
@@ -350,6 +1033,143 @@ mod tests {
         }
     }
 
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Tiny xorshift-style generator: deterministic, no dependency.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_across_shapes() {
+        // Rectangular, tile-edge, single-row, and empty shapes; the repo
+        // convention is seeded loops, not proptest.
+        for (seed, (m, k, n)) in [
+            (1u64, (1usize, 1usize, 1usize)),
+            (2, (1, 224, 64)),
+            (3, (5, 7, 3)),
+            (4, (17, 33, 19)),
+            (5, (64, 224, 768)),
+            (6, (4, 16, 16)),
+            (7, (0, 8, 8)),
+            (8, (8, 8, 0)),
+        ] {
+            let a = seeded(m, k, seed);
+            let b = seeded(k, n, seed ^ 0xABCD);
+            assert_close(&a.matmul(&b), &a.matmul_reference(&b), 2e-3);
+        }
+    }
+
+    #[test]
+    fn blocked_transposed_matches_reference_across_shapes() {
+        for (seed, (m, k, n)) in [
+            (11u64, (1usize, 1usize, 1usize)),
+            (12, (3, 64, 9)),
+            (13, (17, 65, 21)),
+            (14, (32, 256, 48)),
+            (15, (0, 8, 4)),
+        ] {
+            let a = seeded(m, k, seed);
+            let b = seeded(n, k, seed ^ 0x1234);
+            assert_close(
+                &a.matmul_transposed(&b),
+                &a.matmul_transposed_reference(&b),
+                2e-3,
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_rhs_path_matches_dense() {
+        // A rhs with only a few non-zero rows takes the probed sparse
+        // path; zeroing different rows after a clone resets the probe.
+        let a = seeded(9, 32, 21);
+        let mut b = seeded(32, 12, 22);
+        for r in 0..32 {
+            if r % 4 != 0 {
+                b.row_mut(r).fill(0.0);
+            }
+        }
+        assert_close(&a.matmul(&b), &a.matmul_reference(&b), 1e-3);
+        // Mutating after a probe must invalidate it (correctness, not
+        // just performance: a stale skip list would drop this row).
+        let _ = a.matmul(&b);
+        b.row_mut(1).fill(2.5);
+        assert_close(&a.matmul(&b), &a.matmul_reference(&b), 1e-3);
+    }
+
+    #[test]
+    fn col_block_kernels_match_copied_blocks() {
+        let q = seeded(7, 96, 31);
+        let kmat = seeded(13, 96, 32);
+        let (lo, hi) = (32, 64);
+        let qh = q.col_block(lo, hi);
+        let kh = kmat.col_block(lo, hi);
+        let mut scores = Matrix::zeros(0, 0);
+        q.matmul_transposed_block_into(&kmat, lo, hi, &mut scores);
+        assert_close(&scores, &qh.matmul_transposed(&kh), 1e-4);
+
+        let p = seeded(7, 13, 33);
+        let mut ctx = Matrix::zeros(0, 0);
+        p.matmul_cols_into(&kmat, lo, hi, &mut ctx);
+        assert_close(&ctx, &p.matmul(&kh), 1e-4);
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_across_thread_counts() {
+        // Rows over the parallel threshold: row chunks are MR-aligned and
+        // each row's accumulation order is fixed, so every pool size must
+        // produce the same bytes.
+        let _guard = crate::pool::GLOBAL_POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let a = seeded(130, 96, 91);
+        let b = seeded(96, 48, 92);
+        crate::pool::set_threads(1);
+        let baseline = a.matmul(&b);
+        for threads in 2..=4 {
+            crate::pool::set_threads(threads);
+            let got = a.matmul(&b);
+            assert_eq!(got, baseline, "thread count {threads} changed bits");
+        }
+        crate::pool::set_threads(1);
+        assert_close(&baseline, &a.matmul_reference(&b), 2e-3);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = seeded(8, 8, 41);
+        let b = seeded(8, 8, 42);
+        let mut out = Matrix::zeros(64, 64); // larger: capacity reused
+        let cap = out.data.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.rows(), 8);
+        assert_eq!(out.data.capacity(), cap);
+        assert_close(&out, &a.matmul_reference(&b), 1e-3);
+    }
+
+    #[test]
+    fn extend_rows_appends_in_place() {
+        let mut m = Matrix::zeros(0, 3);
+        m.reserve_rows(4);
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.extend_rows(&a);
+        m.extend_from_rows(&a, 1, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(2), &[4.0, 5.0, 6.0]);
+    }
+
     #[test]
     fn gather_then_scatter_roundtrips() {
         let src = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
@@ -370,6 +1190,17 @@ mod tests {
         let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
         let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
         let c = Matrix::vcat(&[&a, &b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn vcat_from_iterates_without_collecting() {
+        let parts = [
+            Matrix::from_vec(1, 2, vec![1.0, 2.0]),
+            Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]),
+        ];
+        let c = Matrix::vcat_from(parts.iter());
         assert_eq!(c.rows(), 3);
         assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }

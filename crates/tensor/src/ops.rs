@@ -26,6 +26,66 @@ pub fn softmax_row(row: &mut [f32]) {
     }
 }
 
+/// Fast exp via `2^(x·log2 e)`: exponent bit-stuffing plus a degree-5
+/// polynomial on the fractional part (relative error ≈ 2e-7). Inputs are
+/// expected ≤ 0 (softmax shifts by the row max); anything below the
+/// flush threshold returns exactly 0.0. Branch-free and lane-parallel, so
+/// the softmax loop vectorizes.
+#[inline]
+fn exp_fast(x: f32) -> f32 {
+    // exp(-87) < f32::MIN_POSITIVE: flush to an exact zero (downstream
+    // kernels rely on masked probabilities being exactly 0.0).
+    let alive = (x > -87.0) as u32 as f32;
+    let t = (x.max(-87.0)) * std::f32::consts::LOG2_E;
+    let tf = t.floor();
+    let f = t - tf;
+    // Cephes exp2 minimax polynomial on [0, 1).
+    let p = 1.535_336_9e-4f32;
+    let p = p.mul_add(f, 1.339_887_5e-3);
+    let p = p.mul_add(f, 9.618_437e-3);
+    let p = p.mul_add(f, 5.550_332_8e-2);
+    let p = p.mul_add(f, 2.402_264_7e-1);
+    let p = p.mul_add(f, 6.931_472e-1);
+    let p = p.mul_add(f, 1.0);
+    let scale = f32::from_bits((((tf as i32) + 127) as u32) << 23);
+    p * scale * alive
+}
+
+/// Numerically stable softmax over `row[..live]`, with `row[live..]`
+/// forced to exactly zero — the blocked attention path's softmax: the
+/// causally masked tail is never exponentiated at all, and the live
+/// prefix uses the vectorized [`exp_fast`]. An all-masked (`live == 0`)
+/// row becomes all zeros, matching [`softmax_row`].
+pub fn softmax_prefix_fast(row: &mut [f32], live: usize) {
+    let (head, tail) = row.split_at_mut(live);
+    tail.fill(0.0);
+    let max = head.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        head.fill(0.0);
+        return;
+    }
+    // Exponentiation and summation are separate passes: a fused loop's
+    // scalar `sum` chain would block vectorization of the exp itself.
+    for v in head.iter_mut() {
+        *v = exp_fast(*v - max);
+    }
+    let mut lanes = [0.0f32; 8];
+    let mut ch = head.chunks_exact(8);
+    for c in &mut ch {
+        for t in 0..8 {
+            lanes[t] += c[t];
+        }
+    }
+    let mut sum: f32 = lanes.iter().sum();
+    sum += ch.remainder().iter().sum::<f32>();
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in head.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
 /// Applies [`softmax_row`] to every row of `m`.
 pub fn softmax_rows(m: &mut Matrix) {
     let cols = m.cols();
@@ -153,6 +213,34 @@ mod tests {
         let mut row = vec![f32::NEG_INFINITY; 4];
         softmax_row(&mut row);
         assert!(row.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn softmax_prefix_fast_matches_exact_softmax() {
+        // Seeded sweep: live prefixes of several lengths against the exact
+        // softmax with the tail explicitly masked.
+        let mut s = 0x1234_5678u64;
+        for live in [0usize, 1, 3, 8, 31, 64] {
+            let n = 64;
+            let mut fast: Vec<f32> = (0..n)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    ((s % 400) as f32 - 200.0) / 10.0
+                })
+                .collect();
+            let mut exact = fast.clone();
+            for v in exact[live..].iter_mut() {
+                *v = f32::NEG_INFINITY;
+            }
+            softmax_row(&mut exact);
+            softmax_prefix_fast(&mut fast, live);
+            for (a, b) in fast.iter().zip(exact.iter()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b} (live {live})");
+            }
+            assert!(fast[live..].iter().all(|&v| v == 0.0), "tail must be 0.0");
+        }
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! A small persistent thread pool for intra-request parallelism.
+//!
+//! The kernels in this crate (row-range splits of [`crate::Matrix::matmul_into`])
+//! and the per-head attention loop in `cb-model` push closures onto one
+//! process-wide [`ThreadPool`] built on the vendored crossbeam channels.
+//! Design points:
+//!
+//! - **Scoped borrows.** [`ThreadPool::run`] accepts closures borrowing the
+//!   caller's stack and does not return until every one of them has
+//!   finished, so the borrows stay valid (the lifetime is erased with one
+//!   contained `unsafe` transmute — the completion barrier is what makes
+//!   it sound).
+//! - **Caller participation.** The submitting thread executes queued jobs
+//!   itself while it waits, so a pool of `n` threads uses `n - 1` workers
+//!   plus the caller and a pool of 1 degrades to plain serial execution.
+//! - **No nesting.** Jobs that themselves reach a parallel region run it
+//!   serially (a thread-local flag), so kernels can be called from inside
+//!   attention head jobs without deadlock or oversubscription.
+//! - **Determinism.** The pool only ever runs *disjoint* work items whose
+//!   result layout is fixed by the caller (output row ranges, per-head
+//!   buffers); nothing about scheduling order can change the bytes
+//!   produced, which is what makes "pool size 1 vs N is bit-identical"
+//!   testable at the engine level.
+//! - **Panic containment.** A panicking job is caught on the worker, the
+//!   barrier still completes, and the panic resumes on the caller.
+//!
+//! The global pool defaults to the machine's available parallelism;
+//! [`set_threads`] reconfigures it (benchmarks pin 1 or 4).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+
+/// A borrowing job: boxed closure tied to the caller's scope.
+pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while this thread is executing a pool job (worker or helping
+    /// caller): parallel regions entered under it run serially.
+    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread.
+pub struct ThreadPool {
+    threads: usize,
+    tx: Option<Sender<Task>>,
+    shared_rx: Arc<Mutex<Receiver<Task>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadPool({} threads)", self.threads)
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs jobs on `threads` threads total (the
+    /// caller counts as one; `threads - 1` workers are spawned). A value
+    /// of 0 is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Task>();
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let workers = (1..threads)
+            .map(|i| {
+                let rx = Arc::clone(&shared_rx);
+                std::thread::Builder::new()
+                    .name(format!("cb-pool-{i}"))
+                    .spawn(move || loop {
+                        let task = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match task {
+                            Ok(job) => run_job(job),
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            threads,
+            tx: Some(tx),
+            shared_rx,
+            workers,
+        }
+    }
+
+    /// Total threads (workers + caller) this pool runs jobs on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job to completion before returning; the caller executes
+    /// queued jobs while it waits. Serial when the pool has one thread,
+    /// a single job is given, or the caller is itself a pool job.
+    pub fn run<'scope>(&self, jobs: Vec<Job<'scope>>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 || IN_POOL_JOB.with(|f| f.get()) {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let (done_tx, done_rx) = bounded::<Option<Box<dyn std::any::Any + Send>>>(n);
+        let tx = self.tx.as_ref().expect("pool alive");
+        for job in jobs {
+            let done = done_tx.clone();
+            let task: Job<'scope> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job)).err();
+                let _ = done.send(outcome);
+            });
+            // SAFETY: the barrier below does not return until every task
+            // has sent its completion, so the borrows captured by `job`
+            // outlive its execution. Workers never hold tasks without
+            // running them (a dropped pool drains by closing the channel
+            // only after workers exit their loop).
+            let task: Task = unsafe { std::mem::transmute(task) };
+            let _ = tx.send(task);
+        }
+        drop(done_tx);
+
+        // Help: execute queued tasks (ours or another caller's) until our
+        // completion barrier fills.
+        let mut completed = 0;
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        while completed < n {
+            // try_lock: an idle worker blocks in recv *while holding* the
+            // receiver mutex, so a blocking lock here could deadlock. If
+            // the lock is busy, a worker owns the queue and we just wait
+            // on the barrier.
+            let task = match self.shared_rx.try_lock() {
+                Ok(guard) => guard.try_recv(),
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().try_recv(),
+                Err(std::sync::TryLockError::WouldBlock) => Err(TryRecvError::Empty),
+            };
+            match task {
+                Ok(job) => run_job(job),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
+                    // Nothing to steal: block on the barrier.
+                    match done_rx.recv() {
+                        Ok(p) => {
+                            completed += 1;
+                            if let Some(p) = p {
+                                panic = Some(p);
+                            }
+                        }
+                        Err(_) => break, // all tasks accounted for
+                    }
+                    continue;
+                }
+            }
+            // Drain any completions that arrived while helping.
+            while let Ok(p) = done_rx.try_recv() {
+                completed += 1;
+                if let Some(p) = p {
+                    panic = Some(p);
+                }
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel; workers exit on RecvError
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn run_job(job: Task) {
+    IN_POOL_JOB.with(|f| f.set(true));
+    job();
+    IN_POOL_JOB.with(|f| f.set(false));
+}
+
+static GLOBAL: OnceLock<RwLock<Arc<ThreadPool>>> = OnceLock::new();
+
+fn global() -> &'static RwLock<Arc<ThreadPool>> {
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(ThreadPool::new(default_threads()))))
+}
+
+/// The machine's available parallelism (the global pool's default size).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool used by the kernels. Clones of the `Arc` taken
+/// before a [`set_threads`] call keep running on the old pool.
+pub fn current() -> Arc<ThreadPool> {
+    Arc::clone(&global().read().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Replaces the process-wide pool with one of `threads` threads. In-flight
+/// parallel regions finish on the pool they started with; results are
+/// bit-identical either way (see the module docs).
+pub fn set_threads(threads: usize) {
+    let mut guard = global().write().unwrap_or_else(|e| e.into_inner());
+    if guard.threads() != threads.max(1) {
+        *guard = Arc::new(ThreadPool::new(threads));
+    }
+}
+
+/// Serializes tests that reconfigure the process-wide pool (both this
+/// module's swap test and the matrix kernels' thread-sweep test mutate
+/// the global; `cargo test` runs them concurrently).
+#[cfg(test)]
+pub(crate) static GLOBAL_POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_every_job_with_borrows() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 64];
+        {
+            let jobs: Vec<Job<'_>> = out
+                .chunks_mut(16)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let job: Job<'_> = Box::new(move || {
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = i * 100 + j;
+                        }
+                    });
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(out[0], 0);
+        assert_eq!(out[17], 101);
+        assert_eq!(out[63], 315);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_serially() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..8)
+            .map(|_| {
+                let c = &counter;
+                let job: Job<'_> = Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+                job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_regions_run_serially_without_deadlock() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..4)
+            .map(|_| {
+                let c = &counter;
+                let p = &pool;
+                let job: Job<'_> = Box::new(move || {
+                    let inner: Vec<Job<'_>> = (0..4)
+                        .map(|_| {
+                            let c2 = c;
+                            let j: Job<'_> = Box::new(move || {
+                                c2.fetch_add(1, Ordering::Relaxed);
+                            });
+                            j
+                        })
+                        .collect();
+                    p.run(inner);
+                }) as Job<'_>;
+                job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_barrier() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job<'_>> = (0..4)
+                .map(|i| {
+                    let f = &finished;
+                    let job: Job<'_> = Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                        f.fetch_add(1, Ordering::Relaxed);
+                    });
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 3, "others still ran");
+        // The pool remains usable afterwards.
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..3)
+            .map(|_| {
+                let c = &counter;
+                let job: Job<'_> = Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+                job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn set_threads_swaps_the_global_pool() {
+        let _guard = GLOBAL_POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set_threads(2);
+        assert_eq!(current().threads(), 2);
+        set_threads(1);
+        assert_eq!(current().threads(), 1);
+    }
+}

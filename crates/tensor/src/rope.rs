@@ -88,12 +88,47 @@ pub fn apply_rope(m: &mut Matrix, table: &RopeTable, pos: &[usize]) {
     }
 }
 
+impl RopeTable {
+    /// Precomputes the per-pair `(sin, cos)` of a fixed rotation offset —
+    /// relocation rotates *every* row of a cache by the same delta, so the
+    /// trigonometry is hoisted out of the row loop.
+    pub fn plan(&self, pos: f32) -> Vec<(f32, f32)> {
+        self.thetas
+            .iter()
+            .map(|&theta| (pos * theta).sin_cos())
+            .collect()
+    }
+
+    /// Applies a precomputed [`RopeTable::plan`] to the first
+    /// `2 * plan.len()` entries of `v`.
+    #[inline]
+    pub fn rotate_planned(&self, v: &mut [f32], plan: &[(f32, f32)]) {
+        for (i, &(sin, cos)) in plan.iter().enumerate() {
+            let a = v[2 * i];
+            let b = v[2 * i + 1];
+            v[2 * i] = a * cos - b * sin;
+            v[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
 /// Relocates cached keys: rotates every row of `m` by the *offset* `delta`
 /// (may be negative), implementing the Appendix-A positional correction
 /// `K(m) → K(m+Δ)`.
 pub fn rotate_rows_by(m: &mut Matrix, table: &RopeTable, delta: i64) {
+    let plan = table.plan(delta as f32);
     for r in 0..m.rows() {
-        table.rotate(m.row_mut(r), delta as f32);
+        table.rotate_planned(m.row_mut(r), &plan);
+    }
+}
+
+/// [`rotate_rows_by`] on the column block starting at `lo` of every row
+/// (relocating one head's segment of head-major K rows in place).
+pub fn rotate_col_block_by(m: &mut Matrix, table: &RopeTable, lo: usize, delta: i64) {
+    let plan = table.plan(delta as f32);
+    let hi = lo + 2 * table.pairs();
+    for r in 0..m.rows() {
+        table.rotate_planned(&mut m.row_mut(r)[lo..hi], &plan);
     }
 }
 

@@ -126,3 +126,40 @@ fn eviction_heals_transparently_and_counts_as_precompute() {
         want.blend.stats.selected_per_layer
     );
 }
+
+#[test]
+fn submit_is_bit_identical_across_thread_pool_sizes() {
+    // Intra-request parallelism (row-range matmul splits, per-head
+    // attention jobs) must never change the bytes produced: kernels fix
+    // the per-element accumulation order and reduce heads serially. Run
+    // the same request under a 1-thread and a 4-thread global pool and
+    // compare the serialized fused caches bit for bit.
+    let serve = || {
+        let engine = EngineBuilder::new(ModelProfile::Mistral7B)
+            .seed(SEED)
+            .build()
+            .unwrap();
+        let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+        let case = &ds.cases[1];
+        let ctx = ds.retrieve(case, 4);
+        let ids = engine.register_chunks(&ds.chunk_tokens(&ctx)).unwrap();
+        let resp = engine
+            .submit(Request::new(ids, case.query.clone()).ratio(RATIO))
+            .unwrap();
+        (
+            resp.answer,
+            cacheblend::kv::serialize::encode(&resp.blend.cache),
+        )
+    };
+    cacheblend::tensor::pool::set_threads(1);
+    let (answer_1, cache_1) = serve();
+    cacheblend::tensor::pool::set_threads(4);
+    let (answer_4, cache_4) = serve();
+    cacheblend::tensor::pool::set_threads(cacheblend::tensor::pool::default_threads());
+    assert_eq!(answer_1, answer_4, "answers diverge across pool sizes");
+    assert_eq!(
+        cache_1.as_ref(),
+        cache_4.as_ref(),
+        "fused cache bytes diverge across pool sizes"
+    );
+}
