@@ -1,4 +1,5 @@
-//! KV store benchmarks: serialization, tiered insert/get, chunk hashing.
+//! KV store benchmarks: serialization, tiered insert/get, disk-tier reads,
+//! chunk hashing.
 
 use cb_kv::chunk::hash_tokens;
 use cb_kv::precompute::precompute_chunk;
@@ -69,6 +70,50 @@ fn bench_quantize(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_disk_tier(c: &mut Criterion) {
+    use cb_kv::store::TierConfig;
+    use cb_storage::{DiskBackend, MemBackend, StorageBackend};
+    use std::sync::Arc;
+    let cache = chunk_cache();
+    let bytes = encode(&cache);
+    let dir = std::env::temp_dir().join(format!("cb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // RAM tier below one entry: reads genuinely hit the disk backend.
+    let store = KvStore::with_backends(vec![
+        (
+            TierConfig {
+                label: "ram".into(),
+                capacity: 64,
+            },
+            Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+        ),
+        (
+            TierConfig {
+                label: "disk".into(),
+                capacity: 1 << 30,
+            },
+            Arc::new(DiskBackend::new(&dir, None).unwrap()),
+        ),
+    ]);
+    store.insert_bytes(ChunkId(1), bytes).unwrap();
+    store.flush().unwrap();
+    c.bench_function("disk_get_full_entry", |b| {
+        b.iter(|| black_box(store.get_bytes(ChunkId(1)).unwrap()))
+    });
+    c.bench_function("disk_prefetch_stream_layers", |b| {
+        b.iter(|| {
+            let mut h = store.prefetch(ChunkId(1)).unwrap().unwrap();
+            let m = h.meta().unwrap().clone();
+            let mut out = cb_model::LayerKv::empty(m.width);
+            for l in 0..m.n_layers {
+                h.layer_into(l, &mut out).unwrap();
+            }
+            black_box(out.len())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_hash(c: &mut Criterion) {
     let toks: Vec<u32> = (0..512).map(|i| i % 190).collect();
     c.bench_function("hash_512_tokens", |b| {
@@ -80,6 +125,7 @@ criterion_group!(
     benches,
     bench_serialize,
     bench_store_ops,
+    bench_disk_tier,
     bench_quantize,
     bench_hash
 );

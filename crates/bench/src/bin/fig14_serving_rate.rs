@@ -1,4 +1,4 @@
-//! Regenerates fig14 (see DESIGN.md §3 and EXPERIMENTS.md).
+//! Regenerates fig14 (see DESIGN.md §6 and EXPERIMENTS.md).
 //!
 //! Flags:
 //!

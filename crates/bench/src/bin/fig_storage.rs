@@ -1,0 +1,33 @@
+//! Regenerates the tiered-storage TTFT baseline
+//! (`target/experiments/BENCH_storage.json`): pipelined vs unpipelined vs
+//! full-prefill TTFT across the device bandwidth grid, with chunk KV on a
+//! real throttled disk tier. See `experiments::storage`.
+//!
+//! Flags:
+//!
+//! - `--smoke` — shrunken sizes/repetitions (seconds, for CI).
+//! - `--dir <path>` — root for the throwaway cache dirs (tempdir default).
+//!
+//! The full (non-smoke) run asserts the paper's §5.2 claim at these
+//! shapes: on the Standard profile the pipeline must hide at least half of
+//! the measured raw disk load time on its best device.
+
+use cb_bench::experiments::storage::{run_opts, StorageOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let hidden = run_opts(StorageOpts { smoke, dir });
+    if !smoke {
+        assert!(
+            hidden >= 0.5,
+            "pipeline hid only {:.0}% of raw disk load time (need ≥ 50%)",
+            hidden * 100.0
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! One module per reproduced figure/table; binaries in `src/bin/` are thin
-//! wrappers and `all_experiments` runs the lot. See DESIGN.md §3 for the
+//! wrappers and `all_experiments` runs the lot. See DESIGN.md §6 for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 
 pub mod fig02;
@@ -14,11 +14,13 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod kernels;
+pub mod storage;
 pub mod tab_delay;
 
 /// Runs every experiment in figure order.
 pub fn run_all() {
     kernels::run();
+    storage::run();
     tab_delay::run();
     fig02::run();
     fig06::run();

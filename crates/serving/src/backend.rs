@@ -311,6 +311,30 @@ impl EngineBackend {
         ))
     }
 
+    /// The disk-resident closed-loop arm: same single-worker service, but
+    /// the engine's store is a small RAM tier over a persistent,
+    /// device-throttled disk tier under `dir` — chunk KV genuinely spills
+    /// to segment files and is streamed back through the pipelined loader,
+    /// so the measured TTFTs carry real (emulated-device) storage latency.
+    pub fn single_worker_on_disk(
+        profile: cb_model::ModelProfile,
+        dir: impl Into<std::path::PathBuf>,
+        device: cb_storage::DeviceKind,
+    ) -> Self {
+        let engine = cb_core::engine::EngineBuilder::new(profile)
+            .storage(
+                cb_core::engine::StorageConfig::default()
+                    .tier(cb_storage::DeviceKind::CpuRam, 128 << 10)
+                    .disk_tier_opts(device, 1 << 30, dir, true),
+            )
+            .build()
+            .expect("disk-tier engine configuration builds");
+        Self::new(EngineService::new(
+            engine,
+            cb_core::scheduler::ServiceConfig::default().workers(1),
+        ))
+    }
+
     /// The wrapped service (for stats inspection after a run).
     pub fn service(&self) -> &EngineService {
         &self.service
@@ -470,6 +494,36 @@ mod tests {
         assert!(warm.ttft_work_s > 0.0);
         assert_eq!(backend.service().stats().completed, 2);
         assert!(backend.summary().peak_store_bytes > 0);
+    }
+
+    #[test]
+    fn disk_backend_arm_serves_from_spilled_tiers() {
+        let dir = std::env::temp_dir().join(format!(
+            "cb-serving-disk-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut backend = EngineBackend::single_worker_on_disk(
+            ModelProfile::Tiny,
+            &dir,
+            cb_storage::DeviceKind::NvmeSsd,
+        );
+        let req = Request {
+            arrival_s: 0.0,
+            chunk_ids: (0..6).collect(), // enough chunks to overflow RAM
+        };
+        let cold = backend.serve(&req);
+        let warm = backend.serve(&req);
+        assert!(!cold.failed && !warm.failed);
+        assert_eq!(warm.hits, 6, "second touch is store-warm");
+        let store = backend.service().engine().store();
+        assert_eq!(store.n_tiers(), 2);
+        assert!(
+            store.stats().spills > 0 || store.tier_len(1) > 0,
+            "working set must have reached the disk tier"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! The persistent disk tier: file-per-chunk segments with a write-behind
+//! flusher.
+//!
+//! Each entry is one segment file `<key:016x>.seg` under the cache dir:
+//!
+//! ```text
+//! magic u32 | version u32 | key u64 | payload_len u64
+//! payload (payload_len bytes)
+//! checksum u64 (word-wise FNV over all preceding bytes)
+//! ```
+//!
+//! **Write-behind.** [`DiskBackend::put`] records the bytes in a pending
+//! map and queues them to a flusher thread; the caller never waits on the
+//! disk. Reads of a still-pending entry are served from the pending map
+//! (page-cache semantics). [`DiskBackend::flush`] drains the queue — the
+//! store calls it before shutdown so entries survive the process.
+//!
+//! **Crash safety.** The flusher writes to `<name>.tmp` and renames into
+//! place, so a crash leaves either the old segment, the new segment, or a
+//! `.tmp` orphan — never a torn `.seg`. On startup the backend re-indexes
+//! the cache dir: `.tmp` orphans are deleted and any segment whose framing
+//! or checksum fails is dropped rather than indexed.
+//!
+//! **Throttling.** An optional [`Throttle`] emulates a slower device with
+//! real sleeps (access latency once per open, bandwidth per byte), which is
+//! how the storage benchmarks sweep the §5.2 device grid on one machine.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::backend::{BackendError, BytesStream, ReadStream, StorageBackend, Throttle};
+use crate::checksum::fnv64;
+
+const MAGIC: u32 = 0x4342_5347; // "CBSG"
+const VERSION: u32 = 1;
+/// Bytes before the payload: magic, version, key, payload_len.
+const HEADER_LEN: usize = 24;
+/// Framing overhead of a segment: header plus trailing checksum.
+const FRAME_LEN: usize = HEADER_LEN + 8;
+
+#[derive(Debug)]
+struct DiskState {
+    /// key -> payload length, for every segment (durable or pending).
+    index: HashMap<u64, u64>,
+    /// Writes queued but not yet renamed into place, newest generation
+    /// wins.
+    pending: HashMap<u64, (u64, Bytes)>,
+    next_gen: u64,
+    used: u64,
+    /// First flusher write error since the last `flush()`.
+    write_error: Option<String>,
+}
+
+enum FlushMsg {
+    Write { key: u64, gen: u64, bytes: Bytes },
+    Barrier(Sender<()>),
+}
+
+/// Persistent file-per-chunk storage backend (see module docs).
+pub struct DiskBackend {
+    dir: PathBuf,
+    throttle: Option<Throttle>,
+    state: std::sync::Arc<Mutex<DiskState>>,
+    tx: Option<Sender<FlushMsg>>,
+    flusher: Option<JoinHandle<()>>,
+    recovered: usize,
+    dropped: usize,
+}
+
+impl std::fmt::Debug for DiskBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskBackend")
+            .field("dir", &self.dir)
+            .field("throttle", &self.throttle)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.seg"))
+}
+
+/// Frames a payload as segment bytes.
+fn frame(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = fnv64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Parses and fully verifies segment bytes, returning the payload range.
+fn verify_frame(key: u64, raw: &[u8]) -> Result<std::ops::Range<usize>, BackendError> {
+    if raw.len() < FRAME_LEN {
+        return Err(BackendError::Corrupt);
+    }
+    let body = raw.len() - 8;
+    let declared = u64::from_le_bytes(raw[body..].try_into().unwrap());
+    if fnv64(&raw[..body]) != declared {
+        return Err(BackendError::Corrupt);
+    }
+    let magic = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+    let seg_key = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(raw[16..24].try_into().unwrap());
+    if magic != MAGIC
+        || version != VERSION
+        || seg_key != key
+        || payload_len as usize != raw.len() - FRAME_LEN
+    {
+        return Err(BackendError::Corrupt);
+    }
+    Ok(HEADER_LEN..body)
+}
+
+impl DiskBackend {
+    /// Opens (or creates) a cache dir, re-indexing surviving segments and
+    /// dropping `.tmp` orphans and torn/corrupt segment files.
+    pub fn new(dir: impl Into<PathBuf>, throttle: Option<Throttle>) -> Result<Self, BackendError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| BackendError::Io(e.to_string()))?;
+
+        let mut index = HashMap::new();
+        let mut used = 0u64;
+        let mut recovered = 0usize;
+        let mut dropped = 0usize;
+        let listing = fs::read_dir(&dir).map_err(|e| BackendError::Io(e.to_string()))?;
+        for entry in listing.flatten() {
+            let path = entry.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(&path);
+                dropped += 1;
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".seg") else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            // Full verification at startup: a recovered index must never
+            // point at a segment that cannot serve a checksummed read.
+            let ok = fs::read(&path)
+                .map_err(|e| BackendError::Io(e.to_string()))
+                .and_then(|raw| verify_frame(key, &raw).map(|r| r.len() as u64));
+            match ok {
+                Ok(len) => {
+                    index.insert(key, len);
+                    used += len;
+                    recovered += 1;
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(&path);
+                    dropped += 1;
+                }
+            }
+        }
+
+        let state = std::sync::Arc::new(Mutex::new(DiskState {
+            index,
+            pending: HashMap::new(),
+            next_gen: 0,
+            used,
+            write_error: None,
+        }));
+        let (tx, rx) = unbounded::<FlushMsg>();
+        let flusher = {
+            let state = std::sync::Arc::clone(&state);
+            let dir = dir.clone();
+            std::thread::Builder::new()
+                .name("cb-disk-flusher".to_string())
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            FlushMsg::Write { key, gen, bytes } => {
+                                let path = segment_path(&dir, key);
+                                let tmp = dir.join(format!("{key:016x}.tmp"));
+                                let res = fs::write(&tmp, frame(key, &bytes))
+                                    .and_then(|_| fs::rename(&tmp, &path));
+                                let mut s = state.lock();
+                                if let Err(e) = res {
+                                    s.write_error.get_or_insert_with(|| e.to_string());
+                                }
+                                if s.pending.get(&key).is_some_and(|&(g, _)| g == gen) {
+                                    s.pending.remove(&key);
+                                }
+                                // The entry may have been removed while the
+                                // write was in flight; the rename would
+                                // resurrect it, so delete what we wrote.
+                                if !s.index.contains_key(&key) {
+                                    drop(s);
+                                    let _ = fs::remove_file(&path);
+                                }
+                            }
+                            FlushMsg::Barrier(done) => {
+                                let _ = done.send(());
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| BackendError::Io(e.to_string()))?
+        };
+        Ok(Self {
+            dir,
+            throttle,
+            state,
+            tx: Some(tx),
+            flusher: Some(flusher),
+            recovered,
+            dropped,
+        })
+    }
+
+    /// The cache directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Segments re-indexed by startup recovery.
+    pub fn recovered_segments(&self) -> usize {
+        self.recovered
+    }
+
+    /// Orphaned/torn files deleted by startup recovery.
+    pub fn dropped_segments(&self) -> usize {
+        self.dropped
+    }
+
+    fn drop_entry(&self, key: u64) -> bool {
+        let mut s = self.state.lock();
+        s.pending.remove(&key);
+        let present = match s.index.remove(&key) {
+            Some(len) => {
+                s.used -= len;
+                true
+            }
+            None => false,
+        };
+        drop(s);
+        let _ = fs::remove_file(segment_path(&self.dir, key));
+        present
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn name(&self) -> String {
+        format!("disk:{}", self.dir.display())
+    }
+
+    fn persistent(&self) -> bool {
+        true
+    }
+
+    fn put(&self, key: u64, bytes: Bytes) -> Result<(), BackendError> {
+        let mut s = self.state.lock();
+        s.next_gen += 1;
+        let gen = s.next_gen;
+        if let Some(old) = s.index.insert(key, bytes.len() as u64) {
+            s.used -= old;
+        }
+        s.used += bytes.len() as u64;
+        s.pending.insert(key, (gen, bytes.clone()));
+        drop(s);
+        self.tx
+            .as_ref()
+            .expect("flusher alive")
+            .send(FlushMsg::Write { key, gen, bytes })
+            .map_err(|_| BackendError::Io("flusher thread gone".to_string()))
+    }
+
+    fn get(&self, key: u64) -> Result<Option<Bytes>, BackendError> {
+        {
+            let s = self.state.lock();
+            if let Some((_, bytes)) = s.pending.get(&key) {
+                return Ok(Some(bytes.clone()));
+            }
+            if !s.index.contains_key(&key) {
+                return Ok(None);
+            }
+        }
+        let path = segment_path(&self.dir, key);
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Removed between index check and read.
+                return Ok(None);
+            }
+            Err(e) => return Err(BackendError::Io(e.to_string())),
+        };
+        if let Some(t) = self.throttle {
+            t.charge_access();
+            t.charge_bytes(raw.len());
+        }
+        match verify_frame(key, &raw) {
+            Ok(range) => Ok(Some(Bytes::from(raw[range].to_vec()))),
+            Err(e) => {
+                // A corrupt segment can never serve a read again: drop it
+                // so the tier above can repair by re-precompute.
+                self.drop_entry(key);
+                Err(e)
+            }
+        }
+    }
+
+    fn open_read(&self, key: u64) -> Result<Option<Box<dyn ReadStream + Send>>, BackendError> {
+        {
+            let s = self.state.lock();
+            if let Some((_, bytes)) = s.pending.get(&key) {
+                return Ok(Some(Box::new(BytesStream::new(bytes.clone()))));
+            }
+            if !s.index.contains_key(&key) {
+                return Ok(None);
+            }
+        }
+        let path = segment_path(&self.dir, key);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(BackendError::Io(e.to_string())),
+        };
+        let file_len = file
+            .metadata()
+            .map_err(|e| BackendError::Io(e.to_string()))?
+            .len();
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)
+            .map_err(|_| BackendError::Corrupt)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let seg_key = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if magic != MAGIC
+            || version != VERSION
+            || seg_key != key
+            || file_len != payload_len + FRAME_LEN as u64
+        {
+            self.drop_entry(key);
+            return Err(BackendError::Corrupt);
+        }
+        if let Some(t) = self.throttle {
+            t.charge_access();
+        }
+        Ok(Some(Box::new(DiskStream {
+            file,
+            remaining: payload_len,
+            throttle: self.throttle,
+            payload_len,
+        })))
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.drop_entry(key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.state.lock().index.contains_key(&key)
+    }
+
+    fn entries(&self) -> Vec<(u64, u64)> {
+        self.state
+            .lock()
+            .index
+            .iter()
+            .map(|(&k, &len)| (k, len))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().index.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.state.lock().used
+    }
+
+    fn flush(&self) -> Result<(), BackendError> {
+        let (done_tx, done_rx) = bounded::<()>(1);
+        self.tx
+            .as_ref()
+            .expect("flusher alive")
+            .send(FlushMsg::Barrier(done_tx))
+            .map_err(|_| BackendError::Io("flusher thread gone".to_string()))?;
+        done_rx
+            .recv()
+            .map_err(|_| BackendError::Io("flusher thread gone".to_string()))?;
+        match self.state.lock().write_error.take() {
+            Some(e) => Err(BackendError::Io(e)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for DiskBackend {
+    fn drop(&mut self) {
+        // Closing the channel makes the flusher drain every queued write
+        // before exiting, so dropping the backend is itself a flush.
+        self.tx.take();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Sequential file reader charging the device throttle per installment.
+struct DiskStream {
+    file: fs::File,
+    remaining: u64,
+    payload_len: u64,
+    throttle: Option<Throttle>,
+}
+
+impl ReadStream for DiskStream {
+    fn payload_len(&self) -> u64 {
+        self.payload_len
+    }
+
+    fn read_next(&mut self, len: usize) -> Result<Bytes, BackendError> {
+        let take = (len as u64).min(self.remaining) as usize;
+        let mut buf = vec![0u8; take];
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| BackendError::Io(e.to_string()))?;
+        self.remaining -= take as u64;
+        if let Some(t) = self.throttle {
+            t.charge_bytes(take);
+        }
+        Ok(Bytes::from(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cb-disk-{}-{}-{}",
+            std::process::id(),
+            tag,
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_get_roundtrips_through_pending_and_disk() {
+        let dir = test_dir("roundtrip");
+        let b = DiskBackend::new(&dir, None).unwrap();
+        let payload = Bytes::from((0u8..200).collect::<Vec<_>>());
+        b.put(42, payload.clone()).unwrap();
+        // Readable immediately (pending map), and after the flush.
+        assert_eq!(b.get(42).unwrap().unwrap(), payload);
+        b.flush().unwrap();
+        assert_eq!(b.get(42).unwrap().unwrap(), payload);
+        assert_eq!(b.used_bytes(), 200);
+        assert!(b.contains(42));
+        assert!(b.remove(42));
+        assert!(b.get(42).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_survive_reopen() {
+        let dir = test_dir("reopen");
+        {
+            let b = DiskBackend::new(&dir, None).unwrap();
+            b.put(1, Bytes::from(vec![9u8; 64])).unwrap();
+            b.put(2, Bytes::from(vec![7u8; 32])).unwrap();
+            // Dropping the backend drains the write-behind queue.
+        }
+        let b = DiskBackend::new(&dir, None).unwrap();
+        assert_eq!(b.recovered_segments(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.used_bytes(), 96);
+        assert_eq!(b.get(1).unwrap().unwrap().as_ref(), &[9u8; 64][..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_drops_tmp_orphans_and_torn_segments() {
+        let dir = test_dir("recovery");
+        {
+            let b = DiskBackend::new(&dir, None).unwrap();
+            b.put(1, Bytes::from(vec![1u8; 40])).unwrap();
+            b.put(2, Bytes::from(vec![2u8; 40])).unwrap();
+        }
+        // Simulate a crash: one torn segment (truncated) and one .tmp.
+        let torn = segment_path(&dir, 2);
+        let raw = fs::read(&torn).unwrap();
+        fs::write(&torn, &raw[..raw.len() / 2]).unwrap();
+        fs::write(dir.join("00000000000000ff.tmp"), b"partial").unwrap();
+
+        let b = DiskBackend::new(&dir, None).unwrap();
+        assert_eq!(b.recovered_segments(), 1, "only the intact segment");
+        assert_eq!(b.dropped_segments(), 2, "torn segment + tmp orphan");
+        assert!(b.contains(1));
+        assert!(!b.contains(2));
+        assert!(!dir.join("00000000000000ff.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_read_errors_and_is_dropped() {
+        let dir = test_dir("corrupt");
+        let b = DiskBackend::new(&dir, None).unwrap();
+        b.put(5, Bytes::from(vec![3u8; 100])).unwrap();
+        b.flush().unwrap();
+        // Flip a payload byte on disk.
+        let path = segment_path(&dir, 5);
+        let mut raw = fs::read(&path).unwrap();
+        raw[HEADER_LEN + 10] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert_eq!(b.get(5).unwrap_err(), BackendError::Corrupt);
+        assert!(!b.contains(5), "corrupt segment evicted");
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_reads_payload_in_order() {
+        let dir = test_dir("stream");
+        let b = DiskBackend::new(&dir, None).unwrap();
+        let payload: Vec<u8> = (0u8..=99).collect();
+        b.put(7, Bytes::from(payload.clone())).unwrap();
+        b.flush().unwrap();
+        let mut s = b.open_read(7).unwrap().unwrap();
+        assert_eq!(s.payload_len(), 100);
+        let mut got = Vec::new();
+        loop {
+            let chunk = s.read_next(32).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_reaccounts() {
+        let dir = test_dir("overwrite");
+        let b = DiskBackend::new(&dir, None).unwrap();
+        b.put(9, Bytes::from(vec![1u8; 100])).unwrap();
+        b.put(9, Bytes::from(vec![2u8; 50])).unwrap();
+        b.flush().unwrap();
+        assert_eq!(b.used_bytes(), 50);
+        assert_eq!(b.get(9).unwrap().unwrap().as_ref(), &[2u8; 50][..]);
+        assert_eq!(b.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_during_pending_write_does_not_resurrect() {
+        let dir = test_dir("race");
+        let b = DiskBackend::new(&dir, None).unwrap();
+        b.put(3, Bytes::from(vec![4u8; 64])).unwrap();
+        assert!(b.remove(3));
+        b.flush().unwrap();
+        assert!(!b.contains(3));
+        assert!(
+            !segment_path(&dir, 3).exists(),
+            "flusher must not resurrect"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -10,14 +10,32 @@
 //! executable models in `cb-model` produce quality; this crate produces
 //! TTFT, keeping each where it can be faithful.
 //!
+//! Since the tiered-storage subsystem, this crate also owns the *real*
+//! byte stores the tiered `cb-kv::KvStore` places entries on: the
+//! [`backend::StorageBackend`] trait with an in-RAM [`backend::MemBackend`]
+//! and a persistent [`disk::DiskBackend`] (file-per-chunk segments,
+//! write-behind flusher, crash-safe recovery), plus the shared
+//! [`checksum::fnv64`] integrity hash and a [`backend::Throttle`] that
+//! emulates the §5.2 device grid with real sleeps.
+//!
 //! Modules:
 //!
 //! - [`device`] — storage device catalogue (throughput, latency, $/GB·mo).
 //! - [`perf`] — paper-scale model specs, GPU profile, prefill/recompute/
 //!   load delay estimators, and pipelined TTFT.
+//! - [`checksum`] — the workspace's shared word-wise FNV checksum.
+//! - [`backend`] — the [`backend::StorageBackend`] tier-store trait and
+//!   the RAM implementation.
+//! - [`disk`] — the persistent segment-file backend.
 
+pub mod backend;
+pub mod checksum;
 pub mod device;
+pub mod disk;
 pub mod perf;
 
+pub use backend::{BackendError, MemBackend, ReadStream, StorageBackend, Throttle};
+pub use checksum::fnv64;
 pub use device::{DeviceKind, DeviceSpec};
+pub use disk::DiskBackend;
 pub use perf::{GpuSpec, PaperModel, PerfModel};

@@ -9,8 +9,11 @@
 //! - [`tokenizer`] — structured vocabulary and token codes.
 //! - [`model`] — the from-scratch transformer with full/prefix/selective
 //!   prefill and the compiled cross-chunk recall program.
-//! - [`kv`] — the KV cache store (hashing, layout, LRU, serialization).
-//! - [`storage`] — storage device models and the delay/cost estimators.
+//! - [`kv`] — the KV cache store: hashing, serialization with per-layer
+//!   checksums, the tiered RAM↔disk LRU store, and layer-granular
+//!   prefetch.
+//! - [`storage`] — storage device models, delay/cost estimators, and the
+//!   real byte backends (RAM map, persistent disk segments).
 //! - [`blend`] — the CacheBlend fusor, loading controller, pipeline, the
 //!   request-oriented [`engine`], and the streaming [`scheduler`]
 //!   ([`EngineService`](cb_core::scheduler::EngineService)).
@@ -65,12 +68,15 @@ pub use cb_core::scheduler;
 pub mod prelude {
     pub use cb_core::{
         controller::LoadingController,
-        engine::{Engine, EngineBuilder, EngineError, Priority, Request, Response, TtftBreakdown},
+        engine::{
+            Engine, EngineBuilder, EngineError, Priority, Request, Response, StorageConfig,
+            TierSpec, TtftBreakdown,
+        },
         fusor::{BlendConfig, Fusor},
         scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError},
         stream::{Event, ResponseStream},
     };
-    pub use cb_kv::store::KvStore;
+    pub use cb_kv::store::{KvStore, StoreStats};
     pub use cb_model::{config::ModelProfile, model::Model};
     pub use cb_rag::{
         datasets::DatasetKind,

@@ -408,3 +408,108 @@ fn scheduler_collect_equals_one_shot_submit() {
         assert_eq!(streamed.blend.stats.ctx_len, direct.blend.stats.ctx_len);
     }
 }
+
+/// Tiered-store invariants under random insert/get/remove sequences, at
+/// 1..=4 compute-pool threads (precompute parallelism and the disk tier's
+/// flusher both run concurrently with the driver): tier occupancy never
+/// exceeds the configured capacities, and the hit/miss/insert counters are
+/// exactly predicted by a model of the present set. The disk tier is sized
+/// so nothing is ever evicted outright — spills move entries, so presence
+/// is fully deterministic even though placement is not.
+#[test]
+fn tiered_store_occupancy_and_counters_are_consistent() {
+    use cacheblend::kv::ChunkId;
+    use cacheblend::storage::{DiskBackend, MemBackend, StorageBackend};
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    let m = tiny_model();
+    for threads in 1..=4usize {
+        cacheblend::tensor::pool::set_threads(threads);
+        let mut rng = SmallRng::seed_from_u64(0x57_0E + threads as u64);
+
+        // A universe of 6 entries with known serialized sizes.
+        let caches: Vec<_> = (0..6)
+            .map(|_| precompute_chunk(&m, &random_chunk(&mut rng)))
+            .collect();
+        let sizes: Vec<u64> = caches.iter().map(|c| encode(c).len() as u64).collect();
+        let max = *sizes.iter().max().unwrap();
+        let ram_cap = 2 * max;
+        let disk_cap = 8 * max; // all six fit: no outright evictions
+
+        let dir =
+            std::env::temp_dir().join(format!("cb-prop-store-{}-{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = KvStore::with_backends(vec![
+            (
+                TierConfig {
+                    label: "ram".into(),
+                    capacity: ram_cap,
+                },
+                Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+            ),
+            (
+                TierConfig {
+                    label: "disk".into(),
+                    capacity: disk_cap,
+                },
+                Arc::new(DiskBackend::new(&dir, None).unwrap()),
+            ),
+        ]);
+
+        let mut present: HashSet<u64> = HashSet::new();
+        let (mut want_hits, mut want_misses, mut want_inserts) = (0u64, 0u64, 0u64);
+        for step in 0..120 {
+            let id = rng.random_range(0u64..6);
+            match rng.random_range(0u32..10) {
+                0..=3 => {
+                    if present.insert(id) {
+                        want_inserts += 1;
+                    }
+                    store
+                        .insert(ChunkId(id), &caches[id as usize])
+                        .expect("universe fits the disk tier");
+                }
+                4..=7 => {
+                    let got = store.get(ChunkId(id)).expect("no corruption injected");
+                    if present.contains(&id) {
+                        want_hits += 1;
+                        let (cache, _) = got.expect("present entry must hit");
+                        assert_eq!(cache, caches[id as usize], "step {step}: payload intact");
+                    } else {
+                        want_misses += 1;
+                        assert!(got.is_none(), "step {step}: absent entry must miss");
+                    }
+                }
+                _ => {
+                    let was = store.remove(ChunkId(id));
+                    assert_eq!(was, present.remove(&id), "step {step}: remove agreement");
+                }
+            }
+            assert!(
+                store.tier_used(0) <= ram_cap,
+                "step {step}: RAM over capacity"
+            );
+            assert!(
+                store.tier_used(1) <= disk_cap,
+                "step {step}: disk over capacity"
+            );
+            let expect_used: u64 = present.iter().map(|&i| sizes[i as usize]).sum();
+            assert_eq!(store.used_bytes(), expect_used, "step {step}: used bytes");
+            assert_eq!(store.len(), present.len(), "step {step}: entry count");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.hits, want_hits, "threads {threads}: hits");
+        assert_eq!(stats.misses, want_misses, "threads {threads}: misses");
+        assert_eq!(stats.inserts, want_inserts, "threads {threads}: inserts");
+        assert_eq!(stats.evictions, 0, "disk tier holds the full universe");
+        assert_eq!(
+            stats.spills == 0,
+            stats.spilled_bytes == 0,
+            "spill count and spilled bytes must agree"
+        );
+        store.flush().expect("flusher healthy");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    cacheblend::tensor::pool::set_threads(cacheblend::tensor::pool::default_threads());
+}
