@@ -1,10 +1,13 @@
-//! Regenerates fig14 (see DESIGN.md §6 and EXPERIMENTS.md).
+//! Regenerates fig14 (see DESIGN.md §7 and EXPERIMENTS.md).
 //!
 //! Flags:
 //!
 //! - `--smoke` — shrunken grids (seconds, for CI).
-//! - `--backend analytic|engine|both` — the delay-model arm (default),
-//!   the closed-loop real-engine arm, or both.
+//! - `--backend analytic|engine|cluster|both` — the delay-model arm
+//!   (default), the closed-loop real-engine arm, the multi-replica
+//!   cluster arm (emits `BENCH_cluster.json`), or analytic+engine.
+//! - `--replicas N` — largest replica count for the cluster arm
+//!   (default 2; the grid always includes 1 and 2).
 
 use cb_bench::experiments::fig14::{run_opts, BackendArm, Fig14Opts};
 
@@ -16,16 +19,31 @@ fn main() {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("analytic") => BackendArm::Analytic,
             Some("engine") => BackendArm::Engine,
+            Some("cluster") => BackendArm::Cluster,
             Some("both") => BackendArm::Both,
             Some(other) => {
-                eprintln!("unknown --backend {other:?} (expected analytic|engine|both)");
+                eprintln!("unknown --backend {other:?} (expected analytic|engine|cluster|both)");
                 std::process::exit(2);
             }
             None => {
-                eprintln!("--backend requires a value (analytic|engine|both)");
+                eprintln!("--backend requires a value (analytic|engine|cluster|both)");
                 std::process::exit(2);
             }
         },
     };
-    run_opts(Fig14Opts { smoke, backend });
+    let replicas = match args.iter().position(|a| a == "--replicas") {
+        None => 2,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--replicas requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    run_opts(Fig14Opts {
+        smoke,
+        backend,
+        replicas,
+    });
 }

@@ -15,17 +15,35 @@
 //!   engine latencies. The rate grid is normalized to a measured probe of
 //!   the warm blend service time, mirroring how the analytic grid is
 //!   normalized to the modeled full-prefill time.
+//! - **cluster** — scale-out: N engine replicas behind the
+//!   [`ClusterService`] locality router, each with its own RAM tier over
+//!   one *shared* persistent tier. Admission costs are measured by really
+//!   serving every request at its routed replica; the multi-server
+//!   queueing (per-replica busy clocks, spill on virtual backlog) is
+//!   composed in virtual time — the same methodology as the engine arm,
+//!   extended to N servers, so the replicas-vs-goodput curve reflects the
+//!   design rather than the host's core count. Emits
+//!   `target/experiments/BENCH_cluster.json`.
 //!
 //! [`ServingBackend`]: cb_serving::backend::ServingBackend
 //! [`EngineService`]: cb_core::scheduler::EngineService
+//! [`ClusterService`]: cb_serving::cluster::ClusterService
+
+use std::collections::HashMap;
 
 use cb_baselines::SchemeKind;
+use cb_core::engine::{ChunkSource, EngineBuilder, Request as EngineRequest, StorageConfig};
+use cb_core::scheduler::ServiceConfig;
+use cb_kv::ChunkId;
 use cb_model::ModelProfile;
 use cb_serving::backend::EngineBackend;
+use cb_serving::cluster::ClusterService;
 use cb_serving::sim::{ServingConfig, Simulator};
+use cb_serving::stats::LatencySummary;
 use cb_serving::workload::{Workload, WorkloadConfig};
 use cb_storage::device::DeviceKind;
 use cb_storage::perf::{PaperModel, PerfModel};
+use cb_tokenizer::{TokenId, TokenKind};
 
 use crate::out::{emit, Row};
 
@@ -36,7 +54,9 @@ pub enum BackendArm {
     Analytic,
     /// Real engine measurements only.
     Engine,
-    /// Both arms.
+    /// Multi-replica cluster serving (emits `BENCH_cluster.json`).
+    Cluster,
+    /// Analytic + engine arms.
     Both,
 }
 
@@ -47,6 +67,9 @@ pub struct Fig14Opts {
     pub smoke: bool,
     /// Backend arm selection.
     pub backend: BackendArm,
+    /// Largest replica count for the cluster arm (the grid always
+    /// includes 1 and 2 so the scale-out ratio is measured).
+    pub replicas: usize,
 }
 
 impl Default for Fig14Opts {
@@ -54,6 +77,7 @@ impl Default for Fig14Opts {
         Self {
             smoke: false,
             backend: BackendArm::Analytic,
+            replicas: 2,
         }
     }
 }
@@ -72,7 +96,12 @@ pub fn run_opts(opts: Fig14Opts) {
     if matches!(opts.backend, BackendArm::Engine | BackendArm::Both) {
         engine_arm(opts.smoke, &mut rows);
     }
-    emit("fig14_serving_rate", &rows);
+    if !rows.is_empty() {
+        emit("fig14_serving_rate", &rows);
+    }
+    if opts.backend == BackendArm::Cluster {
+        cluster_arm(opts.smoke, opts.replicas);
+    }
 }
 
 fn analytic_arm(smoke: bool, rows: &mut Vec<Row>) {
@@ -179,4 +208,257 @@ fn engine_arm(smoke: bool, rows: &mut Vec<Row>) {
             "every simulated request must be really served"
         );
     }
+}
+
+/// What one cluster run measured.
+struct ClusterPoint {
+    ttft: LatencySummary,
+    goodput_rps: f64,
+    throughput_rps: f64,
+    /// Router-level locality: chunks served at their home replica.
+    locality_hit_rate: f64,
+    /// Measured store locality: chunk KV served from the replica's RAM.
+    ram_hit_rate: f64,
+    spills: u64,
+    deadline_misses: u64,
+    admissions: Vec<u64>,
+}
+
+/// Serves one workload through an R-replica cluster: every request really
+/// runs at its routed replica (measured admission cost), and the
+/// multi-server queueing is composed in virtual time — per-replica busy
+/// clocks, spill to the least-backlogged replica when the routed one's
+/// virtual backlog exceeds the queue budget.
+fn run_cluster_point(
+    replicas: usize,
+    workload: &Workload,
+    warm_s: f64,
+    deadline_s: f64,
+    ram_entries: u64,
+    dir: &std::path::Path,
+) -> ClusterPoint {
+    let _ = std::fs::remove_dir_all(dir);
+    // Entry size of one workload chunk, to size the RAM tier in entries.
+    let probe_model =
+        cb_model::Model::compiled(cb_model::ModelConfig::standard(ModelProfile::Tiny, 11));
+    let entry_bytes = {
+        let tokens = sim_chunk_tokens(&probe_model.cfg.vocab, 0);
+        let cache = cb_kv::precompute::precompute_chunk(&probe_model, &tokens);
+        cb_kv::serialize::encode(&cache).len() as u64
+    };
+    let cluster = ClusterService::build(
+        replicas,
+        ServiceConfig::default().workers(1).queue_capacity(64),
+        |_| {
+            EngineBuilder::new(ModelProfile::Tiny)
+                .seed(11)
+                .storage(
+                    StorageConfig::default()
+                        .tier(
+                            DeviceKind::CpuRam,
+                            ram_entries * (entry_bytes + entry_bytes / 4),
+                        )
+                        .shared_disk_tier(DeviceKind::NvmeSsd, 1 << 30, dir, false),
+                )
+                .build()
+        },
+    )
+    .expect("cluster builds");
+
+    let vocab = cluster.replica(0).engine().model().cfg.vocab.clone();
+    let query = vec![
+        vocab.id(TokenKind::Query),
+        vocab.id(TokenKind::Entity(0)),
+        vocab.id(TokenKind::Attr(0)),
+        vocab.id(TokenKind::QMark),
+    ];
+    let mut chunk_map: HashMap<u64, ChunkId> = HashMap::new();
+    let mut map_chunk = |sim_id: u64| -> ChunkId {
+        if let Some(&id) = chunk_map.get(&sim_id) {
+            return id;
+        }
+        let tokens = sim_chunk_tokens(&vocab, sim_id);
+        let id = cluster
+            .register_chunk_lazy(&tokens)
+            .expect("chunk tokens are non-empty");
+        chunk_map.insert(sim_id, id);
+        id
+    };
+
+    // Virtual multi-server queueing state.
+    let mut free_at = vec![0.0f64; replicas];
+    // Spill when the routed replica's virtual backlog exceeds what its
+    // admission queue would hold at the warm service rate.
+    let spill_backlog_s = 8.0 * warm_s;
+    let mut ttfts = Vec::with_capacity(workload.requests.len());
+    let mut spills = 0u64;
+    let mut met = 0u64;
+    let mut deadline_misses = 0u64;
+    let mut lookups = 0u64;
+    let mut ram_hits = 0u64;
+    let mut last_finish = 0.0f64;
+
+    for req in &workload.requests {
+        let ids: Vec<ChunkId> = req.chunk_ids.iter().map(|&c| map_chunk(c)).collect();
+        let (routed, _) = cluster.route(&ids).expect("all replicas healthy");
+        let target = if free_at[routed] - req.arrival_s > spill_backlog_s {
+            spills += 1;
+            (0..replicas)
+                .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+                .expect("at least one replica")
+        } else {
+            routed
+        };
+        let request = EngineRequest::new(ids, query.clone()).max_new_tokens(4);
+        let resp = cluster
+            .submit_to(target, request)
+            .collect()
+            .expect("cluster request serves");
+        for s in &resp.chunk_sources {
+            lookups += 1;
+            if matches!(s, ChunkSource::Hit { tier: 0 }) {
+                ram_hits += 1;
+            }
+        }
+        let work_s = resp
+            .ttft
+            .total
+            .saturating_sub(resp.ttft.decode)
+            .as_secs_f64();
+        let decode_s = resp.ttft.decode.as_secs_f64();
+        let start = free_at[target].max(req.arrival_s);
+        let ttft = start + work_s - req.arrival_s;
+        ttfts.push(ttft);
+        if ttft <= deadline_s {
+            met += 1;
+        } else {
+            deadline_misses += 1;
+        }
+        free_at[target] = start + work_s + decode_s;
+        last_finish = last_finish.max(free_at[target]);
+    }
+
+    let makespan = last_finish.max(f64::EPSILON);
+    let stats = cluster.stats();
+    let point = ClusterPoint {
+        ttft: LatencySummary::of(ttfts),
+        goodput_rps: met as f64 / makespan,
+        throughput_rps: workload.requests.len() as f64 / makespan,
+        locality_hit_rate: stats.locality_hit_rate(),
+        ram_hit_rate: if lookups > 0 {
+            ram_hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        spills,
+        deadline_misses,
+        admissions: stats.admissions,
+    };
+    let _ = std::fs::remove_dir_all(dir);
+    point
+}
+
+/// Deterministic token content for a simulated chunk id (distinct ids →
+/// distinct content hashes for any universe below `n_entities²`).
+fn sim_chunk_tokens(v: &cb_tokenizer::Vocab, sim_id: u64) -> Vec<TokenId> {
+    let (ne, na, nv) = (
+        v.n_entities() as u64,
+        v.n_attrs() as u64,
+        v.n_values() as u64,
+    );
+    vec![
+        v.id(TokenKind::Entity((sim_id % ne) as u32)),
+        v.id(TokenKind::Entity(((sim_id / ne) % ne) as u32)),
+        v.id(TokenKind::Attr((sim_id % na) as u32)),
+        v.id(TokenKind::Value((sim_id % nv) as u32)),
+        v.id(TokenKind::Sep),
+    ]
+}
+
+/// The chunk-skewed cluster workload: a hot chunk set (Zipf 1.1) shared
+/// across query groups, so locality routing has something to exploit.
+fn cluster_workload(rate: f64, n_requests: usize) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        rate_per_s: rate,
+        n_requests,
+        n_groups: 24,
+        n_chunks: 120,
+        chunks_per_request: 4,
+        zipf_s: 1.1,
+        shuffle_order: true,
+        seed: 29,
+    })
+}
+
+fn cluster_arm(smoke: bool, max_replicas: usize) {
+    // The smoke workload is long enough that the single replica's
+    // saturated makespan dominates its deadline-met count — the goodput
+    // ratio then depends on the queueing structure, not on probe noise.
+    let n_requests = if smoke { 64 } else { 120 };
+    let mults: &[f64] = if smoke { &[1.5] } else { &[0.75, 1.5, 3.0] };
+    let mut replica_grid = vec![1usize, 2];
+    if max_replicas > 2 {
+        replica_grid.push(max_replicas);
+    }
+
+    // Normalize rates to the measured warm single-worker service time,
+    // exactly like the engine arm.
+    let warm_s = EngineBackend::single_worker(ModelProfile::Tiny).warm_service_time_s();
+    let deadline_s = 4.0 * warm_s;
+    // RAM sized to half the chunk universe: one replica thrashes its RAM
+    // tier over the shared disk, two replicas hold their home shards.
+    let ram_entries = 60u64;
+
+    let mut rows = Vec::new();
+    let mut goodput_at = HashMap::new();
+    for &mult in mults {
+        let rate = mult / warm_s;
+        let workload = cluster_workload(rate, n_requests);
+        for &replicas in &replica_grid {
+            let dir = std::env::temp_dir().join(format!(
+                "cb-cluster-bench-{}-{replicas}-{}",
+                std::process::id(),
+                (mult * 100.0) as u64
+            ));
+            let p = run_cluster_point(replicas, &workload, warm_s, deadline_s, ram_entries, &dir);
+            goodput_at.insert((mult.to_bits(), replicas), p.goodput_rps);
+            let admissions = p
+                .admissions
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+            rows.push(
+                Row::new("cluster")
+                    .col("backend", "cluster")
+                    .col("replicas", replicas)
+                    .num("rate_rps", rate)
+                    .num("rate_mult", mult)
+                    .num("goodput_rps", p.goodput_rps)
+                    .num("throughput_rps", p.throughput_rps)
+                    .num("mean_ttft_s", p.ttft.mean_s)
+                    .num("p95_ttft_s", p.ttft.p95_s)
+                    .num("locality_hit_rate", p.locality_hit_rate)
+                    .num("ram_hit_rate", p.ram_hit_rate)
+                    .col("spills", p.spills)
+                    .col("deadline_misses", p.deadline_misses)
+                    .col("admissions", admissions),
+            );
+        }
+    }
+    emit("BENCH_cluster", &rows);
+
+    // The scale-out acceptance bar: at the saturating rate, two replicas
+    // sustain at least 1.8× the goodput of one.
+    let key_mult = 1.5f64;
+    let g1 = goodput_at[&(key_mult.to_bits(), 1)];
+    let g2 = goodput_at[&(key_mult.to_bits(), 2)];
+    println!(
+        "\ncluster scale-out: goodput 1→2 replicas = {g1:.3} → {g2:.3} rps ({:.2}×)",
+        g2 / g1
+    );
+    assert!(
+        g2 >= 1.8 * g1,
+        "2 replicas must sustain ≥1.8× the goodput of 1 at the saturating rate: {g1} vs {g2}"
+    );
 }

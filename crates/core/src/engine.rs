@@ -290,6 +290,11 @@ pub enum TierSpec {
         dir: PathBuf,
         /// Emulate the device's read speed with real sleeps.
         throttle: bool,
+        /// Other live engines use the same `dir` (cluster replicas over
+        /// one persistent tier): entries they persist are discovered on
+        /// demand, promotion copies instead of moving, and temp files
+        /// never collide. See [`DiskBackend::open_shared`].
+        shared: bool,
     },
 }
 
@@ -348,6 +353,28 @@ impl StorageConfig {
             capacity,
             dir: dir.into(),
             throttle,
+            shared: false,
+        });
+        self
+    }
+
+    /// Appends a persistent disk tier whose segment dir is *shared* with
+    /// other live engines (cluster replicas all backed by one persistent
+    /// tier). Entries persisted by any sibling are servable by every
+    /// engine over the dir.
+    pub fn shared_disk_tier(
+        mut self,
+        device: DeviceKind,
+        capacity: u64,
+        dir: impl Into<PathBuf>,
+        throttle: bool,
+    ) -> Self {
+        self.tiers.push(TierSpec::Disk {
+            device,
+            capacity,
+            dir: dir.into(),
+            throttle,
+            shared: true,
         });
         self
     }
@@ -489,13 +516,16 @@ impl EngineBuilder {
                     device,
                     dir,
                     throttle,
+                    shared,
                     ..
                 } => {
                     let throttle = throttle.then(|| Throttle::device(device));
-                    Arc::new(
+                    let backend = if shared {
+                        DiskBackend::open_shared(dir, throttle)
+                    } else {
                         DiskBackend::new(dir, throttle)
-                            .map_err(|e| EngineError::Storage(e.to_string()))?,
-                    )
+                    };
+                    Arc::new(backend.map_err(|e| EngineError::Storage(e.to_string()))?)
                 }
             };
             tiers.push((cfg, backend));

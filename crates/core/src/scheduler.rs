@@ -154,6 +154,42 @@ impl AtomicStats {
     }
 }
 
+/// Non-blocking snapshot of a service's instantaneous load, taken with
+/// [`EngineService::probe`]. Routers (the cluster front end) read these to
+/// pick a replica without ever waiting on admission: the probe never
+/// blocks for queue space, only for the brief scheduler mutex.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceProbe {
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// The queue's configured capacity.
+    pub queue_capacity: usize,
+    /// Requests admitted to a worker but not yet terminal.
+    pub inflight: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// True once the service has begun shutting down.
+    pub shutdown: bool,
+}
+
+impl ServiceProbe {
+    /// True if a `try_submit_stream` right now would be rejected.
+    pub fn queue_full(&self) -> bool {
+        self.queue_depth >= self.queue_capacity
+    }
+
+    /// Requests this service currently owes (queued + in flight) — the
+    /// load metric the cluster router minimizes when spilling.
+    pub fn load(&self) -> usize {
+        self.queue_depth + self.inflight
+    }
+
+    /// True if the service can still make progress on new work.
+    pub fn healthy(&self) -> bool {
+        self.workers > 0 && !self.shutdown
+    }
+}
+
 /// Two FIFO lanes with a total capacity and an anti-starvation dispatch
 /// rule: at most `fair_burst` consecutive high-lane pops while the normal
 /// lane is non-empty.
@@ -236,6 +272,9 @@ struct Shared {
     /// Blocking submitters wait here for queue space.
     space_cv: Condvar,
     stats: AtomicStats,
+    /// Jobs popped by a worker but not yet terminal (see
+    /// [`ServiceProbe::inflight`]).
+    inflight: AtomicU64,
 }
 
 /// The persistent streaming scheduler over an [`Engine`]. See the module
@@ -260,6 +299,7 @@ impl EngineService {
             jobs_cv: Condvar::new(),
             space_cv: Condvar::new(),
             stats: AtomicStats::default(),
+            inflight: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -347,6 +387,20 @@ impl EngineService {
         self.shared.state.lock().unwrap().queue.len()
     }
 
+    /// Non-blocking load/health snapshot (see [`ServiceProbe`]). The
+    /// cluster router calls this on every spill decision, so it must never
+    /// wait on queue space — it only takes the scheduler mutex briefly.
+    pub fn probe(&self) -> ServiceProbe {
+        let st = self.shared.state.lock().unwrap();
+        ServiceProbe {
+            queue_depth: st.queue.len(),
+            queue_capacity: st.queue.capacity,
+            inflight: self.shared.inflight.load(Ordering::Relaxed) as usize,
+            workers: self.workers.len(),
+            shutdown: st.shutdown,
+        }
+    }
+
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats.snapshot()
@@ -370,6 +424,9 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if let Some(job) = st.queue.pop() {
+                    // Counted in flight while the queue lock is still held,
+                    // so a probe never sees the job in neither place.
+                    shared.inflight.fetch_add(1, Ordering::Relaxed);
                     shared.space_cv.notify_one();
                     break Some(job);
                 }
@@ -385,6 +442,7 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
         // one is listening, and the lane is better spent on live requests.
         if job.tx.send(Event::Admitted).is_err() {
             shared.stats.canceled.fetch_add(1, Ordering::Relaxed);
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
             continue;
         }
         let mut first_token_at = None;
@@ -405,6 +463,9 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
                 shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Decremented before the terminal event goes out: a client that
+        // observed Done/Failed must never still see the request in flight.
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
         match result {
             Ok(resp) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -569,6 +630,51 @@ mod tests {
         let st = s.stats();
         assert_eq!((st.submitted, st.rejected), (2, 1));
         assert_eq!(st.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn probe_reports_load_and_health_without_blocking() {
+        // A paused (0-worker) full queue: probe must return immediately
+        // with the exact queue picture instead of waiting for space.
+        let s = service(0, 2);
+        let v = s.engine().model().cfg.vocab.clone();
+        let id = s
+            .engine()
+            .register_chunk(&[v.id(Entity(1)), v.id(Value(2))])
+            .unwrap();
+        let q = vec![v.id(Query), v.id(QMark)];
+        let _s1 = s
+            .try_submit_stream(Request::new(vec![id], q.clone()))
+            .unwrap();
+        let _s2 = s.try_submit_stream(Request::new(vec![id], q)).unwrap();
+        let p = s.probe();
+        assert_eq!(p.queue_depth, 2);
+        assert_eq!(p.queue_capacity, 2);
+        assert!(p.queue_full());
+        assert_eq!(p.inflight, 0, "nothing drains a paused service");
+        assert_eq!(p.load(), 2);
+        assert!(!p.healthy(), "a workerless service cannot make progress");
+
+        let live = service(2, 4);
+        let p = live.probe();
+        assert!(p.healthy());
+        assert!(!p.queue_full());
+        assert_eq!(p.workers, 2);
+    }
+
+    #[test]
+    fn inflight_returns_to_zero_after_completion() {
+        let s = service(1, 4);
+        let v = s.engine().model().cfg.vocab.clone();
+        let id = s
+            .engine()
+            .register_chunk(&[v.id(Entity(3)), v.id(Attr(1)), v.id(Value(2)), v.id(Sep)])
+            .unwrap();
+        let q = vec![v.id(Query), v.id(Entity(3)), v.id(Attr(1)), v.id(QMark)];
+        s.submit(Request::new(vec![id], q)).unwrap();
+        let p = s.probe();
+        assert_eq!(p.inflight, 0);
+        assert_eq!(p.load(), 0);
     }
 
     #[test]

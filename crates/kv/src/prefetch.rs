@@ -163,7 +163,15 @@ impl KvStore {
         let mut located = None;
         for attempt in 0..8 {
             match self.read_begin(id, true, attempt == 0) {
-                ReadLoc::Miss => return Ok(None),
+                ReadLoc::Miss => {
+                    // A shared persistent tier may hold the entry even if
+                    // this handle has not indexed it (sibling replica
+                    // persisted it after this store was built).
+                    if attempt == 0 && self.discover_entry(id, true) {
+                        continue;
+                    }
+                    return Ok(None);
+                }
                 ReadLoc::Hit {
                     tier,
                     backend,

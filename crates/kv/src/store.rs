@@ -61,6 +61,10 @@ pub struct StoreStats {
     pub promotions: u64,
     /// Entries evicted because a load failed its checksum.
     pub corrupt_evictions: u64,
+    /// Entries adopted from a shared persistent tier after another store
+    /// handle (a sibling replica) wrote them (see
+    /// [`cb_storage::backend::StorageBackend::discover`]).
+    pub discovered: u64,
     /// Bytes read from non-RAM tiers (tier index > 0) to serve loads.
     pub loaded_bytes: u64,
     /// Bytes written downward by spills.
@@ -304,6 +308,89 @@ impl KvStore {
         }
     }
 
+    /// Attempts to adopt `id` from a shared persistent tier: another store
+    /// handle over the same segment dir (a sibling cluster replica) may
+    /// have persisted the entry after this store was built. On success the
+    /// entry is indexed on the tier that holds it (making room by LRU
+    /// spill) and becomes servable exactly like a recovered segment.
+    ///
+    /// `reclassify_miss` converts the miss the caller just counted into a
+    /// hit — the read paths pass `true`; presence probes pass `false`.
+    pub(crate) fn discover_entry(&self, id: ChunkId, reclassify_miss: bool) -> bool {
+        // The caller's just-counted miss becomes a hit whenever discovery
+        // succeeds — including when a concurrent insert/discovery raced us
+        // to the index (each caller counted its own miss, so each
+        // successful discovery reclassifies exactly one).
+        let reclassify = |inner: &mut Inner| {
+            if reclassify_miss {
+                inner.stats.misses = inner.stats.misses.saturating_sub(1);
+                inner.stats.hits += 1;
+            }
+        };
+        let candidates: Vec<(usize, Arc<dyn StorageBackend>)> = {
+            let mut inner = self.inner.lock();
+            if inner.index.contains_key(&id) {
+                reclassify(&mut inner); // raced: someone else adopted it
+                return true;
+            }
+            inner
+                .tiers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.backend.persistent())
+                .map(|(i, t)| (i, Arc::clone(&t.backend)))
+                .collect()
+        };
+        for (t, backend) in candidates {
+            // Filesystem probe outside the store lock.
+            let Some(size) = backend.discover(id.0) else {
+                continue;
+            };
+            let mut inner = self.inner.lock();
+            if inner.index.contains_key(&id) {
+                reclassify(&mut inner);
+                return true;
+            }
+            if size > inner.tiers[t].cfg.capacity || make_room(&mut inner, t, size).is_err() {
+                return false;
+            }
+            inner.clock += 1;
+            let now = inner.clock;
+            inner.index.insert(
+                id,
+                IndexEntry {
+                    tier: t,
+                    size,
+                    last_used: now,
+                    pins: 0,
+                },
+            );
+            inner.tiers[t].used += size;
+            inner.stats.discovered += 1;
+            reclassify(&mut inner);
+            let used: u64 = inner.tiers.iter().map(|tier| tier.used).sum();
+            inner.peak_bytes = inner.peak_bytes.max(used);
+            return true;
+        }
+        false
+    }
+
+    /// Drops a stale index mapping: the backend at `tier` no longer holds
+    /// the bytes (a shared sibling removed or quarantined the segment), so
+    /// keeping the mapping would turn every later lookup into a futile
+    /// retry loop. Pinned entries and entries that already migrated to
+    /// another tier are left alone.
+    fn forget_if_at(&self, id: ChunkId, tier: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.index.get(&id) {
+            if e.tier == tier && e.pins == 0 {
+                let size = e.size;
+                inner.index.remove(&id);
+                inner.tiers[tier].used -= size;
+            }
+        }
+    }
+
     /// Looks up an entry; on a hit returns the decoded cache and the tier
     /// index that served it, bumping its recency. Every section checksum
     /// is verified; a corrupt entry is evicted and reported.
@@ -330,13 +417,27 @@ impl KvStore {
         // the lookup instead of mis-reporting a present entry as a miss.
         for attempt in 0..8 {
             let (tier, backend) = match self.read_begin(id, false, attempt == 0) {
-                ReadLoc::Miss => return Ok(None),
+                ReadLoc::Miss => {
+                    // A shared persistent tier may hold the entry even
+                    // though this handle's index has never seen it.
+                    if attempt == 0 && self.discover_entry(id, true) {
+                        continue;
+                    }
+                    return Ok(None);
+                }
                 ReadLoc::Hit { tier, backend, .. } => (tier, backend),
             };
             // Backend I/O (possibly throttled disk) happens outside the lock.
             let bytes = match backend.get(id.0) {
                 Ok(Some(b)) => b,
-                Ok(None) => continue, // migrated or removed concurrently
+                Ok(None) => {
+                    // Migrated concurrently (retry re-locates it) — or a
+                    // shared sibling removed the segment for good, in which
+                    // case the stale mapping must go or every later lookup
+                    // would spin through this same futile retry.
+                    self.forget_if_at(id, tier);
+                    continue;
+                }
                 Err(BackendError::Corrupt) => {
                     self.evict_corrupt(id);
                     return Err(StoreError::Corrupt(DecodeError::Corrupted));
@@ -434,6 +535,37 @@ impl KvStore {
         backend.flush().map_err(StoreError::from)
     }
 
+    /// Copies one entry's bytes onto the last tier's backend when that
+    /// tier is persistent, *without* changing the entry's residency — the
+    /// fast-tier copy keeps serving, and the persistent copy becomes
+    /// discoverable by sibling stores over a shared segment dir. No-op
+    /// (`Ok(false)`) when the last tier is not persistent or the entry is
+    /// already on it. Cluster registration uses this so every registered
+    /// chunk is servable by every replica.
+    pub fn replicate_to_persistent(&self, id: ChunkId) -> Result<bool, StoreError> {
+        let (src, dst) = {
+            let inner = self.inner.lock();
+            let last = inner.tiers.len() - 1;
+            let Some(e) = inner.index.get(&id) else {
+                return Ok(false);
+            };
+            if e.tier == last || !inner.tiers[last].backend.persistent() {
+                return Ok(false);
+            }
+            (
+                Arc::clone(&inner.tiers[e.tier].backend),
+                Arc::clone(&inner.tiers[last].backend),
+            )
+        };
+        // Source read and destination write outside the lock; the source
+        // is a RAM tier in every shipped configuration.
+        let Some(bytes) = src.get(id.0)? else {
+            return Ok(false); // migrated/removed concurrently
+        };
+        dst.put(id.0, bytes)?;
+        Ok(true)
+    }
+
     /// Blocks until every backend's queued write-behind work is durable.
     pub fn flush(&self) -> Result<(), StoreError> {
         let backends: Vec<Arc<dyn StorageBackend>> = {
@@ -446,10 +578,16 @@ impl KvStore {
         Ok(())
     }
 
-    /// True if the id is cached on any tier (does not bump recency or
-    /// stats).
+    /// True if the id is cached on any tier (does not bump recency or the
+    /// hit/miss counters). An id absent from the index is still probed on
+    /// shared persistent tiers — a sibling replica may have persisted it —
+    /// and adopted on success, so registration never re-precomputes an
+    /// entry the shared tier already holds.
     pub fn contains(&self, id: ChunkId) -> bool {
-        self.inner.lock().index.contains_key(&id)
+        if self.inner.lock().index.contains_key(&id) {
+            return true;
+        }
+        self.discover_entry(id, false)
     }
 
     /// The tier currently holding `id`, if cached (no recency bump).
@@ -553,7 +691,11 @@ fn make_room(inner: &mut Inner, t: usize, need: u64) -> Result<(), StoreError> {
         if next < inner.tiers.len() && inner.tiers[next].cfg.capacity >= size {
             demote_to(inner, victim, next)?;
         } else {
-            inner.tiers[t].backend.remove(victim.0);
+            // Capacity eviction releases this store's claim only: on a
+            // shared backend `forget` leaves the segment for sibling
+            // replicas (which may serve it, or re-discover it here later);
+            // private backends free the bytes outright.
+            inner.tiers[t].backend.forget(victim.0);
             inner.tiers[t].used -= size;
             inner.index.remove(&victim);
             inner.stats.evictions += 1;
@@ -594,7 +736,9 @@ fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError
     };
     make_room(inner, to, size)?;
     inner.tiers[to].backend.put(id.0, bytes)?;
-    inner.tiers[from].backend.remove(id.0);
+    // Release the source copy: `forget` (not `remove`) so a shared source
+    // tier keeps its segment for sibling handles.
+    inner.tiers[from].backend.forget(id.0);
     inner.tiers[from].used -= size;
     inner.tiers[to].used += size;
     inner.index.get_mut(&id).expect("still indexed").tier = to;
@@ -616,7 +760,11 @@ fn promote(inner: &mut Inner, id: ChunkId, bytes: &Bytes) -> Result<(), StoreErr
     }
     make_room(inner, 0, size)?;
     inner.tiers[0].backend.put(id.0, bytes.clone())?;
-    inner.tiers[from].backend.remove(id.0);
+    // Promote by *move* from a private tier, by *copy* from a shared one
+    // (`forget` releases only this handle's claim): sibling replicas over
+    // a shared segment dir serve from the same file, so deleting it here
+    // would steal the entry from them.
+    inner.tiers[from].backend.forget(id.0);
     inner.tiers[from].used -= size;
     inner.tiers[0].used += size;
     inner.index.get_mut(&id).expect("still indexed").tier = 0;
@@ -851,6 +999,127 @@ mod tests {
         assert_eq!(got, c2);
         assert_eq!(tier, 1);
         assert_eq!(s.tier_of(ChunkId(2)), Some(0), "recovered hit promotes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sibling_stores_over_one_shared_dir_discover_entries() {
+        let dir = test_dir("shared");
+        let mk = || {
+            KvStore::with_backends(vec![
+                (
+                    TierConfig {
+                        label: "ram".into(),
+                        capacity: 1 << 20,
+                    },
+                    Arc::new(MemBackend::new()) as Arc<dyn cb_storage::backend::StorageBackend>,
+                ),
+                (
+                    TierConfig {
+                        label: "disk".into(),
+                        capacity: 1 << 20,
+                    },
+                    Arc::new(DiskBackend::open_shared(&dir, None).unwrap()),
+                ),
+            ])
+        };
+        let a = mk();
+        let b = mk(); // built before `a` persists anything
+        let c = toy_cache(3, 1.0);
+        a.insert(ChunkId(1), &c).unwrap();
+        a.persist().unwrap();
+
+        // `b` never saw the insert, but the shared tier holds the segment:
+        // contains() adopts it, get() serves it, prefetch() streams it.
+        assert!(b.contains(ChunkId(1)), "discovered via the shared tier");
+        assert_eq!(b.tier_of(ChunkId(1)), Some(1));
+        let (got, tier) = b.get(ChunkId(1)).unwrap().unwrap();
+        assert_eq!((got, tier), (c.clone(), 1));
+        assert_eq!(b.stats().discovered, 1);
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().misses, 0);
+
+        // A store built after the persist sees the segment at startup
+        // recovery (no discovery needed) and can stream it immediately.
+        let b2 = mk();
+        let mut h = b2.prefetch(ChunkId(1)).unwrap().expect("recovered");
+        assert_eq!(h.tier(), 1);
+        assert_eq!(h.meta().unwrap().rows, 3);
+        assert_eq!(b2.stats().discovered, 0, "recovery indexed it already");
+
+        // The prefetch path discovers too: persist a *new* entry from `a`
+        // and stream it from `b2`, whose index has never seen it.
+        let c2 = toy_cache(4, 2.0);
+        a.insert(ChunkId(2), &c2).unwrap();
+        a.persist().unwrap();
+        let mut h = b2.prefetch(ChunkId(2)).unwrap().expect("discovered");
+        assert_eq!(h.tier(), 1);
+        assert_eq!(h.meta().unwrap().rows, 4);
+        assert_eq!(b2.stats().discovered, 1);
+
+        // An id on no tier anywhere stays a clean miss.
+        assert!(!b.contains(ChunkId(99)));
+        assert!(b.get(ChunkId(99)).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replicate_to_persistent_copies_without_demoting() {
+        let dir = test_dir("replicate");
+        let s = ram_disk(1 << 20, 1 << 20, &dir);
+        let c = toy_cache(3, 4.0);
+        s.insert(ChunkId(5), &c).unwrap();
+        assert_eq!(s.tier_of(ChunkId(5)), Some(0));
+        assert!(s.replicate_to_persistent(ChunkId(5)).unwrap());
+        s.flush().unwrap();
+        // Residency unchanged: the RAM copy still serves as a tier-0 hit.
+        assert_eq!(s.tier_of(ChunkId(5)), Some(0));
+        let (_, tier) = s.get(ChunkId(5)).unwrap().unwrap();
+        assert_eq!(tier, 0);
+        // But a sibling store over the same dir can serve the copy.
+        let sibling = ram_disk(1 << 20, 1 << 20, &dir);
+        assert_eq!(sibling.get(ChunkId(5)).unwrap().unwrap().0, c);
+        // Single-tier / already-persistent cases are clean no-ops.
+        let ram_only = KvStore::single("ram", 1 << 20);
+        ram_only.insert(ChunkId(1), &c).unwrap();
+        assert!(!ram_only.replicate_to_persistent(ChunkId(1)).unwrap());
+        assert!(!s.replicate_to_persistent(ChunkId(404)).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_tier_capacity_eviction_keeps_sibling_segments() {
+        // Regression (review finding): LRU eviction at a *shared* last
+        // tier must release only this handle's claim — unlinking the
+        // segment would steal it from sibling replicas.
+        let dir = test_dir("shared-evict");
+        let sz = entry_size(2);
+        let shared_store = |disk_cap: u64| {
+            KvStore::with_backends(vec![(
+                TierConfig {
+                    label: "disk".into(),
+                    capacity: disk_cap,
+                },
+                Arc::new(DiskBackend::open_shared(&dir, None).unwrap())
+                    as Arc<dyn cb_storage::backend::StorageBackend>,
+            )])
+        };
+        let a = shared_store(10 * sz);
+        for i in 0..3u64 {
+            a.insert(ChunkId(i), &toy_cache(2, i as f32)).unwrap();
+        }
+        a.flush().unwrap();
+        // A capacity-starved sibling over the same dir: recovery trims its
+        // *claims* to capacity, but every segment file must survive.
+        let b = shared_store(sz);
+        assert_eq!(b.len(), 1, "sibling claims trimmed to capacity");
+        for i in 0..3u64 {
+            assert_eq!(
+                a.get(ChunkId(i)).unwrap().unwrap().0,
+                toy_cache(2, i as f32),
+                "entry {i} must survive the sibling's eviction"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -76,6 +76,13 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
         false
     }
 
+    /// True if other live handles use the same medium (shared segment
+    /// dir). The tiering policy above promotes *by copy* from a shared
+    /// tier — deleting the source segment would steal it from siblings.
+    fn shared(&self) -> bool {
+        false
+    }
+
     /// Stores `bytes` under `key`, replacing any previous entry.
     fn put(&self, key: u64, bytes: Bytes) -> Result<(), BackendError>;
 
@@ -89,8 +96,28 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// checksums (`cb-kv`'s wire format carries them).
     fn open_read(&self, key: u64) -> Result<Option<Box<dyn ReadStream + Send>>, BackendError>;
 
+    /// Attempts to locate `key` on the medium even if this handle has not
+    /// indexed it. Exclusive backends own their index and return `None`
+    /// for unindexed keys; *shared-directory* backends (several handles —
+    /// possibly several processes — over one segment dir) re-probe the
+    /// medium, index the segment on success, and return its payload
+    /// length. Integrity is still verified by the read that follows.
+    fn discover(&self, _key: u64) -> Option<u64> {
+        None
+    }
+
     /// Removes an entry; `true` if one was present.
     fn remove(&self, key: u64) -> bool;
+
+    /// Drops this handle's claim on `key` without destroying shared
+    /// state: private backends free the entry (same as [`Self::remove`]);
+    /// shared backends only forget their index mapping, leaving the
+    /// medium's copy for sibling handles. The tiering policy above uses
+    /// this for capacity eviction, which must never unlink a segment
+    /// siblings may still serve.
+    fn forget(&self, key: u64) -> bool {
+        self.remove(key)
+    }
 
     /// True if `key` is held.
     fn contains(&self, key: u64) -> bool;

@@ -24,6 +24,16 @@
 //! **Throttling.** An optional [`Throttle`] emulates a slower device with
 //! real sleeps (access latency once per open, bandwidth per byte), which is
 //! how the storage benchmarks sweep the §5.2 device grid on one machine.
+//!
+//! **Shared directories.** [`DiskBackend::open_shared`] opens the same
+//! segment dir from several handles at once (the cluster's replicas all
+//! back onto one persistent tier). Shared handles (a) use handle-unique
+//! `.tmp` names so concurrent write-behind flushers never clobber each
+//! other's temp files, (b) leave foreign `.tmp` files alone at startup
+//! (they may be another live handle's in-flight write), and (c) support
+//! [`StorageBackend::discover`]: a key missing from this handle's index is
+//! re-probed on the filesystem, so segments persisted by a sibling replica
+//! after this handle started become servable without a reopen.
 
 use std::collections::HashMap;
 use std::fs;
@@ -72,6 +82,8 @@ pub struct DiskBackend {
     flusher: Option<JoinHandle<()>>,
     recovered: usize,
     dropped: usize,
+    /// Several handles may own this dir concurrently (see module docs).
+    shared: bool,
 }
 
 impl std::fmt::Debug for DiskBackend {
@@ -79,6 +91,7 @@ impl std::fmt::Debug for DiskBackend {
         f.debug_struct("DiskBackend")
             .field("dir", &self.dir)
             .field("throttle", &self.throttle)
+            .field("shared", &self.shared)
             .field("entries", &self.len())
             .finish()
     }
@@ -86,6 +99,20 @@ impl std::fmt::Debug for DiskBackend {
 
 fn segment_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.seg"))
+}
+
+/// Parses a segment header, returning the payload length if the framing
+/// fields (magic, version, key) match and `file_len` is consistent.
+fn parse_seg_header(header: &[u8; HEADER_LEN], key: u64, file_len: u64) -> Option<u64> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let seg_key = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    (magic == MAGIC
+        && version == VERSION
+        && seg_key == key
+        && file_len == payload_len.checked_add(FRAME_LEN as u64)?)
+    .then_some(payload_len)
 }
 
 /// Frames a payload as segment bytes.
@@ -126,9 +153,31 @@ fn verify_frame(key: u64, raw: &[u8]) -> Result<std::ops::Range<usize>, BackendE
 }
 
 impl DiskBackend {
-    /// Opens (or creates) a cache dir, re-indexing surviving segments and
-    /// dropping `.tmp` orphans and torn/corrupt segment files.
+    /// Opens (or creates) a cache dir with exclusive ownership, re-indexing
+    /// surviving segments and dropping `.tmp` orphans and torn/corrupt
+    /// segment files.
     pub fn new(dir: impl Into<PathBuf>, throttle: Option<Throttle>) -> Result<Self, BackendError> {
+        Self::open(dir, throttle, false)
+    }
+
+    /// Opens a cache dir that other live handles (replicas, possibly other
+    /// processes) also use. Foreign `.tmp` files are left in place at
+    /// startup — they may be a sibling's in-flight write — and keys absent
+    /// from this handle's index can be [`StorageBackend::discover`]ed from
+    /// the filesystem later. Torn/corrupt `.seg` files are still dropped:
+    /// every handle would reject them identically.
+    pub fn open_shared(
+        dir: impl Into<PathBuf>,
+        throttle: Option<Throttle>,
+    ) -> Result<Self, BackendError> {
+        Self::open(dir, throttle, true)
+    }
+
+    fn open(
+        dir: impl Into<PathBuf>,
+        throttle: Option<Throttle>,
+        shared: bool,
+    ) -> Result<Self, BackendError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| BackendError::Io(e.to_string()))?;
 
@@ -144,8 +193,12 @@ impl DiskBackend {
                 None => continue,
             };
             if name.ends_with(".tmp") {
-                let _ = fs::remove_file(&path);
-                dropped += 1;
+                // Exclusive owner: any .tmp is crash debris. Shared: it may
+                // be a live sibling's in-flight write — leave it alone.
+                if !shared {
+                    let _ = fs::remove_file(&path);
+                    dropped += 1;
+                }
                 continue;
             }
             let Some(stem) = name.strip_suffix(".seg") else {
@@ -179,6 +232,12 @@ impl DiskBackend {
             used,
             write_error: None,
         }));
+        // Handle-unique so two shared handles (even across processes)
+        // never race on one temp-file name.
+        static NONCE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = (std::process::id() as u64) << 20
+            | NONCE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
         let (tx, rx) = unbounded::<FlushMsg>();
         let flusher = {
             let state = std::sync::Arc::clone(&state);
@@ -190,7 +249,7 @@ impl DiskBackend {
                         match msg {
                             FlushMsg::Write { key, gen, bytes } => {
                                 let path = segment_path(&dir, key);
-                                let tmp = dir.join(format!("{key:016x}.tmp"));
+                                let tmp = dir.join(format!("{key:016x}.{nonce:x}.tmp"));
                                 let res = fs::write(&tmp, frame(key, &bytes))
                                     .and_then(|_| fs::rename(&tmp, &path));
                                 let mut s = state.lock();
@@ -203,7 +262,15 @@ impl DiskBackend {
                                 // The entry may have been removed while the
                                 // write was in flight; the rename would
                                 // resurrect it, so delete what we wrote.
-                                if !s.index.contains_key(&key) {
+                                // Exclusive dirs only: in a shared dir the
+                                // path may by now hold a *sibling's* live
+                                // segment (entries are content-addressed,
+                                // so a stale same-key write is
+                                // byte-identical anyway) — deleting it
+                                // would steal the sibling's entry, which
+                                // is worse than a rare benign
+                                // resurrection.
+                                if !shared && !s.index.contains_key(&key) {
                                     drop(s);
                                     let _ = fs::remove_file(&path);
                                 }
@@ -224,6 +291,7 @@ impl DiskBackend {
             flusher: Some(flusher),
             recovered,
             dropped,
+            shared,
         })
     }
 
@@ -240,6 +308,19 @@ impl DiskBackend {
     /// Orphaned/torn files deleted by startup recovery.
     pub fn dropped_segments(&self) -> usize {
         self.dropped
+    }
+
+    /// Forgets an index mapping whose segment file has vanished (a shared
+    /// sibling removed or quarantined it). A pending write is kept — the
+    /// flusher will recreate the file.
+    fn forget_stale(&self, key: u64) {
+        let mut s = self.state.lock();
+        if s.pending.contains_key(&key) {
+            return;
+        }
+        if let Some(len) = s.index.remove(&key) {
+            s.used -= len;
+        }
     }
 
     fn drop_entry(&self, key: u64) -> bool {
@@ -265,6 +346,10 @@ impl StorageBackend for DiskBackend {
 
     fn persistent(&self) -> bool {
         true
+    }
+
+    fn shared(&self) -> bool {
+        self.shared
     }
 
     fn put(&self, key: u64, bytes: Bytes) -> Result<(), BackendError> {
@@ -298,7 +383,10 @@ impl StorageBackend for DiskBackend {
         let raw = match fs::read(&path) {
             Ok(raw) => raw,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                // Removed between index check and read.
+                // Removed between index check and read — by this handle's
+                // own remove, or by a shared sibling. Drop the stale
+                // mapping so later lookups miss cleanly.
+                self.forget_stale(key);
                 return Ok(None);
             }
             Err(e) => return Err(BackendError::Io(e.to_string())),
@@ -331,7 +419,10 @@ impl StorageBackend for DiskBackend {
         let path = segment_path(&self.dir, key);
         let mut file = match fs::File::open(&path) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.forget_stale(key);
+                return Ok(None);
+            }
             Err(e) => return Err(BackendError::Io(e.to_string())),
         };
         let file_len = file
@@ -341,18 +432,10 @@ impl StorageBackend for DiskBackend {
         let mut header = [0u8; HEADER_LEN];
         file.read_exact(&mut header)
             .map_err(|_| BackendError::Corrupt)?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        let seg_key = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        if magic != MAGIC
-            || version != VERSION
-            || seg_key != key
-            || file_len != payload_len + FRAME_LEN as u64
-        {
+        let Some(payload_len) = parse_seg_header(&header, key, file_len) else {
             self.drop_entry(key);
             return Err(BackendError::Corrupt);
-        }
+        };
         if let Some(t) = self.throttle {
             t.charge_access();
         }
@@ -364,8 +447,57 @@ impl StorageBackend for DiskBackend {
         })))
     }
 
+    fn discover(&self, key: u64) -> Option<u64> {
+        {
+            let s = self.state.lock();
+            if let Some(&len) = s.index.get(&key) {
+                return Some(len);
+            }
+        }
+        if !self.shared {
+            // Exclusive owner: the index is the truth.
+            return None;
+        }
+        // A sibling handle may have renamed a segment into place after this
+        // handle's startup scan. Framing is checked here (cheap: 24 bytes);
+        // the read that follows still verifies the checksum.
+        let path = segment_path(&self.dir, key);
+        let mut file = fs::File::open(&path).ok()?;
+        let file_len = file.metadata().ok()?.len();
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header).ok()?;
+        let payload_len = parse_seg_header(&header, key, file_len)?;
+        let mut s = self.state.lock();
+        // Pending/index may have gained the key while the file was probed.
+        match s.index.get(&key) {
+            Some(&len) => Some(len),
+            None => {
+                s.index.insert(key, payload_len);
+                s.used += payload_len;
+                Some(payload_len)
+            }
+        }
+    }
+
     fn remove(&self, key: u64) -> bool {
         self.drop_entry(key)
+    }
+
+    fn forget(&self, key: u64) -> bool {
+        if !self.shared {
+            return self.drop_entry(key);
+        }
+        // Shared dir: drop only this handle's index claim. The segment
+        // file stays for sibling handles, and a pending write (if any) is
+        // left to complete — its durable result is theirs to discover.
+        let mut s = self.state.lock();
+        match s.index.remove(&key) {
+            Some(len) => {
+                s.used -= len;
+                true
+            }
+            None => false,
+        }
     }
 
     fn contains(&self, key: u64) -> bool {
@@ -567,6 +699,88 @@ mod tests {
         assert_eq!(b.used_bytes(), 50);
         assert_eq!(b.get(9).unwrap().unwrap().as_ref(), &[2u8; 50][..]);
         assert_eq!(b.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_handles_discover_each_others_segments() {
+        let dir = test_dir("shared-discover");
+        let a = DiskBackend::open_shared(&dir, None).unwrap();
+        let b = DiskBackend::open_shared(&dir, None).unwrap();
+        let payload = Bytes::from(vec![5u8; 80]);
+        a.put(77, payload.clone()).unwrap();
+        a.flush().unwrap();
+        assert!(!b.contains(77), "b has not indexed a's segment yet");
+        assert_eq!(b.discover(77), Some(80));
+        assert!(b.contains(77));
+        assert_eq!(b.used_bytes(), 80);
+        assert_eq!(b.get(77).unwrap().unwrap(), payload);
+        // A sibling's removal is observed as a clean miss, and the stale
+        // index mapping is dropped rather than retried forever.
+        assert!(a.remove(77));
+        assert_eq!(b.get(77).unwrap(), None);
+        assert!(!b.contains(77), "stale mapping dropped on vanished file");
+        assert_eq!(b.discover(77), None, "removed segment is undiscoverable");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exclusive_handle_never_discovers_foreign_segments() {
+        let dir = test_dir("excl-discover");
+        {
+            let writer = DiskBackend::new(&dir, None).unwrap();
+            writer.put(4, Bytes::from(vec![1u8; 32])).unwrap();
+        }
+        let later = DiskBackend::new(&dir, None).unwrap();
+        assert_eq!(later.discover(4), Some(32), "indexed at startup");
+        // Write a fresh segment behind the exclusive handle's back.
+        {
+            let sneaky = DiskBackend::open_shared(&dir, None).unwrap();
+            sneaky.put(5, Bytes::from(vec![2u8; 16])).unwrap();
+        }
+        assert_eq!(
+            later.discover(5),
+            None,
+            "exclusive handles trust only their own index"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_startup_preserves_foreign_tmp_files() {
+        let dir = test_dir("shared-tmp");
+        fs::create_dir_all(&dir).unwrap();
+        let foreign = dir.join("00000000000000aa.cafe.tmp");
+        fs::write(&foreign, b"sibling in-flight write").unwrap();
+        let shared = DiskBackend::open_shared(&dir, None).unwrap();
+        assert_eq!(shared.dropped_segments(), 0);
+        assert!(foreign.exists(), "shared startup must not delete .tmp");
+        drop(shared);
+        let exclusive = DiskBackend::new(&dir, None).unwrap();
+        assert_eq!(exclusive.dropped_segments(), 1, "exclusive startup cleans");
+        assert!(!foreign.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_shared_writers_use_distinct_tmp_names() {
+        let dir = test_dir("shared-write");
+        let a = DiskBackend::open_shared(&dir, None).unwrap();
+        let b = DiskBackend::open_shared(&dir, None).unwrap();
+        // Interleaved write-behind on the same key from both handles: the
+        // last rename wins, and neither flusher errors on the other's tmp.
+        for i in 0..16u8 {
+            a.put(9, Bytes::from(vec![i; 64])).unwrap();
+            b.put(9, Bytes::from(vec![i ^ 0xFF; 64])).unwrap();
+        }
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let got = a.get(9).unwrap().unwrap();
+        assert_eq!(got.len(), 64);
+        assert!(
+            got.iter().all(|&x| x == 15) || got.iter().all(|&x| x == 15 ^ 0xFF),
+            "one complete final generation survives, never a torn mix"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

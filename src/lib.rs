@@ -82,5 +82,6 @@ pub mod prelude {
         datasets::DatasetKind,
         metrics::{f1_score, rouge_l},
     };
+    pub use cb_serving::cluster::{ClusterError, ClusterService, ClusterStats};
     pub use cb_storage::device::DeviceKind;
 }

@@ -1,0 +1,248 @@
+//! Fault-injection matrix for the persistent disk tier.
+//!
+//! Every case damages one segment of a populated cache dir in a specific
+//! way — truncation mid-header, truncation mid-payload, a zero-length
+//! file, a stale `.tmp` orphan, a flipped checksum word — and asserts the
+//! same three things: startup recovery indexes exactly the intact
+//! segments, the damaged artifact is quarantined (deleted, never served),
+//! and the intact siblings still load byte-identically.
+
+use bytes::Bytes;
+use cacheblend::storage::backend::BackendError;
+use cacheblend::storage::{DiskBackend, StorageBackend};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "cb-fault-{}-{}-{}",
+        std::process::id(),
+        tag,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+const SIBLINGS: [u64; 3] = [1, 2, 3];
+const VICTIM: u64 = 9;
+/// Segment framing: magic/version/key/len header before the payload.
+const HEADER_LEN: usize = 24;
+
+fn payload_of(key: u64) -> Bytes {
+    Bytes::from(vec![key as u8; 64 + (key as usize % 32)])
+}
+
+fn segment_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.seg"))
+}
+
+/// Populates a cache dir with the three siblings plus the victim, durably.
+fn populate(dir: &Path) {
+    let b = DiskBackend::new(dir, None).unwrap();
+    for &k in &SIBLINGS {
+        b.put(k, payload_of(k)).unwrap();
+    }
+    b.put(VICTIM, payload_of(VICTIM)).unwrap();
+    b.flush().unwrap();
+}
+
+/// Asserts the recovery outcome after one injected fault: exactly the
+/// siblings are indexed, the victim is gone (and its artifact deleted),
+/// and every sibling still serves its exact bytes.
+fn assert_recovery(dir: &Path, b: &DiskBackend, dropped_artifacts: usize, case: &str) {
+    assert_eq!(
+        b.recovered_segments(),
+        SIBLINGS.len(),
+        "{case}: only the intact siblings are indexed"
+    );
+    assert_eq!(
+        b.dropped_segments(),
+        dropped_artifacts,
+        "{case}: damaged artifacts dropped at startup"
+    );
+    assert!(!b.contains(VICTIM), "{case}: victim must not be indexed");
+    assert!(
+        b.get(VICTIM).unwrap().is_none(),
+        "{case}: victim reads as a clean miss"
+    );
+    assert!(
+        !segment_path(dir, VICTIM).exists(),
+        "{case}: quarantine removes the damaged segment file"
+    );
+    for &k in &SIBLINGS {
+        assert_eq!(
+            b.get(k).unwrap().unwrap(),
+            payload_of(k),
+            "{case}: sibling {k} must load byte-identically"
+        );
+    }
+}
+
+#[test]
+fn truncation_mid_header_is_dropped_at_startup() {
+    let dir = test_dir("mid-header");
+    populate(&dir);
+    let path = segment_path(&dir, VICTIM);
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..HEADER_LEN / 2]).unwrap();
+
+    let b = DiskBackend::new(&dir, None).unwrap();
+    assert_recovery(&dir, &b, 1, "mid-header truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_mid_payload_is_dropped_at_startup() {
+    let dir = test_dir("mid-payload");
+    populate(&dir);
+    let path = segment_path(&dir, VICTIM);
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..HEADER_LEN + (raw.len() - HEADER_LEN) / 2]).unwrap();
+
+    let b = DiskBackend::new(&dir, None).unwrap();
+    assert_recovery(&dir, &b, 1, "mid-payload truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_length_segment_is_dropped_at_startup() {
+    let dir = test_dir("zero-len");
+    populate(&dir);
+    std::fs::write(segment_path(&dir, VICTIM), b"").unwrap();
+
+    let b = DiskBackend::new(&dir, None).unwrap();
+    assert_recovery(&dir, &b, 1, "zero-length segment");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_tmp_orphan_is_deleted_and_never_indexed() {
+    let dir = test_dir("tmp-orphan");
+    populate(&dir);
+    // The victim's durable segment is *also* removed so the orphan is the
+    // only artifact under its key — recovery must not resurrect it.
+    std::fs::remove_file(segment_path(&dir, VICTIM)).unwrap();
+    let orphan = dir.join(format!("{VICTIM:016x}.dead.tmp"));
+    std::fs::write(&orphan, b"crash debris from a dead flusher").unwrap();
+
+    let b = DiskBackend::new(&dir, None).unwrap();
+    assert_recovery(&dir, &b, 1, "stale .tmp orphan");
+    assert!(!orphan.exists(), "orphan deleted by exclusive recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_checksum_word_is_dropped_at_startup() {
+    let dir = test_dir("bad-checksum");
+    populate(&dir);
+    let path = segment_path(&dir, VICTIM);
+    let mut raw = std::fs::read(&path).unwrap();
+    let n = raw.len();
+    for b in &mut raw[n - 8..] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&path, &raw).unwrap();
+
+    let b = DiskBackend::new(&dir, None).unwrap();
+    assert_recovery(&dir, &b, 1, "flipped checksum word");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_corruption_quarantines_on_read_not_just_at_startup() {
+    // The same checksum fault injected while the backend is open: the read
+    // surfaces Corrupt exactly once, quarantines the segment, and siblings
+    // are untouched.
+    let dir = test_dir("live-corrupt");
+    populate(&dir);
+    let b = DiskBackend::new(&dir, None).unwrap();
+    let path = segment_path(&dir, VICTIM);
+    let mut raw = std::fs::read(&path).unwrap();
+    raw[HEADER_LEN + 5] ^= 0x40;
+    std::fs::write(&path, &raw).unwrap();
+
+    assert_eq!(b.get(VICTIM).unwrap_err(), BackendError::Corrupt);
+    assert!(!b.contains(VICTIM), "quarantined after the failed read");
+    assert!(!path.exists(), "damaged segment deleted");
+    assert!(
+        b.get(VICTIM).unwrap().is_none(),
+        "second read is a clean miss"
+    );
+    for &k in &SIBLINGS {
+        assert_eq!(b.get(k).unwrap().unwrap(), payload_of(k));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiered_store_repairs_quarantined_disk_entries_by_reinsert() {
+    // Store-level view of the matrix: a corrupt disk-resident KV entry
+    // surfaces StoreError::Corrupt, is evicted everywhere, leaves the
+    // sibling servable, and a reinsert makes the id cleanly servable again.
+    use cacheblend::kv::store::{KvStore, StoreError, TierConfig};
+    use cacheblend::kv::ChunkId;
+    use cacheblend::model::{Model, ModelConfig, ModelProfile};
+    use cacheblend::storage::MemBackend;
+    use std::sync::Arc;
+
+    let dir = test_dir("store-level");
+    let m = Model::compiled(ModelConfig::standard(ModelProfile::Tiny, 11));
+    let v = m.cfg.vocab.clone();
+    use cacheblend::tokenizer::TokenKind::*;
+    let mk_cache = |i: u32| {
+        cacheblend::kv::precompute::precompute_chunk(
+            &m,
+            &[
+                v.id(Entity(i)),
+                v.id(Attr(i % 8)),
+                v.id(Value(i)),
+                v.id(Sep),
+            ],
+        )
+    };
+    let victim_cache = mk_cache(1);
+    let sibling_cache = mk_cache(2);
+    let entry = cacheblend::kv::serialize::encode(&victim_cache).len() as u64;
+
+    let store = KvStore::with_backends(vec![
+        (
+            TierConfig {
+                label: "ram".into(),
+                capacity: entry / 2, // nothing fits in RAM: all disk-resident
+            },
+            Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+        ),
+        (
+            TierConfig {
+                label: "disk".into(),
+                capacity: 1 << 20,
+            },
+            Arc::new(DiskBackend::new(&dir, None).unwrap()),
+        ),
+    ]);
+    store.insert(ChunkId(1), &victim_cache).unwrap();
+    store.insert(ChunkId(2), &sibling_cache).unwrap();
+    store.flush().unwrap();
+    assert_eq!(store.tier_of(ChunkId(1)), Some(1));
+
+    assert!(store.corrupt(ChunkId(1), 40));
+    let err = store.get(ChunkId(1)).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+    assert!(!store.contains(ChunkId(1)), "quarantined");
+    assert_eq!(store.stats().corrupt_evictions, 1);
+    assert_eq!(
+        store.get(ChunkId(2)).unwrap().unwrap().0,
+        sibling_cache,
+        "sibling unaffected"
+    );
+    store.insert(ChunkId(1), &victim_cache).unwrap();
+    assert_eq!(
+        store.get(ChunkId(1)).unwrap().unwrap().0,
+        victim_cache,
+        "reinsert repairs the quarantined id"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

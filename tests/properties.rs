@@ -186,6 +186,219 @@ fn blend_identity_over_random_chunk_pairs() {
     }
 }
 
+/// Satellite: fuzz the serialize-v2 decoder. Seeded random byte mutations
+/// over valid entries — flips, dims overwrites, truncations, extensions,
+/// checksum rewrites, garbage prefixes — must never panic, never allocate
+/// beyond the declared payload bound (huge mutated dims are rejected
+/// against the buffer length *before* any allocation), and always surface
+/// a decode error. 1 000 cases per seed.
+#[test]
+fn serialize_decoder_survives_mutation_fuzz() {
+    use bytes::Bytes;
+    use cacheblend::kv::serialize::{verify_entry, DIMS_LEN};
+    let m = tiny_model();
+    let mut gen_rng = SmallRng::seed_from_u64(0xFA22);
+    let bases: Vec<Vec<u8>> = (0..3)
+        .map(|_| encode(&precompute_chunk(&m, &random_chunk(&mut gen_rng))).to_vec())
+        .collect();
+
+    for seed in [0xF0_0001u64, 0xF0_0002, 0xF0_0003] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..1000 {
+            let base = &bases[rng.random_range(0usize..bases.len())];
+            let mut bytes = base.clone();
+            match rng.random_range(0u32..6) {
+                // Random distinct-byte flips anywhere in the entry.
+                0 => {
+                    let flips = rng.random_range(1usize..5);
+                    let mut seen = std::collections::HashSet::new();
+                    for _ in 0..flips {
+                        let at = rng.random_range(0usize..bytes.len());
+                        if seen.insert(at) {
+                            bytes[at] ^= rng.random_range(1u32..256) as u8;
+                        }
+                    }
+                }
+                // Overwrite one dims field (n_layers/rows/width) with a
+                // random u32 — the huge-allocation attack surface.
+                1 => {
+                    let field = 4 + 4 * rng.random_range(0usize..3);
+                    let old = u32::from_le_bytes(bytes[field..field + 4].try_into().unwrap());
+                    let new = old.wrapping_add(rng.random_range(1u32..u32::MAX));
+                    bytes[field..field + 4].copy_from_slice(&new.to_le_bytes());
+                }
+                // Truncation at a random point.
+                2 => {
+                    let keep = rng.random_range(0usize..bytes.len());
+                    bytes.truncate(keep);
+                }
+                // Extension with random junk.
+                3 => {
+                    let extra = rng.random_range(1usize..64);
+                    for _ in 0..extra {
+                        bytes.push(rng.random_range(0u32..256) as u8);
+                    }
+                }
+                // Rewrite a section checksum word (header or a layer).
+                4 => {
+                    let words: Vec<usize> = {
+                        let meta = verify_entry(base).unwrap();
+                        let hlen = cacheblend::kv::serialize::header_len(meta.rows);
+                        let block = meta.layer_block_len();
+                        std::iter::once(hlen - 8)
+                            .chain((0..meta.n_layers).map(|l| hlen + (l + 1) * block - 8))
+                            .collect()
+                    };
+                    let at = words[rng.random_range(0usize..words.len())];
+                    let old = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+                    let new = old.wrapping_add(rng.random_range(1u64..u64::MAX));
+                    bytes[at..at + 8].copy_from_slice(&new.to_le_bytes());
+                }
+                // Random short garbage (below/around the dims prefix).
+                _ => {
+                    let len = rng.random_range(0usize..DIMS_LEN + 8);
+                    bytes = (0..len)
+                        .map(|_| rng.random_range(0u32..256) as u8)
+                        .collect();
+                }
+            }
+            if bytes == *base {
+                continue; // mutation was a no-op (possible only for class 0)
+            }
+            assert!(
+                decode(Bytes::from(bytes.clone())).is_err(),
+                "seed {seed:#x} case {case}: mutated entry decoded successfully"
+            );
+            assert!(
+                verify_entry(&bytes).is_err(),
+                "seed {seed:#x} case {case}: mutated entry verified successfully"
+            );
+        }
+    }
+
+    // Adversarial dims: each field forced to u32::MAX in turn, with the
+    // buffer unchanged — the decoder must reject on the trusted buffer
+    // length before sizing any allocation from the lie.
+    for field in [4usize, 8, 12] {
+        let mut bytes = bases[0].clone();
+        bytes[field..field + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(Bytes::from(bytes.clone())).is_err());
+        assert!(verify_entry(&bytes).is_err());
+    }
+}
+
+/// The store path of the same property: a mutated stored entry always
+/// surfaces `StoreError::Corrupt`, is quarantined (evicted), and a
+/// reinsert repairs it — across 100 seeded flip positions.
+#[test]
+fn store_loads_of_mutated_entries_always_quarantine() {
+    use cacheblend::kv::store::StoreError;
+    use cacheblend::kv::ChunkId;
+    let m = tiny_model();
+    let mut rng = SmallRng::seed_from_u64(0xC0_22);
+    let cache = precompute_chunk(&m, &random_chunk(&mut rng));
+    let entry_len = encode(&cache).len();
+    for case in 0..100 {
+        let store = KvStore::single("ram", 1 << 20);
+        store.insert(ChunkId(7), &cache).unwrap();
+        assert!(store.corrupt(ChunkId(7), rng.random_range(0usize..entry_len)));
+        let err = store.get(ChunkId(7)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt(_)),
+            "case {case}: expected Corrupt, got {err}"
+        );
+        assert!(!store.contains(ChunkId(7)), "case {case}: must quarantine");
+        assert_eq!(store.stats().corrupt_evictions, 1);
+        store.insert(ChunkId(7), &cache).unwrap();
+        assert_eq!(store.get(ChunkId(7)).unwrap().unwrap().0, cache);
+    }
+}
+
+/// Satellite: seeded burst stress against `EngineService` at 1..=4
+/// workers. Invariants at every observation point: counters are monotone,
+/// `peak_queue_depth` never exceeds the queue capacity, accepted = terminal
+/// after each drained burst, deadline misses are exactly the
+/// zero-deadline completions, and neither lane starves (every stream of
+/// both priorities reaches a terminal event).
+#[test]
+fn scheduler_stress_invariants_hold_across_worker_counts() {
+    use cacheblend::prelude::*;
+    use std::time::Duration;
+
+    let capacity = 8usize;
+    for workers in 1..=4usize {
+        let (service, ids, q) = scheduler_fixture(workers, capacity);
+        let mut rng = SmallRng::seed_from_u64(0x57_2E55 + workers as u64);
+        let mut prev = ServiceStats::default();
+        let mut total = 0u64;
+        let mut want_misses = 0u64;
+        for burst in 0..3 {
+            let n = 10 + rng.random_range(0usize..8);
+            let mut streams = Vec::new();
+            for _ in 0..n {
+                let priority = if rng.random_range(0u32..3) == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                let zero_deadline = rng.random_range(0u32..4) == 0;
+                let mut req = Request::new(ids.clone(), q.clone())
+                    .ratio(0.45)
+                    .max_new_tokens(1 + rng.random_range(0usize..3))
+                    .priority(priority);
+                if zero_deadline {
+                    req = req.deadline(Duration::ZERO);
+                    want_misses += 1;
+                } else if rng.random_range(0u32..2) == 0 {
+                    req = req.deadline(Duration::from_secs(3600));
+                }
+                streams.push(service.submit_stream(req));
+            }
+            total += n as u64;
+            for s in streams {
+                s.collect()
+                    .expect("every accepted request completes — no lane starves");
+            }
+            let st = service.stats();
+            for (now, before, name) in [
+                (st.submitted, prev.submitted, "submitted"),
+                (st.completed, prev.completed, "completed"),
+                (st.deadline_misses, prev.deadline_misses, "deadline_misses"),
+                (
+                    st.peak_queue_depth,
+                    prev.peak_queue_depth,
+                    "peak_queue_depth",
+                ),
+            ] {
+                assert!(
+                    now >= before,
+                    "workers {workers} burst {burst}: {name} went backwards ({before} → {now})"
+                );
+            }
+            assert!(
+                st.peak_queue_depth <= capacity as u64,
+                "workers {workers} burst {burst}: peak queue {} exceeds capacity {capacity}",
+                st.peak_queue_depth
+            );
+            assert_eq!(st.submitted, total, "blocking submits are all accepted");
+            assert_eq!(
+                st.completed + st.failed,
+                total,
+                "drained burst leaves nothing in flight"
+            );
+            assert_eq!(st.failed, 0);
+            assert_eq!(st.rejected, 0, "blocking submits never get QueueFull");
+            prev = st;
+        }
+        assert_eq!(
+            service.stats().deadline_misses,
+            want_misses,
+            "workers {workers}: an immediate deadline is always missed, a generous one never"
+        );
+        assert_eq!(service.probe().load(), 0, "stress drained completely");
+    }
+}
+
 /// Shared harness for the scheduler properties: a tiny engine wrapped in a
 /// service, plus the registered cross-chunk scenario.
 fn scheduler_fixture(
