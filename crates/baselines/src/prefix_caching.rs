@@ -62,13 +62,7 @@ impl PrefixCachingEngine {
     /// Convenience: a RAM-only engine (the paper idealizes prefix-cache
     /// loading as free, so tiering matters only for capacity).
     pub fn in_ram(block: usize, capacity: u64) -> Self {
-        Self::new(
-            block,
-            vec![TierConfig {
-                label: "cpu-ram".into(),
-                capacity,
-            }],
-        )
+        Self::new(block, vec![TierConfig::new("cpu-ram", capacity)])
     }
 
     /// Block-chain ids of a request's complete blocks.

@@ -81,17 +81,11 @@ fn bench_disk_tier(c: &mut Criterion) {
     // RAM tier below one entry: reads genuinely hit the disk backend.
     let store = KvStore::with_backends(vec![
         (
-            TierConfig {
-                label: "ram".into(),
-                capacity: 64,
-            },
+            TierConfig::new("ram", 64),
             Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
         ),
         (
-            TierConfig {
-                label: "disk".into(),
-                capacity: 1 << 30,
-            },
+            TierConfig::new("disk", 1 << 30),
             Arc::new(DiskBackend::new(&dir, None).unwrap()),
         ),
     ]);

@@ -1,16 +1,23 @@
-//! Regenerates the tiered-storage TTFT baseline
+//! Regenerates the tiered-storage baseline
 //! (`target/experiments/BENCH_storage.json`): pipelined vs unpipelined vs
-//! full-prefill TTFT across the device bandwidth grid, with chunk KV on a
-//! real throttled disk tier. See `experiments::storage`.
+//! full-prefill TTFT across the device bandwidth grid (chunk KV on a real
+//! throttled disk tier), the packed-log vs file-per-chunk layout sweep,
+//! and the quantized cold-tier footprint/deviation arm. See
+//! `experiments::storage`.
 //!
 //! Flags:
 //!
 //! - `--smoke` — shrunken sizes/repetitions (seconds, for CI).
 //! - `--dir <path>` — root for the throwaway cache dirs (tempdir default).
 //!
-//! The full (non-smoke) run asserts the paper's §5.2 claim at these
-//! shapes: on the Standard profile the pipeline must hide at least half of
-//! the measured raw disk load time on its best device.
+//! The full (non-smoke) run asserts the acceptance claims at these shapes:
+//!
+//! - §5.2 pipelining: on the Standard profile the pipeline must hide at
+//!   least half of the measured raw disk load time on its best device.
+//! - The packed log must beat file-per-chunk on the 10⁴-chunk
+//!   register/load sweep on *both* wall-clock and syscall count.
+//! - The int8 cold tier must shrink the on-disk footprint ≥ 3.5× while
+//!   keeping the blend-output deviation CDF bounded.
 
 use cb_bench::experiments::storage::{run_opts, StorageOpts};
 
@@ -22,12 +29,44 @@ fn main() {
         .position(|a| a == "--dir")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
-    let hidden = run_opts(StorageOpts { smoke, dir });
-    if !smoke {
-        assert!(
-            hidden >= 0.5,
-            "pipeline hid only {:.0}% of raw disk load time (need ≥ 50%)",
-            hidden * 100.0
-        );
+    let out = run_opts(StorageOpts { smoke, dir });
+    if smoke {
+        return;
     }
+    assert!(
+        out.hidden_frac >= 0.5,
+        "pipeline hid only {:.0}% of raw disk load time (need ≥ 50%)",
+        out.hidden_frac * 100.0
+    );
+    let (file, packed) = (out.layout.file_per_chunk, out.layout.packed_log);
+    assert!(
+        packed.register_s + packed.load_s < file.register_s + file.load_s,
+        "packed log must beat file-per-chunk on wall-clock \
+         ({:.0} ms vs {:.0} ms over {} chunks)",
+        (packed.register_s + packed.load_s) * 1e3,
+        (file.register_s + file.load_s) * 1e3,
+        out.layout.chunks
+    );
+    assert!(
+        packed.syscalls < file.syscalls,
+        "packed log must beat file-per-chunk on syscalls ({} vs {})",
+        packed.syscalls,
+        file.syscalls
+    );
+    assert!(
+        out.layout.compact_reclaimed_frac >= 0.9,
+        "compaction reclaimed only {:.0}% of dead bytes (need ≥ 90%)",
+        out.layout.compact_reclaimed_frac * 100.0
+    );
+    assert!(
+        out.quantized.footprint_ratio >= 3.5,
+        "quantized tier shrank the footprint only {:.2}x (need ≥ 3.5x)",
+        out.quantized.footprint_ratio
+    );
+    assert!(
+        out.quantized.deviation_max < 0.25,
+        "quantized blend deviated up to {:.3} of the exact output's \
+         max-abs (need < 0.25)",
+        out.quantized.deviation_max
+    );
 }

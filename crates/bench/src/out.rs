@@ -80,16 +80,10 @@ pub fn rows_to_json(rows: &[Row]) -> String {
     out
 }
 
-/// Prints rows as a markdown table and writes them as JSON to
+/// Prints one markdown table per row group and writes them as JSON to
 /// `target/experiments/<name>.json`.
-pub fn emit(name: &str, rows: &[Row]) {
-    if rows.is_empty() {
-        println!("({name}: no rows)");
-        return;
-    }
-    // Markdown table.
+fn print_table(rows: &[&Row]) {
     let headers: Vec<&str> = rows[0].values.iter().map(|(h, _)| h.as_str()).collect();
-    println!("\n## {name}\n");
     println!("| {} |", headers.join(" | "));
     println!(
         "|{}|",
@@ -98,6 +92,33 @@ pub fn emit(name: &str, rows: &[Row]) {
     for r in rows {
         let vals: Vec<&str> = r.values.iter().map(|(_, v)| v.as_str()).collect();
         println!("| {} |", vals.join(" | "));
+    }
+}
+
+/// Prints rows as markdown tables (one per experiment id, since different
+/// experiments carry different columns) and writes them as JSON to
+/// `target/experiments/<name>.json`.
+pub fn emit(name: &str, rows: &[Row]) {
+    if rows.is_empty() {
+        println!("({name}: no rows)");
+        return;
+    }
+    println!("\n## {name}");
+    let mut groups: Vec<(&str, Vec<&Row>)> = Vec::new();
+    for r in rows {
+        match groups.iter_mut().find(|(e, _)| *e == r.experiment) {
+            Some((_, g)) => g.push(r),
+            None => groups.push((&r.experiment, vec![r])),
+        }
+    }
+    let solo = groups.len() == 1;
+    for (experiment, group) in groups {
+        if !solo {
+            println!("\n### {experiment}\n");
+        } else {
+            println!();
+        }
+        print_table(&group);
     }
     // JSON sidecar.
     let dir =

@@ -47,6 +47,7 @@ use cb_storage::backend::{MemBackend, StorageBackend, Throttle};
 use cb_storage::device::DeviceKind;
 use cb_storage::disk::DiskBackend;
 use cb_storage::perf::{PaperModel, PerfModel};
+use cb_storage::segment_log::SegmentLogBackend;
 use cb_tokenizer::TokenId;
 use parking_lot::Mutex;
 
@@ -266,6 +267,19 @@ pub struct Response {
     pub chunk_sources: Vec<ChunkSource>,
 }
 
+/// On-disk layout of a persistent store tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DiskLayout {
+    /// One segment file per chunk ([`DiskBackend`], the reference
+    /// layout): simple, but every entry costs a file open.
+    #[default]
+    FilePerChunk,
+    /// Packed append-only segment logs with group commit and background
+    /// compaction ([`SegmentLogBackend`]): thousands of chunks share a
+    /// few files, cutting per-entry syscalls and metadata churn.
+    PackedLog,
+}
+
 /// One tier of an engine's [`StorageConfig`], fastest first.
 #[derive(Clone, Debug)]
 pub enum TierSpec {
@@ -295,6 +309,12 @@ pub enum TierSpec {
         /// demand, promotion copies instead of moving, and temp files
         /// never collide. See [`DiskBackend::open_shared`].
         shared: bool,
+        /// How entries are laid out on disk.
+        layout: DiskLayout,
+        /// Store entries int8-quantized (a *cold* tier, ~4× smaller on
+        /// disk; transcoded at the tier boundary — see
+        /// [`cb_kv::store::TierConfig::quantized`]).
+        quantized: bool,
     },
 }
 
@@ -308,6 +328,13 @@ impl TierSpec {
     fn capacity(&self) -> u64 {
         match self {
             TierSpec::Mem { capacity, .. } | TierSpec::Disk { capacity, .. } => *capacity,
+        }
+    }
+
+    fn quantized(&self) -> bool {
+        match self {
+            TierSpec::Mem { .. } => false,
+            TierSpec::Disk { quantized, .. } => *quantized,
         }
     }
 }
@@ -354,8 +381,39 @@ impl StorageConfig {
             dir: dir.into(),
             throttle,
             shared: false,
+            layout: DiskLayout::default(),
+            quantized: false,
         });
         self
+    }
+
+    /// Switches the most recently appended disk tier to the packed
+    /// segment-log layout ([`DiskLayout::PackedLog`]). No-op on a RAM
+    /// tier.
+    pub fn packed_log(mut self) -> Self {
+        if let Some(TierSpec::Disk { layout, .. }) = self.tiers.last_mut() {
+            *layout = DiskLayout::PackedLog;
+        }
+        self
+    }
+
+    /// Marks the most recently appended disk tier as a quantized *cold*
+    /// tier: entries land int8-quantized (~4× smaller on disk) and are
+    /// dequantized as they promote out. No-op on a RAM tier.
+    pub fn quantized(mut self) -> Self {
+        if let Some(TierSpec::Disk { quantized, .. }) = self.tiers.last_mut() {
+            *quantized = true;
+        }
+        self
+    }
+
+    /// Appends the full cold tier in one call: packed segment-log layout
+    /// plus int8 quantization — the archival bottom of a RAM → disk →
+    /// cold hierarchy.
+    pub fn cold_tier(self, device: DeviceKind, capacity: u64, dir: impl Into<PathBuf>) -> Self {
+        self.disk_tier(device, capacity, dir)
+            .packed_log()
+            .quantized()
     }
 
     /// Appends a persistent disk tier whose segment dir is *shared* with
@@ -375,6 +433,8 @@ impl StorageConfig {
             dir: dir.into(),
             throttle,
             shared: true,
+            layout: DiskLayout::default(),
+            quantized: false,
         });
         self
     }
@@ -506,10 +566,8 @@ impl EngineBuilder {
         let tier_devices: Vec<DeviceKind> = specs.iter().map(|t| t.device()).collect();
         let mut tiers: Vec<(TierConfig, Arc<dyn StorageBackend>)> = Vec::with_capacity(specs.len());
         for spec in specs {
-            let cfg = TierConfig {
-                label: spec.device().spec().name.to_string(),
-                capacity: spec.capacity(),
-            };
+            let mut cfg = TierConfig::new(spec.device().spec().name, spec.capacity());
+            cfg.quantized = spec.quantized();
             let backend: Arc<dyn StorageBackend> = match spec {
                 TierSpec::Mem { .. } => Arc::new(MemBackend::new()),
                 TierSpec::Disk {
@@ -517,15 +575,30 @@ impl EngineBuilder {
                     dir,
                     throttle,
                     shared,
+                    layout,
                     ..
                 } => {
                     let throttle = throttle.then(|| Throttle::device(device));
-                    let backend = if shared {
-                        DiskBackend::open_shared(dir, throttle)
-                    } else {
-                        DiskBackend::new(dir, throttle)
-                    };
-                    Arc::new(backend.map_err(|e| EngineError::Storage(e.to_string()))?)
+                    let storage_err =
+                        |e: cb_storage::BackendError| EngineError::Storage(e.to_string());
+                    match layout {
+                        DiskLayout::FilePerChunk => {
+                            let backend = if shared {
+                                DiskBackend::open_shared(dir, throttle)
+                            } else {
+                                DiskBackend::new(dir, throttle)
+                            };
+                            Arc::new(backend.map_err(storage_err)?)
+                        }
+                        DiskLayout::PackedLog => {
+                            let backend = if shared {
+                                SegmentLogBackend::open_shared(dir, throttle)
+                            } else {
+                                SegmentLogBackend::new(dir, throttle)
+                            };
+                            Arc::new(backend.map_err(storage_err)?)
+                        }
+                    }
                 }
             };
             tiers.push((cfg, backend));

@@ -36,7 +36,8 @@ pub mod stream;
 
 pub use controller::LoadingController;
 pub use engine::{
-    Engine, EngineBuilder, EngineError, Priority, RatioPolicy, Request, Response, TtftBreakdown,
+    DiskLayout, Engine, EngineBuilder, EngineError, Priority, RatioPolicy, Request, Response,
+    TtftBreakdown,
 };
 pub use fusor::{BlendConfig, BlendResult, Fusor, Selection};
 pub use scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError};

@@ -333,17 +333,11 @@ mod tests {
         use std::sync::Arc;
         cb_kv::KvStore::with_backends(vec![
             (
-                TierConfig {
-                    label: "ram".into(),
-                    capacity: 64, // below any entry: everything lands on disk
-                },
+                TierConfig::new("ram", 64), // below any entry: everything lands on disk,
                 Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
             ),
             (
-                TierConfig {
-                    label: "disk".into(),
-                    capacity: 1 << 30,
-                },
+                TierConfig::new("disk", 1 << 30),
                 Arc::new(
                     DiskBackend::new(dir, throttle_bytes_per_s.map(Throttle::bandwidth)).unwrap(),
                 ),

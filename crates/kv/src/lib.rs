@@ -14,8 +14,11 @@
 //!   start from).
 //! - [`serialize`] — byte serialization with header/per-layer checksums
 //!   (corruption is detected, exercised by failure-injection tests).
-//! - [`store`] — the tiered RAM↔disk LRU [`store::KvStore`] over
-//!   `cb-storage` backends (spill, promote-on-hit, persistence).
+//! - [`quantize`] — the int8 cold-tier wire format (~4× smaller) and the
+//!   tier-boundary transcoders.
+//! - [`store`] — the tiered RAM↔disk↔cold LRU [`store::KvStore`] over
+//!   `cb-storage` backends (spill, promote-on-hit, quantize-on-demote,
+//!   persistence).
 //! - [`prefetch`] — the layer-granular async loader
 //!   ([`prefetch::PrefetchHandle`]) the pipelined blend overlaps with
 //!   selective recompute.

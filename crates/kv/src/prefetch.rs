@@ -24,8 +24,7 @@ use crossbeam::channel::{bounded, Receiver};
 
 use crate::chunk::ChunkId;
 use crate::serialize::{
-    decode_layer_block, entry_len_u128, header_len, parse_dims, parse_header, DecodeError,
-    EntryMeta,
+    header_len, parse_dims_any, parse_header, DecodeError, EntryFormat, EntryMeta,
 };
 use crate::store::{KvStore, ReadLoc, StoreError};
 
@@ -34,11 +33,14 @@ use bytes::BufMut;
 enum State {
     /// In-memory entry: random-access layer decode.
     Ram(crate::serialize::EntryReader),
-    /// Streaming read off a persistent tier.
+    /// Streaming read off a persistent tier. The record streams in its
+    /// *stored* format: a quantized cold-tier entry arrives as int8
+    /// blocks that dequantize per layer on decode — the whole entry is
+    /// never materialized in f32 just to start streaming.
     Stream {
-        meta_rx: Receiver<Result<EntryMeta, StoreError>>,
+        meta_rx: Receiver<Result<(EntryMeta, EntryFormat), StoreError>>,
         block_rx: Receiver<Result<Bytes, StoreError>>,
-        meta: Option<EntryMeta>,
+        meta: Option<(EntryMeta, EntryFormat)>,
         next: usize,
     },
 }
@@ -91,7 +93,7 @@ impl PrefetchHandle {
                         .map_err(|_| StoreError::Backend("prefetch reader died".into()))??;
                     *meta = Some(got);
                 }
-                Ok(meta.as_ref().expect("just filled"))
+                Ok(&meta.as_ref().expect("just filled").0)
             }
         }
     }
@@ -114,17 +116,19 @@ impl PrefetchHandle {
                 ..
             } => {
                 assert_eq!(l, *next, "streamed layers must be consumed in order");
-                let m = meta.as_ref().expect("call meta() before layer_into()");
+                let (m, format) = meta.as_ref().expect("call meta() before layer_into()");
                 let block = block_rx
                     .recv()
                     .map_err(|_| StoreError::Backend("prefetch reader died".into()))??;
                 *next += 1;
-                decode_layer_block(&block, m.rows, m.width, out).map_err(|e| {
-                    if let Some((store, id)) = &self.origin {
-                        store.evict_corrupt(*id);
-                    }
-                    StoreError::Corrupt(e)
-                })
+                format
+                    .decode_layer_block(&block, m.rows, m.width, out)
+                    .map_err(|e| {
+                        if let Some((store, id)) = &self.origin {
+                            store.evict_corrupt(*id);
+                        }
+                        StoreError::Corrupt(e)
+                    })
             }
         }
     }
@@ -212,7 +216,7 @@ impl KvStore {
 
         // Persistent tier: stream layer blocks off the device on a reader
         // thread. The entry was pinned by read_begin.
-        let (meta_tx, meta_rx) = bounded::<Result<EntryMeta, StoreError>>(2);
+        let (meta_tx, meta_rx) = bounded::<Result<(EntryMeta, EntryFormat), StoreError>>(2);
         let (block_tx, block_rx) = bounded::<Result<Bytes, StoreError>>(2);
         let store = self.clone();
         std::thread::Builder::new()
@@ -233,8 +237,9 @@ impl KvStore {
                     // payload length before trusting them (a corrupt
                     // `rows` must surface as Corrupt, not as a huge
                     // allocation).
-                    let (n_layers, rows, width) = parse_dims(&dims).map_err(StoreError::Corrupt)?;
-                    if entry_len_u128(n_layers, rows, width) != payload_len as u128 {
+                    let (format, n_layers, rows, width) =
+                        parse_dims_any(&dims).map_err(StoreError::Corrupt)?;
+                    if format.entry_len_u128(n_layers, rows, width) != payload_len as u128 {
                         return Err(StoreError::Corrupt(DecodeError::Truncated));
                     }
                     let mut header = BytesMut::with_capacity(header_len(rows));
@@ -243,10 +248,10 @@ impl KvStore {
                     let header = header.freeze();
                     let meta = parse_header(&header).map_err(StoreError::Corrupt)?;
                     assembled.put_slice(&header);
-                    if meta_tx.send(Ok(meta.clone())).is_err() {
+                    if meta_tx.send(Ok((meta.clone(), format))).is_err() {
                         return Ok(()); // handle dropped before the header
                     }
-                    let block_len = meta.layer_block_len();
+                    let block_len = format.layer_block_len(meta.rows, meta.width);
                     for _ in 0..meta.n_layers {
                         let block = read_exactly(stream, block_len)?;
                         assembled.put_slice(&block);
@@ -329,18 +334,9 @@ mod tests {
 
     fn ram_disk(ram_cap: u64, dir: &std::path::Path, throttle: Option<Throttle>) -> KvStore {
         KvStore::with_backends(vec![
+            (TierConfig::new("ram", ram_cap), Arc::new(MemBackend::new())),
             (
-                TierConfig {
-                    label: "ram".into(),
-                    capacity: ram_cap,
-                },
-                Arc::new(MemBackend::new()),
-            ),
-            (
-                TierConfig {
-                    label: "disk".into(),
-                    capacity: 1 << 24,
-                },
+                TierConfig::new("disk", 1 << 24),
                 Arc::new(DiskBackend::new(dir, throttle).unwrap()),
             ),
         ])

@@ -26,7 +26,7 @@ use cb_model::{KvCache, LayerKv};
 use cb_storage::fnv64;
 use cb_tensor::Matrix;
 
-const MAGIC: u32 = 0x4342_4b32; // "CBK2"
+pub(crate) const MAGIC: u32 = 0x4342_4b32; // "CBK2"
 
 /// Bytes of the fixed-size prefix (magic + three dims) — enough to learn
 /// an entry's shape and therefore every section offset.
@@ -54,6 +54,70 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// The two on-wire entry encodings. They share the header layout
+/// byte-for-byte (only the magic differs), so shape parsing, per-block
+/// verification, and layer streaming are one code path dispatching here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryFormat {
+    /// Full-precision f32 ("CBK2") — see this module's docs.
+    F32,
+    /// Per-row symmetric int8 ("CBQ2") — see [`crate::quantize`].
+    Quantized,
+}
+
+impl EntryFormat {
+    /// Bytes of one layer block (K + V + checksum) in this format.
+    pub fn layer_block_len(self, rows: usize, width: usize) -> usize {
+        match self {
+            EntryFormat::F32 => layer_block_len(rows, width),
+            EntryFormat::Quantized => crate::quantize::q_layer_block_len(rows, width),
+        }
+    }
+
+    /// Total bytes of an entry with the given shape in this format.
+    pub fn entry_len(self, n_layers: usize, rows: usize, width: usize) -> usize {
+        header_len(rows) + n_layers * self.layer_block_len(rows, width)
+    }
+
+    /// [`EntryFormat::entry_len`] computed without overflow, for
+    /// validating untrusted dims against a trusted payload length.
+    pub fn entry_len_u128(self, n_layers: usize, rows: usize, width: usize) -> u128 {
+        match self {
+            EntryFormat::F32 => entry_len_u128(n_layers, rows, width),
+            EntryFormat::Quantized => crate::quantize::q_entry_len_u128(n_layers, rows, width),
+        }
+    }
+
+    /// Verifies one layer block's checksum and decodes it (dequantizing
+    /// if needed) into `out`.
+    pub fn decode_layer_block(
+        self,
+        block: &[u8],
+        rows: usize,
+        width: usize,
+        out: &mut LayerKv,
+    ) -> Result<(), DecodeError> {
+        match self {
+            EntryFormat::F32 => decode_layer_block(block, rows, width, out),
+            EntryFormat::Quantized => {
+                crate::quantize::decode_quantized_block(block, rows, width, out)
+            }
+        }
+    }
+}
+
+/// Identifies an entry's format from its magic (first four bytes).
+pub fn sniff_format(prefix: &[u8]) -> Result<EntryFormat, DecodeError> {
+    if prefix.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    match u32::from_le_bytes(prefix[0..4].try_into().unwrap()) {
+        MAGIC => Ok(EntryFormat::F32),
+        crate::quantize::QMAGIC => Ok(EntryFormat::Quantized),
+        _ => Err(DecodeError::BadMagic),
+    }
+}
 
 /// Bytes of the header section (dims + positions + tokens + checksum).
 pub fn header_len(rows: usize) -> usize {
@@ -103,13 +167,23 @@ impl EntryMeta {
 /// sizing buffers from them must bound them against a trusted length
 /// (see [`entry_len_u128`]) before allocating.
 pub fn parse_dims(prefix: &[u8]) -> Result<(usize, usize, usize), DecodeError> {
+    let (format, n_layers, rows, width) = parse_dims_any(prefix)?;
+    if format != EntryFormat::F32 {
+        return Err(DecodeError::BadMagic);
+    }
+    Ok((n_layers, rows, width))
+}
+
+/// [`parse_dims`] accepting either format: the entry's format plus
+/// `(n_layers, rows, width)`. Same caveat — the dims are untrusted until
+/// bounded against a known payload length.
+pub fn parse_dims_any(prefix: &[u8]) -> Result<(EntryFormat, usize, usize, usize), DecodeError> {
+    let format = sniff_format(prefix)?;
     if prefix.len() < DIMS_LEN {
         return Err(DecodeError::Truncated);
     }
-    if u32::from_le_bytes(prefix[0..4].try_into().unwrap()) != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
     Ok((
+        format,
         u32::from_le_bytes(prefix[4..8].try_into().unwrap()) as usize,
         u32::from_le_bytes(prefix[8..12].try_into().unwrap()) as usize,
         u32::from_le_bytes(prefix[12..16].try_into().unwrap()) as usize,
@@ -129,7 +203,7 @@ pub fn entry_len_u128(n_layers: usize, rows: usize, width: usize) -> u128 {
 /// [`DIMS_LEN`] bytes' worth of dims already fetched, or just hand in the
 /// whole entry).
 pub fn parse_header(prefix: &[u8]) -> Result<EntryMeta, DecodeError> {
-    let (n_layers, rows, width) = parse_dims(prefix)?;
+    let (_, n_layers, rows, width) = parse_dims_any(prefix)?;
     let hlen = header_len(rows);
     if prefix.len() < hlen {
         return Err(DecodeError::Truncated);
@@ -198,11 +272,12 @@ pub fn decode_layer_block(
 /// materializing the cache — the store runs this on each whole-entry load
 /// so no poisoned bytes are ever handed out.
 pub fn verify_entry(bytes: &[u8]) -> Result<EntryMeta, DecodeError> {
+    let format = sniff_format(bytes)?;
     let meta = parse_header(bytes)?;
-    if bytes.len() as u128 != entry_len_u128(meta.n_layers, meta.rows, meta.width) {
+    if bytes.len() as u128 != format.entry_len_u128(meta.n_layers, meta.rows, meta.width) {
         return Err(DecodeError::Truncated);
     }
-    let block = meta.layer_block_len();
+    let block = format.layer_block_len(meta.rows, meta.width);
     let mut off = header_len(meta.rows);
     for _ in 0..meta.n_layers {
         let body = block - 8;
@@ -247,7 +322,8 @@ pub fn encode(cache: &KvCache) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes bytes produced by [`encode`], verifying every section checksum.
+/// Decodes bytes produced by [`encode`] — or a quantized entry, which is
+/// transparently dequantized — verifying every section checksum.
 pub fn decode(bytes: Bytes) -> Result<KvCache, DecodeError> {
     let reader = EntryReader::new(bytes)?;
     let mut layers = Vec::with_capacity(reader.n_layers());
@@ -269,18 +345,30 @@ pub fn decode(bytes: Bytes) -> Result<KvCache, DecodeError> {
 pub struct EntryReader {
     bytes: Bytes,
     meta: EntryMeta,
+    format: EntryFormat,
 }
 
 impl EntryReader {
-    /// Parses and verifies the header of a serialized entry and checks the
-    /// total length against the declared shape. Layer blocks are verified
-    /// lazily by [`EntryReader::layer_into`].
+    /// Parses and verifies the header of a serialized entry (either
+    /// format, sniffed from the magic) and checks the total length
+    /// against the declared shape. Layer blocks are verified lazily by
+    /// [`EntryReader::layer_into`].
     pub fn new(bytes: Bytes) -> Result<Self, DecodeError> {
+        let format = sniff_format(&bytes)?;
         let meta = parse_header(&bytes)?;
-        if bytes.len() as u128 != entry_len_u128(meta.n_layers, meta.rows, meta.width) {
+        if bytes.len() as u128 != format.entry_len_u128(meta.n_layers, meta.rows, meta.width) {
             return Err(DecodeError::Truncated);
         }
-        Ok(Self { bytes, meta })
+        Ok(Self {
+            bytes,
+            meta,
+            format,
+        })
+    }
+
+    /// The entry's wire format.
+    pub fn format(&self) -> EntryFormat {
+        self.format
     }
 
     /// The entry's header metadata.
@@ -308,9 +396,10 @@ impl EntryReader {
         &self.meta.tokens
     }
 
-    /// Size in bytes of one layer's block (K + V + checksum).
+    /// Size in bytes of one layer's block (K + V + checksum) in the
+    /// entry's own format.
     pub fn layer_bytes(&self) -> usize {
-        self.meta.layer_block_len()
+        self.format.layer_block_len(self.meta.rows, self.meta.width)
     }
 
     /// Decodes and verifies layer `l` only.
@@ -335,7 +424,7 @@ impl EntryReader {
         assert!(l < self.meta.n_layers, "layer {l} out of range");
         let block = self.layer_bytes();
         let start = header_len(self.meta.rows) + l * block;
-        decode_layer_block(
+        self.format.decode_layer_block(
             &self.bytes[start..start + block],
             self.meta.rows,
             self.meta.width,

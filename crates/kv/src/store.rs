@@ -11,6 +11,11 @@
 //! - **Promote-on-hit.** A read served by a slow tier moves the entry back
 //!   up to the fast tier (spilling others to make room), so a working set
 //!   that fits in RAM converges there.
+//! - **Quantize-on-demote.** A tier marked [`TierConfig::quantized`]
+//!   stores entries in the int8 cold format ([`crate::quantize`], ~4×
+//!   smaller); bytes are transcoded at the tier boundary — quantized when
+//!   they spill in, dequantized when they promote out — and callers only
+//!   ever see full-precision entries.
 //! - **Verified loads.** Every load path re-checks the entry's wire-format
 //!   checksums ([`crate::serialize`]); a corrupt entry is evicted and
 //!   reported as [`StoreError::Corrupt`] rather than ever handed out.
@@ -33,7 +38,8 @@ use cb_storage::backend::{BackendError, MemBackend, StorageBackend};
 use parking_lot::Mutex;
 
 use crate::chunk::ChunkId;
-use crate::serialize::{decode, encode, verify_entry, DecodeError};
+use crate::quantize::{dequantize_entry, quantize_entry};
+use crate::serialize::{decode, encode, sniff_format, verify_entry, DecodeError, EntryFormat};
 
 /// Configuration of one storage tier.
 #[derive(Clone, Debug)]
@@ -42,6 +48,30 @@ pub struct TierConfig {
     pub label: String,
     /// Capacity in bytes.
     pub capacity: u64,
+    /// Store entries in the int8 cold format ([`crate::quantize`]): bytes
+    /// are quantized as they land on this tier and dequantized as they
+    /// leave it, cutting the tier's footprint ~4× at a bounded precision
+    /// cost paid once per demote.
+    pub quantized: bool,
+}
+
+impl TierConfig {
+    /// A full-precision tier.
+    pub fn new(label: &str, capacity: u64) -> Self {
+        Self {
+            label: label.to_string(),
+            capacity,
+            quantized: false,
+        }
+    }
+
+    /// A quantized cold tier (int8-resident entries).
+    pub fn quantized(label: &str, capacity: u64) -> Self {
+        Self {
+            quantized: true,
+            ..Self::new(label, capacity)
+        }
+    }
 }
 
 /// Aggregate store counters.
@@ -69,6 +99,18 @@ pub struct StoreStats {
     pub loaded_bytes: u64,
     /// Bytes written downward by spills.
     pub spilled_bytes: u64,
+    /// Entries transcoded to the int8 cold format at a tier boundary.
+    pub quantizations: u64,
+    /// Entries transcoded back to full precision at a tier boundary.
+    pub dequantizations: u64,
+    /// Bytes the cold format saved versus storing f32 (summed over every
+    /// quantization).
+    pub quantize_saved_bytes: u64,
+    /// Background compaction passes completed by the tiers' backends
+    /// (merged from [`cb_storage::MaintenanceStats`] at snapshot time).
+    pub compactions: u64,
+    /// Dead bytes reclaimed by those compactions.
+    pub compaction_reclaimed_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -228,10 +270,7 @@ impl KvStore {
     /// Convenience: a single-tier RAM store (the paper's default
     /// configuration).
     pub fn single(label: &str, capacity: u64) -> Self {
-        Self::new(vec![TierConfig {
-            label: label.to_string(),
-            capacity,
-        }])
+        Self::new(vec![TierConfig::new(label, capacity)])
     }
 
     /// Inserts (or refreshes) a cache entry. Returns the tier index it
@@ -253,9 +292,22 @@ impl KvStore {
             e.last_used = now;
             return Ok(e.tier);
         }
-        let Some(t) = inner.tiers.iter().position(|t| t.cfg.capacity >= size) else {
+        // A quantized tier stores ~¼ of the f32 bytes, so it may admit an
+        // entry whose full-precision size exceeds its capacity (size/3 is
+        // a conservative bound on the transcoded size).
+        let Some(t) = inner
+            .tiers
+            .iter()
+            .position(|t| t.cfg.capacity >= if t.cfg.quantized { size / 3 } else { size })
+        else {
             return Err(StoreError::TooLarge { size });
         };
+        let quantized = inner.tiers[t].cfg.quantized;
+        let bytes = transcode_for_tier(&mut inner.stats, bytes, quantized);
+        let size = bytes.len() as u64;
+        if size > inner.tiers[t].cfg.capacity {
+            return Err(StoreError::TooLarge { size });
+        }
         make_room(&mut inner, t, size)?;
         inner.tiers[t].backend.put(id.0, bytes)?;
         inner.index.insert(
@@ -448,6 +500,22 @@ impl KvStore {
                 self.evict_corrupt(id);
                 return Err(StoreError::Corrupt(e));
             }
+            // Callers always see full precision: a quantized cold-tier hit
+            // is transcoded back before it leaves the store.
+            let bytes = if sniff_format(&bytes) == Ok(EntryFormat::Quantized) {
+                match dequantize_entry(&bytes) {
+                    Ok(f) => {
+                        self.inner.lock().stats.dequantizations += 1;
+                        f
+                    }
+                    Err(e) => {
+                        self.evict_corrupt(id);
+                        return Err(StoreError::Corrupt(e));
+                    }
+                }
+            } else {
+                bytes
+            };
             if tier > 0 {
                 let mut inner = self.inner.lock();
                 let _ = promote(&mut inner, id, &bytes);
@@ -562,6 +630,11 @@ impl KvStore {
         let Some(bytes) = src.get(id.0)? else {
             return Ok(false); // migrated/removed concurrently
         };
+        let bytes = {
+            let mut inner = self.inner.lock();
+            let quantized = inner.tiers[inner.tiers.len() - 1].cfg.quantized;
+            transcode_for_tier(&mut inner.stats, bytes, quantized)
+        };
         dst.put(id.0, bytes)?;
         Ok(true)
     }
@@ -646,9 +719,19 @@ impl KvStore {
         self.inner.lock().peak_bytes
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, folding in each backend's background
+    /// maintenance work (segment-log compaction) so one snapshot tells the
+    /// whole storage story.
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        for t in &inner.tiers {
+            if let Some(m) = t.backend.maintenance() {
+                stats.compactions += m.compactions;
+                stats.compaction_reclaimed_bytes += m.reclaimed_bytes;
+            }
+        }
+        stats
     }
 
     /// Test hook: overwrite an entry's bytes in place (corruption
@@ -673,6 +756,19 @@ impl KvStore {
     }
 }
 
+/// True when tier `next` can plausibly hold an entry of `size` bytes
+/// coming off tier `t` — exact for same-format moves; for a demote into a
+/// quantized tier the transcoded size is unknown until the bytes are in
+/// hand, so a conservative bound (size/3 ≳ the real ~size/4) gates it.
+fn tier_can_hold(inner: &Inner, t: usize, next: usize, size: u64) -> bool {
+    let need = if inner.tiers[next].cfg.quantized && !inner.tiers[t].cfg.quantized {
+        size / 3
+    } else {
+        size
+    };
+    inner.tiers[next].cfg.capacity >= need
+}
+
 /// Spills or evicts LRU entries of tier `t` until `need` more bytes fit.
 /// Pinned entries (mid-stream) are never victims; if only pinned entries
 /// remain the tier is allowed to stay transiently over capacity.
@@ -688,7 +784,7 @@ fn make_room(inner: &mut Inner, t: usize, need: u64) -> Result<(), StoreError> {
             break; // only pinned entries left
         };
         let next = t + 1;
-        if next < inner.tiers.len() && inner.tiers[next].cfg.capacity >= size {
+        if next < inner.tiers.len() && tier_can_hold(inner, t, next, size) {
             demote_to(inner, victim, next)?;
         } else {
             // Capacity eviction releases this store's claim only: on a
@@ -734,16 +830,23 @@ fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError
         }
         Err(e) => return Err(e.into()),
     };
-    make_room(inner, to, size)?;
+    // Transcode to the destination's resident format (quantize into a
+    // cold tier, dequantize out of one); the entry's accounted size
+    // changes with it — the old size leaves `from`, the new enters `to`.
+    let bytes = transcode_for_tier(&mut inner.stats, bytes, inner.tiers[to].cfg.quantized);
+    let new_size = bytes.len() as u64;
+    make_room(inner, to, new_size)?;
     inner.tiers[to].backend.put(id.0, bytes)?;
     // Release the source copy: `forget` (not `remove`) so a shared source
     // tier keeps its segment for sibling handles.
     inner.tiers[from].backend.forget(id.0);
     inner.tiers[from].used -= size;
-    inner.tiers[to].used += size;
-    inner.index.get_mut(&id).expect("still indexed").tier = to;
+    inner.tiers[to].used += new_size;
+    let e = inner.index.get_mut(&id).expect("still indexed");
+    e.tier = to;
+    e.size = new_size;
     inner.stats.spills += 1;
-    inner.stats.spilled_bytes += size;
+    inner.stats.spilled_bytes += new_size;
     Ok(())
 }
 
@@ -754,22 +857,71 @@ fn promote(inner: &mut Inner, id: ChunkId, bytes: &Bytes) -> Result<(), StoreErr
     let Some(e) = inner.index.get(&id) else {
         return Ok(());
     };
-    let (from, size) = (e.tier, e.size);
-    if from == 0 || e.pins > 0 || size > inner.tiers[0].cfg.capacity {
+    if e.tier == 0 || e.pins > 0 {
         return Ok(());
     }
-    make_room(inner, 0, size)?;
-    inner.tiers[0].backend.put(id.0, bytes.clone())?;
+    // The bytes in hand carry whatever format the serving tier held (a
+    // cold-tier streaming read assembles quantized bytes); tier 0 stores
+    // its own format, so transcode at the boundary like any other move.
+    let bytes = transcode_for_tier(
+        &mut inner.stats,
+        bytes.clone(),
+        inner.tiers[0].cfg.quantized,
+    );
+    let new_size = bytes.len() as u64;
+    if new_size > inner.tiers[0].cfg.capacity {
+        return Ok(());
+    }
+    make_room(inner, 0, new_size)?;
+    // The room-making cascade can reach the entry's own tier and demote
+    // (or even evict) the entry being promoted — its location and
+    // accounted size must be re-read, not carried over the cascade.
+    let Some(e) = inner.index.get(&id) else {
+        return Ok(());
+    };
+    let (from, size) = (e.tier, e.size);
+    if from == 0 {
+        return Ok(());
+    }
+    inner.tiers[0].backend.put(id.0, bytes)?;
     // Promote by *move* from a private tier, by *copy* from a shared one
     // (`forget` releases only this handle's claim): sibling replicas over
     // a shared segment dir serve from the same file, so deleting it here
     // would steal the entry from them.
     inner.tiers[from].backend.forget(id.0);
     inner.tiers[from].used -= size;
-    inner.tiers[0].used += size;
-    inner.index.get_mut(&id).expect("still indexed").tier = 0;
+    inner.tiers[0].used += new_size;
+    let e = inner.index.get_mut(&id).expect("still indexed");
+    e.tier = 0;
+    e.size = new_size;
     inner.stats.promotions += 1;
     Ok(())
+}
+
+/// Transcodes entry bytes to a tier's resident format — int8 for a
+/// quantized tier, f32 otherwise. Bytes already in the right format pass
+/// through untouched; bytes that fail to parse also pass through (the
+/// read-path verifier owns corruption reporting, and storing them as-is
+/// preserves the evidence).
+fn transcode_for_tier(stats: &mut StoreStats, bytes: Bytes, quantized: bool) -> Bytes {
+    match sniff_format(&bytes) {
+        Ok(EntryFormat::F32) if quantized => match quantize_entry(&bytes) {
+            Ok(q) => {
+                stats.quantizations += 1;
+                stats.quantize_saved_bytes += (bytes.len() - q.len()) as u64;
+                q
+            }
+            Err(_) => bytes,
+        },
+        Ok(EntryFormat::Quantized) if !quantized => match dequantize_entry(&bytes) {
+            Ok(f) => {
+                stats.dequantizations += 1;
+                f
+            }
+            Err(_) => bytes,
+        },
+        _ => bytes,
+    }
 }
 
 #[cfg(test)]
@@ -809,18 +961,9 @@ mod tests {
 
     fn ram_disk(ram_cap: u64, disk_cap: u64, dir: &std::path::Path) -> KvStore {
         KvStore::with_backends(vec![
+            (TierConfig::new("ram", ram_cap), Arc::new(MemBackend::new())),
             (
-                TierConfig {
-                    label: "ram".into(),
-                    capacity: ram_cap,
-                },
-                Arc::new(MemBackend::new()),
-            ),
-            (
-                TierConfig {
-                    label: "disk".into(),
-                    capacity: disk_cap,
-                },
+                TierConfig::new("disk", disk_cap),
                 Arc::new(DiskBackend::new(dir, None).unwrap()),
             ),
         ])
@@ -899,17 +1042,35 @@ mod tests {
     }
 
     #[test]
+    fn promotion_survives_its_own_room_making_cascade() {
+        // Single-entry tiers: promoting 1 out of the disk tier demotes 2
+        // from RAM into that same disk tier, whose own room-making then
+        // evicts the promoting entry mid-promotion. The accounting must
+        // follow the entry's post-cascade location — subtracting the
+        // stale pre-cascade size underflowed the tier counter.
+        let dir = test_dir("promote-cascade");
+        let sz = entry_size(2);
+        let s = ram_disk(sz, sz, &dir);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap();
+        assert_eq!(s.tier_of(ChunkId(1)), Some(1), "oldest spilled to disk");
+        // The bytes are in hand before the cascade, so the read itself
+        // still succeeds even though the entry ends up evicted.
+        let (got, tier) = s.get(ChunkId(1)).unwrap().unwrap();
+        assert_eq!(tier, 1);
+        assert_eq!(got, toy_cache(2, 1.0));
+        assert!(s.tier_used(0) <= sz, "RAM within capacity");
+        assert!(s.tier_used(1) <= sz, "disk counter must not underflow");
+        assert_eq!(s.tier_of(ChunkId(2)), Some(1), "2 demoted by the cascade");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn oversized_entry_falls_through_to_bigger_tier() {
         let small = entry_size(2);
         let s = KvStore::new(vec![
-            TierConfig {
-                label: "ram".into(),
-                capacity: small,
-            },
-            TierConfig {
-                label: "ssd".into(),
-                capacity: 100 * small,
-            },
+            TierConfig::new("ram", small),
+            TierConfig::new("ssd", 100 * small),
         ]);
         let tier = s.insert(ChunkId(7), &toy_cache(10, 0.0)).unwrap();
         assert_eq!(tier, 1, "large entry should land on the SSD tier");
@@ -1008,17 +1169,11 @@ mod tests {
         let mk = || {
             KvStore::with_backends(vec![
                 (
-                    TierConfig {
-                        label: "ram".into(),
-                        capacity: 1 << 20,
-                    },
+                    TierConfig::new("ram", 1 << 20),
                     Arc::new(MemBackend::new()) as Arc<dyn cb_storage::backend::StorageBackend>,
                 ),
                 (
-                    TierConfig {
-                        label: "disk".into(),
-                        capacity: 1 << 20,
-                    },
+                    TierConfig::new("disk", 1 << 20),
                     Arc::new(DiskBackend::open_shared(&dir, None).unwrap()),
                 ),
             ])
@@ -1096,10 +1251,7 @@ mod tests {
         let sz = entry_size(2);
         let shared_store = |disk_cap: u64| {
             KvStore::with_backends(vec![(
-                TierConfig {
-                    label: "disk".into(),
-                    capacity: disk_cap,
-                },
+                TierConfig::new("disk", disk_cap),
                 Arc::new(DiskBackend::open_shared(&dir, None).unwrap())
                     as Arc<dyn cb_storage::backend::StorageBackend>,
             )])

@@ -21,6 +21,7 @@
 //! measured on real threads rather than modeled.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -47,6 +48,79 @@ impl std::fmt::Display for BackendError {
 }
 
 impl std::error::Error for BackendError {}
+
+/// Background-maintenance counters a backend may expose (log-structured
+/// backends report their compactor's work here; simple backends have no
+/// maintenance and return `None` from [`StorageBackend::maintenance`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Bytes of dead records reclaimed by compaction (victim file size
+    /// minus the bytes rewritten for still-live records).
+    pub reclaimed_bytes: u64,
+}
+
+/// Snapshot of a backend's filesystem-operation counters. Benchmarks use
+/// these to compare layouts (file-per-chunk pays one `open` per read; a
+/// packed log reads through cached handles) without `strace`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoOps {
+    /// File/dir opens (including whole-file read/write convenience calls).
+    pub opens: u64,
+    /// Read calls.
+    pub reads: u64,
+    /// Write calls.
+    pub writes: u64,
+    /// Renames.
+    pub renames: u64,
+    /// File deletions.
+    pub deletes: u64,
+}
+
+impl IoOps {
+    /// Total filesystem operations.
+    pub fn total(&self) -> u64 {
+        self.opens + self.reads + self.writes + self.renames + self.deletes
+    }
+}
+
+/// Internal atomic holder behind [`IoOps`] snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct IoCounters {
+    opens: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    renames: AtomicU64,
+    deletes: AtomicU64,
+}
+
+impl IoCounters {
+    pub(crate) fn open(&self) {
+        self.opens.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn rename(&self) {
+        self.renames.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn snapshot(&self) -> IoOps {
+        IoOps {
+            opens: self.opens.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            renames: self.renames.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A sequential reader over one entry's payload.
 ///
@@ -139,6 +213,12 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// Blocks until queued write-behind work is durable. Surfaces the
     /// first write error since the previous flush.
     fn flush(&self) -> Result<(), BackendError>;
+
+    /// Background-maintenance counters, for backends that run any (the
+    /// segment log's compactor). `None` means "no maintenance machinery".
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        None
+    }
 }
 
 /// Emulated device timing: every read sleeps `latency_s` once per access

@@ -1,0 +1,298 @@
+//! Background compaction for the segment log.
+//!
+//! A sealed log accumulates *dead* bytes as records are overwritten or
+//! tombstoned; compaction rewrites the still-live records into a fresh
+//! log and deletes the victim. Every step is crash-safe:
+//!
+//! 1. **Select** a sealed own-series log whose dead fraction exceeds
+//!    [`SegmentLogConfig::compact_min_garbage`].
+//! 2. **Reserve replay order.** Allocate the output log's sequence `C`
+//!    and ask the flusher to rotate the active log to `C + 1` — and wait
+//!    for the ack — *before* snapshotting the victim's live set. From
+//!    that point every concurrent append lands in a log that replays
+//!    after `C`, so a compacted (older) record can never shadow a newer
+//!    concurrent write during startup replay.
+//! 3. **Snapshot** the index entries (and shared-mode unclaimed records)
+//!    still pointing into the victim, plus the tombstones it holds.
+//! 4. **Rewrite** them — checksum-verified — into `C`'s file via a
+//!    `.ctmp` temp and an atomic rename. A crash before the rename
+//!    leaves only debris (the victim is untouched; exclusive startup
+//!    deletes stale `.ctmp` files). A crash after the rename leaves both
+//!    logs, and seq-ordered replay (victim < `C`) resolves every key to
+//!    the same record the index held — the victim is then pure garbage
+//!    for the next pass.
+//! 5. **Repoint** the index at `C` (skipping entries that moved on while
+//!    we rewrote — their copies in `C` are simply dead weight) and delete
+//!    the victim. Readers that raced the delete keep succeeding through
+//!    their cached file handle; a reader that misses re-checks the index
+//!    and finds the repointed location.
+//!
+//! Tombstones are rewritten into `C` unless the victim is the oldest log
+//! on the medium (then nothing older can hold a shadowed put and the
+//! tombstone has done its job). Shared handles never drop tombstones —
+//! a sibling series with an older sequence can appear at any time.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::backend::IoCounters;
+use crate::checksum::fnv64;
+use crate::segment_log::{
+    frame_record, log_path, FileKey, FlushMsg, LogInfo, LogState, RecordLoc, SegmentLogConfig,
+    Slot, KIND_PUT, KIND_TOMB, REC_FRAME, REC_HEADER,
+};
+
+/// Everything a compaction pass needs; shared by the background thread
+/// and the synchronous [`crate::SegmentLogBackend::compact_now`] path.
+pub(crate) struct CompactorCtx {
+    pub(crate) state: Arc<Mutex<LogState>>,
+    pub(crate) dir: PathBuf,
+    pub(crate) nonce: u64,
+    pub(crate) cfg: SegmentLogConfig,
+    pub(crate) io: Arc<IoCounters>,
+    pub(crate) flusher: Sender<FlushMsg>,
+}
+
+/// Picks the sealed own-series log with the most dead bytes, if any
+/// clears the configured thresholds.
+fn select_victim(s: &LogState, ctx: &CompactorCtx) -> Option<FileKey> {
+    s.logs
+        .iter()
+        .filter(|(&fk, info)| {
+            fk.1 == ctx.nonce
+                && fk != s.active
+                && info.len >= ctx.cfg.compact_min_bytes
+                && (info.len - info.live) as f64 / info.len as f64 >= ctx.cfg.compact_min_garbage
+        })
+        .max_by_key(|(_, info)| info.len - info.live)
+        .map(|(&fk, _)| fk)
+}
+
+/// Runs one compaction pass. Returns the bytes reclaimed (`None` when no
+/// log clears the thresholds, or another pass is already running).
+///
+/// `abort_after` is the fault-injection hook: `Some(n)` "crashes" the
+/// pass after rewriting `n` live records — the `.ctmp` is left behind
+/// and no state changes, exactly like a process kill mid-rewrite.
+pub(crate) fn compact_one(ctx: &CompactorCtx, abort_after: Option<usize>) -> Option<u64> {
+    // -- Select + reserve replay order ------------------------------------
+    let (victim, out_fk, rotate_to) = {
+        let mut s = ctx.state.lock();
+        if s.compacting {
+            return None;
+        }
+        let victim = select_victim(&s, ctx)?;
+        s.compacting = true;
+        let out = s.next_seq;
+        s.next_seq += 2; // out log C, rotated active C+1
+        (victim, (out, ctx.nonce), out + 1)
+    };
+    let finish = |s: &mut LogState| s.compacting = false;
+
+    let (done_tx, done_rx) = bounded::<()>(1);
+    let rotated = ctx
+        .flusher
+        .send(FlushMsg::Rotate {
+            to_seq: rotate_to,
+            done: done_tx,
+        })
+        .is_ok()
+        && done_rx.recv().is_ok();
+    if !rotated {
+        finish(&mut ctx.state.lock());
+        return None;
+    }
+
+    // -- Snapshot the victim's live set -----------------------------------
+    // (key, old location, claimed-in-index vs shared-unclaimed)
+    let (victim_path, victim_len, rewrites, tombs, drop_tombs) = {
+        let mut s = ctx.state.lock();
+        let Some(info) = s.logs.get(&victim) else {
+            finish(&mut s);
+            return None;
+        };
+        let victim_path = info.path.clone();
+        let victim_len = info.len;
+        let mut rewrites: Vec<(u64, RecordLoc, bool)> = Vec::new();
+        for (&k, slot) in &s.index {
+            if let Slot::Stored(loc) = slot {
+                if loc.file == victim {
+                    rewrites.push((k, *loc, true));
+                }
+            }
+        }
+        for (&k, &loc) in &s.unclaimed {
+            if loc.file == victim {
+                rewrites.push((k, loc, false));
+            }
+        }
+        let tombs: Vec<u64> = s
+            .tombstones
+            .iter()
+            .filter(|&(_, &f)| f == victim)
+            .map(|(&k, _)| k)
+            .collect();
+        // A tombstone may be dropped only when no log that replays before
+        // the victim could hold the put it shadows — and never in shared
+        // mode, where an older sibling series can appear at any time.
+        let drop_tombs = ctx.nonce == 0 && !s.logs.keys().any(|&fk| fk < victim);
+        (victim_path, victim_len, rewrites, tombs, drop_tombs)
+    };
+
+    // -- Rewrite into the temp file ---------------------------------------
+    ctx.io.open();
+    ctx.io.read();
+    let Ok(raw) = fs::read(&victim_path) else {
+        finish(&mut ctx.state.lock());
+        return None;
+    };
+    let out_path = log_path(&ctx.dir, out_fk);
+    let tmp_path = out_path.with_extension("cblog.ctmp");
+
+    let mut buf = Vec::new();
+    let mut moved: Vec<(u64, RecordLoc, u64, bool)> = Vec::new();
+    let mut corrupt: Vec<(u64, RecordLoc, bool)> = Vec::new();
+    let mut aborted = false;
+    for (k, old, claimed) in rewrites {
+        if abort_after.is_some_and(|n| moved.len() >= n) {
+            aborted = true;
+            break;
+        }
+        let start = old.payload_off as usize - REC_HEADER;
+        let body = old.payload_off as usize + old.len as usize;
+        let valid = body + 8 <= raw.len() && {
+            let declared = u64::from_le_bytes(raw[body..body + 8].try_into().unwrap());
+            fnv64(&raw[start..body]) == declared
+        };
+        if !valid {
+            corrupt.push((k, old, claimed));
+            continue;
+        }
+        let off = frame_record(&mut buf, KIND_PUT, k, &raw[old.payload_off as usize..body]);
+        moved.push((k, old, off, claimed));
+    }
+    if !drop_tombs && !aborted {
+        for &k in &tombs {
+            frame_record(&mut buf, KIND_TOMB, k, &[]);
+        }
+    }
+
+    if aborted {
+        // Simulated crash mid-rewrite: partial temp stays, nothing else
+        // happened — startup recovery must treat it as debris.
+        ctx.io.open();
+        ctx.io.write();
+        let _ = fs::write(&tmp_path, &buf);
+        finish(&mut ctx.state.lock());
+        return Some(0);
+    }
+
+    let out_len = buf.len() as u64;
+    let out_file = if out_len > 0 {
+        ctx.io.open();
+        ctx.io.write();
+        let written = fs::File::create(&tmp_path)
+            .and_then(|mut f| f.write_all(&buf).and_then(|_| f.sync_all()));
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp_path);
+            finish(&mut ctx.state.lock());
+            return None;
+        }
+        ctx.io.rename();
+        if fs::rename(&tmp_path, &out_path).is_err() {
+            let _ = fs::remove_file(&tmp_path);
+            finish(&mut ctx.state.lock());
+            return None;
+        }
+        ctx.io.open();
+        match fs::File::open(&out_path) {
+            Ok(f) => Some(Arc::new(f)),
+            Err(_) => {
+                finish(&mut ctx.state.lock());
+                return None;
+            }
+        }
+    } else {
+        None
+    };
+
+    // -- Repoint the index and drop the victim ----------------------------
+    let victim_info = {
+        let mut s = ctx.state.lock();
+        if let Some(file) = out_file {
+            s.logs.insert(
+                out_fk,
+                LogInfo {
+                    path: out_path,
+                    file: Some(file),
+                    len: out_len,
+                    live: 0,
+                    scan_pos: out_len,
+                },
+            );
+        }
+        for (k, old, new_off, claimed) in moved {
+            let new_loc = RecordLoc {
+                file: out_fk,
+                payload_off: new_off,
+                len: old.len,
+            };
+            if claimed {
+                // Repoint only if the key still maps to the record we
+                // copied; anything newer landed in seq ≥ C+1 and replays
+                // after us, so the stale copy in C is dead weight.
+                if matches!(s.index.get(&k), Some(Slot::Stored(cur)) if *cur == old) {
+                    s.index.insert(k, Slot::Stored(new_loc));
+                    if let Some(info) = s.logs.get_mut(&out_fk) {
+                        info.live += new_loc.frame_len();
+                    }
+                }
+            } else if s.unclaimed.get(&k) == Some(&old) {
+                s.unclaimed.insert(k, new_loc);
+                if let Some(info) = s.logs.get_mut(&out_fk) {
+                    info.live += new_loc.frame_len();
+                }
+            }
+        }
+        for (k, old, claimed) in corrupt {
+            if claimed {
+                if matches!(s.index.get(&k), Some(Slot::Stored(cur)) if *cur == old) {
+                    s.index.remove(&k);
+                    s.used -= old.len;
+                }
+            } else if s.unclaimed.get(&k) == Some(&old) {
+                s.unclaimed.remove(&k);
+            }
+            s.counters.corrupt_dropped += 1;
+        }
+        for &k in &tombs {
+            if s.tombstones.get(&k) == Some(&victim) {
+                if drop_tombs {
+                    s.tombstones.remove(&k);
+                } else {
+                    s.tombstones.insert(k, out_fk);
+                    if let Some(info) = s.logs.get_mut(&out_fk) {
+                        info.live += REC_FRAME as u64;
+                    }
+                }
+            }
+        }
+        let victim_info = s.logs.remove(&victim);
+        s.counters.compactions += 1;
+        let reclaimed = victim_len.saturating_sub(out_len);
+        s.counters.reclaimed_bytes += reclaimed;
+        s.counters.rewritten_bytes += out_len;
+        finish(&mut s);
+        victim_info
+    };
+    if let Some(info) = victim_info {
+        ctx.io.delete();
+        let _ = fs::remove_file(info.path);
+    }
+    Some(victim_len.saturating_sub(out_len))
+}

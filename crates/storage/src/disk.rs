@@ -45,7 +45,9 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 
-use crate::backend::{BackendError, BytesStream, ReadStream, StorageBackend, Throttle};
+use crate::backend::{
+    BackendError, BytesStream, IoCounters, IoOps, ReadStream, StorageBackend, Throttle,
+};
 use crate::checksum::fnv64;
 
 const MAGIC: u32 = 0x4342_5347; // "CBSG"
@@ -78,6 +80,7 @@ pub struct DiskBackend {
     dir: PathBuf,
     throttle: Option<Throttle>,
     state: std::sync::Arc<Mutex<DiskState>>,
+    io: std::sync::Arc<IoCounters>,
     tx: Option<Sender<FlushMsg>>,
     flusher: Option<JoinHandle<()>>,
     recovered: usize,
@@ -180,11 +183,13 @@ impl DiskBackend {
     ) -> Result<Self, BackendError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| BackendError::Io(e.to_string()))?;
+        let io = std::sync::Arc::new(IoCounters::default());
 
         let mut index = HashMap::new();
         let mut used = 0u64;
         let mut recovered = 0usize;
         let mut dropped = 0usize;
+        io.open();
         let listing = fs::read_dir(&dir).map_err(|e| BackendError::Io(e.to_string()))?;
         for entry in listing.flatten() {
             let path = entry.path();
@@ -196,6 +201,7 @@ impl DiskBackend {
                 // Exclusive owner: any .tmp is crash debris. Shared: it may
                 // be a live sibling's in-flight write — leave it alone.
                 if !shared {
+                    io.delete();
                     let _ = fs::remove_file(&path);
                     dropped += 1;
                 }
@@ -209,6 +215,8 @@ impl DiskBackend {
             };
             // Full verification at startup: a recovered index must never
             // point at a segment that cannot serve a checksummed read.
+            io.open();
+            io.read();
             let ok = fs::read(&path)
                 .map_err(|e| BackendError::Io(e.to_string()))
                 .and_then(|raw| verify_frame(key, &raw).map(|r| r.len() as u64));
@@ -219,6 +227,7 @@ impl DiskBackend {
                     recovered += 1;
                 }
                 Err(_) => {
+                    io.delete();
                     let _ = fs::remove_file(&path);
                     dropped += 1;
                 }
@@ -241,6 +250,7 @@ impl DiskBackend {
         let (tx, rx) = unbounded::<FlushMsg>();
         let flusher = {
             let state = std::sync::Arc::clone(&state);
+            let io = std::sync::Arc::clone(&io);
             let dir = dir.clone();
             std::thread::Builder::new()
                 .name("cb-disk-flusher".to_string())
@@ -250,6 +260,9 @@ impl DiskBackend {
                             FlushMsg::Write { key, gen, bytes } => {
                                 let path = segment_path(&dir, key);
                                 let tmp = dir.join(format!("{key:016x}.{nonce:x}.tmp"));
+                                io.open();
+                                io.write();
+                                io.rename();
                                 let res = fs::write(&tmp, frame(key, &bytes))
                                     .and_then(|_| fs::rename(&tmp, &path));
                                 let mut s = state.lock();
@@ -272,6 +285,7 @@ impl DiskBackend {
                                 // resurrection.
                                 if !shared && !s.index.contains_key(&key) {
                                     drop(s);
+                                    io.delete();
                                     let _ = fs::remove_file(&path);
                                 }
                             }
@@ -287,12 +301,18 @@ impl DiskBackend {
             dir,
             throttle,
             state,
+            io,
             tx: Some(tx),
             flusher: Some(flusher),
             recovered,
             dropped,
             shared,
         })
+    }
+
+    /// Snapshot of the filesystem-operation counters.
+    pub fn io_ops(&self) -> IoOps {
+        self.io.snapshot()
     }
 
     /// The cache directory this backend persists into.
@@ -334,6 +354,7 @@ impl DiskBackend {
             None => false,
         };
         drop(s);
+        self.io.delete();
         let _ = fs::remove_file(segment_path(&self.dir, key));
         present
     }
@@ -380,6 +401,8 @@ impl StorageBackend for DiskBackend {
             }
         }
         let path = segment_path(&self.dir, key);
+        self.io.open();
+        self.io.read();
         let raw = match fs::read(&path) {
             Ok(raw) => raw,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -417,6 +440,7 @@ impl StorageBackend for DiskBackend {
             }
         }
         let path = segment_path(&self.dir, key);
+        self.io.open();
         let mut file = match fs::File::open(&path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -430,6 +454,7 @@ impl StorageBackend for DiskBackend {
             .map_err(|e| BackendError::Io(e.to_string()))?
             .len();
         let mut header = [0u8; HEADER_LEN];
+        self.io.read();
         file.read_exact(&mut header)
             .map_err(|_| BackendError::Corrupt)?;
         let Some(payload_len) = parse_seg_header(&header, key, file_len) else {
@@ -444,6 +469,7 @@ impl StorageBackend for DiskBackend {
             remaining: payload_len,
             throttle: self.throttle,
             payload_len,
+            io: std::sync::Arc::clone(&self.io),
         })))
     }
 
@@ -462,9 +488,11 @@ impl StorageBackend for DiskBackend {
         // handle's startup scan. Framing is checked here (cheap: 24 bytes);
         // the read that follows still verifies the checksum.
         let path = segment_path(&self.dir, key);
+        self.io.open();
         let mut file = fs::File::open(&path).ok()?;
         let file_len = file.metadata().ok()?.len();
         let mut header = [0u8; HEADER_LEN];
+        self.io.read();
         file.read_exact(&mut header).ok()?;
         let payload_len = parse_seg_header(&header, key, file_len)?;
         let mut s = self.state.lock();
@@ -555,6 +583,7 @@ struct DiskStream {
     remaining: u64,
     payload_len: u64,
     throttle: Option<Throttle>,
+    io: std::sync::Arc<IoCounters>,
 }
 
 impl ReadStream for DiskStream {
@@ -565,6 +594,9 @@ impl ReadStream for DiskStream {
     fn read_next(&mut self, len: usize) -> Result<Bytes, BackendError> {
         let take = (len as u64).min(self.remaining) as usize;
         let mut buf = vec![0u8; take];
+        if take > 0 {
+            self.io.read();
+        }
         self.file
             .read_exact(&mut buf)
             .map_err(|e| BackendError::Io(e.to_string()))?;

@@ -26,16 +26,24 @@
 //! - [`checksum`] — the workspace's shared word-wise FNV checksum.
 //! - [`backend`] — the [`backend::StorageBackend`] tier-store trait and
 //!   the RAM implementation.
-//! - [`disk`] — the persistent segment-file backend.
+//! - [`disk`] — the persistent file-per-chunk backend (reference layout).
+//! - [`segment_log`] — the packed log-structured backend: append-only
+//!   segment logs, group commit, startup replay with torn-tail recovery.
+//! - [`compact`] — background compaction for the segment log.
 
 pub mod backend;
 pub mod checksum;
+pub(crate) mod compact;
 pub mod device;
 pub mod disk;
 pub mod perf;
+pub mod segment_log;
 
-pub use backend::{BackendError, MemBackend, ReadStream, StorageBackend, Throttle};
+pub use backend::{
+    BackendError, IoOps, MaintenanceStats, MemBackend, ReadStream, StorageBackend, Throttle,
+};
 pub use checksum::fnv64;
 pub use device::{DeviceKind, DeviceSpec};
 pub use disk::DiskBackend;
 pub use perf::{GpuSpec, PaperModel, PerfModel};
+pub use segment_log::{LogStats, SegmentLogBackend, SegmentLogConfig};

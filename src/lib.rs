@@ -69,8 +69,8 @@ pub mod prelude {
     pub use cb_core::{
         controller::LoadingController,
         engine::{
-            Engine, EngineBuilder, EngineError, Priority, Request, Response, StorageConfig,
-            TierSpec, TtftBreakdown,
+            DiskLayout, Engine, EngineBuilder, EngineError, Priority, Request, Response,
+            StorageConfig, TierSpec, TtftBreakdown,
         },
         fusor::{BlendConfig, Fusor},
         scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError},

@@ -203,6 +203,56 @@ fn blending_from_quantized_caches_preserves_answers() {
 }
 
 #[test]
+fn engine_quantized_cold_tier_preserves_answers_end_to_end() {
+    // The full serving path over an int8 cold tier: a RAM tier below one
+    // entry pushes every registered chunk down to the quantized packed
+    // log, so each submit dequantizes on the way back up. Documented
+    // threshold (matches the fusor-level test above): quantization noise
+    // may flip the answer on at most 1 case in 6.
+    use cacheblend::blend::engine::{EngineBuilder, StorageConfig};
+    use cacheblend::storage::DeviceKind;
+
+    let dir = std::env::temp_dir().join(format!("cb-e2e-quant-cold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exact = engine();
+    let cold = EngineBuilder::new(ModelProfile::Mistral7B)
+        .storage(
+            StorageConfig::default()
+                .tier(DeviceKind::CpuRam, 64)
+                .cold_tier(DeviceKind::NvmeSsd, 1 << 30, &dir),
+        )
+        .build()
+        .expect("engine");
+    let ds = Dataset::standard(DatasetKind::MusiqueSim, 7);
+    let mut agree = 0;
+    let n = 6;
+    for case in ds.cases.iter().take(n) {
+        let ctx = ds.retrieve(case, 6);
+        let a = blend_answer(&exact, &ds, &ctx, &case.query, 0.3);
+        let b = blend_answer(&cold, &ds, &ctx, &case.query, 0.3);
+        if a == b {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= n - 1,
+        "quantized cold tier flipped too many answers: {agree}/{n}"
+    );
+    let stats = cold.store().stats();
+    assert!(stats.quantizations > 0, "chunks must land int8 on the log");
+    assert!(
+        stats.dequantizations > 0,
+        "serving must transcode back to f32"
+    );
+    assert!(
+        stats.quantize_saved_bytes > 0,
+        "the cold tier must actually shrink the entries"
+    );
+    drop(cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn scheme_kind_names_are_unique() {
     let names: std::collections::HashSet<_> = [
         SchemeKind::FullRecompute,

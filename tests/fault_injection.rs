@@ -209,17 +209,11 @@ fn tiered_store_repairs_quarantined_disk_entries_by_reinsert() {
 
     let store = KvStore::with_backends(vec![
         (
-            TierConfig {
-                label: "ram".into(),
-                capacity: entry / 2, // nothing fits in RAM: all disk-resident
-            },
+            TierConfig::new("ram", entry / 2), // nothing fits in RAM: all disk-resident,
             Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
         ),
         (
-            TierConfig {
-                label: "disk".into(),
-                capacity: 1 << 20,
-            },
+            TierConfig::new("disk", 1 << 20),
             Arc::new(DiskBackend::new(&dir, None).unwrap()),
         ),
     ]);

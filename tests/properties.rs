@@ -133,10 +133,7 @@ fn store_respects_capacity() {
             .collect();
         let one = encode(&caches[0]).len() as u64;
         let cap = one * 2;
-        let store = KvStore::new(vec![TierConfig {
-            label: "t".into(),
-            capacity: cap,
-        }]);
+        let store = KvStore::new(vec![TierConfig::new("t", cap)]);
         for (i, c) in caches.iter().enumerate() {
             let _ = store.insert(cacheblend::kv::ChunkId(i as u64), c);
             assert!(store.tier_used(0) <= cap);
@@ -655,17 +652,11 @@ fn tiered_store_occupancy_and_counters_are_consistent() {
         let _ = std::fs::remove_dir_all(&dir);
         let store = KvStore::with_backends(vec![
             (
-                TierConfig {
-                    label: "ram".into(),
-                    capacity: ram_cap,
-                },
+                TierConfig::new("ram", ram_cap),
                 Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
             ),
             (
-                TierConfig {
-                    label: "disk".into(),
-                    capacity: disk_cap,
-                },
+                TierConfig::new("disk", disk_cap),
                 Arc::new(DiskBackend::new(&dir, None).unwrap()),
             ),
         ]);
@@ -723,6 +714,168 @@ fn tiered_store_occupancy_and_counters_are_consistent() {
         );
         store.flush().expect("flusher healthy");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+    cacheblend::tensor::pool::set_threads(cacheblend::tensor::pool::default_threads());
+}
+
+/// Int8 cold-tier quantization round-trips within the symmetric-int8
+/// bound: each element of `dequantize(quantize(x))` sits within
+/// `row_max_abs / 254` of the original (scale = row max / 127, rounding
+/// error ≤ scale/2), for random chunk caches.
+#[test]
+fn quantization_roundtrip_error_is_bounded_per_row() {
+    use cacheblend::kv::quantize::{dequantize_entry, quantize_entry, MAX_RELATIVE_ERROR};
+
+    let m = tiny_model();
+    let mut rng = SmallRng::seed_from_u64(0x1_A78);
+    for case in 0..12 {
+        let cache = precompute_chunk(&m, &random_chunk(&mut rng));
+        let wire = encode(&cache);
+        let q = quantize_entry(&wire).unwrap();
+        let back = decode(dequantize_entry(&q).unwrap()).unwrap();
+        assert!(q.len() < wire.len() / 3, "case {case}: not ~4x smaller");
+        for (l, (orig, got)) in cache.layers.iter().zip(&back.layers).enumerate() {
+            for (a, b) in [(&orig.k, &got.k), (&orig.v, &got.v)] {
+                for r in 0..a.rows() {
+                    let row_max = a.row(r).iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                    let bound = row_max * MAX_RELATIVE_ERROR * 1.001 + 1e-6;
+                    for (c, (&x, &y)) in a.row(r).iter().zip(b.row(r)).enumerate() {
+                        assert!(
+                            (x - y).abs() <= bound,
+                            "case {case} layer {l} row {r} col {c}: \
+                             |{x} - {y}| > {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Three-tier store (RAM → f32 disk → int8 cold) invariants under random
+/// insert/get/remove sequences at 1..=4 compute-pool threads: occupancy
+/// never exceeds any tier's capacity, presence stays deterministic, every
+/// read returns the entry within one quantization of the original (loss is
+/// applied once, at the cold boundary, and never accumulates across
+/// demote→quantize→promote cycles), and the quantization counters obey
+/// their accounting identities.
+#[test]
+fn quantized_cold_tier_cycles_preserve_payload_and_stats() {
+    use cacheblend::kv::ChunkId;
+    use cacheblend::storage::{DiskBackend, MemBackend, SegmentLogBackend, StorageBackend};
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    let m = tiny_model();
+    for threads in 1..=4usize {
+        cacheblend::tensor::pool::set_threads(threads);
+        let mut rng = SmallRng::seed_from_u64(0xC0_1D + threads as u64);
+
+        let caches: Vec<_> = (0..6)
+            .map(|_| precompute_chunk(&m, &random_chunk(&mut rng)))
+            .collect();
+        let sizes: Vec<u64> = caches.iter().map(|c| encode(c).len() as u64).collect();
+        let max = *sizes.iter().max().unwrap();
+        // RAM and disk each hold about one entry; the cold tier holds the
+        // universe, so with several entries present some are always
+        // int8-resident and gets keep cycling them through the formats.
+        let (ram_cap, disk_cap, cold_cap) = (max, max, 64 * max);
+
+        let root =
+            std::env::temp_dir().join(format!("cb-prop-quant-{}-{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = KvStore::with_backends(vec![
+            (
+                TierConfig::new("ram", ram_cap),
+                Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+            ),
+            (
+                TierConfig::new("disk", disk_cap),
+                Arc::new(DiskBackend::new(root.join("warm"), None).unwrap()),
+            ),
+            (
+                TierConfig::quantized("cold", cold_cap),
+                Arc::new(SegmentLogBackend::new(root.join("cold"), None).unwrap()),
+            ),
+        ]);
+
+        // |x - deq(q(x))| ≤ row_max/254 per element, so per matrix the
+        // Frobenius distance is ≤ max_abs·√n/254; 2× covers a rounding
+        // tie at the first quantization.
+        let close = |a: &cacheblend::tensor::Matrix, b: &cacheblend::tensor::Matrix| {
+            let max_abs = a.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let n = (a.rows() * a.cols()) as f32;
+            a.frobenius_distance(b) <= 2.0 * max_abs * n.sqrt() / 254.0 + 1e-4
+        };
+
+        let mut present: HashSet<u64> = HashSet::new();
+        let (mut want_hits, mut want_misses) = (0u64, 0u64);
+        for step in 0..120 {
+            let id = rng.random_range(0u64..6);
+            match rng.random_range(0u32..10) {
+                0..=3 => {
+                    present.insert(id);
+                    store
+                        .insert(ChunkId(id), &caches[id as usize])
+                        .expect("universe fits the cold tier");
+                }
+                4..=7 => {
+                    let got = store.get(ChunkId(id)).expect("no corruption injected");
+                    if present.contains(&id) {
+                        want_hits += 1;
+                        let (cache, _) = got.expect("present entry must hit");
+                        let orig = &caches[id as usize];
+                        assert_eq!(cache.positions, orig.positions, "step {step}");
+                        assert_eq!(cache.tokens, orig.tokens, "step {step}");
+                        for (l, (a, b)) in orig.layers.iter().zip(&cache.layers).enumerate() {
+                            assert!(
+                                close(&a.k, &b.k) && close(&a.v, &b.v),
+                                "step {step} id {id} layer {l}: drift beyond one \
+                                 quantization"
+                            );
+                        }
+                    } else {
+                        want_misses += 1;
+                        assert!(got.is_none(), "step {step}: absent entry must miss");
+                    }
+                }
+                _ => {
+                    let was = store.remove(ChunkId(id));
+                    assert_eq!(was, present.remove(&id), "step {step}: remove agreement");
+                }
+            }
+            for (t, cap) in [(0, ram_cap), (1, disk_cap), (2, cold_cap)] {
+                assert!(
+                    store.tier_used(t) <= cap,
+                    "step {step}: tier {t} over capacity"
+                );
+            }
+            assert_eq!(store.len(), present.len(), "step {step}: entry count");
+            let f32_total: u64 = present.iter().map(|&i| sizes[i as usize]).sum();
+            assert!(
+                store.used_bytes() <= f32_total,
+                "step {step}: quantized residency must never grow the footprint"
+            );
+        }
+
+        let stats = store.stats();
+        assert_eq!(stats.hits, want_hits, "threads {threads}: hits");
+        assert_eq!(stats.misses, want_misses, "threads {threads}: misses");
+        assert!(
+            stats.quantizations > 0,
+            "threads {threads}: cold tier was never exercised"
+        );
+        assert!(
+            stats.dequantizations <= stats.quantizations,
+            "threads {threads}: every dequantize follows a quantize"
+        );
+        assert!(
+            stats.quantize_saved_bytes > 0,
+            "threads {threads}: quantization must shrink bytes"
+        );
+        assert_eq!(stats.evictions, 0, "cold tier holds the full universe");
+        store.flush().expect("flusher healthy");
+        let _ = std::fs::remove_dir_all(&root);
     }
     cacheblend::tensor::pool::set_threads(cacheblend::tensor::pool::default_threads());
 }
