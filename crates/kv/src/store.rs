@@ -39,7 +39,9 @@ use parking_lot::Mutex;
 
 use crate::chunk::ChunkId;
 use crate::quantize::{dequantize_entry, quantize_entry};
-use crate::serialize::{decode, encode, sniff_format, verify_entry, DecodeError, EntryFormat};
+use crate::serialize::{
+    decode, encode, parse_dims_any, sniff_format, verify_entry, DecodeError, EntryFormat,
+};
 
 /// Configuration of one storage tier.
 #[derive(Clone, Debug)]
@@ -117,6 +119,12 @@ pub struct StoreStats {
 struct IndexEntry {
     tier: usize,
     size: u64,
+    /// The entry's `(n_layers, rows, width)` when known — both wire
+    /// formats share it, so the tiering policy can compute the entry's
+    /// *exact* size in either format before moving it across a quantized
+    /// boundary. `None` for entries recovered or discovered without
+    /// reading their bytes; backfilled on the first read or move.
+    shape: Option<(u32, u32, u32)>,
     last_used: u64,
     /// Active streaming reads; a pinned entry is never spilled, promoted,
     /// or chosen as an eviction victim (its backing bytes are mid-read).
@@ -249,6 +257,7 @@ impl KvStore {
                     IndexEntry {
                         tier: t,
                         size,
+                        shape: None,
                         last_used: clock,
                         pins: 0,
                     },
@@ -292,22 +301,41 @@ impl KvStore {
             e.last_used = now;
             return Ok(e.tier);
         }
-        // A quantized tier stores ~¼ of the f32 bytes, so it may admit an
-        // entry whose full-precision size exceeds its capacity (size/3 is
-        // a conservative bound on the transcoded size).
-        let Some(t) = inner
-            .tiers
-            .iter()
-            .position(|t| t.cfg.capacity >= if t.cfg.quantized { size / 3 } else { size })
-        else {
-            return Err(StoreError::TooLarge { size });
+        // Place on the first tier whose capacity fits the entry's *exact*
+        // size in that tier's resident format — a quantized tier stores
+        // ~¼ of the f32 bytes, so it may admit an entry whose
+        // full-precision size exceeds its capacity. If the transcode
+        // falls back to passthrough (unparseable bytes) and the result
+        // overflows the chosen tier, continue the search from the next
+        // tier instead of rejecting an entry a larger tier could hold.
+        let shape = entry_shape(&bytes);
+        let mut start = 0;
+        let (t, bytes) = loop {
+            let found = inner
+                .tiers
+                .iter()
+                .enumerate()
+                .skip(start)
+                .find_map(|(i, tier)| {
+                    let need = match shape {
+                        Some(shape) => format_len(tier.cfg.quantized, shape),
+                        None => size as u128,
+                    };
+                    (tier.cfg.capacity as u128 >= need).then_some((i, tier.cfg.quantized))
+                });
+            let Some((t, quantized)) = found else {
+                return Err(StoreError::TooLarge { size });
+            };
+            // Always transcode from the original bytes: carrying an
+            // already-quantized candidate into a later f32 tier would
+            // bake the precision loss in.
+            let candidate = transcode_for_tier(&mut inner.stats, bytes.clone(), quantized);
+            if candidate.len() as u64 <= inner.tiers[t].cfg.capacity {
+                break (t, candidate);
+            }
+            start = t + 1;
         };
-        let quantized = inner.tiers[t].cfg.quantized;
-        let bytes = transcode_for_tier(&mut inner.stats, bytes, quantized);
         let size = bytes.len() as u64;
-        if size > inner.tiers[t].cfg.capacity {
-            return Err(StoreError::TooLarge { size });
-        }
         make_room(&mut inner, t, size)?;
         inner.tiers[t].backend.put(id.0, bytes)?;
         inner.index.insert(
@@ -315,6 +343,7 @@ impl KvStore {
             IndexEntry {
                 tier: t,
                 size,
+                shape,
                 last_used: now,
                 pins: 0,
             },
@@ -413,6 +442,7 @@ impl KvStore {
                 IndexEntry {
                     tier: t,
                     size,
+                    shape: None,
                     last_used: now,
                     pins: 0,
                 },
@@ -596,7 +626,7 @@ impl KvStore {
             // sacrifices the least-recently-used spills.
             ids.sort_by_key(|&(_, used)| used);
             for (id, _) in ids {
-                demote_to(&mut inner, id, last)?;
+                demote_to(&mut inner, id, last, false)?;
             }
             backend
         };
@@ -756,17 +786,58 @@ impl KvStore {
     }
 }
 
-/// True when tier `next` can plausibly hold an entry of `size` bytes
-/// coming off tier `t` — exact for same-format moves; for a demote into a
-/// quantized tier the transcoded size is unknown until the bytes are in
-/// hand, so a conservative bound (size/3 ≳ the real ~size/4) gates it.
-fn tier_can_hold(inner: &Inner, t: usize, next: usize, size: u64) -> bool {
-    let need = if inner.tiers[next].cfg.quantized && !inner.tiers[t].cfg.quantized {
-        size / 3
+/// The entry's serialized shape `(n_layers, rows, width)` when its dims
+/// prefix parses *and* agrees with the byte length — the only case in
+/// which the dims can be trusted for sizing decisions.
+fn entry_shape(bytes: &[u8]) -> Option<(u32, u32, u32)> {
+    let (format, n_layers, rows, width) = parse_dims_any(bytes).ok()?;
+    (bytes.len() as u128 == format.entry_len_u128(n_layers, rows, width)).then_some((
+        n_layers as u32,
+        rows as u32,
+        width as u32,
+    ))
+}
+
+/// Exact byte size of an entry of `shape` in a tier's resident format
+/// (u128: the shape may be untrusted u32 dims, whose product overflows).
+fn format_len(quantized: bool, shape: (u32, u32, u32)) -> u128 {
+    let (n_layers, rows, width) = shape;
+    let format = if quantized {
+        EntryFormat::Quantized
     } else {
-        size
+        EntryFormat::F32
     };
-    inner.tiers[next].cfg.capacity >= need
+    format.entry_len_u128(n_layers as usize, rows as usize, width as usize)
+}
+
+/// True when tier `next` can hold an entry of `size` bytes coming off
+/// tier `t`. Exact for same-format moves and whenever the entry's shape
+/// is known (the size in the destination's wire format is computed —
+/// both directions across a quantized boundary). With an unknown shape a
+/// conservative *over*-bound gates the move, and [`demote_to`]'s exact
+/// post-transcode check has the final say.
+fn tier_can_hold(
+    inner: &Inner,
+    t: usize,
+    next: usize,
+    size: u64,
+    shape: Option<(u32, u32, u32)>,
+) -> bool {
+    let src_q = inner.tiers[t].cfg.quantized;
+    let dst_q = inner.tiers[next].cfg.quantized;
+    let need: u128 = if src_q == dst_q {
+        size as u128
+    } else if let Some(shape) = shape {
+        format_len(dst_q, shape)
+    } else if dst_q {
+        // f32 → int8, shape unknown: an int8 layer block is at most 5/4
+        // of its f32 block (width 1) and the headers are identical.
+        size as u128 + size as u128 / 4
+    } else {
+        // int8 → f32, shape unknown: grows by strictly less than 4×.
+        4 * size as u128
+    };
+    inner.tiers[next].cfg.capacity as u128 >= need
 }
 
 /// Spills or evicts LRU entries of tier `t` until `need` more bytes fit.
@@ -779,13 +850,13 @@ fn make_room(inner: &mut Inner, t: usize, need: u64) -> Result<(), StoreError> {
             .iter()
             .filter(|(_, e)| e.tier == t && e.pins == 0)
             .min_by_key(|(_, e)| e.last_used)
-            .map(|(&id, e)| (id, e.size));
-        let Some((victim, size)) = victim else {
+            .map(|(&id, e)| (id, e.size, e.shape));
+        let Some((victim, size, shape)) = victim else {
             break; // only pinned entries left
         };
         let next = t + 1;
-        if next < inner.tiers.len() && tier_can_hold(inner, t, next, size) {
-            demote_to(inner, victim, next)?;
+        if next < inner.tiers.len() && tier_can_hold(inner, t, next, size, shape) {
+            demote_to(inner, victim, next, true)?;
         } else {
             // Capacity eviction releases this store's claim only: on a
             // shared backend `forget` leaves the segment for sibling
@@ -806,7 +877,19 @@ fn make_room(inner: &mut Inner, t: usize, need: u64) -> Result<(), StoreError> {
 /// runs before the store is shared). A config stacking two throttled disk
 /// tiers would pay that device read under the lock — split the read out
 /// if such a hierarchy is ever added.
-fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError> {
+///
+/// When the exact transcoded size exceeds the destination's capacity —
+/// possible only when the admitting bound worked off an unknown shape, or
+/// the transcode fell back to passthrough — the entry is never stored
+/// over capacity: it is evicted (`evict_on_overflow`, the make_room path,
+/// where leaving it in place would re-select it forever) or left where it
+/// is (the persist path, whose contract keeps unfitting entries in RAM).
+fn demote_to(
+    inner: &mut Inner,
+    id: ChunkId,
+    to: usize,
+    evict_on_overflow: bool,
+) -> Result<(), StoreError> {
     let Some(e) = inner.index.get(&id) else {
         return Ok(());
     };
@@ -830,11 +913,28 @@ fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError
         }
         Err(e) => return Err(e.into()),
     };
+    // Backfill the shape for entries recovered without their bytes, so
+    // later moves across a quantized boundary are sized exactly.
+    let shape = entry_shape(&bytes);
+    if let Some(e) = inner.index.get_mut(&id) {
+        if e.shape.is_none() {
+            e.shape = shape;
+        }
+    }
     // Transcode to the destination's resident format (quantize into a
     // cold tier, dequantize out of one); the entry's accounted size
     // changes with it — the old size leaves `from`, the new enters `to`.
     let bytes = transcode_for_tier(&mut inner.stats, bytes, inner.tiers[to].cfg.quantized);
     let new_size = bytes.len() as u64;
+    if new_size > inner.tiers[to].cfg.capacity {
+        if evict_on_overflow {
+            inner.tiers[from].backend.forget(id.0);
+            inner.tiers[from].used -= size;
+            inner.index.remove(&id);
+            inner.stats.evictions += 1;
+        }
+        return Ok(());
+    }
     make_room(inner, to, new_size)?;
     inner.tiers[to].backend.put(id.0, bytes)?;
     // Release the source copy: `forget` (not `remove`) so a shared source
@@ -854,9 +954,13 @@ fn demote_to(inner: &mut Inner, id: ChunkId, to: usize) -> Result<(), StoreError
 /// are already in hand, so promotion is a RAM write plus a slow-tier
 /// delete). Skipped for pinned entries and entries that can never fit.
 fn promote(inner: &mut Inner, id: ChunkId, bytes: &Bytes) -> Result<(), StoreError> {
-    let Some(e) = inner.index.get(&id) else {
+    let Some(e) = inner.index.get_mut(&id) else {
         return Ok(());
     };
+    if e.shape.is_none() {
+        // Free shape backfill: the bytes are in hand anyway.
+        e.shape = entry_shape(bytes);
+    }
     if e.tier == 0 || e.pins > 0 {
         return Ok(());
     }
@@ -1063,6 +1167,79 @@ mod tests {
         assert!(s.tier_used(1) <= sz, "disk counter must not underflow");
         assert_eq!(s.tier_of(ChunkId(2)), Some(1), "2 demoted by the cascade");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn q_entry_size(rows: usize) -> u64 {
+        quantize_entry(&encode(&toy_cache(rows, 0.0)))
+            .unwrap()
+            .len() as u64
+    }
+
+    #[test]
+    fn quantized_tier_demote_uses_exact_transcoded_size() {
+        let sz = entry_size(2);
+        let qsz = q_entry_size(2);
+        // Cold capacity admits the old size/3 heuristic but not the real
+        // int8 size: the demote must evict, never store over capacity.
+        assert!(sz / 3 < qsz);
+        let s = KvStore::new(vec![
+            TierConfig::new("ram", sz),
+            TierConfig::quantized("cold", qsz - 1),
+        ]);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap(); // forces 1 out
+        assert!(!s.contains(ChunkId(1)), "must be evicted, not wedged");
+        assert_eq!(s.stats().evictions, 1);
+        assert_eq!(s.tier_used(1), 0);
+        // With capacity for the exact size, the same demote succeeds.
+        let s = KvStore::new(vec![
+            TierConfig::new("ram", sz),
+            TierConfig::quantized("cold", qsz),
+        ]);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap();
+        assert_eq!(s.tier_of(ChunkId(1)), Some(1));
+        assert_eq!(s.tier_used(1), qsz);
+    }
+
+    #[test]
+    fn dequantizing_demote_uses_exact_f32_size() {
+        let sz = entry_size(2);
+        let qsz = q_entry_size(2);
+        // The old policy gated this demote on the quantized resident size
+        // and then stored the ~4× dequantized entry over capacity.
+        let s = KvStore::new(vec![
+            TierConfig::quantized("q-ram", qsz),
+            TierConfig::new("f32-disk", sz - 1),
+        ]);
+        s.insert(ChunkId(1), &toy_cache(2, 1.0)).unwrap();
+        assert_eq!(s.tier_used(0), qsz);
+        s.insert(ChunkId(2), &toy_cache(2, 2.0)).unwrap();
+        assert!(!s.contains(ChunkId(1)), "exact f32 size exceeds the tier");
+        assert_eq!(s.tier_used(1), 0);
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_falls_past_a_quantized_tier_too_small_for_the_entry() {
+        let sz = entry_size(2);
+        let qsz = q_entry_size(2);
+        // The old code picked the cold tier off the size/3 heuristic and
+        // returned TooLarge when the exact int8 size overflowed it,
+        // instead of trying the larger tier below.
+        let s = KvStore::new(vec![
+            TierConfig::quantized("tiny-cold", qsz - 1),
+            TierConfig::new("big", 4 * sz),
+        ]);
+        let c = toy_cache(2, 1.0);
+        assert_eq!(s.insert(ChunkId(1), &c).unwrap(), 1, "falls through");
+        assert_eq!(s.get(ChunkId(1)).unwrap().unwrap().0, c);
+        // Still TooLarge when no tier fits the exact size.
+        let s = KvStore::new(vec![TierConfig::quantized("tiny", qsz - 1)]);
+        assert!(matches!(
+            s.insert(ChunkId(1), &c),
+            Err(StoreError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -192,6 +192,14 @@ impl LogState {
             info.live = info.live.saturating_sub(loc.frame_len());
         }
     }
+
+    /// Marks a tombstone record (a bare frame) in `fk` no longer live —
+    /// a newer put superseded it, so compaction may drop it.
+    pub(crate) fn mark_tombstone_dead(&mut self, fk: FileKey) {
+        if let Some(info) = self.logs.get_mut(&fk) {
+            info.live = info.live.saturating_sub(REC_FRAME as u64);
+        }
+    }
 }
 
 pub(crate) enum FlushMsg {
@@ -515,7 +523,9 @@ impl SegmentLogBackend {
                         if let Some(info) = state.logs.get_mut(&fk) {
                             info.live += loc.frame_len();
                         }
-                        state.tombstones.remove(&r.key);
+                        if let Some(tfk) = state.tombstones.remove(&r.key) {
+                            state.mark_tombstone_dead(tfk);
+                        }
                         recovered += 1;
                     }
                     _ => {
@@ -523,7 +533,9 @@ impl SegmentLogBackend {
                             state.mark_dead(old);
                             state.used -= old.len;
                         }
-                        state.tombstones.insert(r.key, fk);
+                        if let Some(old) = state.tombstones.insert(r.key, fk) {
+                            state.mark_tombstone_dead(old);
+                        }
                         if let Some(info) = state.logs.get_mut(&fk) {
                             info.live += REC_FRAME as u64; // the tombstone itself is live
                         }
@@ -762,7 +774,19 @@ impl SegmentLogBackend {
             }
             None => false,
         };
-        let unclaimed = s.unclaimed.remove(&key).is_some();
+        let unclaimed = match s.unclaimed.remove(&key) {
+            Some(loc) => {
+                // An own-series record released by `forget` stayed live so
+                // siblings could keep serving it; a true delete ends that
+                // and frees the frame for compaction. Foreign-series live
+                // counts are not tracked by this handle.
+                if loc.file.1 == self.nonce {
+                    s.mark_dead(loc);
+                }
+                true
+            }
+            None => false,
+        };
         drop(s);
         if tombstone && (present || unclaimed) {
             let _ = self
@@ -954,9 +978,27 @@ fn run_flusher(
             let mut s = state.lock();
             match res {
                 Err(e) => {
-                    // Nothing durable: keep pending entries serving from
-                    // RAM and surface the error at the next flush().
+                    // Keep pending entries serving from RAM and surface
+                    // the error at the next flush(). A failed write_all
+                    // can still have appended part of the batch (e.g.
+                    // ENOSPC), leaving the file longer than the recorded
+                    // len — and every later offset computed from that len
+                    // pointing at the wrong bytes. Resync by truncating
+                    // back to the recorded length; if even that fails,
+                    // record the real length and seal the damaged log
+                    // (startup replay treats the partial tail as torn).
                     s.write_error.get_or_insert_with(|| e.to_string());
+                    io.write();
+                    if file.set_len(base).is_err() {
+                        if let Ok(meta) = file.metadata() {
+                            if let Some(info) = s.logs.get_mut(&active) {
+                                info.len = meta.len();
+                            }
+                        }
+                        let to = s.next_seq;
+                        s.next_seq += 1;
+                        rotate_active(&mut s, &io, &dir, nonce, to);
+                    }
                 }
                 Ok(()) => {
                     if let Some(info) = s.logs.get_mut(&active) {
@@ -964,7 +1006,9 @@ fn run_flusher(
                     }
                     for (key, gen, kind, loc) in locs {
                         if kind == KIND_TOMB {
-                            s.tombstones.insert(key, loc.file);
+                            if let Some(old) = s.tombstones.insert(key, loc.file) {
+                                s.mark_tombstone_dead(old);
+                            }
                             if let Some(info) = s.logs.get_mut(&loc.file) {
                                 info.live += REC_FRAME as u64;
                             }
@@ -976,7 +1020,9 @@ fn run_flusher(
                         match s.index.get(&key) {
                             Some(Slot::Pending { gen: g, .. }) if *g == gen => {
                                 s.index.insert(key, Slot::Stored(loc));
-                                s.tombstones.remove(&key);
+                                if let Some(tfk) = s.tombstones.remove(&key) {
+                                    s.mark_tombstone_dead(tfk);
+                                }
                                 if let Some(info) = s.logs.get_mut(&loc.file) {
                                     info.live += loc.frame_len();
                                 }
@@ -1013,8 +1059,18 @@ fn run_flusher(
 }
 
 /// Seals the active log (deleting it when empty) and opens `to_seq`.
+/// Rotation is strictly forward: a stale request (the compactor reserved
+/// its sequences, then a size-based rotation moved the active log past
+/// them before the `Rotate` was processed) is a no-op — moving the active
+/// log *backward* would let later appends land below records already
+/// written to a higher-seq log, which replay after them and shadow them
+/// at startup. The compactor's invariant still holds on the skip: the
+/// current active seq is already above its reserved output log.
 fn rotate_active(s: &mut LogState, io: &IoCounters, dir: &Path, nonce: u64, to_seq: u64) {
     let old = s.active;
+    if to_seq <= old.0 {
+        return; // stale request — never rotate backward
+    }
     let fresh = (to_seq, nonce);
     if s.logs.contains_key(&fresh) {
         return; // already rotated past (coalesced requests)
@@ -1679,6 +1735,116 @@ mod tests {
         }
         let b = SegmentLogBackend::new(&dir, None).unwrap();
         assert!(!b.contains(3), "tombstone outlives the racing append");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_rotation_request_never_moves_active_backward() {
+        let dir = test_dir("fwd-rotate");
+        let b = SegmentLogBackend::new(&dir, None).unwrap();
+        let send_rotate = |to_seq: u64| {
+            let (done_tx, done_rx) = bounded::<()>(1);
+            let sent = b.tx.as_ref().unwrap().send(FlushMsg::Rotate {
+                to_seq,
+                done: done_tx,
+            });
+            assert!(sent.is_ok());
+            done_rx.recv().unwrap();
+        };
+        // A size-based rotation has already moved the active log to seq 8
+        // when a compactor's stale Rotate{to_seq: 7} arrives.
+        send_rotate(8);
+        assert_eq!(b.state.lock().active.0, 8);
+        b.put(1, Bytes::from(vec![3u8; 32])).unwrap(); // older write → log 8
+        b.flush().unwrap();
+        send_rotate(7);
+        assert_eq!(b.state.lock().active.0, 8, "rotation must be forward-only");
+        b.put(1, Bytes::from(vec![4u8; 32])).unwrap(); // newer write
+        b.flush().unwrap();
+        drop(b);
+        // Backward rotation would put the newer write in log 7, where the
+        // older record in log 8 shadows it during seq-ordered replay.
+        let b = SegmentLogBackend::new(&dir, None).unwrap();
+        assert_eq!(
+            b.get(1).unwrap().unwrap().as_ref(),
+            &[4u8; 32][..],
+            "newest write must win the replay"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_batch_write_resyncs_the_active_log() {
+        let dir = test_dir("werr");
+        let b = SegmentLogBackend::new(&dir, None).unwrap();
+        b.put(1, Bytes::from(vec![1u8; 32])).unwrap();
+        b.flush().unwrap();
+        // Sabotage the active log's handle: a read-only handle makes the
+        // next batch write fail — and set_len too, forcing the
+        // seal-and-rotate fallback.
+        {
+            let mut s = b.state.lock();
+            let active = s.active;
+            let info = s.logs.get_mut(&active).unwrap();
+            let ro = fs::File::open(&info.path).unwrap();
+            info.file = Some(Arc::new(ro));
+        }
+        b.put(2, Bytes::from(vec![2u8; 32])).unwrap();
+        assert!(b.flush().is_err(), "write failure surfaces at flush");
+        // The failed append still serves from RAM, and the store accepts
+        // (and correctly indexes) appends into the fresh active log.
+        assert_eq!(b.get(2).unwrap().unwrap().as_ref(), &[2u8; 32][..]);
+        b.put(3, Bytes::from(vec![3u8; 32])).unwrap();
+        b.flush().unwrap();
+        assert_eq!(b.get(1).unwrap().unwrap().as_ref(), &[1u8; 32][..]);
+        assert_eq!(b.get(3).unwrap().unwrap().as_ref(), &[3u8; 32][..]);
+        drop(b);
+        let b = SegmentLogBackend::new(&dir, None).unwrap();
+        assert_eq!(b.get(1).unwrap().unwrap().as_ref(), &[1u8; 32][..]);
+        assert_eq!(b.get(3).unwrap().unwrap().as_ref(), &[3u8; 32][..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseding_put_reclaims_tombstone_live_bytes() {
+        let dir = test_dir("tomb-live");
+        let b = SegmentLogBackend::with_config(&dir, None, false, tiny_cfg()).unwrap();
+        b.put(1, Bytes::from(vec![1u8; 64])).unwrap();
+        b.flush().unwrap();
+        assert!(b.remove(1));
+        b.flush().unwrap();
+        b.put(1, Bytes::from(vec![2u8; 64])).unwrap();
+        b.flush().unwrap();
+        // Only the latest put's frame is live: the first put died at the
+        // tombstone, and the tombstone died when the new put superseded
+        // it. Anything more under-reports garbage and delays compaction.
+        let frame = 64 + REC_FRAME as u64;
+        assert_eq!(b.log_stats().live_bytes, frame);
+        drop(b);
+        // Replay reaches the identical accounting.
+        let b = SegmentLogBackend::with_config(&dir, None, false, tiny_cfg()).unwrap();
+        assert_eq!(b.log_stats().live_bytes, frame);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn removing_a_forgotten_record_marks_it_dead() {
+        let dir = test_dir("forget-remove");
+        let a = SegmentLogBackend::open_shared(&dir, None).unwrap();
+        a.put(7, Bytes::from(vec![1u8; 64])).unwrap();
+        a.flush().unwrap();
+        let live_claimed = a.log_stats().live_bytes;
+        assert_eq!(live_claimed, 64 + REC_FRAME as u64);
+        assert!(a.forget(7));
+        assert_eq!(
+            a.log_stats().live_bytes,
+            live_claimed,
+            "forget keeps the record live for siblings"
+        );
+        assert!(a.remove(7));
+        a.flush().unwrap();
+        // The record's frame is dead; only the new tombstone is live.
+        assert_eq!(a.log_stats().live_bytes, REC_FRAME as u64);
         let _ = fs::remove_dir_all(&dir);
     }
 
