@@ -1,4 +1,4 @@
-//! Regenerates fig10 (see DESIGN.md §7 and EXPERIMENTS.md).
+//! Regenerates fig10 (see DESIGN.md §8 and EXPERIMENTS.md).
 fn main() {
     cb_bench::experiments::fig10::run();
 }

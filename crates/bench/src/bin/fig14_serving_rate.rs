@@ -1,11 +1,13 @@
-//! Regenerates fig14 (see DESIGN.md §7 and EXPERIMENTS.md).
+//! Regenerates fig14 (see DESIGN.md §8 and EXPERIMENTS.md).
 //!
 //! Flags:
 //!
 //! - `--smoke` — shrunken grids (seconds, for CI).
-//! - `--backend analytic|engine|cluster|both` — the delay-model arm
-//!   (default), the closed-loop real-engine arm, the multi-replica
-//!   cluster arm (emits `BENCH_cluster.json`), or analytic+engine.
+//! - `--backend analytic|engine|cluster|net-cluster|both` — the
+//!   delay-model arm (default), the closed-loop real-engine arm, the
+//!   multi-replica cluster arm, the cluster arm driven explicitly through
+//!   the `cb-net` control plane with a measured routing-hop latency tax
+//!   (both emit `BENCH_cluster.json`), or analytic+engine.
 //! - `--replicas N` — largest replica count for the cluster arm
 //!   (default 2; the grid always includes 1 and 2).
 
@@ -20,13 +22,16 @@ fn main() {
             Some("analytic") => BackendArm::Analytic,
             Some("engine") => BackendArm::Engine,
             Some("cluster") => BackendArm::Cluster,
+            Some("net-cluster") => BackendArm::NetCluster,
             Some("both") => BackendArm::Both,
             Some(other) => {
-                eprintln!("unknown --backend {other:?} (expected analytic|engine|cluster|both)");
+                eprintln!(
+                    "unknown --backend {other:?} (expected analytic|engine|cluster|net-cluster|both)"
+                );
                 std::process::exit(2);
             }
             None => {
-                eprintln!("--backend requires a value (analytic|engine|cluster|both)");
+                eprintln!("--backend requires a value (analytic|engine|cluster|net-cluster|both)");
                 std::process::exit(2);
             }
         },

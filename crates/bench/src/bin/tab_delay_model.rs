@@ -1,4 +1,4 @@
-//! Regenerates tab_delay (see DESIGN.md §7 and EXPERIMENTS.md).
+//! Regenerates tab_delay (see DESIGN.md §8 and EXPERIMENTS.md).
 fn main() {
     cb_bench::experiments::tab_delay::run();
 }

@@ -23,7 +23,13 @@
 //!   composed in virtual time — the same methodology as the engine arm,
 //!   extended to N servers, so the replicas-vs-goodput curve reflects the
 //!   design rather than the host's core count. Emits
-//!   `target/experiments/BENCH_cluster.json`.
+//!   `target/experiments/BENCH_cluster.json`. Since the `cb-net` control
+//!   plane landed, every cluster submission crosses the full frame/wire
+//!   codec over loopback transports.
+//! - **net-cluster** — the cluster arm labeled for the network control
+//!   plane, plus a measured *routing-hop latency tax*: the per-request
+//!   overhead of gateway routing + frame codec + event relay over a
+//!   direct in-process submit on the same warm engine.
 //!
 //! [`ServingBackend`]: cb_serving::backend::ServingBackend
 //! [`EngineService`]: cb_core::scheduler::EngineService
@@ -56,6 +62,12 @@ pub enum BackendArm {
     Engine,
     /// Multi-replica cluster serving (emits `BENCH_cluster.json`).
     Cluster,
+    /// Cluster serving through the `cb-net` control plane explicitly:
+    /// same measured methodology as `Cluster`, labeled `net-cluster`,
+    /// plus a measured routing-hop latency tax (gateway + wire codec
+    /// overhead per request vs. a direct in-process submit). Emits
+    /// `BENCH_cluster.json`.
+    NetCluster,
     /// Analytic + engine arms.
     Both,
 }
@@ -100,7 +112,10 @@ pub fn run_opts(opts: Fig14Opts) {
         emit("fig14_serving_rate", &rows);
     }
     if opts.backend == BackendArm::Cluster {
-        cluster_arm(opts.smoke, opts.replicas);
+        cluster_arm(opts.smoke, opts.replicas, false);
+    }
+    if opts.backend == BackendArm::NetCluster {
+        cluster_arm(opts.smoke, opts.replicas, true);
     }
 }
 
@@ -390,7 +405,112 @@ fn cluster_workload(rate: f64, n_requests: usize) -> Workload {
     })
 }
 
-fn cluster_arm(smoke: bool, max_replicas: usize) {
+/// Measures the warm service time *through the control plane*: the same
+/// 4-warm-chunk probe shape as [`EngineBackend::warm_service_time_s`],
+/// but timed wall-clock over `submit_to` so the gateway hop, frame
+/// codec, and relay threads are part of the measurement. The net-cluster
+/// arm normalizes its rate grid and deadline to this, exactly as the
+/// engine arm normalizes to its own in-process probe.
+fn net_warm_service_time_s() -> f64 {
+    let cluster = ClusterService::build(
+        1,
+        ServiceConfig::default().workers(1).queue_capacity(64),
+        |_| EngineBuilder::new(ModelProfile::Tiny).seed(11).build(),
+    )
+    .expect("cluster builds");
+    let vocab = cluster.replica(0).engine().model().cfg.vocab.clone();
+    let chunks: Vec<Vec<TokenId>> = (0..4u32)
+        .map(|j| {
+            vec![
+                vocab.id(TokenKind::Filler(j)),
+                vocab.id(TokenKind::Filler(j + 1)),
+                vocab.id(TokenKind::Value(j)),
+                vocab.id(TokenKind::Sep),
+            ]
+        })
+        .collect();
+    let ids = cluster
+        .register_chunks(&chunks)
+        .expect("probe chunks register");
+    let query = vec![
+        vocab.id(TokenKind::Query),
+        vocab.id(TokenKind::Entity(0)),
+        vocab.id(TokenKind::Attr(0)),
+        vocab.id(TokenKind::QMark),
+    ];
+    let mk = || EngineRequest::new(ids.clone(), query.clone()).max_new_tokens(4);
+    cluster.submit_to(0, mk()).collect().expect("probe serves");
+    // Median of per-request samples: on a loaded single-core host one
+    // scheduling hiccup can double an 8-sample mean, and an inflated
+    // warm_s deflates every derived rate until the "saturating" point no
+    // longer saturates. The median shrugs the outlier off.
+    let n = 9;
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            cluster.submit_to(0, mk()).collect().expect("probe serves");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[n / 2].max(1e-6)
+}
+
+/// Measures the routing-hop latency tax: the per-request overhead of the
+/// control-plane path (gateway routing + frame codec + loopback hop +
+/// event relay) over a direct in-process `EngineService` submit of the
+/// identical warm request. Returns `(direct_median_us, net_median_us)`.
+fn routing_hop_tax_us(warm_requests: usize) -> (f64, f64) {
+    let cluster = ClusterService::build(
+        1,
+        ServiceConfig::default().workers(1).queue_capacity(64),
+        |_| EngineBuilder::new(ModelProfile::Tiny).seed(11).build(),
+    )
+    .expect("cluster builds");
+    let vocab = cluster.replica(0).engine().model().cfg.vocab.clone();
+    let tokens = sim_chunk_tokens(&vocab, 7);
+    let id = cluster.register_chunk(&tokens).expect("chunk registers");
+    let query = vec![
+        vocab.id(TokenKind::Query),
+        vocab.id(TokenKind::Entity(0)),
+        vocab.id(TokenKind::Attr(0)),
+        vocab.id(TokenKind::QMark),
+    ];
+    let mk = || EngineRequest::new(vec![id], query.clone()).max_new_tokens(1);
+    // Warm both paths (store warm, threads paged in) before timing.
+    for _ in 0..5 {
+        cluster.replica(0).submit(mk()).expect("warmup serves");
+        cluster.submit_to(0, mk()).collect().expect("warmup serves");
+    }
+    // Interleave short blocks of each path and take per-request medians,
+    // so scheduler drift on a loaded host cancels instead of biasing one
+    // side.
+    let mut direct = Vec::with_capacity(warm_requests);
+    let mut net = Vec::with_capacity(warm_requests);
+    while direct.len() < warm_requests {
+        for _ in 0..5.min(warm_requests - direct.len()) {
+            let t = std::time::Instant::now();
+            cluster.replica(0).submit(mk()).expect("direct path serves");
+            direct.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        for _ in 0..5.min(warm_requests - net.len()) {
+            let t = std::time::Instant::now();
+            cluster
+                .submit_to(0, mk())
+                .collect()
+                .expect("net path serves");
+            net.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    (median(direct), median(net))
+}
+
+fn cluster_arm(smoke: bool, max_replicas: usize, net: bool) {
+    let backend_label = if net { "net-cluster" } else { "cluster" };
     // The smoke workload is long enough that the single replica's
     // saturated makespan dominates its deadline-met count — the goodput
     // ratio then depends on the queueing structure, not on probe noise.
@@ -402,8 +522,12 @@ fn cluster_arm(smoke: bool, max_replicas: usize) {
     }
 
     // Normalize rates to the measured warm single-worker service time,
-    // exactly like the engine arm.
-    let warm_s = EngineBackend::single_worker(ModelProfile::Tiny).warm_service_time_s();
+    // exactly like the engine arm. Both cluster arms serve through the
+    // control plane (ClusterService is a gateway facade), so the probe
+    // goes through the same path — the wire overhead sits inside the
+    // normalization, not as noise against a deadline calibrated for a
+    // path the arm never takes.
+    let warm_s = net_warm_service_time_s();
     let deadline_s = 4.0 * warm_s;
     // RAM sized to half the chunk universe: one replica thrashes its RAM
     // tier over the shared disk, two replicas hold their home shards.
@@ -430,7 +554,7 @@ fn cluster_arm(smoke: bool, max_replicas: usize) {
                 .join("/");
             rows.push(
                 Row::new("cluster")
-                    .col("backend", "cluster")
+                    .col("backend", backend_label)
                     .col("replicas", replicas)
                     .num("rate_rps", rate)
                     .num("rate_mult", mult)
@@ -445,6 +569,24 @@ fn cluster_arm(smoke: bool, max_replicas: usize) {
                     .col("admissions", admissions),
             );
         }
+    }
+    if net {
+        // The price of the wire boundary, measured head-to-head on the
+        // same warm single-replica engine.
+        let (direct_us, net_us) = routing_hop_tax_us(if smoke { 40 } else { 120 });
+        let tax_us = (net_us - direct_us).max(0.0);
+        println!(
+            "routing-hop latency tax: direct {direct_us:.1}µs → net {net_us:.1}µs \
+             (+{tax_us:.1}µs/request)"
+        );
+        rows.push(
+            Row::new("cluster")
+                .col("backend", backend_label)
+                .col("metric", "routing_hop_tax")
+                .num("direct_median_us", direct_us)
+                .num("net_median_us", net_us)
+                .num("hop_tax_us", tax_us),
+        );
     }
     emit("BENCH_cluster", &rows);
 

@@ -1,5 +1,5 @@
 //! One module per reproduced figure/table; binaries in `src/bin/` are thin
-//! wrappers and `all_experiments` runs the lot. See DESIGN.md §7 for the
+//! wrappers and `all_experiments` runs the lot. See DESIGN.md §8 for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 
 pub mod fig02;

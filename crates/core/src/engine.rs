@@ -57,6 +57,57 @@ use crate::pipeline::blend_prefetched;
 use crate::scheduler::{EngineService, ServiceConfig};
 use crate::stream::Event;
 
+/// Stable wire identity of an [`EngineError`] variant. Service
+/// boundaries (the network control plane, logs, metrics) transmit the
+/// code plus a numeric detail and a message instead of the Rust enum, and
+/// [`EngineError::from_wire`] reconstructs the closest possible variant
+/// on the far side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`EngineError::UnknownChunk`]; detail carries the chunk id.
+    UnknownChunk = 1,
+    /// [`EngineError::EmptyChunk`].
+    EmptyChunk = 2,
+    /// [`EngineError::EmptyQuery`].
+    EmptyQuery = 3,
+    /// [`EngineError::TooLarge`]; detail carries the size in bytes.
+    TooLarge = 4,
+    /// [`EngineError::Corrupt`]; the decode detail survives only as the
+    /// message string.
+    Corrupt = 5,
+    /// [`EngineError::Storage`].
+    Storage = 6,
+    /// [`EngineError::Config`].
+    Config = 7,
+    /// [`EngineError::Canceled`].
+    Canceled = 8,
+    /// [`EngineError::Panicked`].
+    Panicked = 9,
+    /// No healthy worker could accept the request — synthesized by
+    /// cluster front ends (a gateway), never by a single engine.
+    NoHealthyWorker = 10,
+}
+
+impl ErrorCode {
+    /// Inverse of `code as u16`; `None` for unassigned values.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::UnknownChunk,
+            2 => ErrorCode::EmptyChunk,
+            3 => ErrorCode::EmptyQuery,
+            4 => ErrorCode::TooLarge,
+            5 => ErrorCode::Corrupt,
+            6 => ErrorCode::Storage,
+            7 => ErrorCode::Config,
+            8 => ErrorCode::Canceled,
+            9 => ErrorCode::Panicked,
+            10 => ErrorCode::NoHealthyWorker,
+            _ => return None,
+        })
+    }
+}
+
 /// Unified error surface of the engine API.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
@@ -85,6 +136,74 @@ pub enum EngineError {
     /// The worker serving the request panicked. The scheduler contains
     /// the panic (the pool keeps serving); only this request fails.
     Panicked,
+    /// A failure reported across a service boundary that has no exact
+    /// local variant — either the original carried non-serializable
+    /// detail (a [`DecodeError`]) or it was synthesized by a remote front
+    /// end ([`ErrorCode::NoHealthyWorker`]). The code and message
+    /// preserve what crossed the wire.
+    Remote {
+        /// The original failure's wire code.
+        code: ErrorCode,
+        /// Human-readable detail rendered on the failing side.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// This error's wire code (exact for every local variant;
+    /// [`EngineError::Remote`] reports the code it arrived with).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            EngineError::UnknownChunk(_) => ErrorCode::UnknownChunk,
+            EngineError::EmptyChunk => ErrorCode::EmptyChunk,
+            EngineError::EmptyQuery => ErrorCode::EmptyQuery,
+            EngineError::TooLarge { .. } => ErrorCode::TooLarge,
+            EngineError::Corrupt(_) => ErrorCode::Corrupt,
+            EngineError::Storage(_) => ErrorCode::Storage,
+            EngineError::Config(_) => ErrorCode::Config,
+            EngineError::Canceled => ErrorCode::Canceled,
+            EngineError::Panicked => ErrorCode::Panicked,
+            EngineError::Remote { code, .. } => *code,
+        }
+    }
+
+    /// Flattens the error into its wire representation:
+    /// `(code, numeric detail, message)`. The numeric detail carries the
+    /// chunk id for [`EngineError::UnknownChunk`] and the byte size for
+    /// [`EngineError::TooLarge`]; variants whose payload is text put it in
+    /// the message.
+    pub fn to_wire(&self) -> (ErrorCode, u64, String) {
+        match self {
+            EngineError::UnknownChunk(id) => (ErrorCode::UnknownChunk, id.0, String::new()),
+            EngineError::TooLarge { size } => (ErrorCode::TooLarge, *size, String::new()),
+            EngineError::Corrupt(e) => (ErrorCode::Corrupt, 0, e.to_string()),
+            EngineError::Storage(msg) => (ErrorCode::Storage, 0, msg.clone()),
+            EngineError::Config(msg) => (ErrorCode::Config, 0, msg.clone()),
+            EngineError::Remote { code, message } => (*code, 0, message.clone()),
+            other => (other.code(), 0, String::new()),
+        }
+    }
+
+    /// Reconstructs an error from its wire representation. Round-trips
+    /// every variant except [`EngineError::Corrupt`], whose structured
+    /// [`DecodeError`] cannot cross the wire — it (and codes with no local
+    /// variant) come back as [`EngineError::Remote`] carrying the original
+    /// code and rendered message.
+    pub fn from_wire(code: ErrorCode, detail: u64, message: String) -> EngineError {
+        match code {
+            ErrorCode::UnknownChunk => EngineError::UnknownChunk(ChunkId(detail)),
+            ErrorCode::EmptyChunk => EngineError::EmptyChunk,
+            ErrorCode::EmptyQuery => EngineError::EmptyQuery,
+            ErrorCode::TooLarge => EngineError::TooLarge { size: detail },
+            ErrorCode::Storage => EngineError::Storage(message),
+            ErrorCode::Config => EngineError::Config(message),
+            ErrorCode::Canceled => EngineError::Canceled,
+            ErrorCode::Panicked => EngineError::Panicked,
+            ErrorCode::Corrupt | ErrorCode::NoHealthyWorker => {
+                EngineError::Remote { code, message }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -106,6 +225,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Panicked => {
                 write!(f, "request failed: its worker panicked while serving it")
+            }
+            EngineError::Remote { code, message } if message.is_empty() => {
+                write!(f, "remote failure: {code:?}")
+            }
+            EngineError::Remote { code, message } => {
+                write!(f, "remote failure ({code:?}): {message}")
             }
         }
     }

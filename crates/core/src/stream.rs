@@ -19,7 +19,7 @@
 //! [`EngineError::Canceled`].
 
 use cb_tokenizer::TokenId;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 
 use crate::engine::{EngineError, Response, TtftBreakdown};
 
@@ -65,6 +65,18 @@ pub struct ResponseStream {
 impl ResponseStream {
     pub(crate) fn new(rx: Receiver<Event>) -> Self {
         Self { rx }
+    }
+
+    /// A detached stream fed by an explicit sender — the hook remote front
+    /// ends (e.g. a network gateway relaying events that arrived off the
+    /// wire) use to re-materialize a request's stream outside the
+    /// scheduler. Dropping the sender without a terminal event closes the
+    /// stream, so [`ResponseStream::collect`] reports
+    /// [`EngineError::Canceled`] exactly as it does for an in-process
+    /// service shutdown.
+    pub fn channel() -> (Sender<Event>, ResponseStream) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (tx, ResponseStream { rx })
     }
 
     /// Blocks for the next event; `None` once the stream is closed (after

@@ -1,0 +1,128 @@
+//! `cb_gateway`: the cluster coordinator process. Listens for worker and
+//! client connections, routes submissions by chunk locality, and (with
+//! `--smoke`) self-checks one request end-to-end through a real TCP
+//! client session, exiting 0 on success.
+//!
+//! ```text
+//! cb_gateway --listen 127.0.0.1:7070 --expect-workers 2 [--smoke]
+//! ```
+//!
+//! CI runs the smoke as: start `cb_gateway … --smoke` plus two
+//! `cb_worker` processes, then wait on the gateway's exit status.
+
+use cb_core::engine::Request;
+use cb_net::client::NetClient;
+use cb_net::gateway::{Gateway, GatewayConfig};
+use cb_net::tcp::TcpTransport;
+use cb_tokenizer::{TokenKind, Vocab};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!("usage: cb_gateway --listen ADDR [--expect-workers N] [--smoke]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut expect = 1usize;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--expect-workers" => {
+                expect = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+    }
+
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("cb_gateway: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = listener.local_addr().expect("bound address");
+    eprintln!("cb_gateway: listening on {addr}");
+
+    let gateway = Arc::new(Gateway::new(GatewayConfig::default()));
+    {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                match TcpTransport::from_stream(stream) {
+                    Ok(t) => match gateway.accept(Arc::new(t)) {
+                        Ok(accepted) => eprintln!("cb_gateway: accepted {accepted:?}"),
+                        Err(e) => eprintln!("cb_gateway: rejected connection: {e}"),
+                    },
+                    Err(e) => eprintln!("cb_gateway: connection setup failed: {e}"),
+                }
+            }
+        });
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while gateway.n_workers() < expect {
+        if Instant::now() > deadline {
+            eprintln!(
+                "cb_gateway: only {}/{} workers attached within 60s",
+                gateway.n_workers(),
+                expect
+            );
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("cb_gateway: {} workers attached", gateway.n_workers());
+
+    if !smoke {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // Smoke: drive one request through a real client connection — the
+    // exact path an external process uses.
+    let client = NetClient::connect(Arc::new(TcpTransport::connect(addr).expect("self-connect")))
+        .expect("client handshake");
+    let v = Vocab::default_eval();
+    let chunk = vec![
+        v.id(TokenKind::Entity(3)),
+        v.id(TokenKind::Attr(1)),
+        v.id(TokenKind::Value(7)),
+        v.id(TokenKind::Sep),
+    ];
+    let id = client
+        .register_chunk(&chunk, true)
+        .expect("chunk registers cluster-wide");
+    let query = vec![
+        v.id(TokenKind::Query),
+        v.id(TokenKind::Entity(3)),
+        v.id(TokenKind::Attr(1)),
+        v.id(TokenKind::QMark),
+    ];
+    let resp = client
+        .submit(&Request::new(vec![id], query).ratio(0.45).max_new_tokens(4))
+        .expect("smoke request completes");
+    assert!(!resp.answer.is_empty(), "smoke request produced no tokens");
+    let (healthy, _) = client.cluster_status().expect("status RPC");
+    assert!(
+        healthy.iter().all(|&h| h),
+        "all workers healthy after smoke"
+    );
+    println!(
+        "cb_gateway smoke OK: {} workers, {} answer tokens, ttft {:?}",
+        healthy.len(),
+        resp.answer.len(),
+        resp.ttft.total
+    );
+    drop(client);
+    // Process exit closes every worker connection; workers observe the
+    // close and exit on their own.
+}

@@ -1,0 +1,78 @@
+//! `cb_worker`: one engine worker process. Connects to a `cb_gateway`
+//! over TCP, announces itself, and serves submissions until the gateway
+//! ends the session.
+//!
+//! ```text
+//! cb_worker --gateway 127.0.0.1:7070 [--workers 2] [--seed 11]
+//! ```
+//!
+//! The engine is a Tiny-profile instance built from `--seed`; every
+//! worker in a cluster must use the same profile and seed so routing
+//! never changes results.
+
+use cb_core::engine::EngineBuilder;
+use cb_core::scheduler::{EngineService, ServiceConfig};
+use cb_model::ModelProfile;
+use cb_net::tcp::TcpTransport;
+use cb_net::worker::{Worker, WorkerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: cb_worker --gateway ADDR [--workers N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut gateway = None;
+    let mut workers = 2usize;
+    let mut seed = 11u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gateway" => gateway = args.next(),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = gateway else { usage() };
+
+    // The gateway may still be binding its listener: retry briefly.
+    let conn = (0..50)
+        .find_map(|_| match TcpTransport::connect(&addr) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(100));
+                None
+            }
+        })
+        .unwrap_or_else(|| {
+            eprintln!("cb_worker: could not reach gateway at {addr}");
+            std::process::exit(1);
+        });
+
+    let engine = EngineBuilder::new(ModelProfile::Tiny)
+        .seed(seed)
+        .build()
+        .expect("Tiny engine builds");
+    let service = Arc::new(EngineService::new(
+        engine,
+        ServiceConfig::default().workers(workers).queue_capacity(64),
+    ));
+    let worker =
+        Worker::start(service, Arc::new(conn), WorkerConfig::default()).expect("worker handshake");
+    eprintln!("cb_worker: serving {addr} (scheduler workers: {workers}, seed: {seed})");
+    worker.run_until_disconnected();
+    eprintln!("cb_worker: gateway session ended, exiting");
+}

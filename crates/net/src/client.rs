@@ -1,0 +1,212 @@
+//! [`NetClient`]: the remote front door. Speaks the client half of the
+//! protocol to a gateway over any [`Transport`] — submit requests and get
+//! back ordinary [`ResponseStream`]s, register chunks cluster-wide, and
+//! snapshot worker health. The `cb_gateway --smoke` self-check and the
+//! loopback-vs-TCP parity tests drive the cluster exclusively through
+//! this type.
+
+use crate::message::{Message, WireRequest};
+use crate::transport::{NetError, Transport};
+use cb_core::engine::{EngineError, ErrorCode, Request, Response};
+use cb_core::scheduler::ServiceProbe;
+use cb_core::stream::{Event, ResponseStream};
+use cb_kv::ChunkId;
+use cb_tokenizer::TokenId;
+use crossbeam::channel::{self, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct ClientInner {
+    conn: Arc<dyn Transport>,
+    streams: Mutex<HashMap<u64, Sender<Event>>>,
+    rpcs: Mutex<HashMap<u64, Sender<Message>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ClientInner {
+    fn demux_loop(self: Arc<Self>) {
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.conn.recv_timeout(Duration::from_millis(50)) {
+                Ok(Message::Ev { id, event }) => {
+                    let ev = event.into_event();
+                    let terminal = ev.is_terminal();
+                    let mut streams = self.streams.lock().unwrap();
+                    if let Some(tx) = streams.get(&id) {
+                        let _ = tx.send(ev);
+                    }
+                    if terminal {
+                        streams.remove(&id);
+                    }
+                }
+                Ok(msg @ (Message::RegisterReply { .. } | Message::ClusterStatusReply { .. })) => {
+                    let rpc = match &msg {
+                        Message::RegisterReply { rpc, .. }
+                        | Message::ClusterStatusReply { rpc, .. } => *rpc,
+                        _ => unreachable!(),
+                    };
+                    if let Some(tx) = self.rpcs.lock().unwrap().remove(&rpc) {
+                        let _ = tx.send(msg);
+                    }
+                }
+                Ok(_) => {}
+                Err(NetError::Timeout) => {}
+                Err(_) => {
+                    // Gateway gone: dropping the senders closes every open
+                    // stream, so collectors observe `Canceled` rather than
+                    // hanging.
+                    self.streams.lock().unwrap().clear();
+                    self.rpcs.lock().unwrap().clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn rpc(
+        &self,
+        timeout: Duration,
+        build: impl FnOnce(u64) -> Message,
+    ) -> Result<Message, NetError> {
+        let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::unbounded();
+        self.rpcs.lock().unwrap().insert(rpc, tx);
+        if let Err(e) = self.conn.send(&build(rpc)) {
+            self.rpcs.lock().unwrap().remove(&rpc);
+            return Err(e);
+        }
+        rx.recv_timeout(timeout).map_err(|_| {
+            self.rpcs.lock().unwrap().remove(&rpc);
+            NetError::Timeout
+        })
+    }
+}
+
+/// A connected client session (see module docs). Dropping it closes the
+/// session; streams still open report [`EngineError::Canceled`].
+pub struct NetClient {
+    inner: Arc<ClientInner>,
+    demux: Option<JoinHandle<()>>,
+    rpc_timeout: Duration,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("peer", &self.inner.conn.peer())
+            .finish()
+    }
+}
+
+impl NetClient {
+    /// Opens a client session on `conn`: announces `HelloClient` and
+    /// starts the demux thread that routes incoming frames to streams.
+    pub fn connect(conn: Arc<dyn Transport>) -> Result<NetClient, NetError> {
+        conn.send(&Message::HelloClient)?;
+        let inner = Arc::new(ClientInner {
+            conn,
+            streams: Mutex::new(HashMap::new()),
+            rpcs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let demux = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("cb-net-client-demux".into())
+                .spawn(move || inner.demux_loop())
+                .map_err(|e| NetError::Io(e.to_string()))?
+        };
+        Ok(NetClient {
+            inner,
+            demux: Some(demux),
+            rpc_timeout: Duration::from_secs(60),
+        })
+    }
+
+    /// Submits a request through the gateway's locality router. The
+    /// returned stream replays the worker's events exactly as an
+    /// in-process `EngineService` stream would; routing failures arrive
+    /// as `Event::Failed` with the structured
+    /// [`ErrorCode::NoHealthyWorker`] error.
+    pub fn submit_stream(&self, request: &Request) -> ResponseStream {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, stream) = ResponseStream::channel();
+        self.inner.streams.lock().unwrap().insert(id, tx.clone());
+        let msg = Message::Submit {
+            id,
+            blocking: false,
+            request: WireRequest::from_request(request),
+        };
+        if self.inner.conn.send(&msg).is_err() {
+            self.inner.streams.lock().unwrap().remove(&id);
+            let _ = tx.send(Event::Failed(EngineError::Remote {
+                code: ErrorCode::NoHealthyWorker,
+                message: "gateway connection closed".into(),
+            }));
+        }
+        stream
+    }
+
+    /// Blocking one-shot convenience over [`NetClient::submit_stream`].
+    pub fn submit(&self, request: &Request) -> Result<Response, EngineError> {
+        self.submit_stream(request).collect()
+    }
+
+    /// Registers a chunk on every worker. With `eager`, the chunk's home
+    /// worker precomputes its KV and replicates it to the persistent
+    /// tier; otherwise registration is lazy everywhere.
+    pub fn register_chunk(&self, tokens: &[TokenId], eager: bool) -> Result<ChunkId, EngineError> {
+        let reply = self
+            .inner
+            .rpc(self.rpc_timeout, |rpc| Message::RegisterChunk {
+                rpc,
+                eager,
+                tokens: tokens.to_vec(),
+            })
+            .map_err(|e| EngineError::Storage(format!("registration RPC failed: {e}")))?;
+        match reply {
+            Message::RegisterReply {
+                result: Ok(raw), ..
+            } => Ok(ChunkId(raw)),
+            Message::RegisterReply {
+                result: Err(failure),
+                ..
+            } => Err(failure.into_error()),
+            other => Err(EngineError::Storage(format!(
+                "unexpected registration reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Per-worker health and last-heartbeat probes, as the gateway sees
+    /// them.
+    pub fn cluster_status(&self) -> Result<(Vec<bool>, Vec<ServiceProbe>), NetError> {
+        match self
+            .inner
+            .rpc(self.rpc_timeout, |rpc| Message::Status { rpc })?
+        {
+            Message::ClusterStatusReply {
+                healthy, probes, ..
+            } => Ok((healthy, probes)),
+            other => Err(NetError::Io(format!("unexpected status reply {other:?}"))),
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        // Tell the gateway the session is over (best-effort).
+        let _ = self.inner.conn.send(&Message::Shutdown);
+        if let Some(h) = self.demux.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The wire framing layer: every message travels as one length-prefixed,
+//! checksummed frame.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"CBNF"
+//! 4       2     protocol version (currently 1)
+//! 6       4     payload length in bytes
+//! 10      len   payload (one encoded `Message`)
+//! 10+len  8     fnv64(payload) — the workspace storage checksum
+//! ```
+//!
+//! The decoder validates in header order and **before allocating**: a
+//! frame claiming a `u32::MAX` payload is rejected by the
+//! [`MAX_FRAME_PAYLOAD`] bound without reserving a byte, and a truncated
+//! buffer is reported as [`FrameError::Truncated`] rather than read past.
+//! The checksum closes the gap the length prefix leaves open — a
+//! bit-flipped payload of the right length still fails to verify.
+
+use cb_storage::checksum::fnv64;
+use std::io::{Read, Write};
+
+/// Leading frame magic.
+pub const FRAME_MAGIC: [u8; 4] = *b"CBNF";
+/// Protocol version stamped into (and required of) every frame.
+pub const FRAME_VERSION: u16 = 1;
+/// Bytes before the payload: magic + version + payload length.
+pub const HEADER_LEN: usize = 10;
+/// Bytes after the payload: the FNV-1a checksum.
+pub const TRAILER_LEN: usize = 8;
+/// Upper bound on a payload. Registration frames carry whole token
+/// vectors, so the bound is generous — but it exists precisely so a
+/// corrupted or hostile length field can never drive an allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 32 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version field names a protocol this build does not speak.
+    BadVersion(u16),
+    /// The length field exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u32),
+    /// The buffer or stream ended before the frame did.
+    Truncated,
+    /// The payload does not match its checksum.
+    Checksum {
+        /// Checksum carried by the frame trailer.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        actual: u64,
+    },
+    /// The underlying reader/writer failed.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame claims {n} payload bytes (max {MAX_FRAME_PAYLOAD})"
+                )
+            }
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
+            }
+            FrameError::Io(e) => write!(f, "frame transport i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e.to_string())
+        }
+    }
+}
+
+/// Wraps a payload into one complete frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payload too large"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Decodes the frame at the front of `buf`, returning the payload slice
+/// and the total bytes consumed. Validation is allocation-free: the
+/// payload is borrowed, never copied.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let magic: [u8; 4] = buf[0..4].try_into().unwrap();
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    if version != FRAME_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    let len = len as usize;
+    let total = HEADER_LEN + len + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let expected = u64::from_le_bytes(buf[HEADER_LEN + len..total].try_into().unwrap());
+    let actual = fnv64(payload);
+    if expected != actual {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    Ok((payload, total))
+}
+
+/// Writes one frame to a stream (a socket). One call produces exactly the
+/// bytes [`read_frame`] consumes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream, validating the header before the
+/// payload allocation (an oversize length never allocates).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = header[0..4].try_into().unwrap();
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != FRAME_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    r.read_exact(&mut trailer)?;
+    let expected = u64::from_le_bytes(trailer);
+    let actual = fnv64(&payload);
+    if expected != actual {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        for payload in [&[][..], &[7u8][..], &[1, 2, 3, 4, 5, 6, 7, 8, 9][..]] {
+            let frame = encode_frame(payload);
+            let (got, consumed) = decode_frame(&frame).unwrap();
+            assert_eq!(got, payload);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_matches_slice_decode() {
+        let payload = b"over the stream";
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        let got = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn consecutive_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_frame(b"first"));
+        buf.extend_from_slice(&encode_frame(b"second"));
+        let (p1, used) = decode_frame(&buf).unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, _) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!(p2, b"second");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let frame = encode_frame(b"sensitive payload");
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 1;
+            // Flips may hit the magic, version, length, payload, or
+            // checksum — all must surface as *some* decode error.
+            let res = decode_frame(&bad);
+            assert!(res.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut frame = encode_frame(b"x");
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&frame), Err(FrameError::Oversize(u32::MAX)));
+        assert_eq!(
+            read_frame(&mut &frame[..]),
+            Err(FrameError::Oversize(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_reported() {
+        let frame = encode_frame(b"will be cut");
+        for keep in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..keep]),
+                Err(FrameError::Truncated),
+                "keeping {keep} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = encode_frame(b"v?");
+        frame[4..6].copy_from_slice(&7u16.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::BadVersion(7))
+        ));
+    }
+}

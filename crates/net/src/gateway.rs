@@ -1,0 +1,957 @@
+//! The coordinator side of the control plane: the [`Gateway`] owns chunk
+//! placement, request routing, spill, and failover over any
+//! [`Transport`] — the policy brain that `cb-serving`'s in-process
+//! `ClusterService` now fronts.
+//!
+//! **Placement and routing** generalize the cluster router: every chunk
+//! has a stable home worker under rendezvous hashing (SplitMix64 scores;
+//! health never moves homes), and a request goes to the worker home to
+//! the most of its chunks, ties broken by an order-independent hash of
+//! the whole set.
+//!
+//! **Admission is optimistic and asynchronous.** `Submit` frames carry
+//! `blocking: false` first; a worker whose queue is full answers
+//! `Rejected` with a fresh probe, and the gateway *respills* the pending
+//! request — first to the least-loaded other healthy worker, then (if
+//! every queue is full) back to the best healthy worker with
+//! `blocking: true`, which cannot be refused.
+//!
+//! **Failover is edge-triggered.** A worker is *effectively healthy* when
+//! the operator mark is up, the connection lives, its last probe says the
+//! scheduler can make progress, and a heartbeat arrived within
+//! [`GatewayConfig::heartbeat_timeout`]. Every health evaluation runs
+//! through one idempotent transition detector: [`ClusterStats::failovers`]
+//! counts **down-transitions exactly once** — a worker that recovers
+//! mid-probe and fails again counts twice, but re-observing a down worker
+//! (from routing, heartbeat sweeps, and operator marks concurrently)
+//! never double-counts.
+//!
+//! The state machine per worker:
+//!
+//! ```text
+//!            heartbeat fresh ∧ probe healthy ∧ marked ∧ connected
+//!          ┌─────────────────────────────────────────────────────┐
+//!          ▼                                                     │
+//!        UP ──(silence > timeout | probe unhealthy | marked down │
+//!          │        | disconnect)──▶ DOWN ──(condition clears)───┘
+//!          │  ↑ counted once per down edge (`failovers`)
+//! ```
+
+use crate::message::{Message, WireEvent, WireFailure, WireRequest};
+use crate::transport::{NetError, Transport};
+use cb_core::engine::{EngineError, ErrorCode, Request, Response};
+use cb_core::scheduler::{ServiceProbe, ServiceStats};
+use cb_core::stream::{Event, ResponseStream};
+use cb_kv::chunk::hash_tokens;
+use cb_kv::ChunkId;
+use cb_tokenizer::TokenId;
+use crossbeam::channel::{self, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by cluster submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Every worker is unhealthy (no scheduler workers, shut down, marked
+    /// down, heartbeat-silent, or disconnected); the request was not
+    /// accepted anywhere.
+    NoHealthyReplica,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoHealthyReplica => {
+                write!(f, "no healthy worker available to serve the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Lifetime counters of a gateway (see [`Gateway::stats`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Requests admitted per worker (router submissions only).
+    pub admissions: Vec<u64>,
+    /// Requests that could not be admitted at their routed worker (queue
+    /// full) and were respilled to the least-loaded worker instead.
+    pub spills: u64,
+    /// Worker health **down-transitions**, counted once per edge — the
+    /// idempotent failover counter (see module docs' state machine).
+    pub failovers: u64,
+    /// Requests routed away from their locality-preferred worker because
+    /// it was unhealthy at submit time.
+    pub reroutes: u64,
+    /// Requests served by their locality-preferred worker.
+    pub local_requests: u64,
+    /// Requests admitted in total.
+    pub total_requests: u64,
+    /// Chunk references across all admitted requests.
+    pub chunk_lookups: u64,
+    /// Chunk references served by the chunk's home worker — the cache the
+    /// rendezvous placement keeps warm.
+    pub chunk_local: u64,
+    /// Requests rejected because no worker was healthy.
+    pub rejections: u64,
+}
+
+impl ClusterStats {
+    /// Fraction of chunk references served at the chunk's home worker —
+    /// the router's locality hit rate.
+    pub fn locality_hit_rate(&self) -> f64 {
+        if self.chunk_lookups == 0 {
+            0.0
+        } else {
+            self.chunk_local as f64 / self.chunk_lookups as f64
+        }
+    }
+
+    /// Fraction of requests served by their locality-preferred worker.
+    pub fn request_locality_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.local_requests as f64 / self.total_requests as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AtomicClusterStats {
+    spills: AtomicU64,
+    failovers: AtomicU64,
+    reroutes: AtomicU64,
+    local_requests: AtomicU64,
+    total_requests: AtomicU64,
+    chunk_lookups: AtomicU64,
+    chunk_local: AtomicU64,
+    rejections: AtomicU64,
+}
+
+/// Gateway tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayConfig {
+    /// Silence longer than this declares a worker down (until its next
+    /// heartbeat). Keep it several heartbeat intervals wide.
+    pub heartbeat_timeout: Duration,
+    /// How long [`Gateway::attach`] waits for the `HelloWorker` frame.
+    pub attach_timeout: Duration,
+    /// How long registration/status/drain RPCs wait for their reply.
+    pub rpc_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_secs(5),
+            attach_timeout: Duration::from_secs(10),
+            rpc_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Sets the heartbeat-silence window.
+    pub fn heartbeat_timeout(mut self, d: Duration) -> Self {
+        self.heartbeat_timeout = d;
+        self
+    }
+
+    /// The demux poll period: frequent enough to sweep heartbeat expiry
+    /// well inside the timeout window.
+    fn tick(&self) -> Duration {
+        (self.heartbeat_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(250))
+    }
+}
+
+/// SplitMix64 finalizer: a strong, cheap 64-bit mix for rendezvous scores.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const REPLICA_SALT: u64 = 0xA24B_AED4_963E_E407;
+
+#[derive(Debug)]
+struct SlotState {
+    probe: ServiceProbe,
+    stats: ServiceStats,
+    last_heartbeat: Instant,
+    /// Operator mark (fault injection, maintenance).
+    marked_up: bool,
+    /// False once the connection died.
+    connected: bool,
+    /// Last *observed* effective health — the edge detector's memory.
+    was_healthy: bool,
+}
+
+#[derive(Debug)]
+struct WorkerSlot {
+    index: usize,
+    conn: Arc<dyn Transport>,
+    admissions: AtomicU64,
+    state: Mutex<SlotState>,
+}
+
+/// One in-flight routed request.
+struct Pending {
+    request: Request,
+    tx: Sender<Event>,
+    worker: usize,
+    preferred: usize,
+    /// Rejections seen so far (drives the respill escalation).
+    attempts: u32,
+    /// True once its admission was recorded (first `Queued` event).
+    counted: bool,
+}
+
+/// What [`Gateway::accept`] found on a new connection.
+#[derive(Debug)]
+pub enum Accepted {
+    /// A worker announced itself; its index is returned.
+    Worker(usize),
+    /// A client session started (served on a background thread).
+    Client,
+}
+
+struct GwInner {
+    cfg: GatewayConfig,
+    workers: RwLock<Vec<Arc<WorkerSlot>>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    rpcs: Mutex<HashMap<u64, Sender<Message>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    stats: AtomicClusterStats,
+}
+
+impl GwInner {
+    // --- health -----------------------------------------------------------
+
+    /// Evaluates a slot's effective health and runs the idempotent edge
+    /// detector: a true→false observation counts one failover; repeated
+    /// observations of the same state count nothing.
+    fn refresh_slot(&self, slot: &WorkerSlot) -> bool {
+        let mut st = slot.state.lock().unwrap();
+        let eff = st.marked_up
+            && st.connected
+            && st.probe.healthy()
+            && st.last_heartbeat.elapsed() <= self.cfg.heartbeat_timeout;
+        if st.was_healthy && !eff {
+            self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        st.was_healthy = eff;
+        eff
+    }
+
+    fn slots(&self) -> Vec<Arc<WorkerSlot>> {
+        self.workers.read().unwrap().clone()
+    }
+
+    fn n_workers(&self) -> usize {
+        self.workers.read().unwrap().len()
+    }
+
+    // --- placement --------------------------------------------------------
+
+    fn home_of(&self, id: ChunkId) -> usize {
+        let n = self.n_workers();
+        (0..n)
+            .max_by_key(|&r| splitmix64(id.0 ^ (r as u64).wrapping_mul(REPLICA_SALT)))
+            .expect("at least one worker")
+    }
+
+    /// One-scan routing decision: `(target, preferred, rerouted)` —
+    /// identical ranking to the original in-process cluster router.
+    fn decide(&self, chunk_ids: &[ChunkId]) -> (Option<usize>, usize, bool) {
+        let slots = self.slots();
+        let n = slots.len();
+        let mut votes = vec![0usize; n];
+        let mut set_hash = 0u64;
+        for &c in chunk_ids {
+            votes[self.home_of(c)] += 1;
+            set_hash ^= splitmix64(c.0);
+        }
+        let rank = |r: usize| {
+            (
+                votes[r],
+                splitmix64(set_hash ^ (r as u64).wrapping_mul(REPLICA_SALT)),
+            )
+        };
+        let preferred = (0..n)
+            .max_by_key(|&r| rank(r))
+            .expect("at least one worker");
+        if self.refresh_slot(&slots[preferred]) {
+            return (Some(preferred), preferred, false);
+        }
+        let target = (0..n)
+            .filter(|&r| self.refresh_slot(&slots[r]))
+            .max_by_key(|&r| rank(r));
+        (target, preferred, target.is_some())
+    }
+
+    fn least_loaded(&self, exclude: Option<usize>) -> Option<usize> {
+        let slots = self.slots();
+        (0..slots.len())
+            .filter(|&r| Some(r) != exclude && self.refresh_slot(&slots[r]))
+            .min_by_key(|&r| slots[r].state.lock().unwrap().probe.load())
+    }
+
+    // --- accounting -------------------------------------------------------
+
+    fn record_admission(&self, worker: usize, preferred: usize, chunk_ids: &[ChunkId]) {
+        self.slots()[worker]
+            .admissions
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats.total_requests.fetch_add(1, Ordering::Relaxed);
+        if worker == preferred {
+            self.stats.local_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let local = chunk_ids
+            .iter()
+            .filter(|&&c| self.home_of(c) == worker)
+            .count();
+        self.stats
+            .chunk_lookups
+            .fetch_add(chunk_ids.len() as u64, Ordering::Relaxed);
+        self.stats
+            .chunk_local
+            .fetch_add(local as u64, Ordering::Relaxed);
+    }
+
+    // --- demux ------------------------------------------------------------
+
+    fn demux_loop(self: Arc<Self>, slot: Arc<WorkerSlot>) {
+        let tick = self.cfg.tick();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match slot.conn.recv_timeout(tick) {
+                Ok(msg) => self.handle_worker_msg(&slot, msg),
+                Err(NetError::Timeout) => {
+                    // The periodic sweep: expire heartbeat silence.
+                    self.refresh_slot(&slot);
+                }
+                Err(_) => {
+                    self.on_worker_disconnect(&slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_worker_msg(self: &Arc<Self>, slot: &Arc<WorkerSlot>, msg: Message) {
+        match msg {
+            Message::Heartbeat { probe, stats } => {
+                {
+                    let mut st = slot.state.lock().unwrap();
+                    st.probe = probe;
+                    st.stats = stats;
+                    st.last_heartbeat = Instant::now();
+                }
+                self.refresh_slot(slot);
+            }
+            Message::Rejected { id, probe } => {
+                {
+                    let mut st = slot.state.lock().unwrap();
+                    st.probe = probe;
+                }
+                self.respill(id, Some(slot.index));
+            }
+            Message::Ev { id, event } => {
+                let ev = event.into_event();
+                let mut pending = self.pending.lock().unwrap();
+                let Some(p) = pending.get_mut(&id) else {
+                    return; // Late event for a resolved/abandoned request.
+                };
+                if matches!(ev, Event::Queued) && !p.counted {
+                    p.counted = true;
+                    let (worker, preferred, chunk_ids) =
+                        (p.worker, p.preferred, p.request.chunk_ids.clone());
+                    self.record_admission(worker, preferred, &chunk_ids);
+                }
+                let terminal = ev.is_terminal();
+                let _ = p.tx.send(ev); // Receiver may be gone; fine.
+                if terminal {
+                    pending.remove(&id);
+                }
+            }
+            Message::RegisterReply { rpc, .. }
+            | Message::StatusReply { rpc, .. }
+            | Message::DrainReply { rpc } => {
+                if let Some(tx) = self.rpcs.lock().unwrap().remove(&rpc) {
+                    let _ = tx.send(msg);
+                }
+            }
+            _ => {} // Frames the gateway never consumes from workers.
+        }
+    }
+
+    /// Re-places a pending request after its worker rejected it (or
+    /// died). Escalation: first rejection spills to the least-loaded
+    /// *other* healthy worker non-blocking; anything further goes to the
+    /// best healthy worker with `blocking: true` (cannot be refused). No
+    /// healthy worker at all fails the request with a structured error —
+    /// never a hang.
+    fn respill(&self, id: u64, reject_origin: Option<usize>) {
+        let mut pending = self.pending.lock().unwrap();
+        let Some(p) = pending.get_mut(&id) else {
+            return;
+        };
+        p.attempts += 1;
+        let placement = if p.attempts == 1 {
+            match self.least_loaded(reject_origin) {
+                Some(t) => {
+                    self.stats.spills.fetch_add(1, Ordering::Relaxed);
+                    Some((t, false))
+                }
+                // Nowhere else to go: block at the best healthy worker
+                // (usually the origin itself) — uncounted, matching the
+                // in-process router's "nowhere to spill" semantics.
+                None => self.least_loaded(None).map(|t| (t, true)),
+            }
+        } else {
+            self.least_loaded(None).map(|t| (t, true))
+        };
+        let Some((target, blocking)) = placement else {
+            let err = EngineError::Remote {
+                code: ErrorCode::NoHealthyWorker,
+                message: "request rejected and no healthy worker remains".into(),
+            };
+            let _ = p.tx.send(Event::Failed(err));
+            pending.remove(&id);
+            return;
+        };
+        p.worker = target;
+        let request = WireRequest::from_request(&p.request);
+        drop(pending);
+        let conn = self.slots()[target].conn.clone();
+        if conn
+            .send(&Message::Submit {
+                id,
+                blocking,
+                request,
+            })
+            .is_err()
+        {
+            // Raced a second failure: give up with the structured error.
+            let mut pending = self.pending.lock().unwrap();
+            if let Some(p) = pending.remove(&id) {
+                let err = EngineError::Remote {
+                    code: ErrorCode::NoHealthyWorker,
+                    message: format!("worker {target} died while the request respilled"),
+                };
+                let _ = p.tx.send(Event::Failed(err));
+            }
+        }
+    }
+
+    fn on_worker_disconnect(&self, slot: &WorkerSlot) {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return; // Normal teardown, not a fault.
+        }
+        {
+            let mut st = slot.state.lock().unwrap();
+            st.connected = false;
+        }
+        self.refresh_slot(slot); // Counts the down edge.
+                                 // Strand no request on the dead worker: respill everything it
+                                 // still owed.
+        let stranded: Vec<u64> = {
+            let pending = self.pending.lock().unwrap();
+            pending
+                .iter()
+                .filter(|(_, p)| p.worker == slot.index)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in stranded {
+            self.respill(id, Some(slot.index));
+        }
+    }
+
+    // --- submission -------------------------------------------------------
+
+    fn submit_stream(&self, request: Request) -> Result<ResponseStream, ClusterError> {
+        let (target, preferred, rerouted) = self.decide(&request.chunk_ids);
+        let Some(target) = target else {
+            self.stats.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(ClusterError::NoHealthyReplica);
+        };
+        if rerouted {
+            self.stats.reroutes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(self.place(request, target, preferred, false))
+    }
+
+    fn submit_to(&self, worker: usize, request: Request) -> ResponseStream {
+        let (_, preferred, _) = self.decide(&request.chunk_ids);
+        // Pinned placement blocks for queue space (admin tooling and the
+        // bench harness drive placement themselves and expect admission).
+        self.place(request, worker, preferred, true)
+    }
+
+    fn place(
+        &self,
+        request: Request,
+        worker: usize,
+        preferred: usize,
+        blocking: bool,
+    ) -> ResponseStream {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, stream) = ResponseStream::channel();
+        let wire = WireRequest::from_request(&request);
+        self.pending.lock().unwrap().insert(
+            id,
+            Pending {
+                request,
+                tx,
+                worker,
+                preferred,
+                attempts: 0,
+                counted: false,
+            },
+        );
+        let conn = self.slots()[worker].conn.clone();
+        if conn
+            .send(&Message::Submit {
+                id,
+                blocking,
+                request: wire,
+            })
+            .is_err()
+        {
+            // The worker died between routing and sending: respill rather
+            // than lose the request.
+            self.respill(id, Some(worker));
+        }
+        stream
+    }
+
+    // --- RPCs -------------------------------------------------------------
+
+    fn rpc(&self, worker: usize, build: impl FnOnce(u64) -> Message) -> Result<Message, NetError> {
+        let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::unbounded();
+        self.rpcs.lock().unwrap().insert(rpc, tx);
+        let conn = self.slots()[worker].conn.clone();
+        if let Err(e) = conn.send(&build(rpc)) {
+            self.rpcs.lock().unwrap().remove(&rpc);
+            return Err(e);
+        }
+        rx.recv_timeout(self.cfg.rpc_timeout).map_err(|_| {
+            self.rpcs.lock().unwrap().remove(&rpc);
+            NetError::Timeout
+        })
+    }
+
+    fn register_chunk_impl(
+        &self,
+        tokens: &[TokenId],
+        eager_at_home: bool,
+    ) -> Result<ChunkId, EngineError> {
+        if tokens.is_empty() {
+            return Err(EngineError::EmptyChunk);
+        }
+        // Content-addressed ids let the gateway place the chunk before
+        // any worker has seen it.
+        let id = hash_tokens(tokens);
+        let home = self.home_of(id);
+        let slots = self.slots();
+        // Fan the registration out, then await every reply: lazy at every
+        // worker (any of them can repair a miss by precompute), eager KV
+        // precompute + persistent-tier replication only at the home.
+        let mut waits = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = channel::unbounded();
+            self.rpcs.lock().unwrap().insert(rpc, tx);
+            let msg = Message::RegisterChunk {
+                rpc,
+                eager: eager_at_home && slot.index == home,
+                tokens: tokens.to_vec(),
+            };
+            if slot.conn.send(&msg).is_err() {
+                self.rpcs.lock().unwrap().remove(&rpc);
+                return Err(EngineError::Storage(format!(
+                    "worker {} unreachable during chunk registration",
+                    slot.index
+                )));
+            }
+            waits.push((slot.index, rpc, rx));
+        }
+        for (index, rpc, rx) in waits {
+            let reply = rx.recv_timeout(self.cfg.rpc_timeout).map_err(|_| {
+                self.rpcs.lock().unwrap().remove(&rpc);
+                EngineError::Storage(format!("worker {index} chunk registration timed out"))
+            })?;
+            match reply {
+                Message::RegisterReply {
+                    result: Ok(raw), ..
+                } => {
+                    debug_assert_eq!(raw, id.0, "content-addressed ids must agree");
+                }
+                Message::RegisterReply {
+                    result: Err(failure),
+                    ..
+                } => {
+                    return Err(failure.into_error());
+                }
+                other => {
+                    return Err(EngineError::Storage(format!(
+                        "worker {index} sent {other:?} instead of a registration reply"
+                    )));
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    // --- client sessions ---------------------------------------------------
+
+    /// Serves one remote client connection: relays submissions through
+    /// the router and registration/status RPCs to the cluster.
+    fn client_loop(self: Arc<Self>, conn: Arc<dyn Transport>) {
+        let tick = self.cfg.tick();
+        let mut relays: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match conn.recv_timeout(tick) {
+                Ok(Message::Submit { id, request, .. }) => {
+                    match self.submit_stream(request.into_request()) {
+                        Ok(stream) => {
+                            let conn = Arc::clone(&conn);
+                            relays.push(std::thread::spawn(move || {
+                                let mut terminal = false;
+                                for ev in stream {
+                                    terminal = terminal || ev.is_terminal();
+                                    let msg = Message::Ev {
+                                        id,
+                                        event: WireEvent::from_event(&ev),
+                                    };
+                                    if conn.send(&msg).is_err() {
+                                        return;
+                                    }
+                                }
+                                if !terminal {
+                                    let failure = WireFailure::from_error(&EngineError::Canceled);
+                                    let _ = conn.send(&Message::Ev {
+                                        id,
+                                        event: WireEvent::Failed(failure),
+                                    });
+                                }
+                            }));
+                        }
+                        Err(ClusterError::NoHealthyReplica) => {
+                            let err = EngineError::Remote {
+                                code: ErrorCode::NoHealthyWorker,
+                                message: ClusterError::NoHealthyReplica.to_string(),
+                            };
+                            let _ = conn.send(&Message::Ev {
+                                id,
+                                event: WireEvent::Failed(WireFailure::from_error(&err)),
+                            });
+                        }
+                    }
+                }
+                Ok(Message::RegisterChunk { rpc, eager, tokens }) => {
+                    let result = self
+                        .register_chunk_impl(&tokens, eager)
+                        .map(|id| id.0)
+                        .map_err(|e| WireFailure::from_error(&e));
+                    let _ = conn.send(&Message::RegisterReply { rpc, result });
+                }
+                Ok(Message::Status { rpc }) => {
+                    let slots = self.slots();
+                    let healthy = slots.iter().map(|s| self.refresh_slot(s)).collect();
+                    let probes = slots
+                        .iter()
+                        .map(|s| s.state.lock().unwrap().probe)
+                        .collect();
+                    let _ = conn.send(&Message::ClusterStatusReply {
+                        rpc,
+                        healthy,
+                        probes,
+                    });
+                }
+                Ok(Message::Shutdown) | Err(NetError::Closed) => break,
+                Ok(_) => {}
+                Err(NetError::Timeout) => {
+                    let (done, live): (Vec<_>, Vec<_>) =
+                        relays.drain(..).partition(|h| h.is_finished());
+                    for h in done {
+                        let _ = h.join();
+                    }
+                    relays = live;
+                }
+                Err(_) => break,
+            }
+        }
+        // On a clean client exit, let in-flight relays finish; on gateway
+        // shutdown they are detached (the process is going down and their
+        // streams may never resolve).
+        if !self.shutdown.load(Ordering::Relaxed) {
+            for h in relays {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The coordinator (see module docs). Dropping it sends `Shutdown` to
+/// every worker and joins its demux threads; pending streams close,
+/// reporting [`EngineError::Canceled`] to collectors.
+pub struct Gateway {
+    inner: Arc<GwInner>,
+    demux: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("workers", &self.inner.n_workers())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// An empty gateway; attach workers before submitting.
+    pub fn new(cfg: GatewayConfig) -> Self {
+        Self {
+            inner: Arc::new(GwInner {
+                cfg,
+                workers: RwLock::new(Vec::new()),
+                pending: Mutex::new(HashMap::new()),
+                rpcs: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                stats: AtomicClusterStats::default(),
+            }),
+            demux: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attaches a worker connection: blocks for its `HelloWorker` frame
+    /// (so health state is settled when this returns), assigns the next
+    /// index, and starts the connection's demux thread.
+    pub fn attach(&self, conn: Arc<dyn Transport>) -> Result<usize, NetError> {
+        match self.accept(conn)? {
+            Accepted::Worker(index) => Ok(index),
+            Accepted::Client => Err(NetError::Io(
+                "expected a HelloWorker frame, got a client hello".into(),
+            )),
+        }
+    }
+
+    /// Accepts a new connection of either kind: workers are attached,
+    /// clients get a session thread speaking submit/register/status.
+    pub fn accept(&self, conn: Arc<dyn Transport>) -> Result<Accepted, NetError> {
+        match conn.recv_timeout(self.inner.cfg.attach_timeout)? {
+            Message::HelloWorker { probe, stats } => {
+                let slot = {
+                    let mut workers = self.inner.workers.write().unwrap();
+                    let index = workers.len();
+                    let healthy_now = probe.healthy();
+                    let slot = Arc::new(WorkerSlot {
+                        index,
+                        conn,
+                        admissions: AtomicU64::new(0),
+                        state: Mutex::new(SlotState {
+                            probe,
+                            stats,
+                            last_heartbeat: Instant::now(),
+                            marked_up: true,
+                            connected: true,
+                            // Start from the observed state: a worker that
+                            // attaches unhealthy is not a failover.
+                            was_healthy: healthy_now,
+                        }),
+                    });
+                    workers.push(Arc::clone(&slot));
+                    slot
+                };
+                let index = slot.index;
+                let inner = Arc::clone(&self.inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("cb-net-gw-demux-{index}"))
+                    .spawn(move || inner.demux_loop(slot))
+                    .map_err(|e| NetError::Io(e.to_string()))?;
+                self.demux.lock().unwrap().push(handle);
+                Ok(Accepted::Worker(index))
+            }
+            Message::HelloClient => {
+                let inner = Arc::clone(&self.inner);
+                let handle = std::thread::Builder::new()
+                    .name("cb-net-gw-client".into())
+                    .spawn(move || inner.client_loop(conn))
+                    .map_err(|e| NetError::Io(e.to_string()))?;
+                self.demux.lock().unwrap().push(handle);
+                Ok(Accepted::Client)
+            }
+            other => Err(NetError::Io(format!(
+                "expected a hello frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Number of attached workers (healthy or not).
+    pub fn n_workers(&self) -> usize {
+        self.inner.n_workers()
+    }
+
+    /// Marks a worker up or down for routing (operator control / fault
+    /// injection). Idempotent: re-marking an already-down worker counts
+    /// no additional failover.
+    pub fn set_worker_health(&self, index: usize, healthy: bool) {
+        let slot = self.inner.slots()[index].clone();
+        {
+            let mut st = slot.state.lock().unwrap();
+            st.marked_up = healthy;
+        }
+        self.inner.refresh_slot(&slot);
+    }
+
+    /// True if worker `index` is currently eligible for routing.
+    pub fn worker_healthy(&self, index: usize) -> bool {
+        let slot = self.inner.slots()[index].clone();
+        self.inner.refresh_slot(&slot)
+    }
+
+    /// The stable home worker of a chunk (health never moves homes).
+    pub fn home_of(&self, id: ChunkId) -> usize {
+        self.inner.home_of(id)
+    }
+
+    /// Routing decision for a chunk set: `(target, rerouted)`, `None` if
+    /// no worker is healthy.
+    pub fn route(&self, chunk_ids: &[ChunkId]) -> Option<(usize, bool)> {
+        let (target, _, rerouted) = self.inner.decide(chunk_ids);
+        target.map(|t| (t, rerouted))
+    }
+
+    /// The locality-preferred worker for a chunk set (health ignored).
+    pub fn preferred(&self, chunk_ids: &[ChunkId]) -> usize {
+        self.inner.decide(chunk_ids).1
+    }
+
+    /// The healthy worker currently owing the least work per its last
+    /// reported probe. Ties go to the lowest index.
+    pub fn least_loaded(&self, exclude: Option<usize>) -> Option<usize> {
+        self.inner.least_loaded(exclude)
+    }
+
+    /// Registers a chunk cluster-wide: tokens on every worker, the KV
+    /// precomputed eagerly (and replicated to the persistent tier) only
+    /// at the chunk's home.
+    pub fn register_chunk(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        self.inner.register_chunk_impl(tokens, true)
+    }
+
+    /// Registers a chunk on every worker without precomputing any KV.
+    pub fn register_chunk_lazy(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
+        self.inner.register_chunk_impl(tokens, false)
+    }
+
+    /// Registers many chunks, returning ids in input order.
+    pub fn register_chunks(&self, chunks: &[Vec<TokenId>]) -> Result<Vec<ChunkId>, EngineError> {
+        chunks.iter().map(|c| self.register_chunk(c)).collect()
+    }
+
+    /// Submits a request through the locality router and returns its
+    /// event stream (fed by `Ev` frames as the worker streams them).
+    pub fn submit_stream(&self, request: Request) -> Result<ResponseStream, ClusterError> {
+        self.inner.submit_stream(request)
+    }
+
+    /// Blocking one-shot convenience over [`Gateway::submit_stream`].
+    /// Routing failures surface as the structured
+    /// [`EngineError::Remote`] with [`ErrorCode::NoHealthyWorker`].
+    pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
+        match self.submit_stream(request) {
+            Ok(stream) => stream.collect(),
+            Err(e @ ClusterError::NoHealthyReplica) => Err(EngineError::Remote {
+                code: ErrorCode::NoHealthyWorker,
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Submits directly to an explicit worker, bypassing the router but
+    /// keeping the cluster accounting (admin tooling and the bench
+    /// harness drive placement themselves).
+    pub fn submit_to(&self, worker: usize, request: Request) -> ResponseStream {
+        self.inner.submit_to(worker, request)
+    }
+
+    /// Fresh probe + counters from a worker, via a `Status` RPC (not the
+    /// heartbeat cache).
+    pub fn worker_status(&self, index: usize) -> Result<(ServiceProbe, ServiceStats), NetError> {
+        match self.inner.rpc(index, |rpc| Message::Status { rpc })? {
+            Message::StatusReply { probe, stats, .. } => Ok((probe, stats)),
+            other => Err(NetError::Io(format!("unexpected status reply {other:?}"))),
+        }
+    }
+
+    /// Asks every worker to finish all queued work; returns when all have.
+    pub fn drain(&self) -> Result<(), NetError> {
+        for index in 0..self.n_workers() {
+            match self.inner.rpc(index, |rpc| Message::Drain { rpc })? {
+                Message::DrainReply { .. } => {}
+                other => return Err(NetError::Io(format!("unexpected drain reply {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the cluster counters.
+    pub fn stats(&self) -> ClusterStats {
+        let s = &self.inner.stats;
+        ClusterStats {
+            admissions: self
+                .inner
+                .slots()
+                .iter()
+                .map(|w| w.admissions.load(Ordering::Relaxed))
+                .collect(),
+            spills: s.spills.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            reroutes: s.reroutes.load(Ordering::Relaxed),
+            local_requests: s.local_requests.load(Ordering::Relaxed),
+            total_requests: s.total_requests.load(Ordering::Relaxed),
+            chunk_lookups: s.chunk_lookups.load(Ordering::Relaxed),
+            chunk_local: s.chunk_local.load(Ordering::Relaxed),
+            rejections: s.rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The last heartbeat-reported scheduler counters per worker.
+    pub fn heartbeat_service_stats(&self) -> Vec<ServiceStats> {
+        self.inner
+            .slots()
+            .iter()
+            .map(|w| w.state.lock().unwrap().stats)
+            .collect()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for slot in self.inner.slots() {
+            let _ = slot.conn.send(&Message::Shutdown);
+        }
+        let handles: Vec<_> = self.demux.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

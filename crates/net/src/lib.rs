@@ -1,0 +1,49 @@
+//! `cb-net`: the network control plane — a coordinator/worker cluster
+//! over an explicit wire protocol.
+//!
+//! Earlier layers served multi-replica traffic through an in-process
+//! router that called replica services directly. This crate splits that
+//! coupling at a wire boundary so the same cluster logic runs across
+//! processes and machines:
+//!
+//! - [`frame`] — the byte layer: length-prefixed, FNV-checksummed,
+//!   versioned frames (`CBNF`), hostile-input safe (length validated
+//!   before any allocation).
+//! - [`message`] — the protocol: the [`message::Message`] catalogue
+//!   (hello, submit, token-stream events, heartbeat, chunk registration,
+//!   status/drain RPCs) and its hand-rolled little-endian codec.
+//! - [`transport`] / [`tcp`] — one connection abstraction, two carriers:
+//!   [`transport::LoopbackTransport`] (in-process channels carrying
+//!   encoded frames, so `cargo test` exercises the full codec with no
+//!   sockets) and [`tcp::TcpTransport`] (std TCP, one demux thread per
+//!   connection).
+//! - [`gateway`] — the coordinator: rendezvous chunk homes, locality
+//!   routing, spill-to-least-loaded, heartbeat-timeout failover with
+//!   idempotent (edge-counted) health transitions.
+//! - [`worker`] — wraps an
+//!   [`EngineService`](cb_core::scheduler::EngineService): admits or
+//!   rejects submissions, streams events back frame-by-frame, heartbeats
+//!   on a ticker.
+//! - [`client`] — the remote front door used by external processes (and
+//!   the gateway's own `--smoke` self-check).
+//!
+//! `cb-serving`'s `ClusterService` is now a thin facade: the same
+//! `Gateway` wired to in-process workers over loopback transports, so
+//! every in-process cluster test exercises this crate's full protocol
+//! path.
+
+pub mod client;
+pub mod frame;
+pub mod gateway;
+pub mod message;
+pub mod tcp;
+pub mod transport;
+pub mod worker;
+
+pub use client::NetClient;
+pub use frame::{decode_frame, encode_frame, read_frame, write_frame, FrameError};
+pub use gateway::{Accepted, ClusterError, ClusterStats, Gateway, GatewayConfig};
+pub use message::{Message, WireError, WireEvent, WireFailure, WireRequest, WireResponse};
+pub use tcp::TcpTransport;
+pub use transport::{loopback_pair, LoopbackTransport, NetError, Transport};
+pub use worker::{Worker, WorkerConfig};

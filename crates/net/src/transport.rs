@@ -1,0 +1,189 @@
+//! The [`Transport`] abstraction: one bidirectional, message-oriented
+//! connection between two control-plane endpoints.
+//!
+//! Two implementations share it:
+//!
+//! - [`LoopbackTransport`] — a pair of in-process channels carrying
+//!   **encoded frame bytes** (not `Message` values), so every loopback
+//!   exchange exercises the exact frame + message codec the TCP path
+//!   uses. Determinism, failover, and partition tests run on it under
+//!   plain `cargo test` with no sockets.
+//! - [`crate::tcp::TcpTransport`] — the same frames over a real socket
+//!   for multi-process runs.
+//!
+//! Both ends are `Send + Sync`: the gateway writes from routing and demux
+//! threads concurrently, workers write from per-request forwarder
+//! threads.
+
+use crate::frame::{decode_frame, encode_frame, FrameError};
+use crate::message::{Message, WireError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Transport-level failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer hung up (or the connection was torn down locally).
+    Closed,
+    /// No message arrived within the requested timeout.
+    Timeout,
+    /// A frame failed to decode (corruption on the wire).
+    Frame(FrameError),
+    /// A frame decoded but its payload did not parse as a message.
+    Wire(WireError),
+    /// Socket-level failure.
+    Io(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// One end of a bidirectional message connection.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Sends one message. Errors mean the peer is unreachable — the
+    /// connection is considered dead.
+    fn send(&self, msg: &Message) -> Result<(), NetError>;
+
+    /// Blocks for the next message.
+    fn recv(&self) -> Result<Message, NetError>;
+
+    /// Blocks up to `timeout` for the next message. Control loops poll
+    /// with this so shutdown flags are observed without peer cooperation.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError>;
+
+    /// Human-readable peer name for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// In-process transport: frames cross a pair of unbounded channels. See
+/// the module docs for why bytes (not messages) cross the channel.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: Mutex<Sender<Vec<u8>>>,
+    rx: Mutex<Receiver<Vec<u8>>>,
+    name: &'static str,
+}
+
+/// Creates a connected pair of loopback endpoints.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (tx_a, rx_b) = channel::unbounded();
+    let (tx_b, rx_a) = channel::unbounded();
+    (
+        LoopbackTransport {
+            tx: Mutex::new(tx_a),
+            rx: Mutex::new(rx_a),
+            name: "loopback-a",
+        },
+        LoopbackTransport {
+            tx: Mutex::new(tx_b),
+            rx: Mutex::new(rx_b),
+            name: "loopback-b",
+        },
+    )
+}
+
+impl LoopbackTransport {
+    fn decode(bytes: Vec<u8>) -> Result<Message, NetError> {
+        let (payload, _) = decode_frame(&bytes)?;
+        Ok(Message::decode(payload)?)
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&self, msg: &Message) -> Result<(), NetError> {
+        let frame = encode_frame(&msg.encode());
+        self.tx
+            .lock()
+            .unwrap()
+            .send(frame)
+            .map_err(|_| NetError::Closed)
+    }
+
+    fn recv(&self) -> Result<Message, NetError> {
+        let bytes = {
+            self.rx
+                .lock()
+                .unwrap()
+                .recv()
+                .map_err(|_| NetError::Closed)?
+        };
+        Self::decode(bytes)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
+        let bytes = {
+            self.rx
+                .lock()
+                .unwrap()
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    RecvTimeoutError::Timeout => NetError::Timeout,
+                    RecvTimeoutError::Disconnected => NetError::Closed,
+                })?
+        };
+        Self::decode(bytes)
+    }
+
+    fn peer(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn loopback_roundtrips_messages_across_threads() {
+        let (a, b) = loopback_pair();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            for i in 0..50u64 {
+                b2.send(&Message::Status { rpc: i }).unwrap();
+            }
+        });
+        for i in 0..50u64 {
+            assert_eq!(a.recv().unwrap(), Message::Status { rpc: i });
+        }
+        t.join().unwrap();
+        // Dropping one end closes the other.
+        drop(b);
+        assert_eq!(a.recv(), Err(NetError::Closed));
+        assert_eq!(a.send(&Message::Shutdown), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_on_idle_connection() {
+        let (a, _b) = loopback_pair();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        );
+    }
+}

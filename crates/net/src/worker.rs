@@ -1,0 +1,300 @@
+//! The worker side of the control plane: wraps one [`EngineService`]
+//! behind a [`Transport`] connection to the gateway.
+//!
+//! A worker runs two threads of its own plus one forwarder per in-flight
+//! request:
+//!
+//! - the **control loop** serves gateway frames — `Submit` (admit or
+//!   answer `Rejected` with a fresh probe), `RegisterChunk` (eager at the
+//!   chunk's home: precompute + replicate to the persistent tier),
+//!   `Status`, `Drain`, and `Shutdown`;
+//! - the **heartbeat ticker** sends `Heartbeat { probe, stats }` every
+//!   [`WorkerConfig::heartbeat_interval`] — the gateway's only liveness
+//!   signal. Tests pause it ([`Worker::pause_heartbeats`]) to simulate a
+//!   partition without killing the worker;
+//! - each admitted request gets a **forwarder** thread that drains its
+//!   [`ResponseStream`] and ships every event back as an `Ev` frame. A
+//!   stream that closes without a terminal event (service shutdown)
+//!   synthesizes `Failed(Canceled)` so the gateway's pending entry always
+//!   resolves.
+
+use crate::message::{Message, WireEvent, WireFailure};
+use crate::transport::{NetError, Transport};
+use cb_core::engine::EngineError;
+use cb_core::scheduler::{EngineService, TrySubmitError};
+use cb_core::stream::ResponseStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Worker tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Heartbeat period. The gateway declares a worker down after
+    /// [`crate::gateway::GatewayConfig::heartbeat_timeout`] without one,
+    /// so keep this several times smaller.
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl WorkerConfig {
+    /// Sets the heartbeat period.
+    pub fn heartbeat_interval(mut self, d: Duration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+}
+
+struct WorkerInner {
+    service: Arc<EngineService>,
+    conn: Arc<dyn Transport>,
+    hb_paused: AtomicBool,
+    shutdown: AtomicBool,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerInner {
+    fn heartbeat(&self) -> Message {
+        Message::Heartbeat {
+            probe: self.service.probe(),
+            stats: self.service.stats(),
+        }
+    }
+
+    fn handle_submit(
+        self: &Arc<Self>,
+        id: u64,
+        blocking: bool,
+        request: crate::message::WireRequest,
+    ) {
+        let request = request.into_request();
+        let outcome = if blocking {
+            // Last-resort placement: the gateway found no queue with
+            // space, so wait for ours to free up.
+            Ok(self.service.submit_stream(request))
+        } else {
+            self.service.try_submit_stream(request)
+        };
+        match outcome {
+            Ok(stream) => {
+                let inner = Arc::clone(self);
+                let handle = std::thread::spawn(move || inner.forward(id, stream));
+                let mut fwd = self.forwarders.lock().unwrap();
+                // Reap finished forwarders so a long-lived worker's handle
+                // list stays proportional to in-flight work.
+                let (done, live): (Vec<_>, Vec<_>) = fwd.drain(..).partition(|h| h.is_finished());
+                for h in done {
+                    let _ = h.join();
+                }
+                *fwd = live;
+                fwd.push(handle);
+            }
+            Err(TrySubmitError::QueueFull(_)) => {
+                let _ = self.conn.send(&Message::Rejected {
+                    id,
+                    probe: self.service.probe(),
+                });
+            }
+        }
+    }
+
+    fn forward(&self, id: u64, stream: ResponseStream) {
+        let mut terminal = false;
+        for ev in stream {
+            terminal = terminal || ev.is_terminal();
+            let msg = Message::Ev {
+                id,
+                event: WireEvent::from_event(&ev),
+            };
+            if self.conn.send(&msg).is_err() {
+                return; // Gateway gone; the engine still finishes locally.
+            }
+        }
+        if !terminal {
+            // Stream closed without Done/Failed (service shut down): the
+            // gateway must not wait forever.
+            let failure = WireFailure::from_error(&EngineError::Canceled);
+            let _ = self.conn.send(&Message::Ev {
+                id,
+                event: WireEvent::Failed(failure),
+            });
+        }
+    }
+
+    fn control_loop(self: Arc<Self>, tick: Duration) {
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.conn.recv_timeout(tick) {
+                Ok(Message::Submit {
+                    id,
+                    blocking,
+                    request,
+                }) => self.handle_submit(id, blocking, request),
+                Ok(Message::RegisterChunk { rpc, eager, tokens }) => {
+                    let engine = self.service.engine();
+                    let result = if eager {
+                        engine.register_chunk(&tokens).and_then(|id| {
+                            engine
+                                .store()
+                                .replicate_to_persistent(id)
+                                .map_err(EngineError::from)?;
+                            Ok(id)
+                        })
+                    } else {
+                        engine.register_chunk_lazy(&tokens)
+                    };
+                    let result = result
+                        .map(|id| id.0)
+                        .map_err(|e| WireFailure::from_error(&e));
+                    let _ = self.conn.send(&Message::RegisterReply { rpc, result });
+                }
+                Ok(Message::Status { rpc }) => {
+                    let _ = self.conn.send(&Message::StatusReply {
+                        rpc,
+                        probe: self.service.probe(),
+                        stats: self.service.stats(),
+                    });
+                }
+                Ok(Message::Drain { rpc }) => {
+                    while self.service.probe().load() > 0 && !self.shutdown.load(Ordering::Relaxed)
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    let _ = self.conn.send(&Message::DrainReply { rpc });
+                }
+                Ok(Message::Shutdown) => return,
+                Ok(_) => {} // Ignore frames this side never consumes.
+                Err(NetError::Timeout) => {}
+                Err(_) => return, // Connection dead.
+            }
+        }
+    }
+
+    fn heartbeat_loop(self: Arc<Self>, interval: Duration) {
+        loop {
+            std::thread::sleep(interval);
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.hb_paused.load(Ordering::Relaxed) {
+                continue;
+            }
+            if self.conn.send(&self.heartbeat()).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// A running worker. Dropping it stops both threads (finishing in-flight
+/// forwarders first) but leaves the wrapped service running — the owner
+/// decides when the engine itself shuts down.
+pub struct Worker {
+    inner: Arc<WorkerInner>,
+    control: Option<JoinHandle<()>>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("peer", &self.inner.conn.peer())
+            .finish()
+    }
+}
+
+impl Worker {
+    /// Connects a service to the gateway over `conn`: sends the
+    /// `HelloWorker` announcement (synchronously, so the gateway's attach
+    /// finds it) and starts the control + heartbeat threads.
+    pub fn start(
+        service: Arc<EngineService>,
+        conn: Arc<dyn Transport>,
+        cfg: WorkerConfig,
+    ) -> Result<Worker, NetError> {
+        conn.send(&Message::HelloWorker {
+            probe: service.probe(),
+            stats: service.stats(),
+        })?;
+        let inner = Arc::new(WorkerInner {
+            service,
+            conn,
+            hb_paused: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            forwarders: Mutex::new(Vec::new()),
+        });
+        let tick = cfg.heartbeat_interval.min(Duration::from_millis(50));
+        let control = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("cb-net-worker-control".into())
+                .spawn(move || inner.control_loop(tick))
+                .map_err(|e| NetError::Io(e.to_string()))?
+        };
+        let heartbeat = {
+            let inner = Arc::clone(&inner);
+            let interval = cfg.heartbeat_interval;
+            std::thread::Builder::new()
+                .name("cb-net-worker-heartbeat".into())
+                .spawn(move || inner.heartbeat_loop(interval))
+                .map_err(|e| NetError::Io(e.to_string()))?
+        };
+        Ok(Worker {
+            inner,
+            control: Some(control),
+            heartbeat: Some(heartbeat),
+        })
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<EngineService> {
+        &self.inner.service
+    }
+
+    /// Pauses (or resumes) heartbeats without stopping the worker — the
+    /// partition fault injection: the gateway sees silence while the
+    /// worker keeps serving whatever it already admitted.
+    pub fn pause_heartbeats(&self, paused: bool) {
+        self.inner.hb_paused.store(paused, Ordering::Relaxed);
+    }
+
+    /// Blocks until the gateway ends the session (a `Shutdown` frame or a
+    /// closed connection), then tears the worker down. The `cb_worker`
+    /// binary's main thread parks here.
+    pub fn run_until_disconnected(mut self) {
+        if let Some(h) = self.control.take() {
+            let _ = h.join();
+        }
+        // Drop does the rest (heartbeat thread, forwarders).
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.control.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.inner.forwarders.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

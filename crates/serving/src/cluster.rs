@@ -1,4 +1,5 @@
-//! Cluster serving: N engine replicas behind one chunk-locality router.
+//! Cluster serving: N engine replicas behind one chunk-locality router —
+//! now a thin facade over the `cb-net` control plane.
 //!
 //! One [`EngineService`] scales *up* (more workers over one engine); this
 //! module scales *out*: a [`ClusterService`] fronts several replicas, each
@@ -7,148 +8,93 @@
 //! [`DiskBackend::open_shared`] segment dir), so any replica can serve any
 //! chunk via the existing prefetch pipeline even when its RAM is cold.
 //!
+//! **Architecture.** The routing, spill, and failover policy lives in
+//! [`cb_net::gateway::Gateway`]; this facade wires each replica behind a
+//! [`cb_net::worker::Worker`] over an in-process
+//! [`loopback transport`](cb_net::transport::LoopbackTransport) and
+//! attaches them all to one gateway. Loopback carries *encoded frames*,
+//! so every in-process cluster test exercises the identical wire protocol
+//! the TCP deployment uses — routing decisions, spill rounds, heartbeats,
+//! and token streams all cross the codec.
+//!
 //! **Routing.** Requests are routed by *rendezvous hashing over their
-//! chunk ids*: every chunk has a stable home replica (the replica with the
-//! highest rendezvous score for that chunk id), and a request goes to the
-//! replica that is home to the most of its chunks. Repeated RAG contexts —
-//! the paper's workload is exactly this — therefore keep hitting the
-//! replica whose RAM cache is already warm, instead of smearing the
-//! working set across every replica's cache.
+//! chunk ids*: every chunk has a stable home replica, and a request goes
+//! to the replica home to the most of its chunks. Repeated RAG contexts —
+//! the paper's workload is exactly this — keep hitting the replica whose
+//! RAM cache is already warm.
 //!
 //! **Spill and failover.** Admission is non-blocking at the routed
-//! replica: on [`TrySubmitError::QueueFull`] (or an unhealthy replica —
-//! no workers, shut down, or marked down by the operator) the request
-//! spills to the least-loaded healthy replica, probed via the scheduler's
-//! non-blocking [`EngineService::probe`]. The shared persistent tier makes
-//! the spill cheap: the alternate replica discovers the chunk's segment on
-//! disk rather than re-precomputing it. Rendezvous hashing keeps placement
-//! stable when replicas come and go — a chunk's home only moves if its
-//! home replica is the one that changed.
+//! replica: a full queue answers `Rejected` and the gateway respills the
+//! request to the least-loaded healthy replica (blocking there only when
+//! every healthy queue is full). Replica health combines the operator
+//! mark, the scheduler probe, heartbeat freshness, and connection
+//! liveness; [`ClusterStats::failovers`] counts health **down-edges**
+//! idempotently — a replica observed down twice is one failover, a
+//! replica that recovers and fails again is two.
 //!
 //! **Observability.** [`ClusterStats`] reports per-replica admissions, the
-//! chunk- and request-level locality rates, spill/failover counts, and the
-//! summed scheduler counters (deadline misses included).
+//! chunk- and request-level locality rates, spill/reroute/failover counts,
+//! and the summed scheduler counters (deadline misses included).
 //!
 //! [`DiskBackend::open_shared`]: cb_storage::DiskBackend::open_shared
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cb_core::engine::{Engine, EngineError, Request, Response};
-use cb_core::scheduler::{EngineService, ServiceConfig, ServiceStats, TrySubmitError};
+use cb_core::scheduler::{EngineService, ServiceConfig, ServiceStats};
 use cb_core::stream::ResponseStream;
 use cb_kv::ChunkId;
+use cb_net::gateway::{Gateway, GatewayConfig};
+use cb_net::transport::loopback_pair;
+use cb_net::worker::{Worker, WorkerConfig};
 use cb_tokenizer::TokenId;
 
-/// Errors surfaced by cluster submission.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ClusterError {
-    /// Every replica is unhealthy (no workers, shut down, or marked down);
-    /// the request was not accepted anywhere.
-    NoHealthyReplica,
-}
+pub use cb_net::gateway::{ClusterError, ClusterStats};
 
-impl std::fmt::Display for ClusterError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClusterError::NoHealthyReplica => {
-                write!(f, "no healthy replica available to serve the request")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ClusterError {}
-
-/// Lifetime counters of a cluster (see [`ClusterService::stats`]).
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct ClusterStats {
-    /// Requests admitted per replica (cluster submissions only).
-    pub admissions: Vec<u64>,
-    /// Requests that could not be admitted at their routed replica
-    /// (queue full) and were placed on the least-loaded replica instead.
-    pub spills: u64,
-    /// Requests whose locality-preferred replica was unhealthy, so routing
-    /// fell back to the healthy candidates.
-    pub failovers: u64,
-    /// Requests served by their locality-preferred replica.
-    pub local_requests: u64,
-    /// Requests admitted in total.
-    pub total_requests: u64,
-    /// Chunk references across all admitted requests.
-    pub chunk_lookups: u64,
-    /// Chunk references served by the chunk's home replica — the cache
-    /// the rendezvous placement keeps warm.
-    pub chunk_local: u64,
-    /// Requests rejected because no replica was healthy.
-    pub rejections: u64,
-}
-
-impl ClusterStats {
-    /// Fraction of chunk references served at the chunk's home replica —
-    /// the router's locality hit rate.
-    pub fn locality_hit_rate(&self) -> f64 {
-        if self.chunk_lookups == 0 {
-            0.0
-        } else {
-            self.chunk_local as f64 / self.chunk_lookups as f64
-        }
-    }
-
-    /// Fraction of requests served by their locality-preferred replica.
-    pub fn request_locality_rate(&self) -> f64 {
-        if self.total_requests == 0 {
-            0.0
-        } else {
-            self.local_requests as f64 / self.total_requests as f64
-        }
-    }
-}
-
-#[derive(Debug, Default)]
-struct AtomicClusterStats {
-    spills: AtomicU64,
-    failovers: AtomicU64,
-    local_requests: AtomicU64,
-    total_requests: AtomicU64,
-    chunk_lookups: AtomicU64,
-    chunk_local: AtomicU64,
-    rejections: AtomicU64,
-}
-
-/// SplitMix64 finalizer: a strong, cheap 64-bit mix for rendezvous scores.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// The cluster front end (see module docs). Dropping it shuts every
-/// replica's scheduler down after draining its queue.
+/// The cluster front end (see module docs). Dropping it shuts the gateway
+/// down first (closing worker sessions), then every replica's scheduler
+/// after draining its queue.
 #[derive(Debug)]
 pub struct ClusterService {
-    replicas: Vec<EngineService>,
-    /// Operator-controlled health flags (fault injection, maintenance);
-    /// combined with each scheduler's own probe for routing eligibility.
-    marked_healthy: Vec<AtomicBool>,
-    admissions: Vec<AtomicU64>,
-    stats: AtomicClusterStats,
+    // Field order is drop order: gateway before workers before services.
+    gateway: Gateway,
+    #[allow(dead_code)] // Held for teardown; all traffic flows via the gateway.
+    workers: Vec<Worker>,
+    services: Vec<Arc<EngineService>>,
 }
 
 impl ClusterService {
-    /// Fronts an explicit set of running replicas.
+    /// Fronts an explicit set of running replicas: each is wrapped in a
+    /// control-plane worker and attached to a fresh gateway over a
+    /// loopback transport.
     ///
     /// # Panics
     ///
     /// Panics if `replicas` is empty.
     pub fn new(replicas: Vec<EngineService>) -> Self {
         assert!(!replicas.is_empty(), "cluster needs at least one replica");
-        let n = replicas.len();
+        let services: Vec<Arc<EngineService>> = replicas.into_iter().map(Arc::new).collect();
+        let gateway = Gateway::new(GatewayConfig::default());
+        let workers = services
+            .iter()
+            .map(|service| {
+                let (worker_end, gateway_end) = loopback_pair();
+                let worker = Worker::start(
+                    Arc::clone(service),
+                    Arc::new(worker_end),
+                    WorkerConfig::default(),
+                )
+                .expect("loopback worker handshake cannot fail");
+                gateway
+                    .attach(Arc::new(gateway_end))
+                    .expect("loopback attach cannot fail");
+                worker
+            })
+            .collect();
         Self {
-            replicas,
-            marked_healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
-            admissions: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            stats: AtomicClusterStats::default(),
+            gateway,
+            workers,
+            services,
         }
     }
 
@@ -171,27 +117,36 @@ impl ClusterService {
         Ok(Self::new(replicas))
     }
 
+    /// The gateway this facade fronts (direct access for network-level
+    /// tooling — e.g. attaching remote TCP clients to an in-process
+    /// cluster).
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
     /// Number of replicas (healthy or not).
     pub fn n_replicas(&self) -> usize {
-        self.replicas.len()
+        self.services.len()
     }
 
     /// A replica's scheduler (for stats, probes, or direct registration).
     pub fn replica(&self, i: usize) -> &EngineService {
-        &self.replicas[i]
+        &self.services[i]
     }
 
     /// Marks a replica up or down for routing. A downed replica receives
     /// no new cluster traffic (in-flight requests finish); marking it up
     /// restores it. Fault-injection tests and operators use this.
+    /// Idempotent with respect to [`ClusterStats::failovers`]: only the
+    /// down-transition counts.
     pub fn set_replica_health(&self, i: usize, healthy: bool) {
-        self.marked_healthy[i].store(healthy, Ordering::Relaxed);
+        self.gateway.set_worker_health(i, healthy);
     }
 
-    /// True if replica `i` is eligible for routing: marked up *and* its
-    /// scheduler can make progress (workers alive, not shut down).
+    /// True if replica `i` is eligible for routing: marked up, its
+    /// scheduler can make progress, and its heartbeats are fresh.
     pub fn replica_healthy(&self, i: usize) -> bool {
-        self.marked_healthy[i].load(Ordering::Relaxed) && self.replicas[i].probe().healthy()
+        self.gateway.worker_healthy(i)
     }
 
     /// The stable home replica of a chunk: the replica with the highest
@@ -199,63 +154,26 @@ impl ClusterService {
     /// move homes — routing falls back instead, so a recovering replica
     /// finds its cache assignments unchanged).
     pub fn home_of(&self, id: ChunkId) -> usize {
-        (0..self.replicas.len())
-            .max_by_key(|&r| splitmix64(id.0 ^ (r as u64).wrapping_mul(0xA24B_AED4_963E_E407)))
-            .expect("at least one replica")
-    }
-
-    /// One-scan routing decision: `(target, preferred, failover)`. The
-    /// preferred replica is the one home to the most of the set's chunks
-    /// (ties broken by a rendezvous hash of the whole set,
-    /// order-independently; health ignored, so placement is stable). The
-    /// target is the preferred replica if healthy, else the best healthy
-    /// candidate by the same rank (`None` when nothing is healthy).
-    fn decide(&self, chunk_ids: &[ChunkId]) -> (Option<usize>, usize, bool) {
-        let n = self.replicas.len();
-        let mut votes = vec![0usize; n];
-        let mut set_hash = 0u64;
-        for &c in chunk_ids {
-            votes[self.home_of(c)] += 1;
-            set_hash ^= splitmix64(c.0);
-        }
-        let rank = |r: usize| {
-            (
-                votes[r],
-                splitmix64(set_hash ^ (r as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
-            )
-        };
-        let preferred = (0..n)
-            .max_by_key(|&r| rank(r))
-            .expect("at least one replica");
-        if self.replica_healthy(preferred) {
-            return (Some(preferred), preferred, false);
-        }
-        let target = (0..n)
-            .filter(|&r| self.replica_healthy(r))
-            .max_by_key(|&r| rank(r));
-        (target, preferred, target.is_some())
+        self.gateway.home_of(id)
     }
 
     /// The locality-preferred replica for a chunk set (health ignored).
-    fn preferred(&self, chunk_ids: &[ChunkId]) -> usize {
-        self.decide(chunk_ids).1
+    pub fn preferred(&self, chunk_ids: &[ChunkId]) -> usize {
+        self.gateway.preferred(chunk_ids)
     }
 
     /// Routing decision for a chunk set: the locality-preferred replica if
     /// healthy, else the healthy replica with the best (votes, rendezvous)
     /// rank. `None` if no replica is healthy. The second field reports
-    /// whether the preferred replica had to be skipped (a failover).
+    /// whether the preferred replica had to be skipped (a reroute).
     pub fn route(&self, chunk_ids: &[ChunkId]) -> Option<(usize, bool)> {
-        let (target, _, failover) = self.decide(chunk_ids);
-        target.map(|t| (t, failover))
+        self.gateway.route(chunk_ids)
     }
 
     /// The healthy replica currently owing the least work (queued plus in
-    /// flight), probed without blocking. Ties go to the lowest index.
+    /// flight) per its latest probe. Ties go to the lowest index.
     pub fn least_loaded(&self, exclude: Option<usize>) -> Option<usize> {
-        (0..self.replicas.len())
-            .filter(|&r| Some(r) != exclude && self.replica_healthy(r))
-            .min_by_key(|&r| self.replicas[r].probe().load())
+        self.gateway.least_loaded(exclude)
     }
 
     /// Registers a chunk cluster-wide: the tokens enter every replica's
@@ -266,13 +184,7 @@ impl ClusterService {
     /// one is configured), so a spilled or failed-over request at any
     /// sibling replica discovers it there instead of re-precomputing.
     pub fn register_chunk(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
-        let id = self.register_chunk_lazy(tokens)?;
-        let home = self.replicas[self.home_of(id)].engine();
-        home.register_chunk(tokens)?;
-        home.store()
-            .replicate_to_persistent(id)
-            .map_err(EngineError::from)?;
-        Ok(id)
+        self.gateway.register_chunk(tokens)
     }
 
     /// Registers a chunk on every replica without precomputing any KV
@@ -280,124 +192,47 @@ impl ClusterService {
     /// request naming it pays the precompute at whichever replica serves
     /// it.
     pub fn register_chunk_lazy(&self, tokens: &[TokenId]) -> Result<ChunkId, EngineError> {
-        let mut id = None;
-        for r in &self.replicas {
-            id = Some(r.engine().register_chunk_lazy(tokens)?);
-        }
-        Ok(id.expect("at least one replica"))
+        self.gateway.register_chunk_lazy(tokens)
     }
 
     /// Registers many chunks, returning ids in input order.
     pub fn register_chunks(&self, chunks: &[Vec<TokenId>]) -> Result<Vec<ChunkId>, EngineError> {
-        chunks.iter().map(|c| self.register_chunk(c)).collect()
+        self.gateway.register_chunks(chunks)
     }
 
     /// Submits a request through the locality router and returns its event
-    /// stream. Placement: routed replica if it admits, else spill to the
+    /// stream. Placement: routed replica if it admits, else respill to the
     /// least-loaded healthy replica (blocking there only if every healthy
-    /// queue is full).
+    /// queue is full). Admission is asynchronous — a rejection at the
+    /// routed replica is observed and re-placed by the gateway without the
+    /// caller blocking.
     pub fn submit_stream(&self, request: Request) -> Result<ResponseStream, ClusterError> {
-        let (target, preferred, failover) = self.decide(&request.chunk_ids);
-        let Some(target) = target else {
-            self.stats.rejections.fetch_add(1, Ordering::Relaxed);
-            return Err(ClusterError::NoHealthyReplica);
-        };
-        if failover {
-            self.stats.failovers.fetch_add(1, Ordering::Relaxed);
-        }
-        let chunk_ids = request.chunk_ids.clone();
-        match self.replicas[target].try_submit_stream(request) {
-            Ok(stream) => {
-                self.record_admission(target, preferred, &chunk_ids);
-                Ok(stream)
-            }
-            Err(TrySubmitError::QueueFull(request)) => {
-                // The routed replica is saturated: place the request on
-                // the least-loaded *other* healthy replica. The shared
-                // persistent tier makes it able to serve the chunks
-                // without re-precompute. With no alternate (single healthy
-                // replica), there is nowhere to spill — block on the
-                // routed queue itself, uncounted.
-                let Some(spill) = self.least_loaded(Some(target)) else {
-                    let stream = self.replicas[target].submit_stream(request);
-                    self.record_admission(target, preferred, &chunk_ids);
-                    return Ok(stream);
-                };
-                self.stats.spills.fetch_add(1, Ordering::Relaxed);
-                let stream = match self.replicas[spill].try_submit_stream(request) {
-                    Ok(stream) => stream,
-                    // Every healthy queue is full: block on the least
-                    // loaded one — its workers are alive, so space frees.
-                    Err(TrySubmitError::QueueFull(request)) => {
-                        self.replicas[spill].submit_stream(request)
-                    }
-                };
-                self.record_admission(spill, preferred, &chunk_ids);
-                Ok(stream)
-            }
-        }
+        self.gateway.submit_stream(request)
     }
 
     /// Blocking one-shot convenience over [`ClusterService::submit_stream`].
+    /// A fully-unhealthy cluster surfaces the structured
+    /// [`EngineError::Remote`] carrying
+    /// [`ErrorCode::NoHealthyWorker`](cb_core::engine::ErrorCode::NoHealthyWorker).
     pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
-        match self.submit_stream(request) {
-            Ok(stream) => stream.collect(),
-            // Mapped onto the engine's error surface so callers see one
-            // error type for "the request was never served".
-            Err(ClusterError::NoHealthyReplica) => Err(EngineError::Canceled),
-        }
+        self.gateway.submit(request)
     }
 
     /// Submits directly to an explicit replica, bypassing the router but
     /// keeping the cluster accounting (admin tooling and the bench harness
     /// drive placement themselves).
     pub fn submit_to(&self, replica: usize, request: Request) -> ResponseStream {
-        let preferred = self.preferred(&request.chunk_ids);
-        let chunk_ids = request.chunk_ids.clone();
-        let stream = self.replicas[replica].submit_stream(request);
-        self.record_admission(replica, preferred, &chunk_ids);
-        stream
-    }
-
-    fn record_admission(&self, replica: usize, preferred: usize, chunk_ids: &[ChunkId]) {
-        self.admissions[replica].fetch_add(1, Ordering::Relaxed);
-        self.stats.total_requests.fetch_add(1, Ordering::Relaxed);
-        if replica == preferred {
-            self.stats.local_requests.fetch_add(1, Ordering::Relaxed);
-        }
-        let local = chunk_ids
-            .iter()
-            .filter(|&&c| self.home_of(c) == replica)
-            .count();
-        self.stats
-            .chunk_lookups
-            .fetch_add(chunk_ids.len() as u64, Ordering::Relaxed);
-        self.stats
-            .chunk_local
-            .fetch_add(local as u64, Ordering::Relaxed);
+        self.gateway.submit_to(replica, request)
     }
 
     /// Snapshot of the cluster counters.
     pub fn stats(&self) -> ClusterStats {
-        ClusterStats {
-            admissions: self
-                .admissions
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            spills: self.stats.spills.load(Ordering::Relaxed),
-            failovers: self.stats.failovers.load(Ordering::Relaxed),
-            local_requests: self.stats.local_requests.load(Ordering::Relaxed),
-            total_requests: self.stats.total_requests.load(Ordering::Relaxed),
-            chunk_lookups: self.stats.chunk_lookups.load(Ordering::Relaxed),
-            chunk_local: self.stats.chunk_local.load(Ordering::Relaxed),
-            rejections: self.stats.rejections.load(Ordering::Relaxed),
-        }
+        self.gateway.stats()
     }
 
     /// Per-replica scheduler counters.
     pub fn service_stats(&self) -> Vec<ServiceStats> {
-        self.replicas.iter().map(|r| r.stats()).collect()
+        self.services.iter().map(|r| r.stats()).collect()
     }
 
     /// Summed scheduler counters across replicas (deadline misses, peak
@@ -420,9 +255,18 @@ impl ClusterService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cb_core::engine::EngineBuilder;
+    use cb_core::engine::{EngineBuilder, ErrorCode};
     use cb_model::ModelProfile;
     use cb_tokenizer::TokenKind::*;
+
+    /// SplitMix64 finalizer — the same mix the gateway's rendezvous
+    /// scoring uses; tests reuse it as a cheap id scrambler.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
 
     fn cluster(n: usize, workers: usize, capacity: usize) -> ClusterService {
         ClusterService::build(
@@ -509,6 +353,7 @@ mod tests {
         assert_eq!(st.admissions.iter().sum::<u64>(), 12);
         assert_eq!(st.spills, 0, "unloaded cluster never spills");
         assert_eq!(st.failovers, 0);
+        assert_eq!(st.reroutes, 0);
         assert_eq!(
             st.request_locality_rate(),
             1.0,
@@ -556,9 +401,16 @@ mod tests {
             .unwrap();
         assert!(!resp.answer.is_empty(), "failover still serves");
         let st = c.stats();
-        assert_eq!(st.failovers, 1);
+        assert_eq!(st.failovers, 1, "one down-transition, counted once");
+        assert_eq!(st.reroutes, 1, "the request was placed away from home");
         assert_eq!(st.admissions[preferred], 0);
         assert_eq!(st.admissions[1 - preferred], 1);
+
+        // Re-observing the downed replica (routing probes, health checks)
+        // must not inflate the failover count: it is edge-triggered.
+        assert!(!c.replica_healthy(preferred));
+        assert!(!c.replica_healthy(preferred));
+        assert_eq!(c.stats().failovers, 1);
 
         c.set_replica_health(preferred, true);
         c.submit(Request::new(set, q).ratio(0.45).max_new_tokens(2))
@@ -568,6 +420,7 @@ mod tests {
             1,
             "recovered replica gets its traffic back"
         );
+        assert_eq!(c.stats().failovers, 1, "recovery is not a failover");
     }
 
     #[test]
@@ -581,10 +434,15 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ClusterError::NoHealthyReplica);
         assert_eq!(c.stats().rejections, 1);
-        assert_eq!(
-            c.submit(Request::new(ids, q)).unwrap_err(),
-            EngineError::Canceled
-        );
+        // The blocking path surfaces the structured remote error, keeping
+        // the code and human-readable detail across the service boundary.
+        match c.submit(Request::new(ids, q)).unwrap_err() {
+            EngineError::Remote { code, message } => {
+                assert_eq!(code, ErrorCode::NoHealthyWorker);
+                assert!(!message.is_empty(), "error detail must survive");
+            }
+            other => panic!("expected a structured remote error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -620,6 +478,11 @@ mod tests {
                 break;
             }
         }
+        // Spills are observed asynchronously (the rejection travels back
+        // over the wire), so settle the cluster before asserting.
+        for s in streams {
+            s.collect().expect("every admitted request completes");
+        }
         let st = c.stats();
         assert!(
             st.spills > 0,
@@ -630,8 +493,5 @@ mod tests {
             "spill placed work on the alternate replica: {:?}",
             st.admissions
         );
-        for s in streams {
-            s.collect().expect("every admitted request completes");
-        }
     }
 }

@@ -1,0 +1,429 @@
+//! Network control plane integration: frame-decoder fuzz, loopback-vs-TCP
+//! parity, heartbeat-partition failover (with the idempotent-counting
+//! regression), and error-detail preservation across the wire.
+
+use cacheblend::kv::chunk::ChunkId;
+use cacheblend::net::frame::{
+    decode_frame, encode_frame, read_frame, FRAME_VERSION, HEADER_LEN, MAX_FRAME_PAYLOAD,
+    TRAILER_LEN,
+};
+use cacheblend::net::message::{Message, WireEvent, WireFailure, WireRequest};
+use cacheblend::net::{
+    loopback_pair, Gateway, GatewayConfig, NetClient, TcpTransport, Worker, WorkerConfig,
+};
+use cacheblend::prelude::*;
+use cacheblend::scheduler::ServiceProbe;
+use cacheblend::serving::cluster::ClusterService;
+use cacheblend::tokenizer::TokenKind::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The engine-backed tests here time-share one core with heartbeat and
+/// demux threads; running them serially keeps the partition test's
+/// heartbeat deadlines honest.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame / message fuzz
+// ---------------------------------------------------------------------------
+
+/// Representative frames covering every encoder code path that carries
+/// variable-length data (token vectors, strings, nested structs).
+fn fuzz_bases() -> Vec<Vec<u8>> {
+    let request = Request::new(vec![ChunkId(7), ChunkId(0xDEAD_BEEF)], vec![1, 2, 3])
+        .ratio(0.45)
+        .max_new_tokens(4);
+    let messages = [
+        Message::HelloClient,
+        Message::Heartbeat {
+            probe: ServiceProbe::default(),
+            stats: ServiceStats::default(),
+        },
+        Message::Submit {
+            id: 3,
+            blocking: true,
+            request: WireRequest::from_request(&request),
+        },
+        Message::RegisterChunk {
+            rpc: 9,
+            eager: true,
+            tokens: (0..64).collect(),
+        },
+        Message::Ev {
+            id: 12,
+            event: WireEvent::Failed(WireFailure::from_error(&EngineError::Storage(
+                "injected backend failure".into(),
+            ))),
+        },
+        Message::ClusterStatusReply {
+            rpc: 1,
+            healthy: vec![true, false, true],
+            probes: vec![ServiceProbe::default(); 3],
+        },
+    ];
+    messages.iter().map(|m| encode_frame(&m.encode())).collect()
+}
+
+/// Serialize-fuzz for the wire: bit flips, length-field overwrites,
+/// truncations, junk extensions, checksum rewrites, and garbage buffers
+/// never panic the decoders and never survive as a valid frame —
+/// except pure extension, which by design leaves the framed prefix
+/// intact (trailing bytes belong to the next frame).
+#[test]
+fn frame_decoder_survives_mutation_fuzz() {
+    let bases = fuzz_bases();
+    for seed in [0xCB_0001u64, 0xCB_0002, 0xCB_0003] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..1000 {
+            let base = &bases[rng.random_range(0usize..bases.len())];
+            let mut bytes = base.clone();
+            let class = rng.random_range(0u32..6);
+            match class {
+                // Random distinct-byte flips anywhere in the frame.
+                0 => {
+                    let flips = rng.random_range(1usize..5);
+                    let mut seen = std::collections::HashSet::new();
+                    for _ in 0..flips {
+                        let at = rng.random_range(0usize..bytes.len());
+                        if seen.insert(at) {
+                            bytes[at] ^= rng.random_range(1u32..256) as u8;
+                        }
+                    }
+                }
+                // Overwrite the payload-length field — the allocation
+                // attack surface.
+                1 => {
+                    let old = u32::from_le_bytes(bytes[6..10].try_into().unwrap());
+                    let new = old.wrapping_add(rng.random_range(1u32..u32::MAX));
+                    bytes[6..10].copy_from_slice(&new.to_le_bytes());
+                }
+                // Truncation at a random point.
+                2 => {
+                    let keep = rng.random_range(0usize..bytes.len());
+                    bytes.truncate(keep);
+                }
+                // Extension with random junk (stream framing must stop at
+                // the declared length).
+                3 => {
+                    let extra = rng.random_range(1usize..64);
+                    for _ in 0..extra {
+                        bytes.push(rng.random_range(0u32..256) as u8);
+                    }
+                }
+                // Rewrite the checksum trailer.
+                4 => {
+                    let at = bytes.len() - TRAILER_LEN;
+                    let old = u64::from_le_bytes(bytes[at..].try_into().unwrap());
+                    let new = old.wrapping_add(rng.random_range(1u64..u64::MAX));
+                    bytes[at..].copy_from_slice(&new.to_le_bytes());
+                }
+                // Short garbage that never saw an encoder.
+                _ => {
+                    let len = rng.random_range(0usize..64);
+                    bytes = (0..len)
+                        .map(|_| rng.random_range(0u32..256) as u8)
+                        .collect();
+                }
+            }
+            if bytes == *base {
+                continue; // Mutation was a no-op (possible only for class 0).
+            }
+
+            let slice = decode_frame(&bytes);
+            let stream = read_frame(&mut &bytes[..]);
+            if class == 3 {
+                // Junk after a complete frame is the next frame's problem:
+                // both decoders must return exactly the original payload.
+                let (payload, consumed) = slice.expect("extended frame keeps its valid prefix");
+                assert_eq!(consumed, base.len(), "seed {seed:#x} case {case}");
+                assert_eq!(payload, &base[HEADER_LEN..base.len() - TRAILER_LEN]);
+                assert_eq!(stream.as_deref(), Ok(payload), "seed {seed:#x} case {case}");
+            } else {
+                assert!(
+                    slice.is_err(),
+                    "seed {seed:#x} case {case}: mutated frame decoded"
+                );
+                assert!(
+                    stream.is_err(),
+                    "seed {seed:#x} case {case}: mutated stream decoded"
+                );
+            }
+
+            // Message-level: whatever the mutation did to the payload
+            // region, the message decoder must return (never panic or
+            // over-allocate). A decode success is acceptable — e.g. a tag
+            // flip between two fixed-layout messages — as long as the
+            // result re-encodes cleanly.
+            if bytes.len() >= HEADER_LEN + TRAILER_LEN {
+                let payload = &bytes[HEADER_LEN..bytes.len() - TRAILER_LEN];
+                if let Ok(msg) = Message::decode(payload) {
+                    let _ = msg.encode();
+                }
+            }
+        }
+    }
+}
+
+/// A frame claiming a `u32::MAX` (or any oversize) payload is rejected by
+/// header validation alone — before any allocation or read.
+#[test]
+fn oversize_length_claims_are_rejected_without_allocation() {
+    for claim in [MAX_FRAME_PAYLOAD as u32 + 1, u32::MAX / 2, u32::MAX] {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"CBNF");
+        frame.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        frame.extend_from_slice(&claim.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]); // Far less than claimed.
+        assert!(
+            matches!(decode_frame(&frame), Err(e) if format!("{e}").contains(&claim.to_string())),
+            "claim {claim} must be rejected as oversize"
+        );
+        assert!(read_frame(&mut &frame[..]).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback vs TCP parity
+// ---------------------------------------------------------------------------
+
+fn eval_corpus() -> (Vec<Vec<u32>>, Vec<u32>) {
+    let v = cacheblend::tokenizer::Vocab::default_eval();
+    let chunks: Vec<Vec<u32>> = (0..8)
+        .map(|i| {
+            vec![
+                v.id(Entity(i as u32)),
+                v.id(Attr(i as u32 % 8)),
+                v.id(Value(i as u32 * 2)),
+                v.id(Sep),
+            ]
+        })
+        .collect();
+    let q = vec![v.id(Query), v.id(Entity(3)), v.id(Attr(3)), v.id(QMark)];
+    (chunks, q)
+}
+
+fn seeded_requests(ids: &[ChunkId], q: &[u32], n: usize) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(0x4E_E7);
+    (0..n)
+        .map(|_| {
+            let k = rng.random_range(1usize..4);
+            let set: Vec<_> = (0..k)
+                .map(|_| ids[rng.random_range(0usize..ids.len())])
+                .collect();
+            Request::new(set, q.to_vec())
+                .ratio(0.45)
+                .max_new_tokens(1 + rng.random_range(0usize..4))
+        })
+        .collect()
+}
+
+fn tiny_service() -> EngineService {
+    EngineService::new(
+        EngineBuilder::new(ModelProfile::Tiny)
+            .seed(11)
+            .build()
+            .unwrap(),
+        ServiceConfig::default().workers(1).queue_capacity(32),
+    )
+}
+
+/// The same seeded workload served through the in-process loopback facade
+/// and through a real TCP gateway + workers + client yields identical
+/// results — the transports differ only in plumbing, never in behavior.
+#[test]
+fn loopback_and_tcp_clusters_serve_identical_results() {
+    let _guard = serial();
+    let (chunks, q) = eval_corpus();
+
+    // Loopback arm: the `ClusterService` facade.
+    let loopback = ClusterService::new(vec![tiny_service(), tiny_service()]);
+    let loop_ids = loopback.register_chunks(&chunks).unwrap();
+
+    // TCP arm: gateway and two workers joined over real sockets.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let gateway = Arc::new(Gateway::new(GatewayConfig::default()));
+    let acceptor = {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            // Two workers + one client, then the listener closes.
+            for stream in listener.incoming().take(3) {
+                let t = TcpTransport::from_stream(stream.unwrap()).unwrap();
+                gateway.accept(Arc::new(t)).unwrap();
+            }
+        })
+    };
+    let _workers: Vec<Worker> = (0..2)
+        .map(|_| {
+            Worker::start(
+                Arc::new(tiny_service()),
+                Arc::new(TcpTransport::connect(addr).unwrap()),
+                WorkerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    wait_until("both workers attached", || gateway.n_workers() == 2);
+    let client = NetClient::connect(Arc::new(TcpTransport::connect(addr).unwrap())).unwrap();
+    acceptor.join().unwrap();
+
+    // Content-addressed registration must agree on ids across transports.
+    let tcp_ids: Vec<ChunkId> = chunks
+        .iter()
+        .map(|c| client.register_chunk(c, true).unwrap())
+        .collect();
+    assert_eq!(
+        loop_ids, tcp_ids,
+        "chunk ids are content-addressed, transport-independent"
+    );
+
+    for (i, req) in seeded_requests(&loop_ids, &q, 12).into_iter().enumerate() {
+        let a = loopback.submit(req.clone()).expect("loopback serves");
+        let b = client.submit(&req).expect("tcp serves");
+        assert_eq!(
+            (a.answer, a.recompute_ratio, a.blend.stats.ctx_len),
+            (b.answer, b.recompute_ratio, b.blend.stats.ctx_len),
+            "request {i} diverged between loopback and TCP"
+        );
+    }
+    let (healthy, probes) = client.cluster_status().unwrap();
+    assert_eq!(healthy, vec![true, true]);
+    assert_eq!(probes.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Partition failover
+// ---------------------------------------------------------------------------
+
+/// A worker that stops heartbeating is marked down exactly once (the
+/// idempotent-failover regression: continued silence and mid-probe
+/// recovery must not re-count), new requests route around it without a
+/// loss, and a resumed heartbeat restores it.
+#[test]
+fn heartbeat_partition_fails_over_once_and_loses_no_requests() {
+    let _guard = serial();
+    let gateway =
+        Gateway::new(GatewayConfig::default().heartbeat_timeout(Duration::from_millis(400)));
+    let workers: Vec<Worker> = (0..2)
+        .map(|_| {
+            let (worker_end, gateway_end) = loopback_pair();
+            let worker = Worker::start(
+                Arc::new(tiny_service()),
+                Arc::new(worker_end),
+                WorkerConfig::default().heartbeat_interval(Duration::from_millis(20)),
+            )
+            .unwrap();
+            gateway.attach(Arc::new(gateway_end)).unwrap();
+            worker
+        })
+        .collect();
+    let (chunks, q) = eval_corpus();
+    let ids = gateway.register_chunks(&chunks).unwrap();
+    let requests = seeded_requests(&ids, &q, 6);
+
+    // Healthy baseline.
+    gateway
+        .submit(requests[0].clone())
+        .expect("healthy cluster serves");
+    assert_eq!(gateway.stats().failovers, 0);
+
+    // Partition worker 0: it keeps serving, the gateway just hears silence.
+    workers[0].pause_heartbeats(true);
+    wait_until("worker 0 marked down", || !gateway.worker_healthy(0));
+    assert_eq!(gateway.stats().failovers, 1, "one down-edge, one failover");
+
+    // The partitioned worker is unreachable for routing but not crashed:
+    // work already pinned to it still completes.
+    gateway
+        .submit_to(0, requests[0].clone())
+        .collect()
+        .expect("pinned request survives");
+
+    // Regression: continued silence re-observes the same down state every
+    // sweep — the counter must not move.
+    std::thread::sleep(Duration::from_millis(1200));
+    assert_eq!(
+        gateway.stats().failovers,
+        1,
+        "re-observed outage must not re-count"
+    );
+
+    // New submissions all route to the healthy worker; none are lost.
+    let before = gateway.stats().admissions;
+    let streams: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            gateway
+                .submit_stream(r.clone())
+                .expect("one healthy worker remains")
+        })
+        .collect();
+    for s in streams {
+        s.collect().expect("rerouted request serves");
+    }
+    let after = gateway.stats().admissions;
+    assert_eq!(
+        after[0], before[0],
+        "no admission reaches the partitioned worker"
+    );
+    assert_eq!(
+        after[1],
+        before[1] + requests.len() as u64,
+        "every request lands on worker 1"
+    );
+
+    // Recovery is not a failover.
+    workers[0].pause_heartbeats(false);
+    wait_until("worker 0 recovered", || gateway.worker_healthy(0));
+    assert_eq!(
+        gateway.stats().failovers,
+        1,
+        "recovery must not count as a failover"
+    );
+
+    // A second partition is a second edge — counted exactly once more.
+    workers[0].pause_heartbeats(true);
+    wait_until("worker 0 down again", || !gateway.worker_healthy(0));
+    assert_eq!(gateway.stats().failovers, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Error detail across the wire
+// ---------------------------------------------------------------------------
+
+/// An engine-side failure keeps its structured code and detail through
+/// the worker → gateway → collect() relay: the offending chunk id of an
+/// `UnknownChunk` survives the wire intact.
+#[test]
+fn error_detail_survives_the_wire() {
+    let _guard = serial();
+    let cluster = ClusterService::new(vec![tiny_service()]);
+    let v = cacheblend::tokenizer::Vocab::default_eval();
+    let bogus = ChunkId(0xDEAD_BEEF_CAFE);
+    let err = cluster
+        .submit(
+            Request::new(vec![bogus], vec![v.id(Query), v.id(QMark)])
+                .ratio(0.45)
+                .max_new_tokens(2),
+        )
+        .expect_err("unregistered chunk must fail");
+    assert_eq!(
+        err,
+        EngineError::UnknownChunk(bogus),
+        "the failing chunk id must survive worker → gateway → client"
+    );
+}
