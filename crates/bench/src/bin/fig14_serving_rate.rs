@@ -10,12 +10,17 @@
 //!   (both emit `BENCH_cluster.json`), or analytic+engine.
 //! - `--replicas N` — largest replica count for the cluster arm
 //!   (default 2; the grid always includes 1 and 2).
+//! - `--chaos` — with `--backend net-cluster`, also run the fault drill:
+//!   the same workload with and without a deterministic mid-run worker
+//!   kill, emitting goodput and p99 TTFT for both into
+//!   `BENCH_chaos.json`.
 
 use cb_bench::experiments::fig14::{run_opts, BackendArm, Fig14Opts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let backend = match args.iter().position(|a| a == "--backend") {
         None => BackendArm::Analytic,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -46,9 +51,14 @@ fn main() {
             }
         },
     };
+    if chaos && backend != BackendArm::NetCluster {
+        eprintln!("--chaos requires --backend net-cluster");
+        std::process::exit(2);
+    }
     run_opts(Fig14Opts {
         smoke,
         backend,
         replicas,
+        chaos,
     });
 }

@@ -29,7 +29,13 @@
 //! - **net-cluster** — the cluster arm labeled for the network control
 //!   plane, plus a measured *routing-hop latency tax*: the per-request
 //!   overhead of gateway routing + frame codec + event relay over a
-//!   direct in-process submit on the same warm engine.
+//!   direct in-process submit on the same warm engine. With
+//!   [`Fig14Opts::chaos`], a fault drill rides along: the same workload
+//!   is served twice — undisturbed, and with a **deterministic kill
+//!   schedule** (one worker's connection severed mid-run, then
+//!   re-attached under the same identity) — and the goodput and p99 TTFT
+//!   of both runs land in `target/experiments/BENCH_chaos.json`, so the
+//!   retry machinery's latency tax is a measured number, not a claim.
 //!
 //! [`ServingBackend`]: cb_serving::backend::ServingBackend
 //! [`EngineService`]: cb_core::scheduler::EngineService
@@ -82,6 +88,10 @@ pub struct Fig14Opts {
     /// Largest replica count for the cluster arm (the grid always
     /// includes 1 and 2 so the scale-out ratio is measured).
     pub replicas: usize,
+    /// Run the net-cluster chaos drill (mid-run worker kill vs.
+    /// undisturbed baseline; emits `BENCH_chaos.json`). Only meaningful
+    /// with [`BackendArm::NetCluster`].
+    pub chaos: bool,
 }
 
 impl Default for Fig14Opts {
@@ -90,6 +100,7 @@ impl Default for Fig14Opts {
             smoke: false,
             backend: BackendArm::Analytic,
             replicas: 2,
+            chaos: false,
         }
     }
 }
@@ -116,6 +127,9 @@ pub fn run_opts(opts: Fig14Opts) {
     }
     if opts.backend == BackendArm::NetCluster {
         cluster_arm(opts.smoke, opts.replicas, true);
+        if opts.chaos {
+            chaos_arm(opts.smoke);
+        }
     }
 }
 
@@ -602,5 +616,187 @@ fn cluster_arm(smoke: bool, max_replicas: usize, net: bool) {
     assert!(
         g2 >= 1.8 * g1,
         "2 replicas must sustain ≥1.8× the goodput of 1 at the saturating rate: {g1} vs {g2}"
+    );
+}
+
+/// What one chaos run measured (wall-clock, not virtual time: the retry
+/// backoff and re-attach latency are exactly what this arm is after).
+struct ChaosPoint {
+    completed: u64,
+    failed: u64,
+    p50_ttft_s: f64,
+    p99_ttft_s: f64,
+    goodput_rps: f64,
+    retries: u64,
+    adoptions: u64,
+}
+
+/// Serves `n_requests` through a 2-replica net cluster in concurrent
+/// waves of 8, optionally severing replica 0's connection (and
+/// re-attaching it under the same identity, as `cb_worker
+/// --retry-attach` would) right after wave `kill_after_wave` is
+/// submitted — the deterministic kill schedule. TTFTs are wall-clock to
+/// each stream's first token, timestamped on arrival by a per-stream
+/// collector thread.
+fn run_chaos_point(n_requests: usize, kill_after_wave: Option<usize>) -> ChaosPoint {
+    const WAVE: usize = 8;
+    let mut cluster = ClusterService::build(
+        2,
+        ServiceConfig::default().workers(1).queue_capacity(64),
+        |_| EngineBuilder::new(ModelProfile::Tiny).seed(11).build(),
+    )
+    .expect("cluster builds");
+    let vocab = cluster.replica(0).engine().model().cfg.vocab.clone();
+    let query = vec![
+        vocab.id(TokenKind::Query),
+        vocab.id(TokenKind::Entity(0)),
+        vocab.id(TokenKind::Attr(0)),
+        vocab.id(TokenKind::QMark),
+    ];
+    let workload = cluster_workload(1.0, n_requests);
+    // Register every chunk up front so the run itself measures serving,
+    // not registration.
+    let mut chunk_map: HashMap<u64, ChunkId> = HashMap::new();
+    for req in &workload.requests {
+        for &sim_id in &req.chunk_ids {
+            if let std::collections::hash_map::Entry::Vacant(e) = chunk_map.entry(sim_id) {
+                let tokens = sim_chunk_tokens(&vocab, sim_id);
+                e.insert(
+                    cluster
+                        .register_chunk_lazy(&tokens)
+                        .expect("chunk tokens are non-empty"),
+                );
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut ttfts = Vec::with_capacity(n_requests);
+    let (mut completed, mut failed) = (0u64, 0u64);
+    for (wave_idx, wave) in workload.requests.chunks(WAVE).enumerate() {
+        let collectors: Vec<_> = wave
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let ids: Vec<ChunkId> = req.chunk_ids.iter().map(|c| chunk_map[c]).collect();
+                // Placement is driven by the harness (as in the cluster
+                // arm), alternating replicas — so the kill wave always
+                // has work in flight at replica 0 when the bounce lands,
+                // and a retry is guaranteed rather than luck of the
+                // router. 12 decoded tokens keep each stream alive for
+                // several ms, comfortably spanning the kill.
+                let stream = cluster.submit_to(
+                    i % 2,
+                    EngineRequest::new(ids, query.clone()).max_new_tokens(12),
+                );
+                let t0 = std::time::Instant::now();
+                std::thread::spawn(move || {
+                    let mut first = None;
+                    let mut ok = false;
+                    for ev in stream {
+                        match ev {
+                            cb_core::stream::Event::FirstToken(_) => {
+                                first = Some(t0.elapsed().as_secs_f64());
+                            }
+                            cb_core::stream::Event::Done(_) => ok = true,
+                            _ => {}
+                        }
+                    }
+                    (first, ok)
+                })
+            })
+            .collect();
+        if kill_after_wave == Some(wave_idx) {
+            // The kill: replica 0's connection dies abruptly with the
+            // wave in flight; stranded requests retry on replica 1 while
+            // the bounced worker re-attaches and adopts its slot.
+            cluster.bounce_replica(0);
+        }
+        for c in collectors {
+            let (first, ok) = c.join().expect("collector thread");
+            if ok {
+                completed += 1;
+                if let Some(t) = first {
+                    ttfts.push(t);
+                }
+            } else {
+                failed += 1;
+            }
+        }
+    }
+    let makespan = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    ttfts.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if ttfts.is_empty() {
+            return 0.0;
+        }
+        let at = ((ttfts.len() as f64 * p).ceil() as usize).clamp(1, ttfts.len()) - 1;
+        ttfts[at]
+    };
+    let stats = cluster.stats();
+    ChaosPoint {
+        completed,
+        failed,
+        p50_ttft_s: pct(0.50),
+        p99_ttft_s: pct(0.99),
+        goodput_rps: completed as f64 / makespan,
+        retries: stats.retries,
+        adoptions: stats.adoptions,
+    }
+}
+
+/// The chaos drill: the same workload with and without a mid-run worker
+/// death, side by side. Emits `BENCH_chaos.json` and prints the measured
+/// retry latency tax (the p99 TTFT delta the kill costs).
+fn chaos_arm(smoke: bool) {
+    let n_requests = if smoke { 48 } else { 160 };
+    let kill_wave = (n_requests / 8) / 2; // Mid-run, deterministically.
+    let baseline = run_chaos_point(n_requests, None);
+    let chaos = run_chaos_point(n_requests, Some(kill_wave));
+
+    let mut rows = Vec::new();
+    for (arm, p) in [("baseline", &baseline), ("worker-killed", &chaos)] {
+        rows.push(
+            Row::new("chaos")
+                .col("backend", "net-cluster")
+                .col("arm", arm)
+                .col("requests", n_requests)
+                .col("completed", p.completed)
+                .col("failed", p.failed)
+                .num("p50_ttft_s", p.p50_ttft_s)
+                .num("p99_ttft_s", p.p99_ttft_s)
+                .num("goodput_rps", p.goodput_rps)
+                .col("retries", p.retries)
+                .col("adoptions", p.adoptions),
+        );
+    }
+    emit("BENCH_chaos", &rows);
+    println!(
+        "chaos drill: {} requests, kill after wave {kill_wave}: goodput {:.2} → {:.2} rps, \
+         p99 TTFT {:.1}ms → {:.1}ms ({} retries, {} adoption)",
+        n_requests,
+        baseline.goodput_rps,
+        chaos.goodput_rps,
+        baseline.p99_ttft_s * 1e3,
+        chaos.p99_ttft_s * 1e3,
+        chaos.retries,
+        chaos.adoptions,
+    );
+    assert_eq!(
+        baseline.failed, 0,
+        "the undisturbed run must not fail requests"
+    );
+    assert_eq!(baseline.retries, 0, "the undisturbed run must not retry");
+    assert_eq!(
+        chaos.failed, 0,
+        "every request must survive the mid-run worker death"
+    );
+    assert!(
+        chaos.retries >= 1,
+        "the kill landed mid-run, so at least one request must have been retried"
+    );
+    assert_eq!(
+        chaos.adoptions, 1,
+        "the bounced worker must adopt its old slot exactly once"
     );
 }

@@ -90,6 +90,29 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// True when a failure with this code says nothing about the request
+    /// itself — only about the worker that happened to be serving it —
+    /// so re-submitting the identical request to a *different* worker can
+    /// succeed. Cluster front ends use this to drive client-invisible
+    /// retries:
+    ///
+    /// - [`ErrorCode::Canceled`] — the serving worker's scheduler shut
+    ///   down mid-request;
+    /// - [`ErrorCode::Panicked`] — the serving worker's thread died;
+    /// - [`ErrorCode::Storage`] — a worker-local backend failed (another
+    ///   replica has its own store).
+    ///
+    /// Everything else is a property of the request (unknown chunk, empty
+    /// query, oversized cache, misconfiguration) or of the cluster as a
+    /// whole ([`ErrorCode::NoHealthyWorker`]) and retrying elsewhere
+    /// would fail identically.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Canceled | ErrorCode::Panicked | ErrorCode::Storage
+        )
+    }
+
     /// Inverse of `code as u16`; `None` for unassigned values.
     pub fn from_u16(v: u16) -> Option<ErrorCode> {
         Some(match v {

@@ -112,3 +112,206 @@ impl Iterator for ResponseStream {
         self.rx.recv().ok()
     }
 }
+
+/// A replayed token diverged from the one already delivered at the same
+/// position — the determinism contract (same profile, same seed, same
+/// request ⇒ bit-identical tokens) was violated by a retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// Zero-based position of the diverging token in the answer stream.
+    pub position: usize,
+    /// The token already delivered downstream at that position.
+    pub delivered: TokenId,
+    /// The token the replay produced instead.
+    pub replayed: TokenId,
+}
+
+impl std::fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replayed token {} at position {} diverges from delivered token {}",
+            self.replayed, self.position, self.delivered
+        )
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+/// Lifecycle stages in stream order, used as the filter's high-water mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Stage {
+    None,
+    Queued,
+    Admitted,
+    FirstToken,
+}
+
+/// Deduplicates a request's event stream across retries so downstream
+/// consumers see **one seamless stream**.
+///
+/// A front end that transparently re-submits a request after its worker
+/// died has already forwarded a prefix of the lifecycle — `Queued`,
+/// `Admitted`, maybe `FirstToken` and some `Token`s. The fresh worker
+/// replays the stream from the start. A `ReplayFilter` sits between the
+/// upstream events and the downstream consumer:
+///
+/// - [`ReplayFilter::admit`] returns `Ok(true)` for events that are new
+///   and must be forwarded, `Ok(false)` for replayed duplicates to
+///   suppress, and `Err(ReplayMismatch)` if a replayed token is not
+///   bit-identical to the one already delivered (determinism makes
+///   identical replay a hard invariant, so callers assert on this).
+/// - [`ReplayFilter::rewind`] resets the replay cursor when a retry
+///   starts; the delivered history is kept so the replayed prefix can be
+///   matched and suppressed.
+///
+/// Terminal events (`Done` / `Failed`) are always forwarded: the journal
+/// holding the filter retires the entry on the first terminal it lets
+/// through, so a request is never completed twice.
+#[derive(Debug)]
+pub struct ReplayFilter {
+    delivered_stage: Stage,
+    delivered: Vec<TokenId>,
+    cursor_tokens: usize,
+}
+
+impl Default for ReplayFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayFilter {
+    /// A fresh filter: nothing delivered, cursor at the stream start.
+    pub fn new() -> Self {
+        Self {
+            delivered_stage: Stage::None,
+            delivered: Vec::new(),
+            cursor_tokens: 0,
+        }
+    }
+
+    fn stage_of(ev: &Event) -> Option<Stage> {
+        match ev {
+            Event::Queued => Some(Stage::Queued),
+            Event::Admitted => Some(Stage::Admitted),
+            Event::FirstToken(_) => Some(Stage::FirstToken),
+            _ => None,
+        }
+    }
+
+    /// Observes the next upstream event and decides whether to forward
+    /// it downstream (see type docs).
+    pub fn admit(&mut self, ev: &Event) -> Result<bool, ReplayMismatch> {
+        if let Some(stage) = Self::stage_of(ev) {
+            if stage <= self.delivered_stage {
+                return Ok(false); // Replayed lifecycle event.
+            }
+            self.delivered_stage = stage;
+            return Ok(true);
+        }
+        if let Event::Token(t) = ev {
+            if self.cursor_tokens < self.delivered.len() {
+                let expected = self.delivered[self.cursor_tokens];
+                if expected != *t {
+                    return Err(ReplayMismatch {
+                        position: self.cursor_tokens,
+                        delivered: expected,
+                        replayed: *t,
+                    });
+                }
+                self.cursor_tokens += 1;
+                return Ok(false); // Replayed token, bit-identical.
+            }
+            self.delivered.push(*t);
+            self.cursor_tokens += 1;
+            return Ok(true);
+        }
+        Ok(true) // Terminal events always pass.
+    }
+
+    /// Starts a retry: replayed events will be matched against the
+    /// delivered history from the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor_tokens = 0;
+    }
+
+    /// How many answer tokens have been delivered downstream so far.
+    pub fn tokens_delivered(&self) -> usize {
+        self.delivered.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(filter: &mut ReplayFilter, toks: &[TokenId]) -> Vec<TokenId> {
+        toks.iter()
+            .filter(|&&t| filter.admit(&Event::Token(t)).unwrap())
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn replay_filter_passes_a_clean_stream_through() {
+        let mut f = ReplayFilter::new();
+        assert!(f.admit(&Event::Queued).unwrap());
+        assert!(f.admit(&Event::Admitted).unwrap());
+        assert!(f
+            .admit(&Event::FirstToken(TtftBreakdown::default()))
+            .unwrap());
+        assert_eq!(tokens(&mut f, &[7, 8, 9]), vec![7, 8, 9]);
+        assert!(f.admit(&Event::Failed(EngineError::Canceled)).unwrap());
+        assert_eq!(f.tokens_delivered(), 3);
+    }
+
+    #[test]
+    fn replay_filter_suppresses_the_delivered_prefix() {
+        let mut f = ReplayFilter::new();
+        assert!(f.admit(&Event::Queued).unwrap());
+        assert!(f.admit(&Event::Admitted).unwrap());
+        assert!(f
+            .admit(&Event::FirstToken(TtftBreakdown::default()))
+            .unwrap());
+        assert_eq!(tokens(&mut f, &[1, 2]), vec![1, 2]);
+
+        // Worker died; the retry replays from the start.
+        f.rewind();
+        assert!(!f.admit(&Event::Queued).unwrap());
+        assert!(!f.admit(&Event::Admitted).unwrap());
+        assert!(!f
+            .admit(&Event::FirstToken(TtftBreakdown::default()))
+            .unwrap());
+        assert_eq!(tokens(&mut f, &[1, 2, 3, 4]), vec![3, 4]);
+        assert_eq!(f.tokens_delivered(), 4);
+    }
+
+    #[test]
+    fn replay_filter_detects_divergent_replay() {
+        let mut f = ReplayFilter::new();
+        assert!(f.admit(&Event::Token(5)).unwrap());
+        f.rewind();
+        assert_eq!(
+            f.admit(&Event::Token(6)),
+            Err(ReplayMismatch {
+                position: 0,
+                delivered: 5,
+                replayed: 6,
+            })
+        );
+    }
+
+    #[test]
+    fn replay_filter_survives_multiple_rewinds() {
+        let mut f = ReplayFilter::new();
+        assert!(f.admit(&Event::Queued).unwrap());
+        assert_eq!(tokens(&mut f, &[1]), vec![1]);
+        f.rewind();
+        assert!(!f.admit(&Event::Queued).unwrap());
+        assert_eq!(tokens(&mut f, &[1, 2]), vec![2]);
+        f.rewind();
+        assert_eq!(tokens(&mut f, &[1, 2, 3]), vec![3]);
+        assert_eq!(f.tokens_delivered(), 3);
+    }
+}

@@ -4,8 +4,23 @@
 //! client session, exiting 0 on success.
 //!
 //! ```text
-//! cb_gateway --listen 127.0.0.1:7070 --expect-workers 2 [--smoke]
+//! cb_gateway --listen 127.0.0.1:7070 --expect-workers 2 [--smoke [--chaos]]
+//! cb_gateway --listen 127.0.0.1:7071 --standby 127.0.0.1:7070 [--expect-workers 2]
 //! ```
+//!
+//! `--standby PRIMARY` runs the warm-standby role instead: mirror the
+//! primary's journal/chunks/roster over its replication feed, and when
+//! the primary goes silent (or its connection closes), **take over** —
+//! bind `--listen`, inherit the roster as placeholder slots (chunk homes
+//! unchanged), and serve workers re-attaching under `--retry-attach`
+//! plus clients resuming by request id.
+//!
+//! `--chaos` extends the smoke into a fault drill: it keeps a stream of
+//! concurrent requests in flight for several seconds while an **external
+//! injector** (the CI script) SIGKILLs one worker mid-run, then asserts
+//! that every request still completed and that at least one mid-stream
+//! retry happened. Run it without killing a worker and it exits 1 — the
+//! drill is meaningless without the fault.
 //!
 //! CI runs the smoke as: start `cb_gateway … --smoke` plus two
 //! `cb_worker` processes, then wait on the gateway's exit status.
@@ -13,60 +28,39 @@
 use cb_core::engine::Request;
 use cb_net::client::NetClient;
 use cb_net::gateway::{Gateway, GatewayConfig};
+use cb_net::standby::Standby;
 use cb_net::tcp::TcpTransport;
-use cb_tokenizer::{TokenKind, Vocab};
+use cb_tokenizer::{TokenId, TokenKind, Vocab};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: cb_gateway --listen ADDR [--expect-workers N] [--smoke]");
+    eprintln!(
+        "usage: cb_gateway --listen ADDR [--expect-workers N] [--smoke [--chaos]] [--standby PRIMARY_ADDR]"
+    );
     std::process::exit(2);
 }
 
-fn main() {
-    let mut listen = "127.0.0.1:7070".to_string();
-    let mut expect = 1usize;
-    let mut smoke = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
-            "--expect-workers" => {
-                expect = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+/// Starts the accept loop on `listener`, handing every connection —
+/// worker, client, or standby — to the gateway.
+fn serve(gateway: &Arc<Gateway>, listener: TcpListener) {
+    let gateway = Arc::clone(gateway);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            match TcpTransport::from_stream(stream) {
+                Ok(t) => match gateway.accept(Arc::new(t)) {
+                    Ok(accepted) => eprintln!("cb_gateway: accepted {accepted:?}"),
+                    Err(e) => eprintln!("cb_gateway: rejected connection: {e}"),
+                },
+                Err(e) => eprintln!("cb_gateway: connection setup failed: {e}"),
             }
-            "--smoke" => smoke = true,
-            _ => usage(),
         }
-    }
-
-    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
-        eprintln!("cb_gateway: cannot bind {listen}: {e}");
-        std::process::exit(1);
     });
-    let addr = listener.local_addr().expect("bound address");
-    eprintln!("cb_gateway: listening on {addr}");
+}
 
-    let gateway = Arc::new(Gateway::new(GatewayConfig::default()));
-    {
-        let gateway = Arc::clone(&gateway);
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { continue };
-                match TcpTransport::from_stream(stream) {
-                    Ok(t) => match gateway.accept(Arc::new(t)) {
-                        Ok(accepted) => eprintln!("cb_gateway: accepted {accepted:?}"),
-                        Err(e) => eprintln!("cb_gateway: rejected connection: {e}"),
-                    },
-                    Err(e) => eprintln!("cb_gateway: connection setup failed: {e}"),
-                }
-            }
-        });
-    }
-
+fn wait_for_workers(gateway: &Gateway, expect: usize) {
     let deadline = Instant::now() + Duration::from_secs(60);
     while gateway.n_workers() < expect {
         if Instant::now() > deadline {
@@ -80,6 +74,139 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("cb_gateway: {} workers attached", gateway.n_workers());
+}
+
+fn eval_chunk_and_query(v: &Vocab) -> (Vec<TokenId>, Vec<TokenId>) {
+    let chunk = vec![
+        v.id(TokenKind::Entity(3)),
+        v.id(TokenKind::Attr(1)),
+        v.id(TokenKind::Value(7)),
+        v.id(TokenKind::Sep),
+    ];
+    let query = vec![
+        v.id(TokenKind::Query),
+        v.id(TokenKind::Entity(3)),
+        v.id(TokenKind::Attr(1)),
+        v.id(TokenKind::QMark),
+    ];
+    (chunk, query)
+}
+
+/// The chaos drill (see module docs): concurrent requests across a
+/// worker kill, every one must complete, at least one must have been
+/// transparently retried.
+fn chaos_smoke(gateway: &Gateway, client: &NetClient) {
+    let v = Vocab::default_eval();
+    let (chunk, query) = eval_chunk_and_query(&v);
+    let id = client
+        .register_chunk(&chunk, true)
+        .expect("chunk registers cluster-wide");
+    let window = Duration::from_secs(6);
+    let start = Instant::now();
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    while start.elapsed() < window {
+        // Waves of 4 concurrent streams: enough overlap that the kill
+        // lands mid-stream for some of them.
+        let streams: Vec<_> = (0..4)
+            .map(|_| {
+                client.submit_stream(
+                    &Request::new(vec![id], query.clone())
+                        .ratio(0.45)
+                        .max_new_tokens(12),
+                )
+            })
+            .collect();
+        for s in streams {
+            match s.collect() {
+                Ok(resp) => {
+                    assert!(!resp.answer.is_empty(), "chaos request produced no tokens");
+                    completed += 1;
+                }
+                Err(e) => {
+                    eprintln!("cb_gateway chaos: request failed: {e}");
+                    failed += 1;
+                }
+            }
+        }
+    }
+    let stats = gateway.stats();
+    println!(
+        "{{\"chaos\": true, \"completed\": {completed}, \"failed\": {failed}, \
+         \"retries\": {}, \"failovers\": {}}}",
+        stats.retries, stats.failovers
+    );
+    if failed > 0 {
+        eprintln!("cb_gateway chaos: {failed} requests failed");
+        std::process::exit(1);
+    }
+    if stats.retries == 0 {
+        eprintln!("cb_gateway chaos: no mid-stream retry happened — was a worker actually killed?");
+        std::process::exit(1);
+    }
+    println!(
+        "cb_gateway chaos OK: {completed} requests survived the kill ({} retries)",
+        stats.retries
+    );
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut expect = 1usize;
+    let mut smoke = false;
+    let mut chaos = false;
+    let mut standby_of: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--expect-workers" => {
+                expect = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
+            "--standby" => standby_of = args.next(),
+            _ => usage(),
+        }
+    }
+    if chaos && !smoke {
+        eprintln!("cb_gateway: --chaos requires --smoke");
+        usage();
+    }
+
+    let gateway = if let Some(primary) = standby_of {
+        // Standby role: mirror until the primary dies, then take over.
+        let conn = TcpTransport::connect(&primary).unwrap_or_else(|e| {
+            eprintln!("cb_gateway: cannot reach primary {primary}: {e}");
+            std::process::exit(1);
+        });
+        let standby =
+            Standby::connect(Arc::new(conn), GatewayConfig::default()).unwrap_or_else(|e| {
+                eprintln!("cb_gateway: standby handshake with {primary} failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("cb_gateway: standing by for {primary}");
+        let gateway = Arc::new(standby.wait_takeover());
+        eprintln!(
+            "cb_gateway: primary {primary} died; taking over with {} roster slots",
+            gateway.n_workers()
+        );
+        gateway
+    } else {
+        Arc::new(Gateway::new(GatewayConfig::default()))
+    };
+
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("cb_gateway: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = listener.local_addr().expect("bound address");
+    eprintln!("cb_gateway: listening on {addr}");
+    serve(&gateway, listener);
+    wait_for_workers(&gateway, expect);
 
     if !smoke {
         loop {
@@ -87,26 +214,22 @@ fn main() {
         }
     }
 
-    // Smoke: drive one request through a real client connection — the
-    // exact path an external process uses.
+    // Smoke: drive requests through a real client connection — the exact
+    // path an external process uses.
     let client = NetClient::connect(Arc::new(TcpTransport::connect(addr).expect("self-connect")))
         .expect("client handshake");
+
+    if chaos {
+        chaos_smoke(&gateway, &client);
+        drop(client);
+        return;
+    }
+
     let v = Vocab::default_eval();
-    let chunk = vec![
-        v.id(TokenKind::Entity(3)),
-        v.id(TokenKind::Attr(1)),
-        v.id(TokenKind::Value(7)),
-        v.id(TokenKind::Sep),
-    ];
+    let (chunk, query) = eval_chunk_and_query(&v);
     let id = client
         .register_chunk(&chunk, true)
         .expect("chunk registers cluster-wide");
-    let query = vec![
-        v.id(TokenKind::Query),
-        v.id(TokenKind::Entity(3)),
-        v.id(TokenKind::Attr(1)),
-        v.id(TokenKind::QMark),
-    ];
     let resp = client
         .submit(&Request::new(vec![id], query).ratio(0.45).max_new_tokens(4))
         .expect("smoke request completes");

@@ -3,8 +3,19 @@
 //! ends the session.
 //!
 //! ```text
-//! cb_worker --gateway 127.0.0.1:7070 [--workers 2] [--seed 11]
+//! cb_worker --gateway ADDR[,ADDR...] [--workers 2] [--seed 11] [--retry-attach]
 //! ```
+//!
+//! `--gateway` takes an **ordered** endpoint list: the primary first,
+//! warm-standby gateways after; the worker dials them in order. An
+//! unreachable gateway fails fast: a few capped-backoff passes over the
+//! list (about two seconds), then a clear message and a non-zero exit.
+//!
+//! With `--retry-attach`, a worker whose gateway session ends keeps its
+//! engine (and every cached chunk) alive, redials the list with backoff,
+//! and re-attaches under the **same identity with a bumped incarnation**
+//! — so the gateway (primary or freshly promoted standby) lets it adopt
+//! its old slot and no chunk home moves.
 //!
 //! The engine is a Tiny-profile instance built from `--seed`; every
 //! worker in a cluster must use the same profile and seed so routing
@@ -13,20 +24,39 @@
 use cb_core::engine::EngineBuilder;
 use cb_core::scheduler::{EngineService, ServiceConfig};
 use cb_model::ModelProfile;
+use cb_net::retry::RetryPolicy;
 use cb_net::tcp::TcpTransport;
 use cb_net::worker::{Worker, WorkerConfig};
 use std::sync::Arc;
-use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: cb_worker --gateway ADDR [--workers N] [--seed S]");
+    eprintln!(
+        "usage: cb_worker --gateway ADDR[,ADDR...] [--workers N] [--seed S] [--retry-attach]"
+    );
     std::process::exit(2);
+}
+
+/// Dials the endpoint list in order, with the policy's capped backoff
+/// between passes. Returns the first connection, or the last error.
+fn dial(endpoints: &[String], policy: &RetryPolicy) -> Result<TcpTransport, String> {
+    let mut last = String::from("<no endpoints>");
+    for attempt in 0..=policy.max_retries {
+        std::thread::sleep(policy.backoff(attempt));
+        for ep in endpoints {
+            match TcpTransport::connect(ep.as_str()) {
+                Ok(t) => return Ok(t),
+                Err(e) => last = format!("{ep}: {e}"),
+            }
+        }
+    }
+    Err(last)
 }
 
 fn main() {
     let mut gateway = None;
     let mut workers = 2usize;
     let mut seed = 11u64;
+    let mut retry_attach = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,25 +73,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--retry-attach" => retry_attach = true,
             _ => usage(),
         }
     }
-    let Some(addr) = gateway else { usage() };
+    let Some(addrs) = gateway else { usage() };
+    let endpoints: Vec<String> = addrs.split(',').map(str::to_string).collect();
 
-    // The gateway may still be binding its listener: retry briefly.
-    let conn = (0..50)
-        .find_map(|_| match TcpTransport::connect(&addr) {
-            Ok(t) => Some(t),
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(100));
-                None
-            }
-        })
-        .unwrap_or_else(|| {
-            eprintln!("cb_worker: could not reach gateway at {addr}");
-            std::process::exit(1);
-        });
+    // ~2s of capped backoff over the whole list: enough to ride out a
+    // gateway still binding its listener, fast enough that a wrong
+    // address fails visibly instead of hanging.
+    let policy = RetryPolicy::default().max_retries(6);
 
+    // One engine for the process lifetime: re-attaches keep every cached
+    // chunk warm.
     let engine = EngineBuilder::new(ModelProfile::Tiny)
         .seed(seed)
         .build()
@@ -70,9 +95,45 @@ fn main() {
         engine,
         ServiceConfig::default().workers(workers).queue_capacity(64),
     ));
-    let worker =
-        Worker::start(service, Arc::new(conn), WorkerConfig::default()).expect("worker handshake");
-    eprintln!("cb_worker: serving {addr} (scheduler workers: {workers}, seed: {seed})");
-    worker.run_until_disconnected();
-    eprintln!("cb_worker: gateway session ended, exiting");
+
+    let mut identity: Option<(u64, u64)> = None;
+    loop {
+        let conn = match dial(&endpoints, &policy) {
+            Ok(c) => c,
+            Err(e) => {
+                if identity.is_none() || !retry_attach {
+                    eprintln!("cb_worker: no gateway reachable among {endpoints:?} (last error: {e}); giving up");
+                    std::process::exit(1);
+                }
+                continue; // dial() already paced the attempts.
+            }
+        };
+        let cfg = match identity {
+            // Same id, next incarnation: adopt the old slot.
+            Some((id, incarnation)) => WorkerConfig::default().identity(id, incarnation + 1),
+            None => WorkerConfig::default(),
+        };
+        let worker = match Worker::start(Arc::clone(&service), Arc::new(conn), cfg) {
+            Ok(w) => w,
+            Err(e) => {
+                if !retry_attach {
+                    eprintln!("cb_worker: gateway handshake failed: {e}");
+                    std::process::exit(1);
+                }
+                continue;
+            }
+        };
+        let (id, incarnation) = worker.identity();
+        identity = Some((id, incarnation));
+        eprintln!(
+            "cb_worker: serving {endpoints:?} as {id:#018x} incarnation {incarnation} \
+             (scheduler workers: {workers}, seed: {seed})"
+        );
+        worker.run_until_disconnected();
+        if !retry_attach {
+            eprintln!("cb_worker: gateway session ended, exiting");
+            return;
+        }
+        eprintln!("cb_worker: gateway session ended, re-attaching");
+    }
 }

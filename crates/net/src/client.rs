@@ -4,47 +4,68 @@
 //! snapshot worker health. The `cb_gateway --smoke` self-check and the
 //! loopback-vs-TCP parity tests drive the cluster exclusively through
 //! this type.
+//!
+//! **Sessions survive the gateway.** A client built with
+//! [`NetClient::connect_endpoints`] holds an *ordered* endpoint list —
+//! primary first, warm standbys after. When the connection dies it
+//! redials the list in order under the [`RetryPolicy`] backoff and
+//! re-submits every in-flight request **by its original id**; each
+//! session's [`ReplayFilter`] suppresses the already-delivered event
+//! prefix (replayed tokens are verified bit-identical), so a collector
+//! that spans a gateway takeover still sees one seamless stream. A
+//! client built over a bare transport ([`NetClient::connect`]) has no
+//! endpoints to redial: its open streams close on disconnect and
+//! collectors observe [`EngineError::Canceled`].
 
 use crate::message::{Message, WireRequest};
+use crate::retry::RetryPolicy;
+use crate::tcp::TcpTransport;
 use crate::transport::{NetError, Transport};
 use cb_core::engine::{EngineError, ErrorCode, Request, Response};
 use cb_core::scheduler::ServiceProbe;
-use cb_core::stream::{Event, ResponseStream};
+use cb_core::stream::{Event, ReplayFilter, ResponseStream};
 use cb_kv::ChunkId;
 use cb_tokenizer::TokenId;
 use crossbeam::channel::{self, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// One in-flight submission: everything needed to re-drive it on a
+/// fresh connection and splice the resumed stream seamlessly.
+struct Session {
+    request: WireRequest,
+    tx: Sender<Event>,
+    filter: ReplayFilter,
+}
+
 struct ClientInner {
-    conn: Arc<dyn Transport>,
-    streams: Mutex<HashMap<u64, Sender<Event>>>,
+    conn: RwLock<Arc<dyn Transport>>,
+    /// Ordered redial list (primary first, standbys after); empty for
+    /// clients over a bare transport, which cannot resume.
+    endpoints: Vec<String>,
+    policy: RetryPolicy,
+    sessions: Mutex<HashMap<u64, Session>>,
     rpcs: Mutex<HashMap<u64, Sender<Message>>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    reconnects: AtomicU64,
 }
 
 impl ClientInner {
+    fn conn(&self) -> Arc<dyn Transport> {
+        self.conn.read().unwrap().clone()
+    }
+
     fn demux_loop(self: Arc<Self>) {
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            match self.conn.recv_timeout(Duration::from_millis(50)) {
-                Ok(Message::Ev { id, event }) => {
-                    let ev = event.into_event();
-                    let terminal = ev.is_terminal();
-                    let mut streams = self.streams.lock().unwrap();
-                    if let Some(tx) = streams.get(&id) {
-                        let _ = tx.send(ev);
-                    }
-                    if terminal {
-                        streams.remove(&id);
-                    }
-                }
+            match self.conn().recv_timeout(Duration::from_millis(50)) {
+                Ok(Message::Ev { id, event }) => self.handle_event(id, event.into_event()),
                 Ok(msg @ (Message::RegisterReply { .. } | Message::ClusterStatusReply { .. })) => {
                     let rpc = match &msg {
                         Message::RegisterReply { rpc, .. }
@@ -58,32 +79,124 @@ impl ClientInner {
                 Ok(_) => {}
                 Err(NetError::Timeout) => {}
                 Err(_) => {
-                    // Gateway gone: dropping the senders closes every open
-                    // stream, so collectors observe `Canceled` rather than
-                    // hanging.
-                    self.streams.lock().unwrap().clear();
+                    // In-flight RPCs do not resume (their reply routing
+                    // died with the connection): fail them now.
                     self.rpcs.lock().unwrap().clear();
-                    return;
+                    if !self.try_resume() {
+                        // Gateway gone for good: dropping the senders
+                        // closes every open stream, so collectors observe
+                        // `Canceled` rather than hanging.
+                        self.sessions.lock().unwrap().clear();
+                        return;
+                    }
                 }
             }
         }
     }
 
-    fn rpc(
-        &self,
-        timeout: Duration,
-        build: impl FnOnce(u64) -> Message,
-    ) -> Result<Message, NetError> {
+    /// Routes one stream event through its session's replay filter:
+    /// forwards fresh events, suppresses the prefix replayed after a
+    /// reconnect (verifying bit-identity), retires the session on the
+    /// first forwarded terminal.
+    fn handle_event(&self, id: u64, ev: Event) {
+        let mut sessions = self.sessions.lock().unwrap();
+        let Some(s) = sessions.get_mut(&id) else {
+            return; // Late event for a resolved stream.
+        };
+        let forward = match s.filter.admit(&ev) {
+            Ok(forward) => forward,
+            Err(m) => {
+                let _ = s.tx.send(Event::Failed(EngineError::Remote {
+                    code: ErrorCode::Corrupt,
+                    message: format!("resumed stream diverged: {m}"),
+                }));
+                sessions.remove(&id);
+                debug_assert!(false, "resumed stream diverged: {m}");
+                return;
+            }
+        };
+        if !forward {
+            return;
+        }
+        let terminal = ev.is_terminal();
+        let _ = s.tx.send(ev);
+        if terminal {
+            sessions.remove(&id);
+        }
+    }
+
+    /// Redials the endpoint list in order under the policy backoff and
+    /// re-submits every open session by its original id. Returns `false`
+    /// when there are no endpoints or the retry budget is spent.
+    fn try_resume(&self) -> bool {
+        if self.endpoints.is_empty() {
+            return false;
+        }
+        for attempt in 1..=self.policy.max_retries {
+            std::thread::sleep(self.policy.backoff(attempt));
+            if self.shutdown.load(Ordering::Relaxed) {
+                return false;
+            }
+            for ep in &self.endpoints {
+                let Ok(t) = TcpTransport::connect(ep.as_str()) else {
+                    continue;
+                };
+                let t: Arc<dyn Transport> = Arc::new(t);
+                if t.send(&Message::HelloClient).is_err() {
+                    continue;
+                }
+                let resumed = {
+                    let mut sessions = self.sessions.lock().unwrap();
+                    let mut ok = true;
+                    for (&id, s) in sessions.iter_mut() {
+                        // The new gateway sees a fresh submission; our
+                        // filter suppresses the replayed prefix.
+                        s.filter.rewind();
+                        let msg = Message::Submit {
+                            id,
+                            blocking: false,
+                            request: s.request.clone(),
+                        };
+                        if t.send(&msg).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ok
+                };
+                if !resumed {
+                    continue;
+                }
+                *self.conn.write().unwrap() = t;
+                self.reconnects.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One request/reply RPC. `name` is the wire verb — timeout errors
+    /// name it and the destination so operators know *which* call to
+    /// *where* stalled.
+    fn rpc(&self, name: &str, build: impl FnOnce(u64) -> Message) -> Result<Message, NetError> {
         let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::unbounded();
         self.rpcs.lock().unwrap().insert(rpc, tx);
-        if let Err(e) = self.conn.send(&build(rpc)) {
+        let conn = self.conn();
+        if let Err(e) = conn.send(&build(rpc)) {
             self.rpcs.lock().unwrap().remove(&rpc);
-            return Err(e);
+            return Err(NetError::Io(format!(
+                "{name} RPC to gateway {} failed to send: {e}",
+                conn.peer()
+            )));
         }
-        rx.recv_timeout(timeout).map_err(|_| {
+        rx.recv_timeout(self.policy.rpc_timeout).map_err(|_| {
             self.rpcs.lock().unwrap().remove(&rpc);
-            NetError::Timeout
+            NetError::Io(format!(
+                "{name} RPC to gateway {} timed out after {:?}",
+                conn.peer(),
+                self.policy.rpc_timeout
+            ))
         })
     }
 }
@@ -93,13 +206,12 @@ impl ClientInner {
 pub struct NetClient {
     inner: Arc<ClientInner>,
     demux: Option<JoinHandle<()>>,
-    rpc_timeout: Duration,
 }
 
 impl std::fmt::Debug for NetClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetClient")
-            .field("peer", &self.inner.conn.peer())
+            .field("peer", &self.inner.conn().peer())
             .finish()
     }
 }
@@ -107,14 +219,56 @@ impl std::fmt::Debug for NetClient {
 impl NetClient {
     /// Opens a client session on `conn`: announces `HelloClient` and
     /// starts the demux thread that routes incoming frames to streams.
+    /// No endpoint list, so a dead connection is final (streams close).
     pub fn connect(conn: Arc<dyn Transport>) -> Result<NetClient, NetError> {
+        Self::start(conn, Vec::new(), RetryPolicy::default())
+    }
+
+    /// Dials an **ordered** endpoint list — the primary gateway first,
+    /// warm standbys after — taking the first that accepts, under the
+    /// policy's backoff. The session then survives gateway failover:
+    /// on disconnect it redials the same list and resumes every
+    /// in-flight stream by request id (see module docs).
+    pub fn connect_endpoints(
+        endpoints: &[impl AsRef<str>],
+        policy: RetryPolicy,
+    ) -> Result<NetClient, NetError> {
+        let endpoints: Vec<String> = endpoints.iter().map(|e| e.as_ref().to_string()).collect();
+        if endpoints.is_empty() {
+            return Err(NetError::Io("empty gateway endpoint list".into()));
+        }
+        let mut last_err = None;
+        for attempt in 0..=policy.max_retries {
+            std::thread::sleep(policy.backoff(attempt));
+            for ep in &endpoints {
+                match TcpTransport::connect(ep.as_str()) {
+                    Ok(t) => return Self::start(Arc::new(t), endpoints.clone(), policy),
+                    Err(e) => last_err = Some(format!("{ep}: {e}")),
+                }
+            }
+        }
+        Err(NetError::Io(format!(
+            "no gateway reachable among {:?}: last error {}",
+            endpoints,
+            last_err.unwrap_or_else(|| "<none>".into())
+        )))
+    }
+
+    fn start(
+        conn: Arc<dyn Transport>,
+        endpoints: Vec<String>,
+        policy: RetryPolicy,
+    ) -> Result<NetClient, NetError> {
         conn.send(&Message::HelloClient)?;
         let inner = Arc::new(ClientInner {
-            conn,
-            streams: Mutex::new(HashMap::new()),
+            conn: RwLock::new(conn),
+            endpoints,
+            policy,
+            sessions: Mutex::new(HashMap::new()),
             rpcs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            reconnects: AtomicU64::new(0),
         });
         let demux = {
             let inner = Arc::clone(&inner);
@@ -126,7 +280,6 @@ impl NetClient {
         Ok(NetClient {
             inner,
             demux: Some(demux),
-            rpc_timeout: Duration::from_secs(60),
         })
     }
 
@@ -138,14 +291,24 @@ impl NetClient {
     pub fn submit_stream(&self, request: &Request) -> ResponseStream {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, stream) = ResponseStream::channel();
-        self.inner.streams.lock().unwrap().insert(id, tx.clone());
+        let wire = WireRequest::from_request(request);
+        self.inner.sessions.lock().unwrap().insert(
+            id,
+            Session {
+                request: wire.clone(),
+                tx: tx.clone(),
+                filter: ReplayFilter::new(),
+            },
+        );
         let msg = Message::Submit {
             id,
             blocking: false,
-            request: WireRequest::from_request(request),
+            request: wire,
         };
-        if self.inner.conn.send(&msg).is_err() {
-            self.inner.streams.lock().unwrap().remove(&id);
+        if self.inner.conn().send(&msg).is_err() && self.inner.endpoints.is_empty() {
+            // No redial list: fail now. With endpoints, the session stays
+            // journaled — the demux loop's resume will re-drive it.
+            self.inner.sessions.lock().unwrap().remove(&id);
             let _ = tx.send(Event::Failed(EngineError::Remote {
                 code: ErrorCode::NoHealthyWorker,
                 message: "gateway connection closed".into(),
@@ -165,12 +328,12 @@ impl NetClient {
     pub fn register_chunk(&self, tokens: &[TokenId], eager: bool) -> Result<ChunkId, EngineError> {
         let reply = self
             .inner
-            .rpc(self.rpc_timeout, |rpc| Message::RegisterChunk {
+            .rpc("RegisterChunk", |rpc| Message::RegisterChunk {
                 rpc,
                 eager,
                 tokens: tokens.to_vec(),
             })
-            .map_err(|e| EngineError::Storage(format!("registration RPC failed: {e}")))?;
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
         match reply {
             Message::RegisterReply {
                 result: Ok(raw), ..
@@ -188,15 +351,18 @@ impl NetClient {
     /// Per-worker health and last-heartbeat probes, as the gateway sees
     /// them.
     pub fn cluster_status(&self) -> Result<(Vec<bool>, Vec<ServiceProbe>), NetError> {
-        match self
-            .inner
-            .rpc(self.rpc_timeout, |rpc| Message::Status { rpc })?
-        {
+        match self.inner.rpc("Status", |rpc| Message::Status { rpc })? {
             Message::ClusterStatusReply {
                 healthy, probes, ..
             } => Ok((healthy, probes)),
             other => Err(NetError::Io(format!("unexpected status reply {other:?}"))),
         }
+    }
+
+    /// How many times this session redialed and resumed after losing its
+    /// gateway connection.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
     }
 }
 
@@ -204,7 +370,7 @@ impl Drop for NetClient {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
         // Tell the gateway the session is over (best-effort).
-        let _ = self.inner.conn.send(&Message::Shutdown);
+        let _ = self.inner.conn().send(&Message::Shutdown);
         if let Some(h) = self.demux.take() {
             let _ = h.join();
         }

@@ -36,12 +36,40 @@
 //!          │        | disconnect)──▶ DOWN ──(condition clears)───┘
 //!          │  ↑ counted once per down edge (`failovers`)
 //! ```
+//!
+//! **Re-attach adopts slots.** Workers carry a stable identity
+//! (`id` + `incarnation`, see [`Message::HelloWorker`]): a worker that
+//! reconnects under a known id with a higher incarnation *adopts* its
+//! old slot — same index, so every chunk home is untouched; health
+//! history and admission counters carry over — and the roster never
+//! grows ([`ClusterStats::adoptions`] counts each adoption). A hello
+//! whose incarnation does not exceed the slot's current one is rejected,
+//! and frames still arriving from a superseded connection are dropped.
+//!
+//! **Mid-stream retry is client-invisible.** Every routed request is
+//! journaled ([`Pending`]: the request body plus a
+//! [`ReplayFilter`] recording the delivered event prefix). When the
+//! serving worker dies mid-stream — or fails the request with a
+//! [retryable](ErrorCode::retryable) code — the gateway re-submits to
+//! the next-best healthy worker under the capped exponential backoff of
+//! [`RetryPolicy`], rewinds the filter, and suppresses the replayed
+//! prefix; determinism makes replayed tokens bit-identical (asserted),
+//! so the client's `collect()` sees one seamless stream. Journal entries
+//! retire exactly once, on the first terminal event actually forwarded.
+//!
+//! **A warm standby mirrors everything it needs to take over.** A peer
+//! opening with `HelloStandby` receives a snapshot and then a live feed
+//! of the pending journal, the chunk registry (tokens, so registrations
+//! survive), and the worker roster via the `Replicate*` messages; the
+//! periodic roster re-send doubles as the primary's heartbeat. See
+//! [`crate::standby::Standby`] for the takeover half.
 
 use crate::message::{Message, WireEvent, WireFailure, WireRequest};
+use crate::retry::RetryPolicy;
 use crate::transport::{NetError, Transport};
 use cb_core::engine::{EngineError, ErrorCode, Request, Response};
 use cb_core::scheduler::{ServiceProbe, ServiceStats};
-use cb_core::stream::{Event, ResponseStream};
+use cb_core::stream::{Event, ReplayFilter, ResponseStream};
 use cb_kv::chunk::hash_tokens;
 use cb_kv::ChunkId;
 use cb_tokenizer::TokenId;
@@ -98,6 +126,17 @@ pub struct ClusterStats {
     pub chunk_local: u64,
     /// Requests rejected because no worker was healthy.
     pub rejections: u64,
+    /// Mid-stream retries: requests transparently re-submitted after
+    /// their worker died or failed them with a retryable code. The
+    /// client saw one seamless stream.
+    pub retries: u64,
+    /// Slot adoptions: workers that re-attached under a known identity
+    /// and reclaimed their old slot instead of growing the roster.
+    pub adoptions: u64,
+    /// Gateway takeovers survived: how many times this gateway's state
+    /// was inherited from a failed primary by a warm standby (0 on a
+    /// gateway that started as the primary).
+    pub takeovers: u64,
 }
 
 impl ClusterStats {
@@ -131,18 +170,23 @@ struct AtomicClusterStats {
     chunk_lookups: AtomicU64,
     chunk_local: AtomicU64,
     rejections: AtomicU64,
+    retries: AtomicU64,
+    adoptions: AtomicU64,
+    takeovers: AtomicU64,
 }
 
 /// Gateway tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct GatewayConfig {
     /// Silence longer than this declares a worker down (until its next
-    /// heartbeat). Keep it several heartbeat intervals wide.
+    /// heartbeat). Keep it several heartbeat intervals wide. The same
+    /// window governs when a standby declares the primary dead.
     pub heartbeat_timeout: Duration,
     /// How long [`Gateway::attach`] waits for the `HelloWorker` frame.
     pub attach_timeout: Duration,
-    /// How long registration/status/drain RPCs wait for their reply.
-    pub rpc_timeout: Duration,
+    /// RPC timeout plus the mid-stream retry budget and backoff curve
+    /// (see [`RetryPolicy`] for where each knob applies).
+    pub retry: RetryPolicy,
 }
 
 impl Default for GatewayConfig {
@@ -150,7 +194,7 @@ impl Default for GatewayConfig {
         Self {
             heartbeat_timeout: Duration::from_secs(5),
             attach_timeout: Duration::from_secs(10),
-            rpc_timeout: Duration::from_secs(60),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -159,6 +203,12 @@ impl GatewayConfig {
     /// Sets the heartbeat-silence window.
     pub fn heartbeat_timeout(mut self, d: Duration) -> Self {
         self.heartbeat_timeout = d;
+        self
+    }
+
+    /// Sets the RPC timeout / retry / backoff policy.
+    pub fn retry(mut self, p: RetryPolicy) -> Self {
+        self.retry = p;
         self
     }
 
@@ -195,12 +245,33 @@ struct SlotState {
 #[derive(Debug)]
 struct WorkerSlot {
     index: usize,
-    conn: Arc<dyn Transport>,
+    /// Stable worker identity (the adoption key across reconnects).
+    id: u64,
+    /// Current connection generation; hellos must exceed it to adopt,
+    /// frames from older incarnations are dropped.
+    incarnation: AtomicU64,
+    /// The live connection; `None` on a resumed roster slot whose worker
+    /// has not re-attached yet.
+    conn: RwLock<Option<Arc<dyn Transport>>>,
     admissions: AtomicU64,
     state: Mutex<SlotState>,
 }
 
-/// One in-flight routed request.
+impl WorkerSlot {
+    fn conn(&self) -> Option<Arc<dyn Transport>> {
+        self.conn.read().unwrap().clone()
+    }
+
+    fn send(&self, msg: &Message) -> Result<(), NetError> {
+        match self.conn() {
+            Some(c) => c.send(msg),
+            None => Err(NetError::Closed),
+        }
+    }
+}
+
+/// One in-flight routed request — the journal entry a retry replays
+/// from.
 struct Pending {
     request: Request,
     tx: Sender<Event>,
@@ -210,6 +281,12 @@ struct Pending {
     attempts: u32,
     /// True once its admission was recorded (first `Queued` event).
     counted: bool,
+    /// Delivered-prefix record: suppresses replayed events on retry and
+    /// asserts replayed tokens are bit-identical.
+    filter: ReplayFilter,
+    /// Mid-stream retries consumed (bounded by
+    /// [`RetryPolicy::max_retries`]).
+    retries: u32,
 }
 
 /// What [`Gateway::accept`] found on a new connection.
@@ -219,6 +296,8 @@ pub enum Accepted {
     Worker(usize),
     /// A client session started (served on a background thread).
     Client,
+    /// A warm-standby gateway subscribed to the replication feed.
+    Standby,
 }
 
 struct GwInner {
@@ -226,6 +305,12 @@ struct GwInner {
     workers: RwLock<Vec<Arc<WorkerSlot>>>,
     pending: Mutex<HashMap<u64, Pending>>,
     rpcs: Mutex<HashMap<u64, Sender<Message>>>,
+    /// Registered chunk tokens by content-addressed id — the registry a
+    /// standby mirrors so no registration is lost across a takeover.
+    chunks: Mutex<HashMap<u64, Vec<TokenId>>>,
+    /// Live standby subscriber connections (dead ones are dropped on the
+    /// next mirror write).
+    standbys: Mutex<Vec<Arc<dyn Transport>>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     stats: AtomicClusterStats,
@@ -256,6 +341,30 @@ impl GwInner {
 
     fn n_workers(&self) -> usize {
         self.workers.read().unwrap().len()
+    }
+
+    // --- standby mirroring ------------------------------------------------
+
+    /// Sends one frame to every live standby, dropping dead subscribers.
+    /// No-op (and no lock contention on the hot path) while no standby is
+    /// attached.
+    fn mirror(&self, msg: &Message) {
+        let mut standbys = self.standbys.lock().unwrap();
+        if standbys.is_empty() {
+            return;
+        }
+        standbys.retain(|c| c.send(msg).is_ok());
+    }
+
+    fn roster_msg(&self) -> Message {
+        let slots = self.slots();
+        Message::ReplicateRoster {
+            ids: slots.iter().map(|s| s.id).collect(),
+            incarnations: slots
+                .iter()
+                .map(|s| s.incarnation.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     // --- placement --------------------------------------------------------
@@ -327,20 +436,40 @@ impl GwInner {
 
     // --- demux ------------------------------------------------------------
 
-    fn demux_loop(self: Arc<Self>, slot: Arc<WorkerSlot>) {
+    /// Serves one worker connection of one incarnation. A re-attach bumps
+    /// the slot's incarnation and starts a fresh demux thread; this loop
+    /// then observes itself superseded and exits, rejecting any frame
+    /// still arriving on the old connection.
+    fn demux_loop(
+        self: Arc<Self>,
+        slot: Arc<WorkerSlot>,
+        conn: Arc<dyn Transport>,
+        incarnation: u64,
+    ) {
         let tick = self.cfg.tick();
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            match slot.conn.recv_timeout(tick) {
-                Ok(msg) => self.handle_worker_msg(&slot, msg),
+            let current = slot.incarnation.load(Ordering::Relaxed);
+            if current != incarnation {
+                return; // Superseded by a re-attach: drop this connection.
+            }
+            match conn.recv_timeout(tick) {
+                Ok(msg) => {
+                    // Re-check after the (possibly long) receive: a frame
+                    // from a superseded incarnation must not be applied.
+                    if slot.incarnation.load(Ordering::Relaxed) != incarnation {
+                        return;
+                    }
+                    self.handle_worker_msg(&slot, msg);
+                }
                 Err(NetError::Timeout) => {
                     // The periodic sweep: expire heartbeat silence.
                     self.refresh_slot(&slot);
                 }
                 Err(_) => {
-                    self.on_worker_disconnect(&slot);
+                    self.on_worker_disconnect(&slot, incarnation);
                     return;
                 }
             }
@@ -365,24 +494,7 @@ impl GwInner {
                 }
                 self.respill(id, Some(slot.index));
             }
-            Message::Ev { id, event } => {
-                let ev = event.into_event();
-                let mut pending = self.pending.lock().unwrap();
-                let Some(p) = pending.get_mut(&id) else {
-                    return; // Late event for a resolved/abandoned request.
-                };
-                if matches!(ev, Event::Queued) && !p.counted {
-                    p.counted = true;
-                    let (worker, preferred, chunk_ids) =
-                        (p.worker, p.preferred, p.request.chunk_ids.clone());
-                    self.record_admission(worker, preferred, &chunk_ids);
-                }
-                let terminal = ev.is_terminal();
-                let _ = p.tx.send(ev); // Receiver may be gone; fine.
-                if terminal {
-                    pending.remove(&id);
-                }
-            }
+            Message::Ev { id, event } => self.handle_event(slot, id, event.into_event()),
             Message::RegisterReply { rpc, .. }
             | Message::StatusReply { rpc, .. }
             | Message::DrainReply { rpc } => {
@@ -391,6 +503,161 @@ impl GwInner {
                 }
             }
             _ => {} // Frames the gateway never consumes from workers.
+        }
+    }
+
+    /// Applies one stream event from a worker to its journal entry: runs
+    /// the replay filter (suppressing the replayed prefix after a
+    /// retry), intercepts retryable terminal failures while retry budget
+    /// remains, forwards everything else to the client, and retires the
+    /// entry on the first terminal event actually forwarded — exactly
+    /// once.
+    fn handle_event(self: &Arc<Self>, slot: &Arc<WorkerSlot>, id: u64, ev: Event) {
+        // A terminal failure with a retryable code consumes a retry
+        // instead of reaching the client, while budget lasts.
+        if let Event::Failed(err) = &ev {
+            if err.code().retryable() && self.try_retry(id, Some(slot.index)) {
+                return;
+            }
+        }
+        let mut pending = self.pending.lock().unwrap();
+        let Some(p) = pending.get_mut(&id) else {
+            return; // Late event for a resolved/abandoned request.
+        };
+        if matches!(ev, Event::Queued) && !p.counted {
+            p.counted = true;
+            let (worker, preferred, chunk_ids) =
+                (p.worker, p.preferred, p.request.chunk_ids.clone());
+            self.record_admission(worker, preferred, &chunk_ids);
+        }
+        let forward = match p.filter.admit(&ev) {
+            Ok(forward) => forward,
+            Err(m) => {
+                // Determinism violated: the replay diverged from what the
+                // client already saw. Fail the request rather than splice
+                // two different answers together — and assert in debug
+                // builds, because same-seed replicas make this impossible.
+                let _ = p.tx.send(Event::Failed(EngineError::Remote {
+                    code: ErrorCode::Corrupt,
+                    message: format!("mid-stream retry replay diverged: {m}"),
+                }));
+                pending.remove(&id);
+                drop(pending);
+                self.mirror(&Message::ReplicateRetire { id });
+                debug_assert!(false, "mid-stream retry replay diverged: {m}");
+                return;
+            }
+        };
+        if !forward {
+            return; // Replayed prefix: suppressed, bit-identity verified.
+        }
+        let terminal = ev.is_terminal();
+        let progress = match ev {
+            Event::Token(_) => Some(p.filter.tokens_delivered() as u32),
+            _ => None,
+        };
+        let _ = p.tx.send(ev); // Receiver may be gone; fine.
+        if terminal {
+            pending.remove(&id);
+        }
+        drop(pending);
+        if terminal {
+            self.mirror(&Message::ReplicateRetire { id });
+        } else if let Some(delivered_tokens) = progress {
+            self.mirror(&Message::ReplicateProgress {
+                id,
+                delivered_tokens,
+            });
+        }
+    }
+
+    /// Consumes one retry for journal entry `id` if budget remains:
+    /// rewinds the replay filter, waits the policy backoff off-thread,
+    /// then re-submits to the next-best healthy worker. Returns `false`
+    /// (without touching the entry) when the id is unknown or the budget
+    /// is exhausted — the caller decides whether to surface the failure.
+    fn try_retry(self: &Arc<Self>, id: u64, exclude: Option<usize>) -> bool {
+        let delay = {
+            let mut pending = self.pending.lock().unwrap();
+            let Some(p) = pending.get_mut(&id) else {
+                return false;
+            };
+            if p.retries >= self.cfg.retry.max_retries {
+                return false;
+            }
+            p.retries += 1;
+            p.filter.rewind();
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.cfg.retry.backoff(p.retries)
+        };
+        let inner = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name(format!("cb-net-gw-retry-{id}"))
+            .spawn(move || {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                inner.resubmit(id, exclude);
+            });
+        if spawned.is_err() {
+            self.resubmit(id, exclude); // No thread: retry inline.
+        }
+        true
+    }
+
+    /// The body of a retry after its backoff: picks the next-best
+    /// healthy worker (excluding the failed one when another exists) and
+    /// re-submits with `blocking: true` so the placement cannot be
+    /// refused. No healthy worker — or another death during the send
+    /// with the budget spent — fails the entry with a structured error.
+    fn resubmit(self: &Arc<Self>, id: u64, exclude: Option<usize>) {
+        let target = self
+            .least_loaded(exclude)
+            .or_else(|| self.least_loaded(None));
+        let Some(target) = target else {
+            self.fail_pending(id, "no healthy worker remains to retry the request");
+            return;
+        };
+        let wire = {
+            let mut pending = self.pending.lock().unwrap();
+            let Some(p) = pending.get_mut(&id) else {
+                return; // Resolved while the backoff elapsed.
+            };
+            p.worker = target;
+            (
+                WireRequest::from_request(&p.request),
+                p.filter.tokens_delivered() as u32,
+            )
+        };
+        let (request, delivered_tokens) = wire;
+        self.mirror(&Message::ReplicatePending {
+            id,
+            request: request.clone(),
+            delivered_tokens,
+        });
+        let sent = self.slots()[target].send(&Message::Submit {
+            id,
+            blocking: true,
+            request,
+        });
+        if sent.is_err() && !self.try_retry(id, Some(target)) {
+            self.fail_pending(
+                id,
+                &format!("worker {target} died while the request was being retried"),
+            );
+        }
+    }
+
+    /// Retires journal entry `id` with a structured failure (exactly
+    /// once; a no-op if the entry already resolved).
+    fn fail_pending(&self, id: u64, why: &str) {
+        let removed = self.pending.lock().unwrap().remove(&id);
+        if let Some(p) = removed {
+            let _ = p.tx.send(Event::Failed(EngineError::Remote {
+                code: ErrorCode::NoHealthyWorker,
+                message: why.into(),
+            }));
+            self.mirror(&Message::ReplicateRetire { id });
         }
     }
 
@@ -421,49 +688,52 @@ impl GwInner {
             self.least_loaded(None).map(|t| (t, true))
         };
         let Some((target, blocking)) = placement else {
-            let err = EngineError::Remote {
-                code: ErrorCode::NoHealthyWorker,
-                message: "request rejected and no healthy worker remains".into(),
-            };
-            let _ = p.tx.send(Event::Failed(err));
-            pending.remove(&id);
+            drop(pending);
+            self.fail_pending(id, "request rejected and no healthy worker remains");
             return;
         };
         p.worker = target;
         let request = WireRequest::from_request(&p.request);
+        let delivered_tokens = p.filter.tokens_delivered() as u32;
         drop(pending);
-        let conn = self.slots()[target].conn.clone();
-        if conn
-            .send(&Message::Submit {
-                id,
-                blocking,
-                request,
-            })
-            .is_err()
-        {
+        self.mirror(&Message::ReplicatePending {
+            id,
+            request: request.clone(),
+            delivered_tokens,
+        });
+        let sent = self.slots()[target].send(&Message::Submit {
+            id,
+            blocking,
+            request,
+        });
+        if sent.is_err() {
             // Raced a second failure: give up with the structured error.
-            let mut pending = self.pending.lock().unwrap();
-            if let Some(p) = pending.remove(&id) {
-                let err = EngineError::Remote {
-                    code: ErrorCode::NoHealthyWorker,
-                    message: format!("worker {target} died while the request respilled"),
-                };
-                let _ = p.tx.send(Event::Failed(err));
-            }
+            self.fail_pending(
+                id,
+                &format!("worker {target} died while the request respilled"),
+            );
         }
     }
 
-    fn on_worker_disconnect(&self, slot: &WorkerSlot) {
+    /// Reacts to a connection death — but only if `incarnation` is still
+    /// the slot's current one. A superseded connection dying after its
+    /// worker already re-attached must not mark the adopted slot down.
+    fn on_worker_disconnect(self: &Arc<Self>, slot: &WorkerSlot, incarnation: u64) {
         if self.shutdown.load(Ordering::Relaxed) {
             return; // Normal teardown, not a fault.
+        }
+        if slot.incarnation.load(Ordering::Relaxed) != incarnation {
+            return; // A newer incarnation already adopted the slot.
         }
         {
             let mut st = slot.state.lock().unwrap();
             st.connected = false;
         }
         self.refresh_slot(slot); // Counts the down edge.
-                                 // Strand no request on the dead worker: respill everything it
-                                 // still owed.
+                                 // Strand no request on the dead worker: retry everything it
+                                 // still owed (the replay filter suppresses whatever prefix the
+                                 // client already saw), failing only entries whose retry budget
+                                 // is spent.
         let stranded: Vec<u64> = {
             let pending = self.pending.lock().unwrap();
             pending
@@ -473,7 +743,15 @@ impl GwInner {
                 .collect()
         };
         for id in stranded {
-            self.respill(id, Some(slot.index));
+            if !self.try_retry(id, Some(slot.index)) {
+                self.fail_pending(
+                    id,
+                    &format!(
+                        "worker {} died and the request's retry budget is spent",
+                        slot.index
+                    ),
+                );
+            }
         }
     }
 
@@ -517,17 +795,21 @@ impl GwInner {
                 preferred,
                 attempts: 0,
                 counted: false,
+                filter: ReplayFilter::new(),
+                retries: 0,
             },
         );
-        let conn = self.slots()[worker].conn.clone();
-        if conn
-            .send(&Message::Submit {
-                id,
-                blocking,
-                request: wire,
-            })
-            .is_err()
-        {
+        self.mirror(&Message::ReplicatePending {
+            id,
+            request: wire.clone(),
+            delivered_tokens: 0,
+        });
+        let sent = self.slots()[worker].send(&Message::Submit {
+            id,
+            blocking,
+            request: wire,
+        });
+        if sent.is_err() {
             // The worker died between routing and sending: respill rather
             // than lose the request.
             self.respill(id, Some(worker));
@@ -541,12 +823,11 @@ impl GwInner {
         let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::unbounded();
         self.rpcs.lock().unwrap().insert(rpc, tx);
-        let conn = self.slots()[worker].conn.clone();
-        if let Err(e) = conn.send(&build(rpc)) {
+        if let Err(e) = self.slots()[worker].send(&build(rpc)) {
             self.rpcs.lock().unwrap().remove(&rpc);
             return Err(e);
         }
-        rx.recv_timeout(self.cfg.rpc_timeout).map_err(|_| {
+        rx.recv_timeout(self.cfg.retry.rpc_timeout).map_err(|_| {
             self.rpcs.lock().unwrap().remove(&rpc);
             NetError::Timeout
         })
@@ -578,7 +859,7 @@ impl GwInner {
                 eager: eager_at_home && slot.index == home,
                 tokens: tokens.to_vec(),
             };
-            if slot.conn.send(&msg).is_err() {
+            if slot.send(&msg).is_err() {
                 self.rpcs.lock().unwrap().remove(&rpc);
                 return Err(EngineError::Storage(format!(
                     "worker {} unreachable during chunk registration",
@@ -588,9 +869,12 @@ impl GwInner {
             waits.push((slot.index, rpc, rx));
         }
         for (index, rpc, rx) in waits {
-            let reply = rx.recv_timeout(self.cfg.rpc_timeout).map_err(|_| {
+            let reply = rx.recv_timeout(self.cfg.retry.rpc_timeout).map_err(|_| {
                 self.rpcs.lock().unwrap().remove(&rpc);
-                EngineError::Storage(format!("worker {index} chunk registration timed out"))
+                EngineError::Storage(format!(
+                    "RegisterChunk RPC to worker {index} timed out after {:?}",
+                    self.cfg.retry.rpc_timeout
+                ))
             })?;
             match reply {
                 Message::RegisterReply {
@@ -611,6 +895,13 @@ impl GwInner {
                 }
             }
         }
+        // Record (and replicate) the registration only once every worker
+        // confirmed it — a standby must never believe in a chunk the
+        // cluster does not actually hold.
+        self.chunks.lock().unwrap().insert(id.0, tokens.to_vec());
+        self.mirror(&Message::ReplicateChunk {
+            tokens: tokens.to_vec(),
+        });
         Ok(id)
     }
 
@@ -732,6 +1023,8 @@ impl Gateway {
                 workers: RwLock::new(Vec::new()),
                 pending: Mutex::new(HashMap::new()),
                 rpcs: Mutex::new(HashMap::new()),
+                chunks: Mutex::new(HashMap::new()),
+                standbys: Mutex::new(Vec::new()),
                 next_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 stats: AtomicClusterStats::default(),
@@ -740,52 +1033,130 @@ impl Gateway {
         }
     }
 
+    /// A gateway resuming a failed primary's role from mirrored state
+    /// (the takeover half of [`crate::standby::Standby`]).
+    ///
+    /// The inherited roster is materialized as **placeholder slots** in
+    /// the original order — same indices, so rendezvous chunk homes are
+    /// exactly what the old primary computed — with no connection and
+    /// marked unhealthy until each worker re-attaches and adopts its
+    /// slot. `chunks` re-seeds the registry so registrations survive;
+    /// re-registration at the workers happens lazily on their next miss
+    /// (workers keep their stores across a gateway death).
+    pub fn resume(
+        cfg: GatewayConfig,
+        roster: Vec<(u64, u64)>,
+        chunks: HashMap<u64, Vec<TokenId>>,
+        takeovers: u64,
+    ) -> Self {
+        let gw = Gateway::new(cfg);
+        {
+            let mut workers = gw.inner.workers.write().unwrap();
+            for (index, (id, incarnation)) in roster.into_iter().enumerate() {
+                workers.push(Arc::new(WorkerSlot {
+                    index,
+                    id,
+                    incarnation: AtomicU64::new(incarnation),
+                    conn: RwLock::new(None),
+                    admissions: AtomicU64::new(0),
+                    state: Mutex::new(SlotState {
+                        probe: ServiceProbe::default(),
+                        stats: ServiceStats::default(),
+                        last_heartbeat: Instant::now(),
+                        marked_up: true,
+                        connected: false,
+                        was_healthy: false,
+                    }),
+                }));
+            }
+        }
+        *gw.inner.chunks.lock().unwrap() = chunks;
+        gw.inner.stats.takeovers.store(takeovers, Ordering::Relaxed);
+        gw
+    }
+
     /// Attaches a worker connection: blocks for its `HelloWorker` frame
     /// (so health state is settled when this returns), assigns the next
-    /// index, and starts the connection's demux thread.
+    /// index — or, for a known identity with a higher incarnation, its
+    /// **old** index — and starts the connection's demux thread.
     pub fn attach(&self, conn: Arc<dyn Transport>) -> Result<usize, NetError> {
         match self.accept(conn)? {
             Accepted::Worker(index) => Ok(index),
-            Accepted::Client => Err(NetError::Io(
-                "expected a HelloWorker frame, got a client hello".into(),
+            Accepted::Client | Accepted::Standby => Err(NetError::Io(
+                "expected a HelloWorker frame, got a client/standby hello".into(),
             )),
         }
     }
 
-    /// Accepts a new connection of either kind: workers are attached,
-    /// clients get a session thread speaking submit/register/status.
+    /// Accepts a new connection of any kind: workers are attached (a
+    /// known identity with a higher incarnation adopts its old slot),
+    /// clients get a session thread speaking submit/register/status, and
+    /// standbys get a state snapshot plus the live replication feed.
     pub fn accept(&self, conn: Arc<dyn Transport>) -> Result<Accepted, NetError> {
         match conn.recv_timeout(self.inner.cfg.attach_timeout)? {
-            Message::HelloWorker { probe, stats } => {
+            Message::HelloWorker {
+                id,
+                incarnation,
+                probe,
+                stats,
+            } => {
                 let slot = {
                     let mut workers = self.inner.workers.write().unwrap();
-                    let index = workers.len();
-                    let healthy_now = probe.healthy();
-                    let slot = Arc::new(WorkerSlot {
-                        index,
-                        conn,
-                        admissions: AtomicU64::new(0),
-                        state: Mutex::new(SlotState {
-                            probe,
-                            stats,
-                            last_heartbeat: Instant::now(),
-                            marked_up: true,
-                            connected: true,
-                            // Start from the observed state: a worker that
-                            // attaches unhealthy is not a failover.
-                            was_healthy: healthy_now,
-                        }),
-                    });
-                    workers.push(Arc::clone(&slot));
-                    slot
+                    if let Some(existing) = workers.iter().find(|s| s.id == id) {
+                        // Re-attach: adopt the old slot, keeping chunk
+                        // homes (same index), admission counters, and the
+                        // health edge-detector's memory.
+                        let current = existing.incarnation.load(Ordering::Relaxed);
+                        if incarnation <= current {
+                            return Err(NetError::Io(format!(
+                                "stale hello from worker {id:#018x}: \
+                                 incarnation {incarnation} does not exceed current {current}"
+                            )));
+                        }
+                        existing.incarnation.store(incarnation, Ordering::Relaxed);
+                        *existing.conn.write().unwrap() = Some(Arc::clone(&conn));
+                        {
+                            let mut st = existing.state.lock().unwrap();
+                            st.probe = probe;
+                            st.stats = stats;
+                            st.last_heartbeat = Instant::now();
+                            st.connected = true;
+                        }
+                        self.inner.refresh_slot(existing);
+                        self.inner.stats.adoptions.fetch_add(1, Ordering::Relaxed);
+                        Arc::clone(existing)
+                    } else {
+                        let index = workers.len();
+                        let healthy_now = probe.healthy();
+                        let slot = Arc::new(WorkerSlot {
+                            index,
+                            id,
+                            incarnation: AtomicU64::new(incarnation),
+                            conn: RwLock::new(Some(Arc::clone(&conn))),
+                            admissions: AtomicU64::new(0),
+                            state: Mutex::new(SlotState {
+                                probe,
+                                stats,
+                                last_heartbeat: Instant::now(),
+                                marked_up: true,
+                                connected: true,
+                                // Start from the observed state: a worker
+                                // that attaches unhealthy is not a failover.
+                                was_healthy: healthy_now,
+                            }),
+                        });
+                        workers.push(Arc::clone(&slot));
+                        slot
+                    }
                 };
                 let index = slot.index;
                 let inner = Arc::clone(&self.inner);
                 let handle = std::thread::Builder::new()
                     .name(format!("cb-net-gw-demux-{index}"))
-                    .spawn(move || inner.demux_loop(slot))
+                    .spawn(move || inner.demux_loop(slot, conn, incarnation))
                     .map_err(|e| NetError::Io(e.to_string()))?;
                 self.demux.lock().unwrap().push(handle);
+                self.inner.mirror(&self.inner.roster_msg());
                 Ok(Accepted::Worker(index))
             }
             Message::HelloClient => {
@@ -796,6 +1167,50 @@ impl Gateway {
                     .map_err(|e| NetError::Io(e.to_string()))?;
                 self.demux.lock().unwrap().push(handle);
                 Ok(Accepted::Client)
+            }
+            Message::HelloStandby => {
+                // Snapshot-then-subscribe, atomically with respect to
+                // concurrent mirror writes: holding the subscriber lock
+                // while snapshotting means the standby misses no update
+                // between its snapshot and the live feed.
+                {
+                    let mut standbys = self.inner.standbys.lock().unwrap();
+                    conn.send(&self.inner.roster_msg())?;
+                    for tokens in self.inner.chunks.lock().unwrap().values() {
+                        conn.send(&Message::ReplicateChunk {
+                            tokens: tokens.clone(),
+                        })?;
+                    }
+                    for (&id, p) in self.inner.pending.lock().unwrap().iter() {
+                        conn.send(&Message::ReplicatePending {
+                            id,
+                            request: WireRequest::from_request(&p.request),
+                            delivered_tokens: p.filter.tokens_delivered() as u32,
+                        })?;
+                    }
+                    standbys.push(Arc::clone(&conn));
+                }
+                // Keepalive: re-send the roster every tick. Its silence
+                // (or the connection closing) is what the standby's
+                // takeover detector watches.
+                let inner = Arc::clone(&self.inner);
+                let handle = std::thread::Builder::new()
+                    .name("cb-net-gw-standby".into())
+                    .spawn(move || {
+                        let tick = inner.cfg.tick();
+                        loop {
+                            std::thread::sleep(tick);
+                            if inner.shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if conn.send(&inner.roster_msg()).is_err() {
+                                return; // Standby gone; mirror() reaps it.
+                            }
+                        }
+                    })
+                    .map_err(|e| NetError::Io(e.to_string()))?;
+                self.demux.lock().unwrap().push(handle);
+                Ok(Accepted::Standby)
             }
             other => Err(NetError::Io(format!(
                 "expected a hello frame, got {other:?}"
@@ -930,6 +1345,9 @@ impl Gateway {
             chunk_lookups: s.chunk_lookups.load(Ordering::Relaxed),
             chunk_local: s.chunk_local.load(Ordering::Relaxed),
             rejections: s.rejections.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            adoptions: s.adoptions.load(Ordering::Relaxed),
+            takeovers: s.takeovers.load(Ordering::Relaxed),
         }
     }
 
@@ -947,7 +1365,7 @@ impl Drop for Gateway {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
         for slot in self.inner.slots() {
-            let _ = slot.conn.send(&Message::Shutdown);
+            let _ = slot.send(&Message::Shutdown);
         }
         let handles: Vec<_> = self.demux.lock().unwrap().drain(..).collect();
         for h in handles {

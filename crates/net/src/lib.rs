@@ -19,13 +19,23 @@
 //!   connection).
 //! - [`gateway`] — the coordinator: rendezvous chunk homes, locality
 //!   routing, spill-to-least-loaded, heartbeat-timeout failover with
-//!   idempotent (edge-counted) health transitions.
+//!   idempotent (edge-counted) health transitions, slot adoption for
+//!   re-attaching workers, and client-invisible mid-stream retry (a
+//!   journaled request replays onto the next-best worker when its
+//!   worker dies; the delivered prefix is suppressed).
 //! - [`worker`] — wraps an
 //!   [`EngineService`](cb_core::scheduler::EngineService): admits or
 //!   rejects submissions, streams events back frame-by-frame, heartbeats
-//!   on a ticker.
+//!   on a ticker. Carries a stable `(id, incarnation)` identity so a
+//!   reconnect adopts its old gateway slot.
 //! - [`client`] — the remote front door used by external processes (and
-//!   the gateway's own `--smoke` self-check).
+//!   the gateway's own `--smoke` self-check); reconnects across an
+//!   ordered endpoint list and resumes in-flight streams by request id.
+//! - [`retry`] — the shared [`retry::RetryPolicy`]: every timeout,
+//!   retry-budget, and backoff knob in one documented place.
+//! - [`standby`] — the warm-standby gateway: mirrors the primary's
+//!   journal/chunks/roster over the `Replicate*` feed and takes over on
+//!   primary silence.
 //!
 //! `cb-serving`'s `ClusterService` is now a thin facade: the same
 //! `Gateway` wired to in-process workers over loopback transports, so
@@ -36,6 +46,8 @@ pub mod client;
 pub mod frame;
 pub mod gateway;
 pub mod message;
+pub mod retry;
+pub mod standby;
 pub mod tcp;
 pub mod transport;
 pub mod worker;
@@ -44,6 +56,8 @@ pub use client::NetClient;
 pub use frame::{decode_frame, encode_frame, read_frame, write_frame, FrameError};
 pub use gateway::{Accepted, ClusterError, ClusterStats, Gateway, GatewayConfig};
 pub use message::{Message, WireError, WireEvent, WireFailure, WireRequest, WireResponse};
+pub use retry::RetryPolicy;
+pub use standby::Standby;
 pub use tcp::TcpTransport;
 pub use transport::{loopback_pair, LoopbackTransport, NetError, Transport};
 pub use worker::{Worker, WorkerConfig};

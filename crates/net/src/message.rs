@@ -665,13 +665,24 @@ fn decode_stats(d: &mut Dec) -> Result<ServiceStats, WireError> {
 /// `Rejected`, `Ev`, and RPC replies; the gateway sends `Submit`,
 /// `RegisterChunk`, `Status`, `Drain`, and `Shutdown`. Clients speak the
 /// same submit/register/status verbs to the gateway, which relays `Ev`
-/// frames back.
+/// frames back. A warm-standby gateway opens with `HelloStandby` and
+/// then only ever receives: the primary mirrors its journal, chunk
+/// registry, and roster to it via the `Replicate*` family.
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// First frame on a worker connection: announces the engine service
-    /// behind it with an initial probe + counters.
+    /// behind it with a stable identity, an initial probe, and counters.
     HelloWorker {
+        /// Stable worker identity: survives process restarts, so a
+        /// reconnecting worker adopts its old slot (chunk homes, health
+        /// history, and stats carry over) instead of growing the roster.
+        id: u64,
+        /// Monotonic per-identity connection generation. A re-attach
+        /// must carry a strictly higher incarnation than the slot's
+        /// current one; frames from a superseded incarnation are
+        /// rejected.
+        incarnation: u64,
         /// The service's admission probe at connect time.
         probe: ServiceProbe,
         /// The service's lifetime counters at connect time.
@@ -679,6 +690,10 @@ pub enum Message {
     },
     /// First frame on a client connection.
     HelloClient,
+    /// First frame on a warm-standby gateway connection: asks the primary
+    /// to mirror its pending journal, chunk registry, and worker roster
+    /// via the `Replicate*` family.
+    HelloStandby,
     /// Periodic worker → gateway health report.
     Heartbeat {
         /// Fresh admission probe.
@@ -765,6 +780,49 @@ pub enum Message {
     },
     /// Terminal frame: the peer is going away; tear the connection down.
     Shutdown,
+    /// Primary → standby: a journal entry was created or re-placed. The
+    /// standby stores the full request body so a takeover can resume the
+    /// session when the client re-submits by id.
+    ReplicatePending {
+        /// The journaled request id.
+        id: u64,
+        /// The request body.
+        request: WireRequest,
+        /// Answer tokens already relayed to the client for this id.
+        delivered_tokens: u32,
+    },
+    /// Primary → standby: more of a journaled request's answer reached
+    /// the client (sent per relayed token so the mirror's delivered
+    /// count never trails by more than one in-flight frame).
+    ReplicateProgress {
+        /// The journaled request id.
+        id: u64,
+        /// Total answer tokens relayed to the client so far.
+        delivered_tokens: u32,
+    },
+    /// Primary → standby: a journal entry resolved (terminal event
+    /// relayed); the mirror drops it.
+    ReplicateRetire {
+        /// The retired request id.
+        id: u64,
+    },
+    /// Primary → standby: a chunk registered cluster-wide. The tokens
+    /// (not just the content-addressed id) cross so the standby can
+    /// re-register them against workers that attach after a takeover.
+    ReplicateChunk {
+        /// The chunk's tokens.
+        tokens: Vec<TokenId>,
+    },
+    /// Primary → standby: the worker roster, in slot order (identity and
+    /// current incarnation per slot). Doubles as the primary's liveness
+    /// signal — it is re-sent every mirror tick, and standby takeover
+    /// triggers on the same heartbeat-silence rule workers are held to.
+    ReplicateRoster {
+        /// Worker identity per slot, in slot order.
+        ids: Vec<u64>,
+        /// Current incarnation per slot, in slot order.
+        incarnations: Vec<u64>,
+    },
 }
 
 const TAG_HELLO_WORKER: u8 = 1;
@@ -781,6 +839,12 @@ const TAG_CLUSTER_STATUS_REPLY: u8 = 11;
 const TAG_DRAIN: u8 = 12;
 const TAG_DRAIN_REPLY: u8 = 13;
 const TAG_SHUTDOWN: u8 = 14;
+const TAG_HELLO_STANDBY: u8 = 15;
+const TAG_REPLICATE_PENDING: u8 = 16;
+const TAG_REPLICATE_PROGRESS: u8 = 17;
+const TAG_REPLICATE_RETIRE: u8 = 18;
+const TAG_REPLICATE_CHUNK: u8 = 19;
+const TAG_REPLICATE_ROSTER: u8 = 20;
 
 impl Message {
     /// Encodes the message into a frame payload (pair with
@@ -788,12 +852,20 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::default();
         match self {
-            Message::HelloWorker { probe, stats } => {
+            Message::HelloWorker {
+                id,
+                incarnation,
+                probe,
+                stats,
+            } => {
                 e.u8(TAG_HELLO_WORKER);
+                e.u64(*id);
+                e.u64(*incarnation);
                 encode_probe(&mut e, probe);
                 encode_stats(&mut e, stats);
             }
             Message::HelloClient => e.u8(TAG_HELLO_CLIENT),
+            Message::HelloStandby => e.u8(TAG_HELLO_STANDBY),
             Message::Heartbeat { probe, stats } => {
                 e.u8(TAG_HEARTBEAT);
                 encode_probe(&mut e, probe);
@@ -874,6 +946,37 @@ impl Message {
                 e.u64(*rpc);
             }
             Message::Shutdown => e.u8(TAG_SHUTDOWN),
+            Message::ReplicatePending {
+                id,
+                request,
+                delivered_tokens,
+            } => {
+                e.u8(TAG_REPLICATE_PENDING);
+                e.u64(*id);
+                request.encode(&mut e);
+                e.u32(*delivered_tokens);
+            }
+            Message::ReplicateProgress {
+                id,
+                delivered_tokens,
+            } => {
+                e.u8(TAG_REPLICATE_PROGRESS);
+                e.u64(*id);
+                e.u32(*delivered_tokens);
+            }
+            Message::ReplicateRetire { id } => {
+                e.u8(TAG_REPLICATE_RETIRE);
+                e.u64(*id);
+            }
+            Message::ReplicateChunk { tokens } => {
+                e.u8(TAG_REPLICATE_CHUNK);
+                e.u32s(tokens);
+            }
+            Message::ReplicateRoster { ids, incarnations } => {
+                e.u8(TAG_REPLICATE_ROSTER);
+                e.u64s(ids);
+                e.u64s(incarnations);
+            }
         }
         e.buf
     }
@@ -885,10 +988,13 @@ impl Message {
         let mut d = Dec::new(payload);
         let msg = match d.u8()? {
             TAG_HELLO_WORKER => Message::HelloWorker {
+                id: d.u64()?,
+                incarnation: d.u64()?,
                 probe: decode_probe(&mut d)?,
                 stats: decode_stats(&mut d)?,
             },
             TAG_HELLO_CLIENT => Message::HelloClient,
+            TAG_HELLO_STANDBY => Message::HelloStandby,
             TAG_HEARTBEAT => Message::Heartbeat {
                 probe: decode_probe(&mut d)?,
                 stats: decode_stats(&mut d)?,
@@ -944,6 +1050,21 @@ impl Message {
             TAG_DRAIN => Message::Drain { rpc: d.u64()? },
             TAG_DRAIN_REPLY => Message::DrainReply { rpc: d.u64()? },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_REPLICATE_PENDING => Message::ReplicatePending {
+                id: d.u64()?,
+                request: WireRequest::decode(&mut d)?,
+                delivered_tokens: d.u32()?,
+            },
+            TAG_REPLICATE_PROGRESS => Message::ReplicateProgress {
+                id: d.u64()?,
+                delivered_tokens: d.u32()?,
+            },
+            TAG_REPLICATE_RETIRE => Message::ReplicateRetire { id: d.u64()? },
+            TAG_REPLICATE_CHUNK => Message::ReplicateChunk { tokens: d.u32s()? },
+            TAG_REPLICATE_ROSTER => Message::ReplicateRoster {
+                ids: d.u64s()?,
+                incarnations: d.u64s()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         d.finish()?;
@@ -980,10 +1101,13 @@ mod tests {
     fn sample_messages() -> Vec<Message> {
         vec![
             Message::HelloWorker {
+                id: 0xB0B5_1ED5,
+                incarnation: 3,
                 probe: sample_probe(),
                 stats: sample_stats(),
             },
             Message::HelloClient,
+            Message::HelloStandby,
             Message::Heartbeat {
                 probe: sample_probe(),
                 stats: sample_stats(),
@@ -1075,6 +1199,30 @@ mod tests {
             Message::Drain { rpc: 5 },
             Message::DrainReply { rpc: 5 },
             Message::Shutdown,
+            Message::ReplicatePending {
+                id: 42,
+                request: WireRequest {
+                    chunk_ids: vec![3, 4],
+                    query: vec![9],
+                    max_new_tokens: 2,
+                    ratio: None,
+                    high_priority: false,
+                    deadline_nanos: None,
+                },
+                delivered_tokens: 5,
+            },
+            Message::ReplicateProgress {
+                id: 42,
+                delivered_tokens: 6,
+            },
+            Message::ReplicateRetire { id: 42 },
+            Message::ReplicateChunk {
+                tokens: vec![1, 2, 3],
+            },
+            Message::ReplicateRoster {
+                ids: vec![11, 22],
+                incarnations: vec![1, 4],
+            },
         ]
     }
 

@@ -84,6 +84,15 @@ impl TcpTransport {
         Self::from_stream(stream)
     }
 
+    /// Severs the connection now, both directions, without dropping the
+    /// transport — the chaos tests' fault injector. The peer observes an
+    /// abrupt close exactly as it would a process death, and every
+    /// subsequent send/recv on this side fails with
+    /// [`NetError::Closed`].
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
     fn map_recv_err(e: RecvTimeoutError) -> NetError {
         match e {
             RecvTimeoutError::Timeout => NetError::Timeout,

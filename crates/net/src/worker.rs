@@ -35,12 +35,25 @@ pub struct WorkerConfig {
     /// [`crate::gateway::GatewayConfig::heartbeat_timeout`] without one,
     /// so keep this several times smaller.
     pub heartbeat_interval: Duration,
+    /// Stable worker identity, or `None` to generate a fresh one (process
+    /// entropy mixed with a process-local counter). A worker that
+    /// reconnects under the same identity with a **higher incarnation**
+    /// adopts its old gateway slot — chunk homes, health history, and
+    /// admission stats carry over — instead of growing the roster.
+    pub worker_id: Option<u64>,
+    /// Connection generation under `worker_id`. Bump it on every
+    /// reconnect: the gateway rejects hellos whose incarnation does not
+    /// exceed the slot's current one, and drops frames from superseded
+    /// connections.
+    pub incarnation: u64,
 }
 
 impl Default for WorkerConfig {
     fn default() -> Self {
         Self {
             heartbeat_interval: Duration::from_millis(50),
+            worker_id: None,
+            incarnation: 1,
         }
     }
 }
@@ -51,11 +64,34 @@ impl WorkerConfig {
         self.heartbeat_interval = d;
         self
     }
+
+    /// Sets the stable identity (see [`WorkerConfig::worker_id`]).
+    pub fn identity(mut self, worker_id: u64, incarnation: u64) -> Self {
+        self.worker_id = Some(worker_id);
+        self.incarnation = incarnation;
+        self
+    }
+}
+
+/// A fresh, effectively unique worker id: process entropy (pid + clock)
+/// mixed with a process-local counter through SplitMix64.
+pub(crate) fn fresh_worker_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seed = nanos
+        ^ (std::process::id() as u64).rotate_left(32)
+        ^ COUNTER.fetch_add(1, Ordering::Relaxed).rotate_left(48);
+    crate::gateway::splitmix64(seed)
 }
 
 struct WorkerInner {
     service: Arc<EngineService>,
     conn: Arc<dyn Transport>,
+    identity: (u64, u64),
     hb_paused: AtomicBool,
     shutdown: AtomicBool,
     forwarders: Mutex<Vec<JoinHandle<()>>>,
@@ -222,13 +258,17 @@ impl Worker {
         conn: Arc<dyn Transport>,
         cfg: WorkerConfig,
     ) -> Result<Worker, NetError> {
+        let id = cfg.worker_id.unwrap_or_else(fresh_worker_id);
         conn.send(&Message::HelloWorker {
+            id,
+            incarnation: cfg.incarnation,
             probe: service.probe(),
             stats: service.stats(),
         })?;
         let inner = Arc::new(WorkerInner {
             service,
             conn,
+            identity: (id, cfg.incarnation),
             hb_paused: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             forwarders: Mutex::new(Vec::new()),
@@ -259,6 +299,12 @@ impl Worker {
     /// The wrapped service.
     pub fn service(&self) -> &Arc<EngineService> {
         &self.inner.service
+    }
+
+    /// This worker's `(id, incarnation)` — reuse the id with a higher
+    /// incarnation to re-attach into the same gateway slot.
+    pub fn identity(&self) -> (u64, u64) {
+        self.inner.identity
     }
 
     /// Pauses (or resumes) heartbeats without stopping the worker — the

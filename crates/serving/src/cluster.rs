@@ -30,7 +30,13 @@
 //! mark, the scheduler probe, heartbeat freshness, and connection
 //! liveness; [`ClusterStats::failovers`] counts health **down-edges**
 //! idempotently — a replica observed down twice is one failover, a
-//! replica that recovers and fails again is two.
+//! replica that recovers and fails again is two. A replica whose worker
+//! session dies and re-attaches ([`ClusterService::bounce_replica`])
+//! *adopts* its old slot via its stable worker identity: homes,
+//! admission counters, and roster size are all unchanged. Requests
+//! stranded mid-stream on a dead replica are transparently retried on a
+//! healthy sibling ([`ClusterStats::retries`]), the already-delivered
+//! prefix suppressed.
 //!
 //! **Observability.** [`ClusterStats`] reports per-replica admissions, the
 //! chunk- and request-level locality rates, spill/reroute/failover counts,
@@ -39,6 +45,7 @@
 //! [`DiskBackend::open_shared`]: cb_storage::DiskBackend::open_shared
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cb_core::engine::{Engine, EngineError, Request, Response};
 use cb_core::scheduler::{EngineService, ServiceConfig, ServiceStats};
@@ -147,6 +154,42 @@ impl ClusterService {
     /// scheduler can make progress, and its heartbeats are fresh.
     pub fn replica_healthy(&self, i: usize) -> bool {
         self.gateway.worker_healthy(i)
+    }
+
+    /// Simulates replica `i`'s worker process dying and restarting: the
+    /// old control-plane session is torn down (the gateway observes the
+    /// disconnect — one failover edge), then a fresh worker re-attaches
+    /// under the **same identity with a bumped incarnation** and adopts
+    /// its old slot — same index, chunk homes untouched, roster size
+    /// unchanged, one adoption counted. The replica's engine and warm
+    /// cache survive, exactly like a worker process that kept its store
+    /// across a reconnect.
+    pub fn bounce_replica(&mut self, i: usize) {
+        let (id, incarnation) = self.workers[i].identity();
+        let (worker_end, gateway_end) = loopback_pair();
+        let replacement = Worker::start(
+            Arc::clone(&self.services[i]),
+            Arc::new(worker_end),
+            WorkerConfig::default().identity(id, incarnation + 1),
+        )
+        .expect("loopback worker handshake cannot fail");
+        // Drop the old session and wait until the gateway has observed
+        // the death — a restarted process always dials back after its
+        // predecessor's sockets closed.
+        self.workers[i] = replacement;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.gateway.worker_healthy(i) {
+            assert!(
+                Instant::now() < deadline,
+                "gateway never observed the bounced replica's disconnect"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let adopted = self
+            .gateway
+            .attach(Arc::new(gateway_end))
+            .expect("loopback re-attach cannot fail");
+        assert_eq!(adopted, i, "re-attach must adopt the old slot");
     }
 
     /// The stable home replica of a chunk: the replica with the highest
@@ -455,6 +498,36 @@ mod tests {
             c.submit_stream(Request::new(ids, q)).unwrap_err(),
             ClusterError::NoHealthyReplica
         );
+    }
+
+    #[test]
+    fn bounced_replica_adopts_its_slot_and_keeps_homes() {
+        let mut c = cluster(2, 1, 8);
+        let (ids, q) = scenario(&c, 6);
+        let homes: Vec<usize> = ids.iter().map(|&id| c.home_of(id)).collect();
+        c.submit(
+            Request::new(vec![ids[0]], q.clone())
+                .ratio(0.45)
+                .max_new_tokens(2),
+        )
+        .unwrap();
+        c.bounce_replica(0);
+        assert_eq!(c.gateway().n_workers(), 2, "the roster must not grow");
+        let st = c.stats();
+        assert_eq!(st.adoptions, 1, "exactly one adoption");
+        assert_eq!(st.failovers, 1, "the death was observed as one edge");
+        assert_eq!(
+            ids.iter().map(|&id| c.home_of(id)).collect::<Vec<_>>(),
+            homes,
+            "chunk homes survive the bounce"
+        );
+        // The bounced replica serves again immediately (hello carried a
+        // fresh probe, so no heartbeat wait).
+        let resp = c
+            .submit(Request::new(vec![ids[0]], q).ratio(0.45).max_new_tokens(2))
+            .unwrap();
+        assert!(!resp.answer.is_empty(), "adopted replica still serves");
+        assert_eq!(c.stats().failovers, 1, "re-attach is not another edge");
     }
 
     #[test]

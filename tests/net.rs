@@ -1,15 +1,21 @@
 //! Network control plane integration: frame-decoder fuzz, loopback-vs-TCP
 //! parity, heartbeat-partition failover (with the idempotent-counting
-//! regression), and error-detail preservation across the wire.
+//! regression), error-detail preservation across the wire, and the
+//! survivability matrix — worker re-attach/adoption, client-invisible
+//! mid-stream retry (fuzzed across every kill position), and warm-standby
+//! gateway takeover with client resume.
 
 use cacheblend::kv::chunk::ChunkId;
 use cacheblend::net::frame::{
     decode_frame, encode_frame, read_frame, FRAME_VERSION, HEADER_LEN, MAX_FRAME_PAYLOAD,
     TRAILER_LEN,
 };
-use cacheblend::net::message::{Message, WireEvent, WireFailure, WireRequest};
+use cacheblend::net::message::{
+    Message, WireEvent, WireFailure, WireRequest, WireResponse, WireTtft,
+};
 use cacheblend::net::{
-    loopback_pair, Gateway, GatewayConfig, NetClient, TcpTransport, Worker, WorkerConfig,
+    loopback_pair, Gateway, GatewayConfig, LoopbackTransport, NetClient, RetryPolicy, Standby,
+    TcpTransport, Transport, Worker, WorkerConfig,
 };
 use cacheblend::prelude::*;
 use cacheblend::scheduler::ServiceProbe;
@@ -426,4 +432,568 @@ fn error_detail_survives_the_wire() {
         EngineError::UnknownChunk(bogus),
         "the failing chunk id must survive worker → gateway → client"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Survivability: re-attach, mid-stream retry, standby takeover
+// ---------------------------------------------------------------------------
+
+fn healthy_probe() -> ServiceProbe {
+    ServiceProbe {
+        queue_depth: 0,
+        queue_capacity: 32,
+        inflight: 0,
+        workers: 1,
+        shutdown: false,
+    }
+}
+
+/// The full scripted stream for one request whose answer is `answer`:
+/// the deterministic event sequence a scripted worker replays, so kill
+/// positions and bit-identity are exact rather than timing-dependent.
+fn scripted_events(answer: &[u32]) -> Vec<WireEvent> {
+    let mut evs = vec![
+        WireEvent::Queued,
+        WireEvent::Admitted,
+        WireEvent::FirstToken(WireTtft::default()),
+    ];
+    evs.extend(answer.iter().map(|&t| WireEvent::Token(t)));
+    evs.push(WireEvent::Done(WireResponse {
+        answer: answer.to_vec(),
+        ttft: WireTtft::default(),
+        recompute_ratio: 0.45,
+        chunk_sources: vec![None],
+        ctx_len: 8,
+        suffix_len: 4,
+        selected_per_layer: vec![2, 2, 2, 2],
+        first_layer_deviations: vec![0.0],
+    }));
+    evs
+}
+
+/// Spawns a scripted worker on `conn`: hellos as (`id`, `incarnation`),
+/// then answers every submission with `events` — except that during the
+/// **first** submission it dies (drops the connection, which the gateway
+/// observes as a worker death) after sending `kill_after` frames, if set.
+/// `kill_after == events.len()` means it completes the stream and *then*
+/// dies.
+fn scripted_worker(
+    conn: LoopbackTransport,
+    id: u64,
+    incarnation: u64,
+    events: Vec<WireEvent>,
+    kill_after: Option<usize>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        conn.send(&Message::HelloWorker {
+            id,
+            incarnation,
+            probe: healthy_probe(),
+            stats: ServiceStats::default(),
+        })
+        .expect("scripted hello");
+        let mut first = true;
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Submit { id: req, .. } => {
+                    let kill = if first { kill_after } else { None };
+                    first = false;
+                    for (i, ev) in events.iter().enumerate() {
+                        if kill == Some(i) {
+                            return; // Dropping `conn` = sudden death.
+                        }
+                        let frame = Message::Ev {
+                            id: req,
+                            event: ev.clone(),
+                        };
+                        if conn.send(&frame).is_err() {
+                            return;
+                        }
+                    }
+                    if kill == Some(events.len()) {
+                        return; // Completed the stream, then died.
+                    }
+                }
+                Message::Status { rpc } => {
+                    let _ = conn.send(&Message::StatusReply {
+                        rpc,
+                        probe: healthy_probe(),
+                        stats: ServiceStats::default(),
+                    });
+                }
+                Message::Shutdown => return,
+                _ => {}
+            }
+        }
+    })
+}
+
+/// The mid-stream retry property, fuzzed across **every** kill position:
+/// whatever event the dying worker last delivered (nothing, `Queued`,
+/// `Admitted`, `FirstToken`, any `Token(k)`, or the full stream through
+/// `Done`), the collected stream is bit-identical to the no-failure run —
+/// no duplicated or dropped token, every control event exactly once, one
+/// terminal — and the journal entry is retired after exactly one retry
+/// (zero when the death came after `Done`).
+#[test]
+fn mid_stream_kill_at_every_event_position_never_dups_or_drops_tokens() {
+    let _guard = serial();
+    for seed in [0xC1u64, 0xC2, 0xC3] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let answer: Vec<u32> = (0..4).map(|_| rng.random_range(1u32..500)).collect();
+        let events = scripted_events(&answer);
+        for kill_after in 0..=events.len() {
+            let gateway = Arc::new(Gateway::new(
+                GatewayConfig::default()
+                    .retry(RetryPolicy::default().backoff_base(Duration::from_millis(1))),
+            ));
+            let (killer_end, gw_a) = loopback_pair();
+            let (survivor_end, gw_b) = loopback_pair();
+            let killer = scripted_worker(killer_end, 0xDEAD, 1, events.clone(), Some(kill_after));
+            let survivor = scripted_worker(survivor_end, 0xBEEF, 1, events.clone(), None);
+            assert_eq!(gateway.attach(Arc::new(gw_a)).unwrap(), 0);
+            assert_eq!(gateway.attach(Arc::new(gw_b)).unwrap(), 1);
+
+            let request = Request::new(vec![ChunkId(7)], vec![1, 2, 3]).max_new_tokens(4);
+            let stream = gateway.submit_to(0, request);
+            let mut control = [0u32; 3];
+            let mut tokens = Vec::new();
+            let mut answers = Vec::new();
+            while let Some(ev) = stream.recv() {
+                match ev {
+                    Event::Queued => control[0] += 1,
+                    Event::Admitted => control[1] += 1,
+                    Event::FirstToken(_) => control[2] += 1,
+                    Event::Token(t) => tokens.push(t),
+                    Event::Done(r) => answers.push(r.answer),
+                    Event::Failed(e) => {
+                        panic!("seed {seed:#x} kill@{kill_after}: request failed: {e}")
+                    }
+                }
+            }
+            assert_eq!(
+                control,
+                [1, 1, 1],
+                "seed {seed:#x} kill@{kill_after}: every control event exactly once"
+            );
+            assert_eq!(
+                tokens, answer,
+                "seed {seed:#x} kill@{kill_after}: token stream must be bit-identical \
+                 to the no-failure run"
+            );
+            assert_eq!(
+                answers.len(),
+                1,
+                "seed {seed:#x} kill@{kill_after}: exactly one terminal (journal retired once)"
+            );
+            assert_eq!(answers[0], answer, "seed {seed:#x} kill@{kill_after}");
+            let expected = u64::from(kill_after < events.len());
+            assert_eq!(
+                gateway.stats().retries,
+                expected,
+                "seed {seed:#x} kill@{kill_after}: a mid-stream death costs exactly one \
+                 retry, a post-terminal death costs none"
+            );
+            drop(gateway);
+            killer.join().unwrap();
+            survivor.join().unwrap();
+        }
+    }
+}
+
+/// Re-attach semantics at the gateway boundary: a hello carrying an
+/// incarnation at or below the slot's current one is rejected with a
+/// named error and changes nothing; a strictly higher incarnation adopts
+/// the **old** slot (same index, roster does not grow) and serves.
+#[test]
+fn stale_incarnation_hellos_are_rejected_and_newer_ones_adopt() {
+    let _guard = serial();
+    let gateway = Gateway::new(GatewayConfig::default());
+    let events = scripted_events(&[5, 6]);
+    let (w1, g1) = loopback_pair();
+    let h1 = scripted_worker(w1, 0x1D, 3, events.clone(), None);
+    assert_eq!(gateway.attach(Arc::new(g1)).unwrap(), 0);
+
+    // Equal and lower incarnations are stale: rejected, roster unchanged.
+    for stale in [3u64, 2] {
+        let (w2, g2) = loopback_pair();
+        w2.send(&Message::HelloWorker {
+            id: 0x1D,
+            incarnation: stale,
+            probe: healthy_probe(),
+            stats: ServiceStats::default(),
+        })
+        .unwrap();
+        let err = gateway
+            .attach(Arc::new(g2))
+            .expect_err("a stale incarnation must be rejected");
+        assert!(
+            format!("{err}").contains("stale hello"),
+            "rejection must say why: {err}"
+        );
+    }
+    assert_eq!(
+        gateway.n_workers(),
+        1,
+        "rejected hellos must not grow the roster"
+    );
+    assert_eq!(gateway.stats().adoptions, 0);
+
+    // A strictly higher incarnation adopts the old slot in place.
+    let (w3, g3) = loopback_pair();
+    let h3 = scripted_worker(w3, 0x1D, 4, events, None);
+    assert_eq!(
+        gateway.attach(Arc::new(g3)).unwrap(),
+        0,
+        "re-attach must adopt the old slot, not append"
+    );
+    assert_eq!(gateway.n_workers(), 1);
+    assert_eq!(gateway.stats().adoptions, 1);
+    let resp = gateway
+        .submit_to(0, Request::new(vec![ChunkId(1)], vec![1]).max_new_tokens(2))
+        .collect()
+        .expect("the adopted slot serves");
+    assert_eq!(resp.answer, vec![5, 6]);
+    drop(gateway);
+    h1.join().unwrap();
+    h3.join().unwrap();
+}
+
+/// RPC timeouts surface as structured errors naming the RPC and the
+/// destination worker — not a bare "timed out".
+#[test]
+fn rpc_timeouts_name_the_rpc_and_destination() {
+    let _guard = serial();
+    let gateway = Gateway::new(
+        GatewayConfig::default()
+            .retry(RetryPolicy::default().rpc_timeout(Duration::from_millis(50))),
+    );
+    // A worker that hellos and then ignores everything.
+    let (w, g) = loopback_pair();
+    w.send(&Message::HelloWorker {
+        id: 0x77,
+        incarnation: 1,
+        probe: healthy_probe(),
+        stats: ServiceStats::default(),
+    })
+    .unwrap();
+    gateway.attach(Arc::new(g)).unwrap();
+    let err = gateway
+        .register_chunk(&[1, 2, 3])
+        .expect_err("an unanswered RPC must time out");
+    let text = format!("{err}");
+    assert!(
+        text.contains("RegisterChunk") && text.contains("worker 0"),
+        "the timeout must name the RPC and its destination, got: {text}"
+    );
+    drop(w);
+}
+
+/// A worker process dying abruptly over real TCP — mid-request, with one
+/// request admitted and another queued behind it — is invisible to the
+/// collectors: both stranded requests are transparently retried on the
+/// surviving worker (exactly once each) and the answer is bit-identical
+/// to the no-failure baseline.
+#[test]
+fn tcp_worker_death_mid_stream_is_invisible_to_the_collector() {
+    let _guard = serial();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let gateway = Arc::new(Gateway::new(
+        GatewayConfig::default()
+            .retry(RetryPolicy::default().backoff_base(Duration::from_millis(1))),
+    ));
+    let acceptor = {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().take(3) {
+                let t = TcpTransport::from_stream(stream.unwrap()).unwrap();
+                gateway.accept(Arc::new(t)).unwrap();
+            }
+        })
+    };
+    // Keep a handle on worker 0's transport: `shutdown()` severs the
+    // socket exactly as a SIGKILL would.
+    let w0_conn = Arc::new(TcpTransport::connect(addr).unwrap());
+    let w0_dyn: Arc<dyn Transport> = w0_conn.clone();
+    let _w0 = Worker::start(Arc::new(tiny_service()), w0_dyn, WorkerConfig::default()).unwrap();
+    let _w1 = Worker::start(
+        Arc::new(tiny_service()),
+        Arc::new(TcpTransport::connect(addr).unwrap()),
+        WorkerConfig::default(),
+    )
+    .unwrap();
+    wait_until("both workers attached", || gateway.n_workers() == 2);
+    let client = NetClient::connect(Arc::new(TcpTransport::connect(addr).unwrap())).unwrap();
+    acceptor.join().unwrap();
+
+    let (chunks, q) = eval_corpus();
+    let ids: Vec<ChunkId> = chunks
+        .iter()
+        .map(|c| client.register_chunk(c, true).unwrap())
+        .collect();
+    let target_req = Request::new(vec![ids[0], ids[3]], q.clone())
+        .ratio(0.45)
+        .max_new_tokens(6);
+    let baseline = client.submit(&target_req).expect("no-failure baseline");
+
+    // A long-context blocker pins worker 0's single scheduler thread so
+    // the kill deterministically lands while the target is still owed.
+    let mut big_q = Vec::new();
+    while big_q.len() < 768 {
+        big_q.extend_from_slice(&q);
+    }
+    let blocker_req = Request::new(vec![ids[1]], big_q)
+        .ratio(0.45)
+        .max_new_tokens(4);
+    let blocker = gateway.submit_to(0, blocker_req);
+    loop {
+        match blocker.recv() {
+            Some(Event::Admitted) => break, // Worker 0 is now busy with it.
+            Some(_) => {}
+            None => panic!("blocker stream ended before admission"),
+        }
+    }
+    let target = gateway.submit_to(0, target_req.clone());
+    loop {
+        match target.recv() {
+            Some(Event::Queued) => break, // Queued behind the blocker.
+            Some(_) => {}
+            None => panic!("target stream ended before queueing"),
+        }
+    }
+    w0_conn.shutdown(); // The kill.
+
+    let served = target.collect().expect("target survives the worker death");
+    assert_eq!(
+        served.answer, baseline.answer,
+        "the retried answer must be bit-identical to the no-failure run"
+    );
+    blocker
+        .collect()
+        .expect("the in-flight blocker is retried too");
+    let stats = gateway.stats();
+    assert_eq!(
+        stats.retries, 2,
+        "both stranded requests retried exactly once each"
+    );
+    assert!(!gateway.worker_healthy(0), "the dead worker is marked down");
+    assert!(gateway.worker_healthy(1));
+}
+
+/// The warm-standby mirror and loopback takeover: a standby converges on
+/// the primary's roster/chunks/journal, detects the primary's death,
+/// resumes with the same slot order (chunk homes unchanged), and serves
+/// the next request after the workers re-attach and adopt — with zero
+/// lost chunk registrations.
+#[test]
+fn standby_mirrors_and_takes_over_without_losing_chunks() {
+    let _guard = serial();
+    let cfg = GatewayConfig::default().heartbeat_timeout(Duration::from_millis(400));
+    let primary = Gateway::new(cfg);
+    let services: Vec<Arc<EngineService>> = (0..2).map(|_| Arc::new(tiny_service())).collect();
+    let worker_ids = [0xAu64, 0xB];
+    let _workers: Vec<Worker> = (0..2)
+        .map(|i| {
+            let (worker_end, gateway_end) = loopback_pair();
+            let w = Worker::start(
+                Arc::clone(&services[i]),
+                Arc::new(worker_end),
+                WorkerConfig::default()
+                    .identity(worker_ids[i], 1)
+                    .heartbeat_interval(Duration::from_millis(20)),
+            )
+            .unwrap();
+            primary.attach(Arc::new(gateway_end)).unwrap();
+            w
+        })
+        .collect();
+    let (chunks, q) = eval_corpus();
+    let ids = primary.register_chunks(&chunks).unwrap();
+    let homes: Vec<usize> = ids.iter().map(|&id| primary.home_of(id)).collect();
+    let request = seeded_requests(&ids, &q, 1).remove(0);
+    let baseline = primary.submit(request.clone()).expect("primary serves");
+
+    // Subscribe the standby and let the mirror converge.
+    let (standby_end, primary_end) = loopback_pair();
+    let mut standby = Standby::connect(Arc::new(standby_end), cfg).unwrap();
+    primary.accept(Arc::new(primary_end)).unwrap();
+    standby.pump_for(Duration::from_millis(250));
+    assert!(standby.primary_alive());
+    assert_eq!(standby.n_chunks(), chunks.len(), "chunk registry mirrored");
+    assert_eq!(
+        standby.roster(),
+        &[(0xA, 1), (0xB, 1)],
+        "worker roster mirrored in slot order"
+    );
+    assert_eq!(
+        standby.journal_len(),
+        0,
+        "completed requests must be retired from the mirrored journal"
+    );
+
+    // Kill the primary. The standby sees the connection close and
+    // promotes itself with the mirrored state.
+    let waiter = std::thread::spawn(move || standby.wait_takeover());
+    drop(primary);
+    let promoted = Arc::new(waiter.join().unwrap());
+    assert_eq!(promoted.stats().takeovers, 1);
+    assert_eq!(
+        promoted.n_workers(),
+        2,
+        "the inherited roster is materialized as placeholder slots"
+    );
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            promoted.home_of(id),
+            homes[i],
+            "chunk homes must survive the takeover unchanged"
+        );
+    }
+    assert!(
+        !promoted.worker_healthy(0) && !promoted.worker_healthy(1),
+        "placeholder slots are unhealthy until their workers re-attach"
+    );
+
+    // Workers re-attach (reverse order, to prove the index comes from the
+    // identity, not the attach order) and adopt their old slots.
+    let _readopted: Vec<Worker> = [1usize, 0]
+        .into_iter()
+        .map(|i| {
+            let (worker_end, gateway_end) = loopback_pair();
+            let w = Worker::start(
+                Arc::clone(&services[i]),
+                Arc::new(worker_end),
+                WorkerConfig::default()
+                    .identity(worker_ids[i], 2)
+                    .heartbeat_interval(Duration::from_millis(20)),
+            )
+            .unwrap();
+            assert_eq!(
+                promoted.attach(Arc::new(gateway_end)).unwrap(),
+                i,
+                "each worker must adopt its original slot"
+            );
+            w
+        })
+        .collect();
+    assert_eq!(promoted.stats().adoptions, 2);
+
+    // The very next request serves — the engines kept every registered
+    // chunk, so nothing needs re-registration.
+    let resumed = promoted
+        .submit(request)
+        .expect("the promoted gateway serves the next request");
+    assert_eq!(
+        resumed.answer, baseline.answer,
+        "zero lost chunk registrations: the answer matches the pre-death run"
+    );
+}
+
+/// The full TCP failover story: a primary gateway, a standby, two
+/// workers, and a client holding an ordered endpoint list. The primary
+/// dies; the standby takes over on the second endpoint; the workers
+/// re-attach with bumped incarnations and adopt; the client reconnects
+/// by itself and its next request serves with a bit-identical answer.
+#[test]
+fn client_resumes_onto_promoted_standby_over_tcp() {
+    let _guard = serial();
+    let cfg = GatewayConfig::default().heartbeat_timeout(Duration::from_millis(400));
+    let listener1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr1 = listener1.local_addr().unwrap();
+    // Reserve the standby's future address up front so the client can
+    // hold the full ordered endpoint list from the start.
+    let addr2 = {
+        let tmp = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        tmp.local_addr().unwrap()
+    };
+    let primary = Arc::new(Gateway::new(cfg));
+    let acceptor = {
+        let primary = Arc::clone(&primary);
+        std::thread::spawn(move || {
+            // Two workers, the standby, then the client.
+            for stream in listener1.incoming().take(4) {
+                let t = TcpTransport::from_stream(stream.unwrap()).unwrap();
+                primary.accept(Arc::new(t)).unwrap();
+            }
+        })
+    };
+    let services: Vec<Arc<EngineService>> = (0..2).map(|_| Arc::new(tiny_service())).collect();
+    let worker_ids = [0xAAu64, 0xBB];
+    let _workers: Vec<Worker> = (0..2)
+        .map(|i| {
+            Worker::start(
+                Arc::clone(&services[i]),
+                Arc::new(TcpTransport::connect(addr1).unwrap()),
+                WorkerConfig::default().identity(worker_ids[i], 1),
+            )
+            .unwrap()
+        })
+        .collect();
+    wait_until("both workers attached", || primary.n_workers() == 2);
+    let standby = Standby::connect(Arc::new(TcpTransport::connect(addr1).unwrap()), cfg).unwrap();
+    let client = NetClient::connect_endpoints(
+        &[addr1.to_string(), addr2.to_string()],
+        RetryPolicy::default()
+            .max_retries(8)
+            .backoff_base(Duration::from_millis(50)),
+    )
+    .unwrap();
+    acceptor.join().unwrap();
+
+    let (chunks, q) = eval_corpus();
+    let ids: Vec<ChunkId> = chunks
+        .iter()
+        .map(|c| client.register_chunk(c, true).unwrap())
+        .collect();
+    let request = Request::new(vec![ids[2], ids[5]], q)
+        .ratio(0.45)
+        .max_new_tokens(5);
+    let baseline = client
+        .submit(&request)
+        .expect("primary serves the baseline");
+
+    // Promote: kill the primary, wait the takeover out, then open the
+    // standby's listen endpoint and let the cluster re-form on it.
+    let waiter = std::thread::spawn(move || standby.wait_takeover());
+    drop(primary);
+    let promoted = Arc::new(waiter.join().unwrap());
+    assert_eq!(promoted.stats().takeovers, 1);
+    let listener2 = std::net::TcpListener::bind(addr2).expect("standby address still free");
+    let acceptor2 = {
+        let promoted = Arc::clone(&promoted);
+        std::thread::spawn(move || {
+            // Two re-attaching workers plus the resuming client.
+            for stream in listener2.incoming().take(3) {
+                let t = TcpTransport::from_stream(stream.unwrap()).unwrap();
+                promoted.accept(Arc::new(t)).unwrap();
+            }
+        })
+    };
+    let _readopted: Vec<Worker> = (0..2)
+        .map(|i| {
+            Worker::start(
+                Arc::clone(&services[i]),
+                Arc::new(TcpTransport::connect(addr2).unwrap()),
+                WorkerConfig::default().identity(worker_ids[i], 2),
+            )
+            .unwrap()
+        })
+        .collect();
+    wait_until("both workers adopted their slots", || {
+        promoted.worker_healthy(0) && promoted.worker_healthy(1)
+    });
+    assert_eq!(promoted.stats().adoptions, 2);
+
+    // The client redials its endpoint list on its own and the next
+    // request serves — same answer, zero lost chunk registrations.
+    let resumed = client
+        .submit(&request)
+        .expect("the client's next request survives the failover");
+    assert_eq!(
+        resumed.answer, baseline.answer,
+        "the promoted gateway must serve the same answer"
+    );
+    wait_until("client reconnect recorded", || client.reconnects() == 1);
+    acceptor2.join().unwrap();
 }
