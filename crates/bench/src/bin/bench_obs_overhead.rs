@@ -1,0 +1,12 @@
+//! Asserts the cb-obs instrumentation overhead budget and emits
+//! `target/experiments/BENCH_obs.json` (see DESIGN.md §10).
+//!
+//! ```text
+//! bench_obs_overhead [--smoke]
+//! ```
+use cb_bench::experiments::obs_overhead::{run_opts, ObsOpts};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    run_opts(ObsOpts { smoke });
+}

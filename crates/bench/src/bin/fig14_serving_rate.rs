@@ -14,6 +14,9 @@
 //!   the same workload with and without a deterministic mid-run worker
 //!   kill, emitting goodput and p99 TTFT for both into
 //!   `BENCH_chaos.json`.
+//! - `--trace-out PATH` — export the run's span timeline as
+//!   `chrome://tracing` JSON (a chaos run shows each mid-stream retry as
+//!   a `retry#k` child span under its request).
 
 use cb_bench::experiments::fig14::{run_opts, BackendArm, Fig14Opts};
 
@@ -55,10 +58,21 @@ fn main() {
         eprintln!("--chaos requires --backend net-cluster");
         std::process::exit(2);
     }
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("--trace-out requires a path");
+                std::process::exit(2);
+            }
+        },
+    };
     run_opts(Fig14Opts {
         smoke,
         backend,
         replicas,
         chaos,
+        trace_out,
     });
 }

@@ -79,7 +79,7 @@ pub enum BackendArm {
 }
 
 /// Experiment options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Fig14Opts {
     /// Shrink the grids so the experiment finishes in seconds (CI smoke).
     pub smoke: bool,
@@ -92,6 +92,11 @@ pub struct Fig14Opts {
     /// undisturbed baseline; emits `BENCH_chaos.json`). Only meaningful
     /// with [`BackendArm::NetCluster`].
     pub chaos: bool,
+    /// Export the spans the run recorded as `chrome://tracing` JSON to
+    /// this path (the tracer ring is cleared first, so the file holds
+    /// exactly this run; a chaos run shows each mid-stream retry as a
+    /// `retry#k` child span under its request).
+    pub trace_out: Option<String>,
 }
 
 impl Default for Fig14Opts {
@@ -101,6 +106,7 @@ impl Default for Fig14Opts {
             backend: BackendArm::Analytic,
             replicas: 2,
             chaos: false,
+            trace_out: None,
         }
     }
 }
@@ -112,6 +118,10 @@ pub fn run() {
 
 /// Runs the experiment with explicit options.
 pub fn run_opts(opts: Fig14Opts) {
+    if opts.trace_out.is_some() {
+        // The export below should hold exactly this run's spans.
+        cb_obs::trace::Tracer::global().clear();
+    }
     let mut rows = Vec::new();
     if matches!(opts.backend, BackendArm::Analytic | BackendArm::Both) {
         analytic_arm(opts.smoke, &mut rows);
@@ -130,6 +140,18 @@ pub fn run_opts(opts: Fig14Opts) {
         if opts.chaos {
             chaos_arm(opts.smoke);
         }
+    }
+    if let Some(path) = &opts.trace_out {
+        let spans = cb_obs::trace::Tracer::global().drain();
+        let json = cb_obs::trace::chrome_trace_json(&spans);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("fig14: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "fig14: wrote {} spans to {path} (load in chrome://tracing or ui.perfetto.dev)",
+            spans.len()
+        );
     }
 }
 

@@ -14,12 +14,14 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod kernels;
+pub mod obs_overhead;
 pub mod storage;
 pub mod tab_delay;
 
 /// Runs every experiment in figure order.
 pub fn run_all() {
     kernels::run();
+    obs_overhead::run();
     storage::run();
     tab_delay::run();
     fig02::run();

@@ -323,6 +323,13 @@ pub struct Request {
     /// Missing it does not fail the request — the scheduler counts the
     /// miss in its [`ServiceStats`](crate::scheduler::ServiceStats).
     pub deadline: Option<Duration>,
+    /// Observability trace id (0 = untraced). Carried across worker hops
+    /// in `Submit` frames; the scheduler binds it to the serving thread
+    /// so engine phase spans land on this request's timeline.
+    pub trace: u64,
+    /// Parent span id for spans recorded while serving this request
+    /// (e.g. the gateway's `serve` span); 0 roots them at the trace.
+    pub trace_parent: u64,
 }
 
 impl Request {
@@ -336,6 +343,8 @@ impl Request {
             ratio: None,
             priority: Priority::Normal,
             deadline: None,
+            trace: 0,
+            trace_parent: 0,
         }
     }
 
@@ -360,6 +369,15 @@ impl Request {
     /// Sets a TTFT deadline (queue entry → first token).
     pub fn deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Attaches an observability trace: phase spans recorded while this
+    /// request is served carry `trace` and nest under `parent` (0 for a
+    /// trace root).
+    pub fn trace(mut self, trace: u64, parent: u64) -> Self {
+        self.trace = trace;
+        self.trace_parent = parent;
         self
     }
 }
@@ -928,6 +946,7 @@ impl EngineCore {
         let mut hit_rows = 0usize;
         let mut miss_rows = 0usize;
         let mut precompute = Duration::ZERO;
+        let fetch_span = cb_obs::trace::Span::begin("prefill.fetch");
         for &id in &request.chunk_ids {
             let chunk_len = self
                 .registry
@@ -962,6 +981,7 @@ impl EngineCore {
                 }
             }
         }
+        fetch_span.end();
         let ctx_rows = hit_rows + miss_rows;
 
         // The serving tier is the slowest tier any hit came from; its
@@ -992,7 +1012,9 @@ impl EngineCore {
             None
         };
 
+        let blend_span = cb_obs::trace::Span::begin("prefill.blend");
         let out = blend_prefetched(&self.model, cfg, parts, &request.query, throttle)?;
+        blend_span.end();
 
         // Prefill is complete — the next computed row is the first answer
         // token. The breakdown emitted here is the TTFT measurement;
@@ -1021,6 +1043,7 @@ impl EngineCore {
         emit(Event::FirstToken(ttft));
 
         let t_dec = Instant::now();
+        let decode_span = cb_obs::trace::Span::begin("decode");
         let mut blend = out.result;
         let answer = self.model.decode_greedy_with(
             &mut blend.cache,
@@ -1028,6 +1051,7 @@ impl EngineCore {
             request.max_new_tokens,
             &mut |t| emit(Event::Token(t)),
         );
+        decode_span.end();
         ttft.decode = t_dec.elapsed();
         ttft.total = t0.elapsed();
         Ok(Response {

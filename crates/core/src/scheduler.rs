@@ -25,14 +25,61 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use cb_obs::metrics::{Counter, Histogram, Registry};
+use cb_obs::trace::{Span, TraceContext};
 use crossbeam::channel::{self, Sender};
 
 use crate::engine::{Engine, EngineError, Priority, Request, Response};
 use crate::stream::{Event, ResponseStream};
+
+/// Cached handles into the process-global metrics registry. Every
+/// [`EngineService`] in the process bumps the same series — the registry
+/// view is the process total, while [`ServiceStats`] stays the
+/// authoritative *per-service* count (cluster tests and routers read
+/// those; one scrape reads these).
+struct SchedObs {
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    canceled: Arc<Counter>,
+    deadline_misses: Arc<Counter>,
+    tokens: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    ttft: Arc<Histogram>,
+    ttft_load_wait: Arc<Histogram>,
+    ttft_recompute: Arc<Histogram>,
+    ttft_precompute: Arc<Histogram>,
+    decode_token: Arc<Histogram>,
+    request: Arc<Histogram>,
+}
+
+fn sched_obs() -> &'static SchedObs {
+    static OBS: OnceLock<SchedObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        SchedObs {
+            submitted: r.counter("cb_requests_submitted_total"),
+            rejected: r.counter("cb_requests_rejected_total"),
+            completed: r.counter("cb_requests_completed_total"),
+            failed: r.counter("cb_requests_failed_total"),
+            canceled: r.counter("cb_requests_canceled_total"),
+            deadline_misses: r.counter("cb_deadline_misses_total"),
+            tokens: r.counter("cb_tokens_total"),
+            queue_wait: r.histogram("cb_queue_wait_seconds"),
+            ttft: r.histogram("cb_ttft_seconds"),
+            ttft_load_wait: r.histogram("cb_ttft_load_wait_seconds"),
+            ttft_recompute: r.histogram("cb_ttft_recompute_seconds"),
+            ttft_precompute: r.histogram("cb_ttft_precompute_seconds"),
+            decode_token: r.histogram("cb_decode_token_seconds"),
+            request: r.histogram("cb_request_seconds"),
+        }
+    })
+}
 
 /// Configuration of an [`EngineService`].
 #[derive(Clone, Copy, Debug)]
@@ -351,6 +398,7 @@ impl EngineService {
         let mut st = self.shared.state.lock().unwrap();
         if st.queue.is_full() || st.shutdown {
             self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            sched_obs().rejected.inc();
             return Err(TrySubmitError::QueueFull(request));
         }
         let _ = tx.send(Event::Queued);
@@ -372,6 +420,7 @@ impl EngineService {
             .unwrap_or_else(|_| unreachable!("capacity checked under the same lock"));
         let stats = &self.shared.stats;
         stats.submitted.fetch_add(1, Ordering::Relaxed);
+        sched_obs().submitted.inc();
         stats
             .peak_queue_depth
             .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
@@ -437,22 +486,58 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-
+        let obs = sched_obs();
+        let queue_wait = job.enqueued.elapsed();
+        obs.queue_wait.record_duration(queue_wait);
+        // Bind this request's trace to the worker thread so the queue
+        // span, the serve span, and the engine's phase spans all land on
+        // one timeline (the guard unbinds when the request retires).
+        let _trace = TraceContext::enter(job.request.trace, job.request.trace_parent);
+        if job.request.trace != 0 {
+            let end = cb_obs::now_nanos();
+            cb_obs::trace::record_span(
+                job.request.trace,
+                job.request.trace_parent,
+                "queue",
+                end.saturating_sub(queue_wait.as_nanos() as u64),
+                end,
+            );
+        }
         // If the client already dropped the stream, skip the blend — no
         // one is listening, and the lane is better spent on live requests.
         if job.tx.send(Event::Admitted).is_err() {
             shared.stats.canceled.fetch_add(1, Ordering::Relaxed);
+            obs.canceled.inc();
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
             continue;
         }
+        let serve_span = Span::begin("serve");
+        let served_at = Instant::now();
         let mut first_token_at = None;
+        let mut last_token_at: Option<Instant> = None;
         // A panic anywhere in the blend/decode path must not kill the
         // worker — that would silently shrink the pool and leave queued
         // streams hanging. Contain it and fail only this request.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.submit_streaming(&job.request, &mut |event| {
-                if first_token_at.is_none() && matches!(event, Event::FirstToken(_)) {
-                    first_token_at = Some(Instant::now());
+                match &event {
+                    Event::FirstToken(ttft) if first_token_at.is_none() => {
+                        let now = Instant::now();
+                        first_token_at = Some(now);
+                        last_token_at = Some(now);
+                        obs.ttft.record_duration(now.duration_since(job.enqueued));
+                        obs.ttft_load_wait.record_duration(ttft.load_wait);
+                        obs.ttft_recompute.record_duration(ttft.recompute);
+                        obs.ttft_precompute.record_duration(ttft.precompute);
+                    }
+                    Event::Token(_) => {
+                        let now = Instant::now();
+                        if let Some(prev) = last_token_at.replace(now) {
+                            obs.decode_token.record_duration(now.duration_since(prev));
+                        }
+                        obs.tokens.inc();
+                    }
+                    _ => {}
                 }
                 let _ = job.tx.send(event);
             })
@@ -461,18 +546,23 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
         if let (Some(deadline), Some(at)) = (job.request.deadline, first_token_at) {
             if at.duration_since(job.enqueued) > deadline {
                 shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                obs.deadline_misses.inc();
             }
         }
+        obs.request.record_duration(served_at.elapsed());
+        serve_span.end();
         // Decremented before the terminal event goes out: a client that
         // observed Done/Failed must never still see the request in flight.
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         match result {
             Ok(resp) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                obs.completed.inc();
                 let _ = job.tx.send(Event::Done(resp));
             }
             Err(err) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                obs.failed.inc();
                 let _ = job.tx.send(Event::Failed(err));
             }
         }

@@ -145,6 +145,9 @@ struct Inner {
     clock: u64,
     stats: StoreStats,
     peak_bytes: u64,
+    /// Counters already pushed to the metrics registry (see
+    /// [`KvStore::publish_metrics`]); the next publish pushes the delta.
+    published: StoreStats,
 }
 
 /// Errors returned by store operations.
@@ -240,6 +243,7 @@ impl KvStore {
             clock: 0,
             stats: StoreStats::default(),
             peak_bytes: 0,
+            published: StoreStats::default(),
         };
         // Recovery: re-index whatever the backends already hold.
         for t in 0..inner.tiers.len() {
@@ -762,6 +766,88 @@ impl KvStore {
             }
         }
         stats
+    }
+
+    /// Publishes this store's counters into the process-global metrics
+    /// registry as `cb_store_*_total` series, pushing only the *delta*
+    /// since the last publish — so repeated scrapes are idempotent and
+    /// several stores in one process (cluster replicas) sum correctly
+    /// into the shared series. Called by the control-plane worker on
+    /// every metrics scrape; safe to call from anywhere.
+    pub fn publish_metrics(&self) {
+        let current = self.stats();
+        let prev = {
+            let mut inner = self.inner.lock();
+            std::mem::replace(&mut inner.published, current)
+        };
+        let r = cb_obs::metrics::Registry::global();
+        let d = |now: u64, then: u64| now.saturating_sub(then);
+        for (name, now, then) in [
+            ("cb_store_hits_total", current.hits, prev.hits),
+            ("cb_store_misses_total", current.misses, prev.misses),
+            (
+                "cb_store_evictions_total",
+                current.evictions,
+                prev.evictions,
+            ),
+            ("cb_store_inserts_total", current.inserts, prev.inserts),
+            ("cb_store_spills_total", current.spills, prev.spills),
+            (
+                "cb_store_promotions_total",
+                current.promotions,
+                prev.promotions,
+            ),
+            (
+                "cb_store_corrupt_evictions_total",
+                current.corrupt_evictions,
+                prev.corrupt_evictions,
+            ),
+            (
+                "cb_store_discovered_total",
+                current.discovered,
+                prev.discovered,
+            ),
+            (
+                "cb_store_loaded_bytes_total",
+                current.loaded_bytes,
+                prev.loaded_bytes,
+            ),
+            (
+                "cb_store_spilled_bytes_total",
+                current.spilled_bytes,
+                prev.spilled_bytes,
+            ),
+            (
+                "cb_store_quantizations_total",
+                current.quantizations,
+                prev.quantizations,
+            ),
+            (
+                "cb_store_dequantizations_total",
+                current.dequantizations,
+                prev.dequantizations,
+            ),
+            (
+                "cb_store_quantize_saved_bytes_total",
+                current.quantize_saved_bytes,
+                prev.quantize_saved_bytes,
+            ),
+            (
+                "cb_store_compactions_total",
+                current.compactions,
+                prev.compactions,
+            ),
+            (
+                "cb_store_compaction_reclaimed_bytes_total",
+                current.compaction_reclaimed_bytes,
+                prev.compaction_reclaimed_bytes,
+            ),
+        ] {
+            let delta = d(now, then);
+            if delta > 0 {
+                r.counter(name).add(delta);
+            }
+        }
     }
 
     /// Test hook: overwrite an entry's bytes in place (corruption

@@ -30,6 +30,7 @@ use cb_net::client::NetClient;
 use cb_net::gateway::{Gateway, GatewayConfig};
 use cb_net::standby::Standby;
 use cb_net::tcp::TcpTransport;
+use cb_obs::{cb_error, cb_info, cb_warn};
 use cb_tokenizer::{TokenId, TokenKind, Vocab};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -51,10 +52,10 @@ fn serve(gateway: &Arc<Gateway>, listener: TcpListener) {
             let Ok(stream) = stream else { continue };
             match TcpTransport::from_stream(stream) {
                 Ok(t) => match gateway.accept(Arc::new(t)) {
-                    Ok(accepted) => eprintln!("cb_gateway: accepted {accepted:?}"),
-                    Err(e) => eprintln!("cb_gateway: rejected connection: {e}"),
+                    Ok(accepted) => cb_info!("gateway", "accepted {accepted:?}"),
+                    Err(e) => cb_warn!("gateway", "rejected connection: {e}"),
                 },
-                Err(e) => eprintln!("cb_gateway: connection setup failed: {e}"),
+                Err(e) => cb_warn!("gateway", "connection setup failed: {e}"),
             }
         }
     });
@@ -64,8 +65,9 @@ fn wait_for_workers(gateway: &Gateway, expect: usize) {
     let deadline = Instant::now() + Duration::from_secs(60);
     while gateway.n_workers() < expect {
         if Instant::now() > deadline {
-            eprintln!(
-                "cb_gateway: only {}/{} workers attached within 60s",
+            cb_error!(
+                "gateway",
+                "only {}/{} workers attached within 60s",
                 gateway.n_workers(),
                 expect
             );
@@ -73,7 +75,7 @@ fn wait_for_workers(gateway: &Gateway, expect: usize) {
         }
         std::thread::sleep(Duration::from_millis(50));
     }
-    eprintln!("cb_gateway: {} workers attached", gateway.n_workers());
+    cb_info!("gateway", "{} workers attached", gateway.n_workers());
 }
 
 fn eval_chunk_and_query(v: &Vocab) -> (Vec<TokenId>, Vec<TokenId>) {
@@ -124,7 +126,7 @@ fn chaos_smoke(gateway: &Gateway, client: &NetClient) {
                     completed += 1;
                 }
                 Err(e) => {
-                    eprintln!("cb_gateway chaos: request failed: {e}");
+                    cb_warn!("gateway", "chaos: request failed: {e}");
                     failed += 1;
                 }
             }
@@ -137,11 +139,14 @@ fn chaos_smoke(gateway: &Gateway, client: &NetClient) {
         stats.retries, stats.failovers
     );
     if failed > 0 {
-        eprintln!("cb_gateway chaos: {failed} requests failed");
+        cb_error!("gateway", "chaos: {failed} requests failed");
         std::process::exit(1);
     }
     if stats.retries == 0 {
-        eprintln!("cb_gateway chaos: no mid-stream retry happened — was a worker actually killed?");
+        cb_error!(
+            "gateway",
+            "chaos: no mid-stream retry happened — was a worker actually killed?"
+        );
         std::process::exit(1);
     }
     println!(
@@ -173,25 +178,26 @@ fn main() {
         }
     }
     if chaos && !smoke {
-        eprintln!("cb_gateway: --chaos requires --smoke");
+        cb_error!("gateway", "--chaos requires --smoke");
         usage();
     }
 
     let gateway = if let Some(primary) = standby_of {
         // Standby role: mirror until the primary dies, then take over.
         let conn = TcpTransport::connect(&primary).unwrap_or_else(|e| {
-            eprintln!("cb_gateway: cannot reach primary {primary}: {e}");
+            cb_error!("gateway", "cannot reach primary {primary}: {e}");
             std::process::exit(1);
         });
         let standby =
             Standby::connect(Arc::new(conn), GatewayConfig::default()).unwrap_or_else(|e| {
-                eprintln!("cb_gateway: standby handshake with {primary} failed: {e}");
+                cb_error!("gateway", "standby handshake with {primary} failed: {e}");
                 std::process::exit(1);
             });
-        eprintln!("cb_gateway: standing by for {primary}");
+        cb_info!("gateway", "standing by for {primary}");
         let gateway = Arc::new(standby.wait_takeover());
-        eprintln!(
-            "cb_gateway: primary {primary} died; taking over with {} roster slots",
+        cb_info!(
+            "gateway",
+            "primary {primary} died; taking over with {} roster slots",
             gateway.n_workers()
         );
         gateway
@@ -200,11 +206,11 @@ fn main() {
     };
 
     let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
-        eprintln!("cb_gateway: cannot bind {listen}: {e}");
+        cb_error!("gateway", "cannot bind {listen}: {e}");
         std::process::exit(1);
     });
     let addr = listener.local_addr().expect("bound address");
-    eprintln!("cb_gateway: listening on {addr}");
+    cb_info!("gateway", "listening on {addr}");
     serve(&gateway, listener);
     wait_for_workers(&gateway, expect);
 
@@ -230,20 +236,56 @@ fn main() {
     let id = client
         .register_chunk(&chunk, true)
         .expect("chunk registers cluster-wide");
-    let resp = client
-        .submit(&Request::new(vec![id], query).ratio(0.45).max_new_tokens(4))
-        .expect("smoke request completes");
-    assert!(!resp.answer.is_empty(), "smoke request produced no tokens");
+    let smoke_requests = 3u64;
+    let mut answer_tokens = 0;
+    let mut last_ttft = Duration::ZERO;
+    for _ in 0..smoke_requests {
+        let resp = client
+            .submit(
+                &Request::new(vec![id], query.clone())
+                    .ratio(0.45)
+                    .max_new_tokens(4),
+            )
+            .expect("smoke request completes");
+        assert!(!resp.answer.is_empty(), "smoke request produced no tokens");
+        answer_tokens = resp.answer.len();
+        last_ttft = resp.ttft.total;
+    }
     let (healthy, _) = client.cluster_status().expect("status RPC");
     assert!(
         healthy.iter().all(|&h| h),
         "all workers healthy after smoke"
     );
+    // Mid-run scrape: the aggregated registry must see every request this
+    // smoke completed, with a coherent TTFT distribution.
+    let snap = client.scrape().expect("metrics scrape RPC");
+    let completed = snap.counter("cb_requests_completed_total").unwrap_or(0);
+    let submitted = snap.counter("cb_requests_submitted_total").unwrap_or(0);
+    assert!(
+        completed >= smoke_requests,
+        "scrape saw {completed} completed requests, expected >= {smoke_requests}"
+    );
+    assert_eq!(
+        submitted, completed,
+        "every submitted request must have completed"
+    );
+    let ttft = snap
+        .hist("cb_ttft_seconds")
+        .expect("ttft histogram present in scrape");
+    assert!(ttft.count >= smoke_requests, "ttft histogram undercounts");
+    let (p50, p99) = (ttft.quantile_seconds(0.50), ttft.quantile_seconds(0.99));
+    assert!(
+        p99 >= p50 && p50 > 0.0,
+        "ttft percentiles incoherent: p50={p50} p99={p99}"
+    );
     println!(
-        "cb_gateway smoke OK: {} workers, {} answer tokens, ttft {:?}",
+        "cb_gateway smoke OK: {} workers, {} answer tokens, ttft {:?}, \
+         scrape: {completed} completed, ttft p50 {:.3}ms p99 {:.3}ms",
         healthy.len(),
-        resp.answer.len(),
-        resp.ttft.total
+        answer_tokens,
+        last_ttft,
+        p50 * 1e3,
+        p99 * 1e3,
     );
     drop(client);
     // Process exit closes every worker connection; workers observe the

@@ -27,6 +27,7 @@ use cb_model::ModelProfile;
 use cb_net::retry::RetryPolicy;
 use cb_net::tcp::TcpTransport;
 use cb_net::worker::{Worker, WorkerConfig};
+use cb_obs::{cb_error, cb_info};
 use std::sync::Arc;
 
 fn usage() -> ! {
@@ -102,7 +103,10 @@ fn main() {
             Ok(c) => c,
             Err(e) => {
                 if identity.is_none() || !retry_attach {
-                    eprintln!("cb_worker: no gateway reachable among {endpoints:?} (last error: {e}); giving up");
+                    cb_error!(
+                        "worker",
+                        "no gateway reachable among {endpoints:?} (last error: {e}); giving up"
+                    );
                     std::process::exit(1);
                 }
                 continue; // dial() already paced the attempts.
@@ -117,7 +121,7 @@ fn main() {
             Ok(w) => w,
             Err(e) => {
                 if !retry_attach {
-                    eprintln!("cb_worker: gateway handshake failed: {e}");
+                    cb_error!("worker", "gateway handshake failed: {e}");
                     std::process::exit(1);
                 }
                 continue;
@@ -125,15 +129,16 @@ fn main() {
         };
         let (id, incarnation) = worker.identity();
         identity = Some((id, incarnation));
-        eprintln!(
-            "cb_worker: serving {endpoints:?} as {id:#018x} incarnation {incarnation} \
+        cb_info!(
+            "worker",
+            "serving {endpoints:?} as {id:#018x} incarnation {incarnation} \
              (scheduler workers: {workers}, seed: {seed})"
         );
         worker.run_until_disconnected();
         if !retry_attach {
-            eprintln!("cb_worker: gateway session ended, exiting");
+            cb_info!("worker", "gateway session ended, exiting");
             return;
         }
-        eprintln!("cb_worker: gateway session ended, re-attaching");
+        cb_info!("worker", "gateway session ended, re-attaching");
     }
 }

@@ -25,6 +25,7 @@ use cb_core::engine::{EngineError, ErrorCode, Request, Response};
 use cb_core::scheduler::ServiceProbe;
 use cb_core::stream::{Event, ReplayFilter, ResponseStream};
 use cb_kv::ChunkId;
+use cb_obs::metrics::MetricsSnapshot;
 use cb_tokenizer::TokenId;
 use crossbeam::channel::{self, Sender};
 use std::collections::HashMap;
@@ -39,6 +40,9 @@ struct Session {
     request: WireRequest,
     tx: Sender<Event>,
     filter: ReplayFilter,
+    /// Trace context re-sent with the submission on every resume.
+    trace: u64,
+    span: u64,
 }
 
 struct ClientInner {
@@ -65,11 +69,16 @@ impl ClientInner {
                 return;
             }
             match self.conn().recv_timeout(Duration::from_millis(50)) {
-                Ok(Message::Ev { id, event }) => self.handle_event(id, event.into_event()),
-                Ok(msg @ (Message::RegisterReply { .. } | Message::ClusterStatusReply { .. })) => {
+                Ok(Message::Ev { id, event, .. }) => self.handle_event(id, event.into_event()),
+                Ok(
+                    msg @ (Message::RegisterReply { .. }
+                    | Message::ClusterStatusReply { .. }
+                    | Message::MetricsReply { .. }),
+                ) => {
                     let rpc = match &msg {
                         Message::RegisterReply { rpc, .. }
-                        | Message::ClusterStatusReply { rpc, .. } => *rpc,
+                        | Message::ClusterStatusReply { rpc, .. }
+                        | Message::MetricsReply { rpc, .. } => *rpc,
                         _ => unreachable!(),
                     };
                     if let Some(tx) = self.rpcs.lock().unwrap().remove(&rpc) {
@@ -154,6 +163,8 @@ impl ClientInner {
                         s.filter.rewind();
                         let msg = Message::Submit {
                             id,
+                            trace: s.trace,
+                            span: s.span,
                             blocking: false,
                             request: s.request.clone(),
                         };
@@ -298,10 +309,14 @@ impl NetClient {
                 request: wire.clone(),
                 tx: tx.clone(),
                 filter: ReplayFilter::new(),
+                trace: request.trace,
+                span: request.trace_parent,
             },
         );
         let msg = Message::Submit {
             id,
+            trace: request.trace,
+            span: request.trace_parent,
             blocking: false,
             request: wire,
         };
@@ -363,6 +378,24 @@ impl NetClient {
     /// gateway connection.
     pub fn reconnects(&self) -> u64 {
         self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Cluster-aggregated metrics: the gateway publishes its own
+    /// counters, fans the scrape out to every connected worker, and
+    /// merges the registries (instance-deduplicated). One call sees
+    /// request/TTFT histograms, store tier counters, gateway
+    /// retry/failover counters, and per-worker load gauges.
+    pub fn scrape(&self) -> Result<MetricsSnapshot, NetError> {
+        match self.inner.rpc("Metrics", |rpc| Message::Metrics { rpc })? {
+            Message::MetricsReply { snapshot, .. } => MetricsSnapshot::decode(&snapshot)
+                .map_err(|e| NetError::Io(format!("undecodable metrics snapshot: {e}"))),
+            other => Err(NetError::Io(format!("unexpected metrics reply {other:?}"))),
+        }
+    }
+
+    /// [`NetClient::scrape`] rendered as Prometheus text exposition.
+    pub fn scrape_text(&self) -> Result<String, NetError> {
+        Ok(self.scrape()?.to_prometheus())
     }
 }
 

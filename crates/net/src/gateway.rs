@@ -72,6 +72,9 @@ use cb_core::scheduler::{ServiceProbe, ServiceStats};
 use cb_core::stream::{Event, ReplayFilter, ResponseStream};
 use cb_kv::chunk::hash_tokens;
 use cb_kv::ChunkId;
+use cb_obs::metrics::{MetricsSnapshot, Registry};
+use cb_obs::trace::{alloc_span_id, record_span_with_id};
+use cb_obs::{cb_debug, cb_warn};
 use cb_tokenizer::TokenId;
 use crossbeam::channel::{self, Sender};
 use std::collections::HashMap;
@@ -228,6 +231,7 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 }
 
 const REPLICA_SALT: u64 = 0xA24B_AED4_963E_E407;
+const TRACE_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
 
 #[derive(Debug)]
 struct SlotState {
@@ -287,6 +291,60 @@ struct Pending {
     /// Mid-stream retries consumed (bounded by
     /// [`RetryPolicy::max_retries`]).
     retries: u32,
+    /// Observability: the request's nonzero trace id (client-supplied, or
+    /// derived from the journal id), the still-open root `request` span
+    /// covering place → terminal, and the currently open serve-attempt
+    /// span (`serve#k` / `retry#k`) the serving worker parents under.
+    trace: u64,
+    root_span: u64,
+    root_parent: u64,
+    root_start_ns: u64,
+    attempt_span: u64,
+    attempt_name: String,
+    attempt_start_ns: u64,
+}
+
+impl Pending {
+    /// Closes the open serve-attempt span and opens the next one (a
+    /// respill or retry re-placement), returning the new span id to put
+    /// in the `Submit` frame. Each attempt is a sibling child of the
+    /// root `request` span — a retry is a new interval, never a rewind.
+    fn next_attempt(&mut self, name: String) -> u64 {
+        let now = cb_obs::now_nanos();
+        record_span_with_id(
+            self.trace,
+            self.attempt_span,
+            self.root_span,
+            std::mem::replace(&mut self.attempt_name, name),
+            self.attempt_start_ns,
+            now,
+        );
+        self.attempt_span = alloc_span_id();
+        self.attempt_start_ns = now;
+        self.attempt_span
+    }
+
+    /// Closes both open spans — called exactly once, when the journal
+    /// entry retires (terminal event forwarded, or a structured failure).
+    fn close_trace(&self) {
+        let now = cb_obs::now_nanos();
+        record_span_with_id(
+            self.trace,
+            self.attempt_span,
+            self.root_span,
+            self.attempt_name.clone(),
+            self.attempt_start_ns,
+            now,
+        );
+        record_span_with_id(
+            self.trace,
+            self.root_span,
+            self.root_parent,
+            "request",
+            self.root_start_ns,
+            now,
+        );
+    }
 }
 
 /// What [`Gateway::accept`] found on a new connection.
@@ -314,6 +372,10 @@ struct GwInner {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     stats: AtomicClusterStats,
+    /// Counter values already pushed into the global metrics registry —
+    /// the next [`GwInner::publish_metrics`] pushes only the delta, so
+    /// repeated scrapes are idempotent.
+    published: Mutex<ClusterStats>,
 }
 
 impl GwInner {
@@ -434,6 +496,152 @@ impl GwInner {
             .fetch_add(local as u64, Ordering::Relaxed);
     }
 
+    fn stats_snapshot(&self) -> ClusterStats {
+        let s = &self.stats;
+        ClusterStats {
+            admissions: self
+                .slots()
+                .iter()
+                .map(|w| w.admissions.load(Ordering::Relaxed))
+                .collect(),
+            spills: s.spills.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            reroutes: s.reroutes.load(Ordering::Relaxed),
+            local_requests: s.local_requests.load(Ordering::Relaxed),
+            total_requests: s.total_requests.load(Ordering::Relaxed),
+            chunk_lookups: s.chunk_lookups.load(Ordering::Relaxed),
+            chunk_local: s.chunk_local.load(Ordering::Relaxed),
+            rejections: s.rejections.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            adoptions: s.adoptions.load(Ordering::Relaxed),
+            takeovers: s.takeovers.load(Ordering::Relaxed),
+        }
+    }
+
+    // --- metrics ----------------------------------------------------------
+
+    /// Flushes the cluster counters into the process-global registry as
+    /// `cb_gateway_*_total` series, publishing only the delta since the
+    /// last flush (so repeated scrapes never double-count), and stamps
+    /// each worker slot's gateway-side health view into labeled gauges.
+    fn publish_metrics(&self) {
+        let current = self.stats_snapshot();
+        let prev = {
+            let mut published = self.published.lock().unwrap();
+            std::mem::replace(&mut *published, current.clone())
+        };
+        let reg = Registry::global();
+        for (name, now, then) in [
+            ("cb_gateway_spills_total", current.spills, prev.spills),
+            (
+                "cb_gateway_failovers_total",
+                current.failovers,
+                prev.failovers,
+            ),
+            ("cb_gateway_reroutes_total", current.reroutes, prev.reroutes),
+            (
+                "cb_gateway_local_requests_total",
+                current.local_requests,
+                prev.local_requests,
+            ),
+            (
+                "cb_gateway_requests_total",
+                current.total_requests,
+                prev.total_requests,
+            ),
+            (
+                "cb_gateway_chunk_lookups_total",
+                current.chunk_lookups,
+                prev.chunk_lookups,
+            ),
+            (
+                "cb_gateway_chunk_local_total",
+                current.chunk_local,
+                prev.chunk_local,
+            ),
+            (
+                "cb_gateway_rejections_total",
+                current.rejections,
+                prev.rejections,
+            ),
+            ("cb_gateway_retries_total", current.retries, prev.retries),
+            (
+                "cb_gateway_adoptions_total",
+                current.adoptions,
+                prev.adoptions,
+            ),
+            (
+                "cb_gateway_takeovers_total",
+                current.takeovers,
+                prev.takeovers,
+            ),
+        ] {
+            let delta = now.saturating_sub(then);
+            if delta > 0 {
+                reg.counter(name).add(delta);
+            }
+        }
+        for slot in self.slots() {
+            let healthy = self.refresh_slot(&slot);
+            let (queue_depth, inflight) = {
+                let st = slot.state.lock().unwrap();
+                (st.probe.queue_depth, st.probe.inflight)
+            };
+            let idx = slot.index;
+            reg.gauge(&format!("cb_gateway_worker_healthy{{worker=\"{idx}\"}}"))
+                .set(healthy as u64 as f64);
+            reg.gauge(&format!(
+                "cb_gateway_worker_queue_depth{{worker=\"{idx}\"}}"
+            ))
+            .set(queue_depth as f64);
+            reg.gauge(&format!("cb_gateway_worker_inflight{{worker=\"{idx}\"}}"))
+                .set(inflight as f64);
+        }
+    }
+
+    /// Cluster-wide scrape: flushes gateway counters, fans a `Metrics`
+    /// RPC to every connected worker, and merges the replies with this
+    /// process's own registry. The merge is instance-deduplicated, so a
+    /// loopback cluster (gateway and workers sharing one process-global
+    /// registry) is counted once while TCP workers sum correctly.
+    fn scrape(&self) -> MetricsSnapshot {
+        self.publish_metrics();
+        let mut waits = Vec::new();
+        for slot in self.slots() {
+            let rpc = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = channel::unbounded();
+            self.rpcs.lock().unwrap().insert(rpc, tx);
+            if slot.send(&Message::Metrics { rpc }).is_err() {
+                // Disconnected worker: scrape whoever remains.
+                self.rpcs.lock().unwrap().remove(&rpc);
+                continue;
+            }
+            waits.push((rpc, rx));
+        }
+        let mut replies = Vec::with_capacity(waits.len());
+        for (rpc, rx) in waits {
+            match rx.recv_timeout(self.cfg.retry.rpc_timeout) {
+                Ok(Message::MetricsReply { snapshot, .. }) => {
+                    match MetricsSnapshot::decode(&snapshot) {
+                        Ok(snap) => replies.push(snap),
+                        Err(e) => cb_warn!("gateway", "undecodable metrics reply: {e}"),
+                    }
+                }
+                _ => {
+                    self.rpcs.lock().unwrap().remove(&rpc);
+                }
+            }
+        }
+        // Snapshot our own registry only after every worker replied: a
+        // loopback worker shares it, and its reply is dedup-skipped — its
+        // scrape-time flushes must already be visible here.
+        let mut merged = Registry::global().snapshot();
+        for snap in replies {
+            merged.merge(&snap);
+        }
+        merged
+    }
+
     // --- demux ------------------------------------------------------------
 
     /// Serves one worker connection of one incarnation. A re-attach bumps
@@ -494,9 +702,10 @@ impl GwInner {
                 }
                 self.respill(id, Some(slot.index));
             }
-            Message::Ev { id, event } => self.handle_event(slot, id, event.into_event()),
+            Message::Ev { id, event, .. } => self.handle_event(slot, id, event.into_event()),
             Message::RegisterReply { rpc, .. }
             | Message::StatusReply { rpc, .. }
+            | Message::MetricsReply { rpc, .. }
             | Message::DrainReply { rpc } => {
                 if let Some(tx) = self.rpcs.lock().unwrap().remove(&rpc) {
                     let _ = tx.send(msg);
@@ -541,7 +750,9 @@ impl GwInner {
                     code: ErrorCode::Corrupt,
                     message: format!("mid-stream retry replay diverged: {m}"),
                 }));
-                pending.remove(&id);
+                if let Some(p) = pending.remove(&id) {
+                    p.close_trace();
+                }
                 drop(pending);
                 self.mirror(&Message::ReplicateRetire { id });
                 debug_assert!(false, "mid-stream retry replay diverged: {m}");
@@ -558,7 +769,9 @@ impl GwInner {
         };
         let _ = p.tx.send(ev); // Receiver may be gone; fine.
         if terminal {
-            pending.remove(&id);
+            if let Some(p) = pending.remove(&id) {
+                p.close_trace();
+            }
         }
         drop(pending);
         if terminal {
@@ -624,12 +837,16 @@ impl GwInner {
                 return; // Resolved while the backoff elapsed.
             };
             p.worker = target;
+            let span = p.next_attempt(format!("retry#{}", p.retries));
             (
                 WireRequest::from_request(&p.request),
                 p.filter.tokens_delivered() as u32,
+                p.trace,
+                span,
             )
         };
-        let (request, delivered_tokens) = wire;
+        let (request, delivered_tokens, trace, span) = wire;
+        cb_debug!("gateway", "retry {id} -> worker {target} trace={trace:#x}");
         self.mirror(&Message::ReplicatePending {
             id,
             request: request.clone(),
@@ -637,6 +854,8 @@ impl GwInner {
         });
         let sent = self.slots()[target].send(&Message::Submit {
             id,
+            trace,
+            span,
             blocking: true,
             request,
         });
@@ -653,6 +872,8 @@ impl GwInner {
     fn fail_pending(&self, id: u64, why: &str) {
         let removed = self.pending.lock().unwrap().remove(&id);
         if let Some(p) = removed {
+            cb_warn!("gateway", "request {id} failed: {why}");
+            p.close_trace();
             let _ = p.tx.send(Event::Failed(EngineError::Remote {
                 code: ErrorCode::NoHealthyWorker,
                 message: why.into(),
@@ -695,7 +916,13 @@ impl GwInner {
         p.worker = target;
         let request = WireRequest::from_request(&p.request);
         let delivered_tokens = p.filter.tokens_delivered() as u32;
+        let trace = p.trace;
+        let span = p.next_attempt(format!("serve#{}", p.attempts));
         drop(pending);
+        cb_debug!(
+            "gateway",
+            "respill {id} -> worker {target} blocking={blocking}"
+        );
         self.mirror(&Message::ReplicatePending {
             id,
             request: request.clone(),
@@ -703,6 +930,8 @@ impl GwInner {
         });
         let sent = self.slots()[target].send(&Message::Submit {
             id,
+            trace,
+            span,
             blocking,
             request,
         });
@@ -786,6 +1015,17 @@ impl GwInner {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, stream) = ResponseStream::channel();
         let wire = WireRequest::from_request(&request);
+        // Every routed request gets a trace: the client's id when it sent
+        // one, else one derived from the journal id (always nonzero).
+        let trace = if request.trace != 0 {
+            request.trace
+        } else {
+            splitmix64(id ^ TRACE_SALT) | 1
+        };
+        let root_parent = request.trace_parent;
+        let now = cb_obs::now_nanos();
+        let root_span = alloc_span_id();
+        let attempt_span = alloc_span_id();
         self.pending.lock().unwrap().insert(
             id,
             Pending {
@@ -797,8 +1037,16 @@ impl GwInner {
                 counted: false,
                 filter: ReplayFilter::new(),
                 retries: 0,
+                trace,
+                root_span,
+                root_parent,
+                root_start_ns: now,
+                attempt_span,
+                attempt_name: "serve#0".into(),
+                attempt_start_ns: now,
             },
         );
+        cb_debug!("gateway", "place {id} -> worker {worker} trace={trace:#x}");
         self.mirror(&Message::ReplicatePending {
             id,
             request: wire.clone(),
@@ -806,6 +1054,8 @@ impl GwInner {
         });
         let sent = self.slots()[worker].send(&Message::Submit {
             id,
+            trace,
+            span: attempt_span,
             blocking,
             request: wire,
         });
@@ -917,8 +1167,17 @@ impl GwInner {
                 break;
             }
             match conn.recv_timeout(tick) {
-                Ok(Message::Submit { id, request, .. }) => {
-                    match self.submit_stream(request.into_request()) {
+                Ok(Message::Submit {
+                    id,
+                    trace,
+                    span,
+                    request,
+                    ..
+                }) => {
+                    let mut request = request.into_request();
+                    request.trace = trace;
+                    request.trace_parent = span;
+                    match self.submit_stream(request) {
                         Ok(stream) => {
                             let conn = Arc::clone(&conn);
                             relays.push(std::thread::spawn(move || {
@@ -927,6 +1186,7 @@ impl GwInner {
                                     terminal = terminal || ev.is_terminal();
                                     let msg = Message::Ev {
                                         id,
+                                        trace,
                                         event: WireEvent::from_event(&ev),
                                     };
                                     if conn.send(&msg).is_err() {
@@ -937,6 +1197,7 @@ impl GwInner {
                                     let failure = WireFailure::from_error(&EngineError::Canceled);
                                     let _ = conn.send(&Message::Ev {
                                         id,
+                                        trace,
                                         event: WireEvent::Failed(failure),
                                     });
                                 }
@@ -949,10 +1210,18 @@ impl GwInner {
                             };
                             let _ = conn.send(&Message::Ev {
                                 id,
+                                trace,
                                 event: WireEvent::Failed(WireFailure::from_error(&err)),
                             });
                         }
                     }
+                }
+                Ok(Message::Metrics { rpc }) => {
+                    let snapshot = self.scrape();
+                    let _ = conn.send(&Message::MetricsReply {
+                        rpc,
+                        snapshot: snapshot.encode(),
+                    });
                 }
                 Ok(Message::RegisterChunk { rpc, eager, tokens }) => {
                     let result = self
@@ -1028,6 +1297,7 @@ impl Gateway {
                 next_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 stats: AtomicClusterStats::default(),
+                published: Mutex::new(ClusterStats::default()),
             }),
             demux: Mutex::new(Vec::new()),
         }
@@ -1328,27 +1598,27 @@ impl Gateway {
     }
 
     /// Snapshot of the cluster counters.
+    ///
+    /// Most of these are also published cluster-wide as
+    /// `cb_gateway_*_total` registry series (see [`Gateway::scrape`]), so
+    /// one scrape sees retries, failovers, and adoptions next to every
+    /// other metric; prefer the scrape for monitoring and keep this
+    /// struct for in-process assertions.
     pub fn stats(&self) -> ClusterStats {
-        let s = &self.inner.stats;
-        ClusterStats {
-            admissions: self
-                .inner
-                .slots()
-                .iter()
-                .map(|w| w.admissions.load(Ordering::Relaxed))
-                .collect(),
-            spills: s.spills.load(Ordering::Relaxed),
-            failovers: s.failovers.load(Ordering::Relaxed),
-            reroutes: s.reroutes.load(Ordering::Relaxed),
-            local_requests: s.local_requests.load(Ordering::Relaxed),
-            total_requests: s.total_requests.load(Ordering::Relaxed),
-            chunk_lookups: s.chunk_lookups.load(Ordering::Relaxed),
-            chunk_local: s.chunk_local.load(Ordering::Relaxed),
-            rejections: s.rejections.load(Ordering::Relaxed),
-            retries: s.retries.load(Ordering::Relaxed),
-            adoptions: s.adoptions.load(Ordering::Relaxed),
-            takeovers: s.takeovers.load(Ordering::Relaxed),
-        }
+        self.inner.stats_snapshot()
+    }
+
+    /// Cluster-aggregated metrics: this process's registry (with the
+    /// gateway counters freshly published) merged with every connected
+    /// worker's, instance-deduplicated so loopback workers sharing the
+    /// process-global registry are counted once.
+    pub fn scrape(&self) -> MetricsSnapshot {
+        self.inner.scrape()
+    }
+
+    /// [`Gateway::scrape`] rendered as Prometheus text exposition.
+    pub fn scrape_text(&self) -> String {
+        self.inner.scrape().to_prometheus()
     }
 
     /// The last heartbeat-reported scheduler counters per worker.

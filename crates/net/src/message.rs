@@ -112,6 +112,10 @@ impl Enc {
             self.f32(x);
         }
     }
+    fn blob(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
 }
 
 struct Dec<'a> {
@@ -173,6 +177,11 @@ impl<'a> Dec<'a> {
         let n = self.len(1)?;
         let bytes = self.bytes(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.len(1)?;
+        Ok(self.bytes(n)?.to_vec())
     }
 
     fn u32s(&mut self) -> Result<Vec<u32>, WireError> {
@@ -245,6 +254,11 @@ impl WireRequest {
                 Priority::Normal
             },
             deadline: self.deadline_nanos.map(Duration::from_nanos),
+            // The trace context does not ride in the request body — it
+            // crosses the wire in the `Submit` frame and is re-attached
+            // by the receiving worker.
+            trace: 0,
+            trace_parent: 0,
         }
     }
 
@@ -705,6 +719,13 @@ pub enum Message {
     Submit {
         /// Request id, unique per connection.
         id: u64,
+        /// Observability trace id for this request's timeline (0 = none).
+        /// The gateway assigns one at placement; the worker binds it to
+        /// the serving thread so engine spans land on the same trace.
+        trace: u64,
+        /// Span id the receiver should parent its spans under (the
+        /// gateway's `serve` span for this placement attempt; 0 = root).
+        span: u64,
         /// If true the worker must block for queue space rather than
         /// reject (the gateway's last-resort placement).
         blocking: bool,
@@ -723,6 +744,10 @@ pub enum Message {
     Ev {
         /// The request the event belongs to.
         id: u64,
+        /// The trace id the event belongs to (mirrors the `Submit` that
+        /// started it; 0 = untraced), so relays can label span timelines
+        /// without a lookup.
+        trace: u64,
         /// The event.
         event: WireEvent,
     },
@@ -766,6 +791,25 @@ pub enum Message {
         healthy: Vec<bool>,
         /// Last-heartbeat probe per worker.
         probes: Vec<ServiceProbe>,
+    },
+    /// Metrics scrape (client → gateway, or gateway → worker). The
+    /// gateway answers with its *cluster-aggregated* registry: it
+    /// fans this same message out to every live worker, merges the
+    /// replies with its own registry (instance-deduplicated, so the
+    /// in-process loopback cluster is not double-counted), and folds in
+    /// the cluster counters.
+    Metrics {
+        /// RPC correlation id.
+        rpc: u64,
+    },
+    /// Reply to [`Message::Metrics`]: one encoded
+    /// [`MetricsSnapshot`](cb_obs::metrics::MetricsSnapshot).
+    MetricsReply {
+        /// RPC correlation id.
+        rpc: u64,
+        /// `MetricsSnapshot::encode()` payload (self-validating; decoded
+        /// with `MetricsSnapshot::decode`).
+        snapshot: Vec<u8>,
     },
     /// Asks the receiver to finish all queued work before replying.
     Drain {
@@ -845,6 +889,8 @@ const TAG_REPLICATE_PROGRESS: u8 = 17;
 const TAG_REPLICATE_RETIRE: u8 = 18;
 const TAG_REPLICATE_CHUNK: u8 = 19;
 const TAG_REPLICATE_ROSTER: u8 = 20;
+const TAG_METRICS: u8 = 21;
+const TAG_METRICS_REPLY: u8 = 22;
 
 impl Message {
     /// Encodes the message into a frame payload (pair with
@@ -873,11 +919,15 @@ impl Message {
             }
             Message::Submit {
                 id,
+                trace,
+                span,
                 blocking,
                 request,
             } => {
                 e.u8(TAG_SUBMIT);
                 e.u64(*id);
+                e.u64(*trace);
+                e.u64(*span);
                 e.bool(*blocking);
                 request.encode(&mut e);
             }
@@ -886,9 +936,10 @@ impl Message {
                 e.u64(*id);
                 encode_probe(&mut e, probe);
             }
-            Message::Ev { id, event } => {
+            Message::Ev { id, trace, event } => {
                 e.u8(TAG_EV);
                 e.u64(*id);
+                e.u64(*trace);
                 event.encode(&mut e);
             }
             Message::RegisterChunk { rpc, eager, tokens } => {
@@ -936,6 +987,15 @@ impl Message {
                 for p in probes {
                     encode_probe(&mut e, p);
                 }
+            }
+            Message::Metrics { rpc } => {
+                e.u8(TAG_METRICS);
+                e.u64(*rpc);
+            }
+            Message::MetricsReply { rpc, snapshot } => {
+                e.u8(TAG_METRICS_REPLY);
+                e.u64(*rpc);
+                e.blob(snapshot);
             }
             Message::Drain { rpc } => {
                 e.u8(TAG_DRAIN);
@@ -1001,6 +1061,8 @@ impl Message {
             },
             TAG_SUBMIT => Message::Submit {
                 id: d.u64()?,
+                trace: d.u64()?,
+                span: d.u64()?,
                 blocking: d.bool()?,
                 request: WireRequest::decode(&mut d)?,
             },
@@ -1010,6 +1072,7 @@ impl Message {
             },
             TAG_EV => Message::Ev {
                 id: d.u64()?,
+                trace: d.u64()?,
                 event: WireEvent::decode(&mut d)?,
             },
             TAG_REGISTER_CHUNK => Message::RegisterChunk {
@@ -1047,6 +1110,11 @@ impl Message {
                     probes,
                 }
             }
+            TAG_METRICS => Message::Metrics { rpc: d.u64()? },
+            TAG_METRICS_REPLY => Message::MetricsReply {
+                rpc: d.u64()?,
+                snapshot: d.blob()?,
+            },
             TAG_DRAIN => Message::Drain { rpc: d.u64()? },
             TAG_DRAIN_REPLY => Message::DrainReply { rpc: d.u64()? },
             TAG_SHUTDOWN => Message::Shutdown,
@@ -1114,6 +1182,8 @@ mod tests {
             },
             Message::Submit {
                 id: 42,
+                trace: 0xFEED_F00D,
+                span: 21,
                 blocking: true,
                 request: WireRequest {
                     chunk_ids: vec![0xDEAD_BEEF, 7],
@@ -1130,18 +1200,22 @@ mod tests {
             },
             Message::Ev {
                 id: 9,
+                trace: 0xFEED_F00D,
                 event: WireEvent::Queued,
             },
             Message::Ev {
                 id: 9,
+                trace: 0xFEED_F00D,
                 event: WireEvent::FirstToken(WireTtft::default()),
             },
             Message::Ev {
                 id: 9,
+                trace: 0xFEED_F00D,
                 event: WireEvent::Token(77),
             },
             Message::Ev {
                 id: 9,
+                trace: 0xFEED_F00D,
                 event: WireEvent::Done(WireResponse {
                     answer: vec![5, 6],
                     ttft: WireTtft {
@@ -1162,6 +1236,7 @@ mod tests {
             },
             Message::Ev {
                 id: 9,
+                trace: 0xFEED_F00D,
                 event: WireEvent::Failed(WireFailure {
                     code: ErrorCode::UnknownChunk as u16,
                     detail: 0xABCD,
@@ -1195,6 +1270,18 @@ mod tests {
                 rpc: 4,
                 healthy: vec![true, false],
                 probes: vec![sample_probe(), sample_probe()],
+            },
+            Message::Metrics { rpc: 6 },
+            Message::MetricsReply {
+                rpc: 6,
+                snapshot: {
+                    // A real encoded registry snapshot, so the roundtrip
+                    // covers the nested codec end to end.
+                    let reg = cb_obs::metrics::Registry::new();
+                    reg.counter("cb_requests_completed_total").add(3);
+                    reg.histogram("cb_ttft_seconds").record(1_000_000);
+                    reg.snapshot().encode()
+                },
             },
             Message::Drain { rpc: 5 },
             Message::DrainReply { rpc: 5 },

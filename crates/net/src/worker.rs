@@ -108,10 +108,22 @@ impl WorkerInner {
     fn handle_submit(
         self: &Arc<Self>,
         id: u64,
+        trace: u64,
+        span: u64,
         blocking: bool,
         request: crate::message::WireRequest,
     ) {
-        let request = request.into_request();
+        let mut request = request.into_request();
+        // Re-attach the trace context the Submit frame carried so the
+        // engine's spans nest under the gateway's serve-attempt span.
+        request.trace = trace;
+        request.trace_parent = span;
+        cb_obs::cb_debug!(
+            "worker",
+            "submit id={id} trace={trace:#x} blocking={blocking} chunks={} query_tokens={}",
+            request.chunk_ids.len(),
+            request.query.len()
+        );
         let outcome = if blocking {
             // Last-resort placement: the gateway found no queue with
             // space, so wait for ours to free up.
@@ -122,7 +134,7 @@ impl WorkerInner {
         match outcome {
             Ok(stream) => {
                 let inner = Arc::clone(self);
-                let handle = std::thread::spawn(move || inner.forward(id, stream));
+                let handle = std::thread::spawn(move || inner.forward(id, trace, stream));
                 let mut fwd = self.forwarders.lock().unwrap();
                 // Reap finished forwarders so a long-lived worker's handle
                 // list stays proportional to in-flight work.
@@ -134,6 +146,7 @@ impl WorkerInner {
                 fwd.push(handle);
             }
             Err(TrySubmitError::QueueFull(_)) => {
+                cb_obs::cb_debug!("worker", "reject id={id}: queue full");
                 let _ = self.conn.send(&Message::Rejected {
                     id,
                     probe: self.service.probe(),
@@ -142,12 +155,13 @@ impl WorkerInner {
         }
     }
 
-    fn forward(&self, id: u64, stream: ResponseStream) {
+    fn forward(&self, id: u64, trace: u64, stream: ResponseStream) {
         let mut terminal = false;
         for ev in stream {
             terminal = terminal || ev.is_terminal();
             let msg = Message::Ev {
                 id,
+                trace,
                 event: WireEvent::from_event(&ev),
             };
             if self.conn.send(&msg).is_err() {
@@ -160,9 +174,28 @@ impl WorkerInner {
             let failure = WireFailure::from_error(&EngineError::Canceled);
             let _ = self.conn.send(&Message::Ev {
                 id,
+                trace,
                 event: WireEvent::Failed(failure),
             });
         }
+    }
+
+    /// Answers a `Metrics` scrape: flushes store counters into the global
+    /// registry, stamps this worker's instantaneous load into labeled
+    /// gauges, and ships the encoded registry snapshot back.
+    fn handle_metrics(&self, rpc: u64) {
+        self.service.engine().store().publish_metrics();
+        let probe = self.service.probe();
+        let reg = cb_obs::metrics::Registry::global();
+        let label = format!("{:016x}", self.identity.0);
+        reg.gauge(&format!("cb_worker_queue_depth{{worker=\"{label}\"}}"))
+            .set(probe.queue_depth as f64);
+        reg.gauge(&format!("cb_worker_inflight{{worker=\"{label}\"}}"))
+            .set(probe.inflight as f64);
+        let _ = self.conn.send(&Message::MetricsReply {
+            rpc,
+            snapshot: reg.snapshot().encode(),
+        });
     }
 
     fn control_loop(self: Arc<Self>, tick: Duration) {
@@ -173,9 +206,11 @@ impl WorkerInner {
             match self.conn.recv_timeout(tick) {
                 Ok(Message::Submit {
                     id,
+                    trace,
+                    span,
                     blocking,
                     request,
-                }) => self.handle_submit(id, blocking, request),
+                }) => self.handle_submit(id, trace, span, blocking, request),
                 Ok(Message::RegisterChunk { rpc, eager, tokens }) => {
                     let engine = self.service.engine();
                     let result = if eager {
@@ -201,6 +236,7 @@ impl WorkerInner {
                         stats: self.service.stats(),
                     });
                 }
+                Ok(Message::Metrics { rpc }) => self.handle_metrics(rpc),
                 Ok(Message::Drain { rpc }) => {
                     while self.service.probe().load() > 0 && !self.shutdown.load(Ordering::Relaxed)
                     {

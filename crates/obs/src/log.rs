@@ -1,0 +1,166 @@
+//! A tiny leveled stderr logger: `CB_LOG=debug|info|warn|error|off`
+//! filter (default `info`), one global writer lock so concurrent lines
+//! never interleave, timestamps relative to process start. The `cb_*!`
+//! macros check [`enabled`] **before** evaluating format arguments, so a
+//! disabled `cb_debug!` of a frame costs one relaxed load — no
+//! allocation, no formatting.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+const LEVEL_OFF: u8 = 4;
+const LEVEL_UNSET: u8 = 255;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_from_env() -> u8 {
+    match std::env::var("CB_LOG").as_deref() {
+        Ok("debug") => Level::Debug as u8,
+        Ok("info") => Level::Info as u8,
+        Ok("warn") => Level::Warn as u8,
+        Ok("error") => Level::Error as u8,
+        Ok("off") | Ok("none") => LEVEL_OFF,
+        _ => Level::Info as u8,
+    }
+}
+
+fn max_level() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return v;
+    }
+    let parsed = level_from_env();
+    // A racing first caller may store the same parsed value; harmless.
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Overrides the `CB_LOG` filter programmatically (tests, bins with a
+/// `--quiet`/`--verbose` flag). `None` silences everything.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(
+        level.map(|l| l as u8).unwrap_or(LEVEL_OFF),
+        Ordering::Relaxed,
+    );
+}
+
+/// True when a record at `level` would be written. Inline and cheap —
+/// the macros call this before touching their format arguments.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    if cfg!(feature = "noop") || !crate::enabled() {
+        return false;
+    }
+    level as u8 >= max_level()
+}
+
+/// Writes one formatted record. Call through the macros, which gate on
+/// [`enabled`] first.
+pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    static WRITER: Mutex<()> = Mutex::new(());
+    let secs = crate::now_nanos() as f64 / 1e9;
+    let _guard = WRITER.lock().unwrap();
+    let mut err = std::io::stderr().lock();
+    // A failed stderr write has nowhere to report; drop it.
+    let _ = writeln!(err, "[{secs:9.3}s {:5} {target}] {args}", level.tag());
+}
+
+/// Logs at an explicit level: `cb_log!(Level::Warn, "gateway", "...")`.
+#[macro_export]
+macro_rules! cb_log {
+    ($lvl:expr, $tgt:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($lvl) {
+            $crate::log::write($lvl, $tgt, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Debug-level log; format arguments are not evaluated when disabled.
+#[macro_export]
+macro_rules! cb_debug {
+    ($tgt:expr, $($arg:tt)*) => { $crate::cb_log!($crate::log::Level::Debug, $tgt, $($arg)*) };
+}
+
+/// Info-level log.
+#[macro_export]
+macro_rules! cb_info {
+    ($tgt:expr, $($arg:tt)*) => { $crate::cb_log!($crate::log::Level::Info, $tgt, $($arg)*) };
+}
+
+/// Warn-level log.
+#[macro_export]
+macro_rules! cb_warn {
+    ($tgt:expr, $($arg:tt)*) => { $crate::cb_log!($crate::log::Level::Warn, $tgt, $($arg)*) };
+}
+
+/// Error-level log.
+#[macro_export]
+macro_rules! cb_error {
+    ($tgt:expr, $($arg:tt)*) => { $crate::cb_log!($crate::log::Level::Error, $tgt, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    /// Serializes the tests that mutate the global filter.
+    static FILTER_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn filter_gates_by_level() {
+        let _serial = FILTER_TESTS.lock().unwrap();
+        // Force a known filter (the env default may be anything here).
+        set_max_level(Some(Level::Warn));
+        assert!(!enabled(Level::Debug));
+        assert!(!enabled(Level::Info));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Error));
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        // Restore the env-derived default for other tests.
+        MAX_LEVEL.store(LEVEL_UNSET, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn disabled_macro_does_not_evaluate_arguments() {
+        let _serial = FILTER_TESTS.lock().unwrap();
+        set_max_level(Some(Level::Error));
+        let mut evaluated = false;
+        cb_debug!("test", "{}", {
+            evaluated = true;
+            "x"
+        });
+        assert!(!evaluated, "disabled log must not evaluate its arguments");
+        MAX_LEVEL.store(LEVEL_UNSET, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,435 @@
+//! Span tracing: per-request timelines in a bounded global ring buffer,
+//! exported as `chrome://tracing` JSON.
+//!
+//! Two recording styles share one [`Tracer`]:
+//!
+//! - **RAII**: [`TraceContext::enter`] binds a thread to a (trace id,
+//!   parent span) pair; [`Span::begin`] then records a named interval on
+//!   drop, automatically parenting any spans begun while it is open.
+//!   With no context bound, `Span::begin` is inert (no allocation, no
+//!   clock read beyond one thread-local load).
+//! - **Explicit**: [`record_span`] / [`alloc_span_id`] for event-driven
+//!   code (the gateway's pending-request table) that opens and closes
+//!   intervals from different callbacks.
+//!
+//! Trace ids are process-agnostic `u64`s carried across worker hops in
+//! `Submit`/`Ev` frames; span timestamps come from [`crate::now_nanos`],
+//! so spans recorded by one process are mutually comparable (cross-host
+//! traces are per-process timelines side by side).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One closed interval in a trace. `parent == 0` marks a root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub trace: u64,
+    pub span: u64,
+    pub parent: u64,
+    pub name: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+/// Default ring capacity (spans, not bytes). At ~8 spans per request
+/// this holds the last ~1k requests.
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// The bounded span sink. Recording takes one short mutex hold per
+/// *span* (not per token); overflow drops the oldest records and counts
+/// them.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique nonzero span id.
+pub fn alloc_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Tracer {
+    fn new() -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide tracer.
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(Tracer::new)
+    }
+
+    /// Resizes the ring (evicting oldest records if shrinking).
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.store(cap.max(1), Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        while ring.len() > cap.max(1) {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one record; a no-op while instrumentation is disabled.
+    pub fn record(&self, rec: SpanRecord) {
+        if !crate::enabled() {
+            return;
+        }
+        let cap = self.capacity.load(Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec);
+    }
+
+    /// Copies the ring without clearing it.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Empties the ring, returning everything it held.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().drain(..).collect()
+    }
+
+    /// Discards the ring contents (test isolation).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().clear();
+    }
+
+    /// Records evicted by the bound since process start.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Records a closed span explicitly and returns its allocated id.
+pub fn record_span(
+    trace: u64,
+    parent: u64,
+    name: impl Into<String>,
+    start_ns: u64,
+    end_ns: u64,
+) -> u64 {
+    let span = alloc_span_id();
+    Tracer::global().record(SpanRecord {
+        trace,
+        span,
+        parent,
+        name: name.into(),
+        start_ns,
+        end_ns: end_ns.max(start_ns),
+    });
+    span
+}
+
+/// Records a closed span under a **pre-allocated** id (see
+/// [`alloc_span_id`]) — for event-driven code that must hand the id to a
+/// peer (e.g. in a `Submit` frame, so the peer's spans can parent under
+/// it) before the interval closes.
+pub fn record_span_with_id(
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: impl Into<String>,
+    start_ns: u64,
+    end_ns: u64,
+) {
+    Tracer::global().record(SpanRecord {
+        trace,
+        span,
+        parent,
+        name: name.into(),
+        start_ns,
+        end_ns: end_ns.max(start_ns),
+    });
+}
+
+thread_local! {
+    /// (trace id, current parent span id) for RAII spans; trace 0 = off.
+    static CTX: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Thread-local trace binding. See the module docs.
+pub struct TraceContext;
+
+impl TraceContext {
+    /// The (trace, parent span) pair bound to this thread, or `(0, 0)`.
+    pub fn current() -> (u64, u64) {
+        CTX.with(|c| c.get())
+    }
+
+    /// Binds `trace`/`parent` to this thread until the guard drops
+    /// (restoring whatever was bound before). `trace == 0` unbinds.
+    pub fn enter(trace: u64, parent: u64) -> CtxGuard {
+        let prev = CTX.with(|c| c.replace((trace, parent)));
+        CtxGuard { prev }
+    }
+}
+
+/// Restores the previous thread-local context on drop.
+pub struct CtxGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        self.prev = CTX.with(|c| c.replace(self.prev));
+    }
+}
+
+/// An RAII interval: begins now, records on drop (or [`Span::end`]),
+/// and parents any spans begun on this thread while it is open. Inert
+/// when the thread has no trace bound or instrumentation is disabled.
+pub struct Span {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Opens a span under the thread's current context.
+    #[inline]
+    pub fn begin(name: &'static str) -> Span {
+        let (trace, parent) = TraceContext::current();
+        if trace == 0 || !crate::enabled() {
+            return Span {
+                trace: 0,
+                span: 0,
+                parent: 0,
+                name,
+                start_ns: 0,
+            };
+        }
+        let span = alloc_span_id();
+        CTX.with(|c| c.set((trace, span)));
+        Span {
+            trace,
+            span,
+            parent,
+            name,
+            start_ns: crate::now_nanos(),
+        }
+    }
+
+    /// True when this span will record (a context was bound at begin).
+    pub fn is_recording(&self) -> bool {
+        self.trace != 0
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.trace == 0 {
+            return;
+        }
+        // Restore this thread's parent to ours (we were the parent while
+        // open). The context may have been rebound by an unrelated enter;
+        // only restore if we are still the current parent.
+        CTX.with(|c| {
+            let cur = c.get();
+            if cur == (self.trace, self.span) {
+                c.set((self.trace, self.parent));
+            }
+        });
+        Tracer::global().record(SpanRecord {
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            name: self.name.to_string(),
+            start_ns: self.start_ns,
+            end_ns: crate::now_nanos(),
+        });
+    }
+}
+
+/// Renders spans as a `chrome://tracing` / Perfetto-loadable JSON
+/// document (`traceEvents` with complete `"ph":"X"` events). Each trace
+/// id becomes one `pid` row (numbered in first-seen order; the full
+/// 64-bit ids travel in `args`), so one request reads as one process
+/// lane with its spans nested by time.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut pid_of: Vec<u64> = Vec::new();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (n, s) in spans.iter().enumerate() {
+        let pid = match pid_of.iter().position(|&t| t == s.trace) {
+            Some(i) => i + 1,
+            None => {
+                pid_of.push(s.trace);
+                pid_of.len()
+            }
+        };
+        if n > 0 {
+            out.push(',');
+        }
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = (s.end_ns.saturating_sub(s.start_ns)) as f64 / 1e3;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"cb\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":{pid},\"tid\":1,\"args\":{{\"trace\":\"{}\",\"span\":\"{}\",\"parent\":\"{}\"}}}}",
+            json_escape(&s.name),
+            s.trace,
+            s.span,
+            s.parent
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_the_thread_context() {
+        let trace = alloc_span_id() << 32 | 0xfeed; // unique per test run
+        let _g = TraceContext::enter(trace, 0);
+        let outer_id;
+        {
+            let outer = Span::begin("outer");
+            assert!(outer.is_recording());
+            outer_id = outer.span;
+            {
+                let inner = Span::begin("inner");
+                assert_eq!(inner.parent, outer.span);
+            }
+        }
+        let spans: Vec<SpanRecord> = Tracer::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(outer.parent, 0);
+        // Well-nested: the child interval lies within the parent's.
+        assert!(outer.start_ns <= inner.start_ns && inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn unbound_threads_record_nothing() {
+        let before = Tracer::global().snapshot().len();
+        {
+            let s = Span::begin("ghost");
+            assert!(!s.is_recording());
+        }
+        // No record with our name was added (other tests may append).
+        assert!(!Tracer::global()
+            .snapshot()
+            .iter()
+            .skip(before.saturating_sub(1))
+            .any(|s| s.name == "ghost"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::new();
+        t.set_capacity(4);
+        for i in 0..10 {
+            t.record(SpanRecord {
+                trace: 1,
+                span: i + 1,
+                parent: 0,
+                name: "x".into(),
+                start_ns: i,
+                end_ns: i + 1,
+            });
+        }
+        let got = t.snapshot();
+        assert_eq!(got.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(got[0].span, 7, "oldest evicted first");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_groups_by_trace() {
+        let spans = vec![
+            SpanRecord {
+                trace: 0xdead_beef_dead_beef,
+                span: 1,
+                parent: 0,
+                name: "request".into(),
+                start_ns: 1_000,
+                end_ns: 9_000,
+            },
+            SpanRecord {
+                trace: 0xdead_beef_dead_beef,
+                span: 2,
+                parent: 1,
+                name: "serve \"q\"".into(),
+                start_ns: 2_000,
+                end_ns: 8_000,
+            },
+            SpanRecord {
+                trace: 7,
+                span: 3,
+                parent: 0,
+                name: "request".into(),
+                start_ns: 1_500,
+                end_ns: 2_500,
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("serve \\\"q\\\""));
+        // Balanced braces/brackets — cheap structural sanity.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn context_guard_restores_previous_binding() {
+        assert_eq!(TraceContext::current(), (0, 0));
+        {
+            let _a = TraceContext::enter(11, 5);
+            assert_eq!(TraceContext::current(), (11, 5));
+            {
+                let _b = TraceContext::enter(22, 0);
+                assert_eq!(TraceContext::current(), (22, 0));
+            }
+            assert_eq!(TraceContext::current(), (11, 5));
+        }
+        assert_eq!(TraceContext::current(), (0, 0));
+    }
+}

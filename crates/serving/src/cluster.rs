@@ -269,11 +269,30 @@ impl ClusterService {
     }
 
     /// Snapshot of the cluster counters.
+    ///
+    /// Note: the retry/failover/adoption/spill counters here are also
+    /// published into the metrics registry as `cb_gateway_*_total` and
+    /// reachable through [`ClusterService::scrape`] alongside every other
+    /// series — prefer the scrape for monitoring; this struct remains for
+    /// in-process assertions.
     pub fn stats(&self) -> ClusterStats {
         self.gateway.stats()
     }
 
+    /// Cluster-aggregated metrics registry snapshot (see
+    /// [`Gateway::scrape`]): counters, gauges, and TTFT/queue-wait
+    /// histograms across the gateway and every worker, ready for
+    /// [`to_prometheus`](cb_obs::metrics::MetricsSnapshot::to_prometheus)
+    /// rendering.
+    pub fn scrape(&self) -> cb_obs::metrics::MetricsSnapshot {
+        self.gateway.scrape()
+    }
+
     /// Per-replica scheduler counters.
+    ///
+    /// Note: process-wide totals of these counters are also live in the
+    /// metrics registry (`cb_requests_*_total`); this per-replica view
+    /// remains authoritative for placement assertions.
     pub fn service_stats(&self) -> Vec<ServiceStats> {
         self.services.iter().map(|r| r.stats()).collect()
     }

@@ -80,6 +80,20 @@ fn select_victim(s: &LogState, ctx: &CompactorCtx) -> Option<FileKey> {
 /// pass after rewriting `n` live records — the `.ctmp` is left behind
 /// and no state changes, exactly like a process kill mid-rewrite.
 pub(crate) fn compact_one(ctx: &CompactorCtx, abort_after: Option<usize>) -> Option<u64> {
+    let t0 = std::time::Instant::now();
+    let reclaimed = compact_one_inner(ctx, abort_after);
+    if reclaimed.is_some() {
+        // Pass timing is the one compaction fact no stats struct holds
+        // (counts and reclaimed bytes reach the registry through
+        // `KvStore::publish_metrics`'s maintenance fold-in).
+        cb_obs::metrics::Registry::global()
+            .histogram("cb_compaction_seconds")
+            .record_duration(t0.elapsed());
+    }
+    reclaimed
+}
+
+fn compact_one_inner(ctx: &CompactorCtx, abort_after: Option<usize>) -> Option<u64> {
     // -- Select + reserve replay order ------------------------------------
     let (victim, out_fk, rotate_to) = {
         let mut s = ctx.state.lock();

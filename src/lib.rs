@@ -53,6 +53,7 @@ pub use cb_core as blend;
 pub use cb_kv as kv;
 pub use cb_model as model;
 pub use cb_net as net;
+pub use cb_obs as obs;
 pub use cb_rag as rag;
 pub use cb_serving as serving;
 pub use cb_storage as storage;

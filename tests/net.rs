@@ -61,6 +61,8 @@ fn fuzz_bases() -> Vec<Vec<u8>> {
         },
         Message::Submit {
             id: 3,
+            trace: 0xFACE,
+            span: 17,
             blocking: true,
             request: WireRequest::from_request(&request),
         },
@@ -71,6 +73,7 @@ fn fuzz_bases() -> Vec<Vec<u8>> {
         },
         Message::Ev {
             id: 12,
+            trace: 0,
             event: WireEvent::Failed(WireFailure::from_error(&EngineError::Storage(
                 "injected backend failure".into(),
             ))),
@@ -504,6 +507,7 @@ fn scripted_worker(
                         }
                         let frame = Message::Ev {
                             id: req,
+                            trace: 0,
                             event: ev.clone(),
                         };
                         if conn.send(&frame).is_err() {
@@ -996,4 +1000,116 @@ fn client_resumes_onto_promoted_standby_over_tcp() {
     );
     wait_until("client reconnect recorded", || client.reconnects() == 1);
     acceptor2.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics scrape
+// ---------------------------------------------------------------------------
+
+/// A client scrape over real TCP returns the cluster-aggregated registry:
+/// counter deltas match the requests this test served, the TTFT histogram
+/// grows coherently, and the Prometheus rendering exposes both.
+#[test]
+fn tcp_scrape_aggregates_cluster_metrics() {
+    let _guard = serial();
+    let (chunks, q) = eval_corpus();
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let gateway = Arc::new(Gateway::new(GatewayConfig::default()));
+    let acceptor = {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().take(3) {
+                let t = TcpTransport::from_stream(stream.unwrap()).unwrap();
+                gateway.accept(Arc::new(t)).unwrap();
+            }
+        })
+    };
+    let _workers: Vec<Worker> = (0..2)
+        .map(|_| {
+            Worker::start(
+                Arc::new(tiny_service()),
+                Arc::new(TcpTransport::connect(addr).unwrap()),
+                WorkerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    wait_until("both workers attached", || gateway.n_workers() == 2);
+    let client = NetClient::connect(Arc::new(TcpTransport::connect(addr).unwrap())).unwrap();
+    acceptor.join().unwrap();
+
+    let _ = (&chunks, &q);
+    let v = cacheblend::tokenizer::Vocab::default_eval();
+    let chunk = vec![v.id(Entity(3)), v.id(Attr(1)), v.id(Value(7)), v.id(Sep)];
+    let query = vec![v.id(Query), v.id(Entity(3)), v.id(Attr(1)), v.id(QMark)];
+    let id = client.register_chunk(&chunk, true).unwrap();
+
+    // Baseline scrape first: the registry is process-global, so only
+    // deltas against it are attributable to this test.
+    let before = client.scrape().expect("baseline scrape");
+    let n = 5u64;
+    for _ in 0..n {
+        let resp = client
+            .submit(
+                &Request::new(vec![id], query.clone())
+                    .ratio(0.45)
+                    .max_new_tokens(4),
+            )
+            .expect("request serves");
+        assert!(!resp.answer.is_empty(), "smoke-shaped request decodes");
+    }
+    let after = client.scrape().expect("post-run scrape");
+
+    let delta = |name: &str| {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    assert_eq!(delta("cb_requests_completed_total"), n, "completed delta");
+    assert_eq!(delta("cb_requests_submitted_total"), n, "submitted delta");
+    assert_eq!(delta("cb_requests_failed_total"), 0, "failed delta");
+    assert!(delta("cb_tokens_total") > 0, "tokens delta");
+    assert_eq!(
+        delta("cb_gateway_requests_total"),
+        n,
+        "gateway request counter is scrape-exposed"
+    );
+
+    let ttft_before = before.hist("cb_ttft_seconds").map(|h| h.count).unwrap_or(0);
+    let ttft = after.hist("cb_ttft_seconds").expect("ttft histogram");
+    assert!(
+        ttft.count >= ttft_before + n,
+        "ttft histogram grew by fewer samples than requests served"
+    );
+    assert!(
+        ttft.quantile_seconds(0.99) >= ttft.quantile_seconds(0.50)
+            && ttft.quantile_seconds(0.50) > 0.0,
+        "ttft percentiles incoherent"
+    );
+
+    // Scraping twice back-to-back must not double-count: the worker-side
+    // publishes are deltas against their previous snapshot.
+    let again = client.scrape().expect("idempotent scrape");
+    assert_eq!(
+        again.counter("cb_requests_completed_total"),
+        after.counter("cb_requests_completed_total"),
+        "an idle re-scrape must not inflate counters"
+    );
+
+    let text = after.to_prometheus();
+    assert!(
+        text.contains("cb_requests_completed_total"),
+        "prom counters"
+    );
+    assert!(
+        text.contains("# TYPE cb_ttft_seconds summary"),
+        "prom histogram summary"
+    );
+    assert!(
+        text.contains("cb_ttft_seconds{quantile=\"0.99\"}"),
+        "prom quantile lines"
+    );
 }

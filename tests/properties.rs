@@ -879,3 +879,317 @@ fn quantized_cold_tier_cycles_preserve_payload_and_stats() {
     }
     cacheblend::tensor::pool::set_threads(cacheblend::tensor::pool::default_threads());
 }
+
+// ---------------------------------------------------------------------------
+// Observability: histogram algebra and trace ordering
+// ---------------------------------------------------------------------------
+
+use cacheblend::blend::engine::{EngineBuilder, Request as EngineRequest};
+use cacheblend::blend::scheduler::ServiceConfig;
+use cacheblend::blend::stream::Event;
+use cacheblend::obs::metrics::{HistSnapshot, Registry};
+use cacheblend::obs::trace::{SpanRecord, Tracer};
+use cacheblend::serving::cluster::ClusterService;
+
+/// Draws a value spanning many decades, so bucket indices cover the
+/// exact range, several power-of-two ranges, and large magnitudes.
+fn random_hist_value(rng: &mut SmallRng) -> u64 {
+    let exp = rng.random_range(0u32..48);
+    let lo = 1u64 << exp;
+    rng.random_range(lo..lo.saturating_mul(2))
+}
+
+/// Histogram merge is associative and commutative, and totals add
+/// exactly — the invariant the gateway's cluster scrape relies on.
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0x0B5_0B5);
+    let reg = Registry::new();
+    for case in 0..24 {
+        let snaps: Vec<HistSnapshot> = (0..3)
+            .map(|j| {
+                let h = reg.histogram(&format!("merge_{case}_{j}"));
+                for _ in 0..rng.random_range(0usize..200) {
+                    h.record(random_hist_value(&mut rng));
+                }
+                h.snapshot()
+            })
+            .collect();
+        let (a, b, c) = (&snaps[0], &snaps[1], &snaps[2]);
+
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "case {case}: (a⊕b)⊕c != a⊕(b⊕c)");
+
+        let mut ab = a.clone();
+        ab.merge(b);
+        let mut ba = b.clone();
+        ba.merge(a);
+        assert_eq!(ab, ba, "case {case}: a⊕b != b⊕a");
+
+        assert_eq!(
+            left.count,
+            a.count + b.count + c.count,
+            "case {case}: count"
+        );
+        assert_eq!(left.sum, a.sum + b.sum + c.sum, "case {case}: sum");
+        let bucket_total: u64 = left.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_total, left.count, "case {case}: bucket totals");
+    }
+}
+
+/// Every recorded value lands in a bucket whose upper bound overshoots
+/// by at most the configured γ = 2^-sub_bits (exact below 2^sub_bits).
+#[test]
+fn histogram_bucket_bound_error_is_within_gamma() {
+    let mut rng = SmallRng::seed_from_u64(0x6A77A);
+    for sub_bits in [2u32, 5, 8] {
+        let reg = Registry::new();
+        let gamma = 1.0 / (1u64 << sub_bits) as f64;
+        for case in 0..200 {
+            let v = if case % 4 == 0 {
+                // Force the exact range (values below 2^sub_bits).
+                rng.random_range(0u64..1 << sub_bits)
+            } else {
+                random_hist_value(&mut rng)
+            };
+            let h = reg.histogram_with_sub_bits(&format!("g_{sub_bits}_{case}"), sub_bits);
+            assert!((h.gamma() - gamma).abs() < 1e-12);
+            h.record(v);
+            let got = h.quantile(1.0);
+            assert!(
+                got >= v,
+                "sub_bits {sub_bits} case {case}: bound {got} < recorded {v}"
+            );
+            let err = (got - v) as f64;
+            let budget = gamma * v as f64;
+            assert!(
+                err <= budget + 1e-9,
+                "sub_bits {sub_bits} case {case}: v={v} bound={got} err={err} > γ·v={budget}"
+            );
+            if v < 1 << sub_bits {
+                assert_eq!(
+                    got, v,
+                    "sub_bits {sub_bits} case {case}: small values are exact"
+                );
+            }
+        }
+    }
+}
+
+/// Quantiles are monotone in q, pinned to the recorded extremes.
+#[test]
+fn histogram_percentiles_are_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x9070);
+    let reg = Registry::new();
+    for case in 0..16 {
+        let h = reg.histogram(&format!("mono_{case}"));
+        let n = rng.random_range(1usize..400);
+        let mut max_v = 0u64;
+        for _ in 0..n {
+            let v = random_hist_value(&mut rng);
+            max_v = max_v.max(v);
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut prev = 0u64;
+        for step in 0..=1000u32 {
+            let q = snap.quantile(step as f64 / 1000.0);
+            assert!(
+                q >= prev,
+                "case {case}: quantile({}) = {q} < quantile at previous step {prev}",
+                step as f64 / 1000.0
+            );
+            prev = q;
+        }
+        assert!(snap.quantile(1.0) >= max_v, "case {case}: max not covered");
+    }
+}
+
+/// Concurrent recording from 1..=4 threads loses nothing: count, sum,
+/// and bucket totals are all exact.
+#[test]
+fn histogram_concurrent_recording_is_exact() {
+    const PER_THREAD: u64 = 20_000;
+    for threads in 1u64..=4 {
+        let reg = Registry::new();
+        let h = reg.histogram("concurrent");
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * 1_000_003 + i % 1_000);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * PER_THREAD, "threads {threads}: count");
+        let expected_sum: u64 = (0..threads)
+            .map(|t| {
+                (0..PER_THREAD)
+                    .map(|i| t * 1_000_003 + i % 1_000)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(snap.sum, expected_sum, "threads {threads}: sum");
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_total, snap.count, "threads {threads}: bucket totals");
+    }
+}
+
+/// A mid-stream retry appears on the timeline as a *new* `retry#k` span
+/// under the request root — a sibling starting where the failed attempt
+/// closed, never a rewind — and span starts stay monotone down every
+/// parent chain.
+#[test]
+fn cluster_retry_spans_stay_well_nested_and_monotone() {
+    const TRACE_BASE: u64 = 0x7E57_7ACE_0000;
+    const WAVE: usize = 8;
+    Tracer::global().set_capacity(1 << 16);
+
+    let mut cluster = ClusterService::build(
+        2,
+        ServiceConfig::default().workers(1).queue_capacity(64),
+        |_| EngineBuilder::new(ModelProfile::Tiny).seed(11).build(),
+    )
+    .expect("cluster builds");
+    let vocab = cluster.replica(0).engine().model().cfg.vocab.clone();
+    let chunk = vec![
+        vocab.id(TokenKind::Entity(3)),
+        vocab.id(TokenKind::Attr(1)),
+        vocab.id(TokenKind::Value(7)),
+        vocab.id(TokenKind::Sep),
+    ];
+    let id = cluster
+        .register_chunk_lazy(&chunk)
+        .expect("chunk registers");
+    let query = vec![
+        vocab.id(TokenKind::Query),
+        vocab.id(TokenKind::Entity(3)),
+        vocab.id(TokenKind::Attr(1)),
+        vocab.id(TokenKind::QMark),
+    ];
+
+    // Waves of 8 concurrent streams, alternating replicas; replica 0's
+    // connection is severed right after a wave is submitted, so its
+    // in-flight requests are retried on replica 1 (fig14's chaos
+    // schedule, shrunk). Under a loaded test host a wave can drain
+    // before the bounce lands, so keep bouncing until a retry actually
+    // happened — the spans, not the schedule, are what this test pins.
+    let mut traced = Vec::new();
+    for wave_idx in 0..12 {
+        let collectors: Vec<_> = (0..WAVE)
+            .map(|i| {
+                let k = (wave_idx * WAVE + i) as u64;
+                traced.push(TRACE_BASE + k);
+                let stream = cluster.submit_to(
+                    i % 2,
+                    EngineRequest::new(vec![id], query.clone())
+                        .max_new_tokens(24)
+                        .trace(TRACE_BASE + k, 0),
+                );
+                std::thread::spawn(move || {
+                    let mut ok = false;
+                    for ev in stream {
+                        if matches!(ev, Event::Done(_)) {
+                            ok = true;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let bounced = cluster.stats().retries == 0;
+        if bounced {
+            cluster.bounce_replica(0);
+        }
+        for c in collectors {
+            assert!(c.join().expect("collector thread"), "request failed");
+        }
+        if !bounced && cluster.stats().retries >= 1 {
+            break; // One clean post-retry wave served; enough material.
+        }
+    }
+    assert!(
+        cluster.stats().retries >= 1,
+        "no bounce stranded an in-flight request in 12 waves"
+    );
+
+    let spans = Tracer::global().snapshot();
+    let mut retried_traces = 0usize;
+    for &trace in &traced {
+        let mine: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace == trace).collect();
+        let roots: Vec<&&SpanRecord> = mine.iter().filter(|s| s.name == "request").collect();
+        assert_eq!(roots.len(), 1, "trace {trace:#x}: exactly one root span");
+        let root = roots[0];
+        assert_eq!(root.parent, 0, "trace {trace:#x}: root has no parent");
+
+        // Attempts: direct children of the root named serve#k / retry#k.
+        let mut attempts: Vec<&&SpanRecord> = mine
+            .iter()
+            .filter(|s| s.parent == root.span && s.span != root.span)
+            .collect();
+        attempts.sort_by_key(|s| s.start_ns);
+        assert!(!attempts.is_empty(), "trace {trace:#x}: no attempt spans");
+        assert_eq!(
+            attempts[0].name, "serve#0",
+            "trace {trace:#x}: first attempt must be serve#0"
+        );
+        for pair in attempts.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            assert!(
+                next.name.starts_with("retry#"),
+                "trace {trace:#x}: later attempt {} is not a retry span",
+                next.name
+            );
+            assert!(
+                next.start_ns >= prev.end_ns,
+                "trace {trace:#x}: attempt {} rewinds before {} closed",
+                next.name,
+                prev.name
+            );
+        }
+        if attempts.len() > 1 {
+            retried_traces += 1;
+        }
+        let last = attempts.last().unwrap();
+        assert!(
+            root.end_ns >= last.end_ns,
+            "trace {trace:#x}: root closes before its final attempt"
+        );
+
+        // Monotone starts down every parent chain (an orphaned attempt's
+        // worker spans may *end* after the gateway closed the attempt —
+        // the stream kept decoding to a dead connection — but no span
+        // ever starts before its parent did).
+        let by_id: std::collections::HashMap<u64, &&SpanRecord> =
+            mine.iter().map(|s| (s.span, s)).collect();
+        for s in &mine {
+            if let Some(parent) = by_id.get(&s.parent) {
+                assert!(
+                    s.start_ns >= parent.start_ns,
+                    "trace {trace:#x}: span {} starts before its parent {}",
+                    s.name,
+                    parent.name
+                );
+            }
+        }
+        // The winning (final) attempt is fully contained in the root.
+        assert!(
+            last.start_ns >= root.start_ns && last.end_ns <= root.end_ns,
+            "trace {trace:#x}: final attempt escapes the root interval"
+        );
+    }
+    assert!(
+        retried_traces >= 1,
+        "no trace recorded a retry attempt span despite {} gateway retries",
+        cluster.stats().retries
+    );
+}
