@@ -6,10 +6,20 @@
 //! Flags:
 //!
 //! - `--smoke` — shrunken sizes/repetitions (seconds, for CI).
+//! - `--batch` — run the continuous-batching arm instead
+//!   (`target/experiments/BENCH_batch.json`): decode tokens/s at batch
+//!   occupancy 1/4/8/16/32 plus client-observed TTFT p50/p99 under a
+//!   batched service. See `experiments::batch`.
 
+use cb_bench::experiments::batch::{run_opts as run_batch, BatchOpts};
 use cb_bench::experiments::kernels::{run_opts, KernelOpts};
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
-    run_opts(KernelOpts { smoke });
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--batch") {
+        run_batch(BatchOpts { smoke });
+    } else {
+        run_opts(KernelOpts { smoke });
+    }
 }

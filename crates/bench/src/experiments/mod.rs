@@ -2,6 +2,7 @@
 //! wrappers and `all_experiments` runs the lot. See DESIGN.md §8 for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 
+pub mod batch;
 pub mod fig02;
 pub mod fig06;
 pub mod fig07;
@@ -21,6 +22,7 @@ pub mod tab_delay;
 /// Runs every experiment in figure order.
 pub fn run_all() {
     kernels::run();
+    batch::run();
     obs_overhead::run();
     storage::run();
     tab_delay::run();

@@ -930,6 +930,20 @@ impl EngineCore {
         request: &Request,
         emit: &mut dyn FnMut(Event),
     ) -> Result<Response, EngineError> {
+        let prefilled = self.prefill_streaming(request, emit)?;
+        Ok(self.decode_prefilled(prefilled, emit))
+    }
+
+    /// Everything up to and including the `FirstToken` emission: chunk
+    /// fetch/repair, ratio selection, and the blend. The returned
+    /// [`Prefilled`] carries what decode needs, so the scheduler's batched
+    /// path can hand it to a shared decode loop while this worker prefills
+    /// the next request (blend/decode overlap).
+    pub(crate) fn prefill_streaming(
+        &self,
+        request: &Request,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<Prefilled, EngineError> {
         if request.query.is_empty() {
             return Err(EngineError::EmptyQuery);
         }
@@ -1019,7 +1033,7 @@ impl EngineCore {
         // Prefill is complete — the next computed row is the first answer
         // token. The breakdown emitted here is the TTFT measurement;
         // `decode`/`total` are finalized in the response's copy.
-        let mut ttft = TtftBreakdown {
+        let ttft = TtftBreakdown {
             precompute,
             load_wait: out.report.wait,
             recompute: out.report.total.saturating_sub(out.report.wait),
@@ -1041,27 +1055,64 @@ impl EngineCore {
             }),
         };
         emit(Event::FirstToken(ttft));
+        Ok(Prefilled {
+            blend: out.result,
+            ttft,
+            recompute_ratio,
+            chunk_sources,
+            max_new_tokens: request.max_new_tokens,
+            started: t0,
+        })
+    }
 
+    /// The sequential decode half of [`EngineCore::submit_streaming`]:
+    /// greedy-decodes the blended cache, emitting `Token` events, and
+    /// finalizes the response's TTFT copy.
+    pub(crate) fn decode_prefilled(
+        &self,
+        prefilled: Prefilled,
+        emit: &mut dyn FnMut(Event),
+    ) -> Response {
+        let Prefilled {
+            mut blend,
+            mut ttft,
+            recompute_ratio,
+            chunk_sources,
+            max_new_tokens,
+            started,
+        } = prefilled;
         let t_dec = Instant::now();
         let decode_span = cb_obs::trace::Span::begin("decode");
-        let mut blend = out.result;
         let answer = self.model.decode_greedy_with(
             &mut blend.cache,
             &blend.last_residual,
-            request.max_new_tokens,
+            max_new_tokens,
             &mut |t| emit(Event::Token(t)),
         );
         decode_span.end();
         ttft.decode = t_dec.elapsed();
-        ttft.total = t0.elapsed();
-        Ok(Response {
+        ttft.total = started.elapsed();
+        Response {
             answer,
             blend,
             ttft,
             recompute_ratio,
             chunk_sources,
-        })
+        }
     }
+}
+
+/// A request that has completed prefill (blend done, `FirstToken` emitted)
+/// but not yet decoded; produced by [`EngineCore::prefill_streaming`] and
+/// consumed either by [`EngineCore::decode_prefilled`] (sequential) or by
+/// the scheduler's continuous-batching decode loop.
+pub(crate) struct Prefilled {
+    pub(crate) blend: BlendResult,
+    pub(crate) ttft: TtftBreakdown,
+    pub(crate) recompute_ratio: f32,
+    pub(crate) chunk_sources: Vec<ChunkSource>,
+    pub(crate) max_new_tokens: usize,
+    pub(crate) started: Instant,
 }
 
 impl Engine {
@@ -1069,6 +1120,17 @@ impl Engine {
     /// the decoded answer plus blend statistics and a TTFT breakdown.
     pub fn submit(&self, request: Request) -> Result<Response, EngineError> {
         self.core.submit_streaming(&request, &mut |_| {})
+    }
+
+    /// The prefill half of [`Engine::submit_streaming`] (through the
+    /// `FirstToken` emission); the scheduler's batched decode path pairs
+    /// it with a shared [`cb_model::DecodeBatch`] loop.
+    pub(crate) fn prefill_streaming(
+        &self,
+        request: &Request,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<Prefilled, EngineError> {
+        self.core.prefill_streaming(request, emit)
     }
 
     /// Serves one request, emitting streaming [`Event`]s as each phase

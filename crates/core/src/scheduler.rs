@@ -18,22 +18,30 @@
 //! - **Observability**: [`ServiceStats`] counts submissions, rejections,
 //!   completions, failures, TTFT-deadline misses, and the peak queue
 //!   depth.
+//! - **Continuous batching** ([`ServiceConfig::decode_batch`] ≥ 2):
+//!   workers run only the blend/prefill half of a request and hand the
+//!   prefilled sequence to a dedicated decoder thread stepping a shared
+//!   [`cb_model::DecodeBatch`]. Sequences join and leave the running
+//!   batch between decode iterations, so one request's recompute overlaps
+//!   another's decode. Batched decode is bit-identical to the sequential
+//!   path and per-request event order is unchanged.
 //!
 //! Workers drain the queue on shutdown ([`EngineService`]'s `Drop` joins
-//! them), so every accepted request reaches a terminal event as long as at
-//! least one worker exists.
+//! them, then the decoder), so every accepted request reaches a terminal
+//! event as long as at least one worker exists.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cb_obs::metrics::{Counter, Histogram, Registry};
+use cb_model::{DecodeBatch, KvCache, SeqId};
+use cb_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use cb_obs::trace::{Span, TraceContext};
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel::{self, Receiver, Sender};
 
-use crate::engine::{Engine, EngineError, Priority, Request, Response};
+use crate::engine::{Engine, EngineError, Prefilled, Priority, Request, Response};
 use crate::stream::{Event, ResponseStream};
 
 /// Cached handles into the process-global metrics registry. Every
@@ -56,6 +64,8 @@ struct SchedObs {
     ttft_precompute: Arc<Histogram>,
     decode_token: Arc<Histogram>,
     request: Arc<Histogram>,
+    batch_occupancy: Arc<Gauge>,
+    decode_step: Arc<Histogram>,
 }
 
 fn sched_obs() -> &'static SchedObs {
@@ -77,6 +87,8 @@ fn sched_obs() -> &'static SchedObs {
             ttft_precompute: r.histogram("cb_ttft_precompute_seconds"),
             decode_token: r.histogram("cb_decode_token_seconds"),
             request: r.histogram("cb_request_seconds"),
+            batch_occupancy: r.gauge("cb_batch_occupancy"),
+            decode_step: r.histogram("cb_decode_step_seconds"),
         }
     })
 }
@@ -96,6 +108,12 @@ pub struct ServiceConfig {
     /// Consecutive high-lane dispatches allowed while normal-lane work is
     /// waiting before one normal request is dispatched.
     pub fair_burst: usize,
+    /// Width of the continuous decode batch. `1` (the default) decodes
+    /// each request on the worker that prefilled it — the classic path.
+    /// `n ≥ 2` routes prefilled requests to a dedicated decoder thread
+    /// that steps up to `n` sequences in lockstep, admitting and retiring
+    /// between iterations.
+    pub decode_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +125,7 @@ impl Default for ServiceConfig {
                 .min(4),
             queue_capacity: 64,
             fair_burst: 4,
+            decode_batch: 1,
         }
     }
 }
@@ -132,6 +151,18 @@ impl ServiceConfig {
     /// Sets the anti-starvation burst length.
     pub fn fair_burst(mut self, n: usize) -> Self {
         self.fair_burst = n;
+        self
+    }
+
+    /// Sets the continuous decode-batch width (see
+    /// [`ServiceConfig::decode_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (a zero-wide batch could decode nothing).
+    pub fn decode_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "decode batch width must be positive");
+        self.decode_batch = n;
         self
     }
 }
@@ -167,7 +198,8 @@ pub struct ServiceStats {
     /// Requests that reached [`Event::Failed`].
     pub failed: u64,
     /// Requests whose first token arrived after their
-    /// [`Request::deadline`].
+    /// [`Request::deadline`] — or that went terminal (failed, canceled)
+    /// without ever producing a first token once the deadline had passed.
     pub deadline_misses: u64,
     /// Requests skipped because the client dropped the
     /// [`ResponseStream`] while they were still queued.
@@ -281,8 +313,17 @@ impl<T> LaneQueue<T> {
         Ok(())
     }
 
-    /// Dispatches the next item under the fairness rule. The streak only
-    /// accumulates while normal-lane work is actually waiting.
+    /// Dispatches the next item under the fairness rule.
+    ///
+    /// Invariant: while the normal lane stays non-empty, at most
+    /// `fair_burst` consecutive pops come from the high lane. The streak
+    /// therefore only accumulates while normal-lane work is actually
+    /// waiting, and resets on every path that cannot starve anyone: a pop
+    /// with the normal lane empty (no one is waiting) and a pop that
+    /// serves the normal lane (the wait ended). Missing either reset was
+    /// the failure mode audited here — a stale streak would either tax
+    /// high-lane bursts that starved no one, or let a drained-then-refilled
+    /// normal lane wait longer than a burst.
     fn pop(&mut self) -> Option<T> {
         if self.normal.is_empty() {
             self.high_streak = 0;
@@ -332,11 +373,14 @@ pub struct EngineService {
     engine: Engine,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    decoder: Option<JoinHandle<()>>,
 }
 
 impl EngineService {
     /// Starts the service: spawns `cfg.workers` threads, each holding a
     /// clone of `engine` (clones share the store, registry, and model).
+    /// With [`ServiceConfig::decode_batch`] ≥ 2 a decoder thread is also
+    /// spawned; workers then prefill and hand sequences to it.
     pub fn new(engine: Engine, cfg: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
@@ -348,17 +392,33 @@ impl EngineService {
             stats: AtomicStats::default(),
             inflight: AtomicU64::new(0),
         });
+        let (batch_tx, decoder) = if cfg.decode_batch > 1 && cfg.workers > 0 {
+            let (tx, rx) = channel::unbounded();
+            let engine = engine.clone();
+            let shared = shared.clone();
+            let cap = cfg.decode_batch;
+            let handle = std::thread::spawn(move || decoder_loop(engine, shared, rx, cap));
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
         let workers = (0..cfg.workers)
             .map(|_| {
                 let engine = engine.clone();
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(engine, shared))
+                let batch_tx = batch_tx.clone();
+                std::thread::spawn(move || worker_loop(engine, shared, batch_tx))
             })
             .collect();
+        // Only workers hold handoff senders (`batch_tx` drops here), so
+        // the decoder's receiver disconnects exactly when the last worker
+        // exits — it then drains its batch and terminates.
+        drop(batch_tx);
         Self {
             engine,
             shared,
             workers,
+            decoder,
         }
     }
 
@@ -461,13 +521,46 @@ impl Drop for EngineService {
         self.shared.state.lock().unwrap().shutdown = true;
         self.shared.jobs_cv.notify_all();
         self.shared.space_cv.notify_all();
+        // Workers first: they drain the queue (possibly handing more
+        // sequences to the decoder) and drop their handoff senders on
+        // exit. Only then can the decoder observe disconnection, finish
+        // the in-flight batch, and return.
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(d) = self.decoder.take() {
+            let _ = d.join();
         }
     }
 }
 
-fn worker_loop(engine: Engine, shared: Arc<Shared>) {
+/// Records a TTFT-deadline miss for one retiring request. A deadlined
+/// request misses when its first token arrived late — or, if it went
+/// terminal (failed, canceled) without ever producing a first token, when
+/// the deadline had already passed by then. The second arm is what keeps
+/// the miss count honest under failure: a request that blows through its
+/// deadline and *then* errors out used to vanish from the count entirely,
+/// which made an overloaded, failing service look like it was meeting
+/// latency targets.
+fn note_deadline(
+    shared: &Shared,
+    obs: &SchedObs,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    first_token_at: Option<Instant>,
+) {
+    let Some(deadline) = deadline else { return };
+    let missed = match first_token_at {
+        Some(at) => at.duration_since(enqueued) > deadline,
+        None => enqueued.elapsed() > deadline,
+    };
+    if missed {
+        shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        obs.deadline_misses.inc();
+    }
+}
+
+fn worker_loop(engine: Engine, shared: Arc<Shared>, batch_tx: Option<Sender<DecodeHandoff>>) {
     loop {
         let job = {
             let mut st = shared.state.lock().unwrap();
@@ -506,9 +599,75 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
         // If the client already dropped the stream, skip the blend — no
         // one is listening, and the lane is better spent on live requests.
         if job.tx.send(Event::Admitted).is_err() {
+            note_deadline(&shared, obs, job.request.deadline, job.enqueued, None);
             shared.stats.canceled.fetch_add(1, Ordering::Relaxed);
             obs.canceled.inc();
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        if let Some(batch_tx) = &batch_tx {
+            // Batched mode: this worker only runs the blend/prefill, then
+            // hands the sequence to the decoder thread. While the decoder
+            // steps other requests' tokens, this worker is already
+            // prefilling the next request — that overlap is the whole
+            // point of continuous batching.
+            let serve_span = Span::begin("prefill");
+            let served_at = Instant::now();
+            let mut first_token_at = None;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.prefill_streaming(&job.request, &mut |event| {
+                    if let Event::FirstToken(ttft) = &event {
+                        if first_token_at.is_none() {
+                            let now = Instant::now();
+                            first_token_at = Some(now);
+                            obs.ttft.record_duration(now.duration_since(job.enqueued));
+                            obs.ttft_load_wait.record_duration(ttft.load_wait);
+                            obs.ttft_recompute.record_duration(ttft.recompute);
+                            obs.ttft_precompute.record_duration(ttft.precompute);
+                        }
+                    }
+                    let _ = job.tx.send(event);
+                })
+            }))
+            .unwrap_or(Err(EngineError::Panicked));
+            note_deadline(
+                &shared,
+                obs,
+                job.request.deadline,
+                job.enqueued,
+                first_token_at,
+            );
+            serve_span.end();
+            match result {
+                Ok(prefilled) => {
+                    let handoff = DecodeHandoff {
+                        prefilled,
+                        tx: job.tx,
+                        served_at,
+                        first_token_at,
+                        trace: job.request.trace,
+                        trace_parent: job.request.trace_parent,
+                    };
+                    // The decoder owns the request from here: it
+                    // decrements inflight and sends the terminal event at
+                    // retire. A send can only fail during a shutdown race;
+                    // dropping the handoff closes the stream, which
+                    // clients observe as Canceled — same as a request
+                    // still queued at shutdown.
+                    if batch_tx.send(handoff).is_err() {
+                        shared.stats.canceled.fetch_add(1, Ordering::Relaxed);
+                        obs.canceled.inc();
+                        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(err) => {
+                    obs.request.record_duration(served_at.elapsed());
+                    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    obs.failed.inc();
+                    let _ = job.tx.send(Event::Failed(err));
+                }
+            }
             continue;
         }
         let serve_span = Span::begin("serve");
@@ -543,12 +702,13 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
             })
         }))
         .unwrap_or(Err(EngineError::Panicked));
-        if let (Some(deadline), Some(at)) = (job.request.deadline, first_token_at) {
-            if at.duration_since(job.enqueued) > deadline {
-                shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                obs.deadline_misses.inc();
-            }
-        }
+        note_deadline(
+            &shared,
+            obs,
+            job.request.deadline,
+            job.enqueued,
+            first_token_at,
+        );
         obs.request.record_duration(served_at.elapsed());
         serve_span.end();
         // Decremented before the terminal event goes out: a client that
@@ -565,6 +725,191 @@ fn worker_loop(engine: Engine, shared: Arc<Shared>) {
                 obs.failed.inc();
                 let _ = job.tx.send(Event::Failed(err));
             }
+        }
+    }
+}
+
+/// A prefilled request handed from a worker to the decoder thread, ready
+/// to join the continuous batch.
+struct DecodeHandoff {
+    prefilled: Prefilled,
+    tx: Sender<Event>,
+    served_at: Instant,
+    first_token_at: Option<Instant>,
+    trace: u64,
+    trace_parent: u64,
+}
+
+/// Per-sequence bookkeeping while a request decodes inside the shared
+/// batch.
+struct DecodeCtx {
+    prefilled: Prefilled,
+    tx: Sender<Event>,
+    served_at: Instant,
+    last_token_at: Instant,
+    decode_started: Instant,
+    decode_start_ns: u64,
+    /// Pre-allocated span id for the request's `decode` span, so per-step
+    /// spans can parent onto it before it is recorded at retire. Zero for
+    /// untraced requests.
+    decode_span: u64,
+    trace: u64,
+    trace_parent: u64,
+}
+
+fn admit_handoff(
+    engine: &Engine,
+    batch: &mut DecodeBatch,
+    slots: &mut HashMap<SeqId, DecodeCtx>,
+    mut h: DecodeHandoff,
+) {
+    // The cache moves into the batch slot; it moves back into the blend
+    // result at retire (with the answer's rows appended), so the response
+    // shape matches the sequential path exactly.
+    let cache = std::mem::replace(&mut h.prefilled.blend.cache, KvCache::empty(0, 0));
+    let sid = batch.admit(
+        engine.model(),
+        cache,
+        &h.prefilled.blend.last_residual,
+        h.prefilled.max_new_tokens,
+    );
+    let now = Instant::now();
+    let decode_span = if h.trace != 0 {
+        cb_obs::trace::alloc_span_id()
+    } else {
+        0
+    };
+    slots.insert(
+        sid,
+        DecodeCtx {
+            last_token_at: h.first_token_at.unwrap_or(now),
+            prefilled: h.prefilled,
+            tx: h.tx,
+            served_at: h.served_at,
+            decode_started: now,
+            decode_start_ns: cb_obs::now_nanos(),
+            decode_span,
+            trace: h.trace,
+            trace_parent: h.trace_parent,
+        },
+    );
+}
+
+/// The continuous-batching decode loop: one thread stepping every
+/// in-flight sequence together. Between steps it tops the batch up from
+/// the handoff channel — blocking only when the batch is empty, so a busy
+/// batch never stalls waiting for admissions. Exits when the channel
+/// disconnects (all workers gone) and the batch has drained.
+fn decoder_loop(engine: Engine, shared: Arc<Shared>, rx: Receiver<DecodeHandoff>, cap: usize) {
+    let obs = sched_obs();
+    let mut batch = DecodeBatch::new();
+    let mut slots: HashMap<SeqId, DecodeCtx> = HashMap::new();
+    loop {
+        while batch.len() < cap {
+            if batch.is_empty() {
+                match rx.recv() {
+                    Ok(h) => admit_handoff(&engine, &mut batch, &mut slots, h),
+                    Err(_) => return,
+                }
+            } else {
+                match rx.try_recv() {
+                    Ok(h) => admit_handoff(&engine, &mut batch, &mut slots, h),
+                    Err(_) => break,
+                }
+            }
+        }
+        obs.batch_occupancy.set(batch.len() as f64);
+        let step_started = Instant::now();
+        let step_start_ns = cb_obs::now_nanos();
+        // Same containment as the worker loop: a panic mid-step must not
+        // kill the decoder. It does leave the batch in an undefined state,
+        // so every in-flight sequence fails and the batch restarts empty.
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.step(engine.model(), &mut |sid, token| {
+                let Some(ctx) = slots.get_mut(&sid) else {
+                    return;
+                };
+                let now = Instant::now();
+                obs.decode_token
+                    .record_duration(now.duration_since(ctx.last_token_at));
+                ctx.last_token_at = now;
+                obs.tokens.inc();
+                let _ = ctx.tx.send(Event::Token(token));
+            })
+        }));
+        obs.decode_step.record_duration(step_started.elapsed());
+        let retired = match stepped {
+            Ok(retired) => retired,
+            Err(_) => {
+                batch = DecodeBatch::new();
+                for (_, ctx) in slots.drain() {
+                    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    obs.failed.inc();
+                    let _ = ctx.tx.send(Event::Failed(EngineError::Panicked));
+                }
+                obs.batch_occupancy.set(0.0);
+                continue;
+            }
+        };
+        let step_end_ns = cb_obs::now_nanos();
+        // Per-step spans for traced sequences, parented onto the
+        // request's (not-yet-recorded) decode span. Sequences retiring on
+        // this step are still in `slots` here, so their last step is
+        // covered too.
+        for ctx in slots.values() {
+            if ctx.trace != 0 {
+                cb_obs::trace::record_span(
+                    ctx.trace,
+                    ctx.decode_span,
+                    "decode.step",
+                    step_start_ns,
+                    step_end_ns,
+                );
+            }
+        }
+        for (sid, fin) in retired {
+            let Some(ctx) = slots.remove(&sid) else {
+                continue;
+            };
+            let Prefilled {
+                mut blend,
+                mut ttft,
+                recompute_ratio,
+                chunk_sources,
+                started,
+                max_new_tokens: _,
+            } = ctx.prefilled;
+            blend.cache = fin.cache;
+            ttft.decode = ctx.decode_started.elapsed();
+            ttft.total = started.elapsed();
+            let resp = Response {
+                answer: fin.tokens,
+                blend,
+                ttft,
+                recompute_ratio,
+                chunk_sources,
+            };
+            if ctx.trace != 0 {
+                cb_obs::trace::record_span_with_id(
+                    ctx.trace,
+                    ctx.decode_span,
+                    ctx.trace_parent,
+                    "decode",
+                    ctx.decode_start_ns,
+                    cb_obs::now_nanos(),
+                );
+            }
+            obs.request.record_duration(ctx.served_at.elapsed());
+            // Decremented before the terminal event goes out, matching
+            // the sequential path's guarantee.
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            obs.completed.inc();
+            let _ = ctx.tx.send(Event::Done(resp));
+        }
+        if batch.is_empty() {
+            obs.batch_occupancy.set(0.0);
         }
     }
 }
@@ -640,6 +985,53 @@ mod tests {
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), Some(10), "burst of 2 exhausted");
         assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn lane_queue_fairness_holds_under_random_arrivals() {
+        // Property: while the normal lane is non-empty, at most
+        // `fair_burst` consecutive dispatches come from the high lane —
+        // i.e. a normal item surfaces at least every fair_burst + 1
+        // dispatches. Randomized arrivals/drains exercise the
+        // drain-then-refill interleavings the fixed-scenario tests miss.
+        let mut rng_state: u64 = 0x9e37_79b9_97f4_a7c5;
+        let mut rng = move || {
+            // xorshift64*: deterministic, no dev-dependency needed.
+            rng_state ^= rng_state >> 12;
+            rng_state ^= rng_state << 25;
+            rng_state ^= rng_state >> 27;
+            rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for fair_burst in [1usize, 2, 4] {
+            let mut q: LaneQueue<Priority> = LaneQueue::new(1024, fair_burst);
+            let mut high_run = 0usize;
+            for _ in 0..5000 {
+                match rng() % 4 {
+                    0 => {
+                        let _ = q.push(Priority::High, Priority::High);
+                    }
+                    1 => {
+                        let _ = q.push(Priority::Normal, Priority::Normal);
+                    }
+                    _ => {
+                        let normal_waiting = !q.normal.is_empty();
+                        match q.pop() {
+                            Some(Priority::High) if normal_waiting => {
+                                high_run += 1;
+                                assert!(
+                                    high_run <= fair_burst,
+                                    "{high_run} consecutive high pops past a waiting \
+                                     normal lane (fair_burst {fair_burst})"
+                                );
+                            }
+                            // A high pop with no normal waiting starves
+                            // no one; a normal pop ends the wait.
+                            Some(_) | None => high_run = 0,
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn service(workers: usize, capacity: usize) -> EngineService {
@@ -797,5 +1189,152 @@ mod tests {
         s.submit(Request::new(vec![id], q).deadline(std::time::Duration::from_secs(3600)))
             .unwrap();
         assert_eq!(s.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn deadline_misses_count_failures_that_never_produced_a_token() {
+        // Regression: a request that fails before its first token used to
+        // escape the miss count (the check required `first_token_at`).
+        // An unknown chunk forces exactly that failure mode.
+        let s = service(1, 8);
+        let v = s.engine().model().cfg.vocab.clone();
+        let q = vec![v.id(Query), v.id(QMark)];
+        let err = s
+            .submit_stream(
+                Request::new(vec![cb_kv::ChunkId(99)], q.clone())
+                    .deadline(std::time::Duration::ZERO),
+            )
+            .collect()
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownChunk(cb_kv::ChunkId(99)));
+        assert_eq!(
+            s.stats().deadline_misses,
+            1,
+            "an already-late failure is a miss"
+        );
+        // The same failure well inside a generous deadline is not a miss.
+        s.submit_stream(
+            Request::new(vec![cb_kv::ChunkId(99)], q)
+                .deadline(std::time::Duration::from_secs(3600)),
+        )
+        .collect()
+        .unwrap_err();
+        let st = s.stats();
+        assert_eq!(st.deadline_misses, 1);
+        assert_eq!(st.failed, 2);
+    }
+
+    fn batched_service(workers: usize, capacity: usize, batch: usize) -> EngineService {
+        let engine = EngineBuilder::new(ModelProfile::Tiny).build().unwrap();
+        EngineService::new(
+            engine,
+            ServiceConfig::default()
+                .workers(workers)
+                .queue_capacity(capacity)
+                .decode_batch(batch),
+        )
+    }
+
+    /// Registers the same fact chunks on a service and returns one query
+    /// per fact, with the expected answer token.
+    fn fact_requests(s: &EngineService, n: usize) -> Vec<(Request, cb_tokenizer::TokenId)> {
+        let v = s.engine().model().cfg.vocab.clone();
+        (0..n)
+            .map(|i| {
+                let (e, a, val) = ((i % 7) as u32, (i % 5) as u32, ((i * 3 + 1) % 10) as u32);
+                let chunk: Vec<_> = [Entity(e), Attr(a), Value(val), Sep]
+                    .map(|k| v.id(k))
+                    .to_vec();
+                let id = s.engine().register_chunk(&chunk).unwrap();
+                let q: Vec<_> = [Query, Entity(e), Attr(a), QMark].map(|k| v.id(k)).to_vec();
+                (
+                    Request::new(vec![id], q).ratio(0.45).max_new_tokens(4),
+                    v.id(Value(val)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_service_preserves_event_order_and_matches_sequential_answers() {
+        let seq = service(1, 16);
+        let bat = batched_service(2, 16, 4);
+        let n = 6;
+        let seq_reqs = fact_requests(&seq, n);
+        let bat_reqs = fact_requests(&bat, n);
+        let seq_resps: Vec<_> = seq_reqs
+            .into_iter()
+            .map(|(r, want)| {
+                let resp = seq.submit(r).unwrap();
+                assert_eq!(resp.answer, vec![want]);
+                resp
+            })
+            .collect();
+        // Submit everything up front so requests genuinely share the
+        // batch, then drain each stream.
+        let streams: Vec<_> = bat_reqs
+            .iter()
+            .map(|(r, _)| bat.submit_stream(r.clone()))
+            .collect();
+        for (stream, ((_, want), seq_resp)) in
+            streams.into_iter().zip(bat_reqs.iter().zip(&seq_resps))
+        {
+            let mut events = Vec::new();
+            for e in stream {
+                events.push(e);
+            }
+            assert!(matches!(events[0], Event::Queued));
+            assert!(matches!(events[1], Event::Admitted));
+            assert!(matches!(events[2], Event::FirstToken(_)));
+            let tokens: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Token(t) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            let Event::Done(resp) = events.last().unwrap() else {
+                panic!("missing terminal Done: {events:?}");
+            };
+            assert_eq!(tokens, resp.answer, "streamed tokens match the answer");
+            assert_eq!(resp.answer, vec![*want]);
+            // Bit-identity at the service level: the batched response's
+            // cache (prompt + answer rows) equals the sequential one's.
+            assert_eq!(resp.blend.cache, seq_resp.blend.cache);
+        }
+        let st = bat.stats();
+        assert_eq!((st.completed, st.failed), (n as u64, 0));
+        let p = bat.probe();
+        assert_eq!(p.inflight, 0);
+        assert_eq!(p.load(), 0);
+    }
+
+    #[test]
+    fn batched_service_streams_failures_and_drains_on_drop() {
+        let s = batched_service(2, 16, 4);
+        let v = s.engine().model().cfg.vocab.clone();
+        let q = vec![v.id(Query), v.id(QMark)];
+        // Failures happen worker-side (prefill) and must still reach the
+        // stream as a terminal event in batched mode.
+        let err = s
+            .submit_stream(Request::new(vec![cb_kv::ChunkId(99)], q))
+            .collect()
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownChunk(cb_kv::ChunkId(99)));
+        assert_eq!(s.stats().failed, 1);
+        // Dropping the service with live streams still terminates every
+        // accepted request (workers drain, then the decoder drains).
+        let reqs = fact_requests(&s, 5);
+        let streams: Vec<_> = reqs
+            .iter()
+            .map(|(r, _)| s.submit_stream(r.clone()))
+            .collect();
+        drop(s);
+        for (stream, (_, want)) in streams.into_iter().zip(reqs) {
+            match stream.collect() {
+                Ok(resp) => assert_eq!(resp.answer, vec![want]),
+                Err(err) => assert_eq!(err, EngineError::Canceled),
+            }
+        }
     }
 }

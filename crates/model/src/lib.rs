@@ -20,7 +20,11 @@
 //! - [`model`] — the [`model::Model`] type and its forward passes (full
 //!   prefill, cached-prefix extension, incremental decode, attention
 //!   tracing).
+//! - [`batch`] — continuous batched decode ([`batch::DecodeBatch`]):
+//!   iteration-level admit/retire across many sequences, bit-identical to
+//!   the sequential decode loop.
 
+pub mod batch;
 pub mod config;
 pub mod kvcache;
 pub mod model;
@@ -28,6 +32,7 @@ pub mod program;
 pub mod scratch;
 pub mod weights;
 
+pub use batch::{DecodeBatch, FinishedSeq, SeqId};
 pub use config::{ModelConfig, ModelProfile};
 pub use kvcache::{KvCache, LayerKv};
 pub use model::Model;

@@ -613,14 +613,18 @@ impl Model {
             cache.len() + max_tokens,
         );
         self.logits_into(last_residual, &mut scratch.logits_in, &mut scratch.logits);
-        for _ in 0..max_tokens {
+        // Position is loop-carried state, derived from the cache exactly
+        // once: re-reading `positions.last()` per token would couple every
+        // step to whatever else mutates the cache (the batched decode path
+        // interleaves many sequences' appends).
+        let pos0 = cache.positions.last().map(|&p| p + 1).unwrap_or(0);
+        for pos in pos0..pos0 + max_tokens {
             let next = ops::argmax(scratch.logits.row(0)) as TokenId;
             if !matches!(self.cfg.vocab.kind(next), TokenKind::Value(_)) {
                 break;
             }
             out.push(next);
             on_token(next);
-            let pos = cache.positions.last().map(|&p| p + 1).unwrap_or(0);
             self.forward_rows_with(&[next], &[pos], cache, None, scratch);
             self.logits_into(
                 scratch.x.row(0),

@@ -311,6 +311,24 @@ impl EngineBackend {
         ))
     }
 
+    /// The continuous-batching closed-loop arm: `workers` prefill threads
+    /// feeding a decoder thread that steps up to `decode_batch` sequences
+    /// together (see [`cb_core::scheduler::ServiceConfig::decode_batch`]).
+    /// One request's blend recompute overlaps other requests' decode, so
+    /// this is the arm that measures iteration-level scheduling rather
+    /// than a serially-busy GPU.
+    pub fn batched(profile: cb_model::ModelProfile, workers: usize, decode_batch: usize) -> Self {
+        let engine = cb_core::engine::EngineBuilder::new(profile)
+            .build()
+            .expect("default engine configuration builds");
+        Self::new(EngineService::new(
+            engine,
+            cb_core::scheduler::ServiceConfig::default()
+                .workers(workers.max(1))
+                .decode_batch(decode_batch),
+        ))
+    }
+
     /// The disk-resident closed-loop arm: same single-worker service, but
     /// the engine's store is a small RAM tier over a persistent,
     /// device-throttled disk tier under `dir` — chunk KV genuinely spills
@@ -531,6 +549,24 @@ mod tests {
         let mut backend = EngineBackend::single_worker(ModelProfile::Tiny);
         let s = backend.warm_service_time_s();
         assert!(s > 0.0);
+        assert_eq!(backend.service().stats().completed, 2);
+    }
+
+    #[test]
+    fn batched_backend_serves_and_completes_like_single_worker() {
+        let mut backend = EngineBackend::batched(ModelProfile::Tiny, 2, 4);
+        let req = Request {
+            arrival_s: 0.0,
+            chunk_ids: vec![3, 5, 9],
+        };
+        let cold = backend.serve(&req);
+        let warm = backend.serve(&req);
+        assert!(!cold.failed && !warm.failed);
+        assert_eq!(warm.hits, 3, "second touch is store-warm");
+        assert!(
+            warm.decode_s > 0.0,
+            "decode time comes from the decoder thread"
+        );
         assert_eq!(backend.service().stats().completed, 2);
     }
 

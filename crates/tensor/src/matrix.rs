@@ -34,7 +34,7 @@ use crate::pool;
 /// so every chunk groups rows the way the serial kernel would; grouping
 /// never changes per-element accumulation order, so this is purely a
 /// locality choice).
-const MR: usize = 4;
+const MR: usize = 8;
 /// Accumulator lanes of the dot-product (transposed) kernel.
 const LANES: usize = 16;
 /// Column pairs computed together by the transposed kernel.
@@ -881,10 +881,10 @@ fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
 /// participating rows of `b` (the probed sparse path).
 ///
 /// The kernel is a branch-free ikj AXPY — the shape rustc autovectorizes
-/// best on this workload — unrolled two output rows deep so each `b` row
-/// is loaded once per row pair. Every output element accumulates in fixed
-/// ascending-`ks` order, so the result is independent of how callers
-/// partition `m` (bit-identical for any thread count).
+/// best on this workload — unrolled 8/4/2 output rows deep so each `b`
+/// row is loaded once per row group. Every output element accumulates in
+/// fixed ascending-`ks` order, so the result is independent of how
+/// callers partition `m` (bit-identical for any thread count).
 #[allow(clippy::too_many_arguments)]
 fn gemm_block(
     a: &[f32],
@@ -898,7 +898,63 @@ fn gemm_block(
     ks: &KSet<'_>,
 ) {
     let mut i = 0;
-    // 4-row main loop: each `b` row is loaded once per four output rows,
+    // 8-row main loop: each `b` row is loaded once per eight output rows.
+    // This is what makes batched decode pay — at occupancy ≥ 8 the fused
+    // per-layer matmuls stream each weight panel an 8th as often as
+    // occupancy-1 decode. Skip-grouping rows is exact: accumulators start
+    // at +0.0 and `x + ±0.0 == x` bit-for-bit for every reachable x, so
+    // computing a zero row alongside non-zero neighbours equals skipping
+    // it, and per-element accumulation stays in ascending-`ks` order.
+    while i + 8 <= m {
+        let (o0, rest) = out[i * n..].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, rest) = rest.split_at_mut(n);
+        let (o3, rest) = rest.split_at_mut(n);
+        let (o4, rest) = rest.split_at_mut(n);
+        let (o5, rest) = rest.split_at_mut(n);
+        let (o6, rest) = rest.split_at_mut(n);
+        let o7 = &mut rest[..n];
+        ks.for_each(|k| {
+            let a0 = a[i * lda + k];
+            let a1 = a[(i + 1) * lda + k];
+            let a2 = a[(i + 2) * lda + k];
+            let a3 = a[(i + 3) * lda + k];
+            let a4 = a[(i + 4) * lda + k];
+            let a5 = a[(i + 5) * lda + k];
+            let a6 = a[(i + 6) * lda + k];
+            let a7 = a[(i + 7) * lda + k];
+            if a0 == 0.0
+                && a1 == 0.0
+                && a2 == 0.0
+                && a3 == 0.0
+                && a4 == 0.0
+                && a5 == 0.0
+                && a6 == 0.0
+                && a7 == 0.0
+            {
+                return;
+            }
+            let brow = &b[k * ldb + bcol..k * ldb + bcol + n];
+            let lo = o0
+                .iter_mut()
+                .zip(o1.iter_mut().zip(o2.iter_mut().zip(o3.iter_mut())));
+            let hi = o4
+                .iter_mut()
+                .zip(o5.iter_mut().zip(o6.iter_mut().zip(o7.iter_mut())));
+            for (((x0, (x1, (x2, x3))), (x4, (x5, (x6, x7)))), &bv) in lo.zip(hi).zip(brow) {
+                *x0 = bv.mul_add(a0, *x0);
+                *x1 = bv.mul_add(a1, *x1);
+                *x2 = bv.mul_add(a2, *x2);
+                *x3 = bv.mul_add(a3, *x3);
+                *x4 = bv.mul_add(a4, *x4);
+                *x5 = bv.mul_add(a5, *x5);
+                *x6 = bv.mul_add(a6, *x6);
+                *x7 = bv.mul_add(a7, *x7);
+            }
+        });
+        i += 8;
+    }
+    // 4-row loop: each `b` row is loaded once per four output rows,
     // which matters when `b` overflows L2 (the fused QKV weight does).
     while i + 4 <= m {
         let (o0, rest) = out[i * n..].split_at_mut(n);

@@ -1193,3 +1193,119 @@ fn cluster_retry_spans_stay_well_nested_and_monotone() {
         cluster.stats().retries
     );
 }
+
+/// A random single-chunk recall prompt: `Bos`, a few facts, then a query
+/// naming one of them. Decoding answers with `Value` tokens, so budgets
+/// and stop conditions are both exercised.
+fn recall_prompt(rng: &mut SmallRng, v: &Vocab) -> Vec<u32> {
+    let n_facts = rng.random_range(1usize..4);
+    let mut toks = vec![v.id(TokenKind::Bos)];
+    let mut facts = Vec::new();
+    for _ in 0..n_facts {
+        let (e, a, val) = (
+            rng.random_range(0u32..8),
+            rng.random_range(0u32..4),
+            rng.random_range(0u32..10),
+        );
+        facts.push((e, a));
+        toks.extend([
+            v.id(TokenKind::Entity(e)),
+            v.id(TokenKind::Attr(a)),
+            v.id(TokenKind::Value(val)),
+            v.id(TokenKind::Sep),
+        ]);
+    }
+    let (e, a) = facts[rng.random_range(0..facts.len())];
+    toks.extend([
+        v.id(TokenKind::Query),
+        v.id(TokenKind::Entity(e)),
+        v.id(TokenKind::Attr(a)),
+        v.id(TokenKind::QMark),
+    ]);
+    toks
+}
+
+/// Continuous batched decode is bit-identical to the sequential decode
+/// loop under every combination of pool thread count (1..=4), occupancy
+/// cap (1/2/8), and a randomized mid-flight admission schedule: every
+/// sequence's emitted tokens and final KV cache must equal the ones from
+/// an isolated sequential decode, byte for byte.
+#[test]
+fn batched_decode_matches_sequential_bit_for_bit() {
+    use cacheblend::model::{DecodeBatch, KvCache};
+    use cacheblend::tensor::pool;
+    use std::collections::HashMap;
+
+    let m = tiny_model();
+    let v = m.cfg.vocab.clone();
+    let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+    let n_seqs = 10;
+    let cases: Vec<(Vec<u32>, usize)> = (0..n_seqs)
+        .map(|_| (recall_prompt(&mut rng, &v), rng.random_range(0usize..=6)))
+        .collect();
+
+    // Sequential references: each sequence prefilled and decoded alone.
+    pool::set_threads(1);
+    let reference: Vec<(Vec<u32>, KvCache)> = cases
+        .iter()
+        .map(|(prompt, budget)| {
+            let (mut cache, x) = m.prefill(prompt);
+            let resid = x.row(x.rows() - 1).to_vec();
+            let out = m.decode_greedy(&mut cache, &resid, *budget);
+            (out, cache)
+        })
+        .collect();
+
+    for threads in 1..=4usize {
+        for cap in [1usize, 2, 8] {
+            pool::set_threads(threads);
+            let mut schedule =
+                SmallRng::seed_from_u64(0x5EED ^ ((threads as u64) << 8) ^ cap as u64);
+            let mut batch = DecodeBatch::new();
+            let mut case_of = HashMap::new();
+            let mut tokens_seen: Vec<Vec<u32>> = vec![Vec::new(); n_seqs];
+            let mut final_cache: Vec<Option<KvCache>> = (0..n_seqs).map(|_| None).collect();
+            let mut next_case = 0usize;
+            while next_case < n_seqs || !batch.is_empty() {
+                // Random admissions up to the cap; guaranteed progress
+                // when the batch is idle.
+                let mut admitted = 0usize;
+                while next_case < n_seqs
+                    && batch.len() < cap
+                    && ((batch.is_empty() && admitted == 0) || schedule.random_range(0u32..2) == 0)
+                {
+                    let (prompt, budget) = &cases[next_case];
+                    let (cache, x) = m.prefill(prompt);
+                    let resid = x.row(x.rows() - 1).to_vec();
+                    let sid = batch.admit(&m, cache, &resid, *budget);
+                    case_of.insert(sid, next_case);
+                    next_case += 1;
+                    admitted += 1;
+                }
+                let retired = batch.step(&m, &mut |sid, tok| {
+                    tokens_seen[case_of[&sid]].push(tok);
+                });
+                for (sid, fin) in retired {
+                    let case = case_of[&sid];
+                    assert_eq!(tokens_seen[case], fin.tokens, "stream vs retired tokens");
+                    assert!(
+                        final_cache[case].replace(fin.cache).is_none(),
+                        "sequence retired twice"
+                    );
+                }
+            }
+            for (case, (want_tokens, want_cache)) in reference.iter().enumerate() {
+                assert_eq!(
+                    &tokens_seen[case], want_tokens,
+                    "tokens diverge: threads {threads} cap {cap} case {case}"
+                );
+                assert_eq!(
+                    final_cache[case].as_ref(),
+                    Some(want_cache),
+                    "cache diverges: threads {threads} cap {cap} case {case}"
+                );
+            }
+        }
+    }
+    pool::set_threads(pool::default_threads());
+}
